@@ -1,0 +1,504 @@
+//! §3.5 Banking: a secure banking system for payments, loans and credit
+//! cards — 34 unique microservices (Fig. 7).
+//!
+//! A node.js front-end gates everything behind authentication + ACL;
+//! payments post transactions through `transactionPosting`; lending,
+//! credit-card, mortgage and wealth-management tiers sit over
+//! memcached/MongoDB pairs and relational databases (BankInfoDB, OfferDB,
+//! wealthMgmtDB). Payments and authentication dominate end-to-end latency
+//! (§7), and the computationally heavier Java/JS tiers shift time from
+//! kernel to user space (Fig. 14).
+
+use std::sync::Arc;
+
+use dsb_core::{AppBuilder, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{add_leaf, add_memcached, add_mongodb, add_mysql, BuiltApp};
+
+/// Process a payment from an account.
+pub const PROCESS_PAYMENT: RequestType = RequestType(0);
+/// Pay a credit-card balance.
+pub const PAY_CREDIT_CARD: RequestType = RequestType(1);
+/// Request a loan (personal or business).
+pub const REQUEST_LOAN: RequestType = RequestType(2);
+/// Browse bank information / offers.
+pub const BROWSE_INFO: RequestType = RequestType(3);
+/// Wealth-management review.
+pub const WEALTH_MGMT: RequestType = RequestType(4);
+/// Open a new account or credit card.
+pub const OPEN_ACCOUNT: RequestType = RequestType(5);
+
+/// Builds the Banking application.
+pub fn banking() -> BuiltApp {
+    let mut app = AppBuilder::new("banking");
+
+    // ---- storage tier ------------------------------------------------------
+    let (_mc_cust, mc_cust_get, mc_cust_set) = add_memcached(&mut app, "memcached-customers", 1);
+    let (_mg_cust, mg_cust_find, mg_cust_ins) = add_mongodb(&mut app, "mongodb-customers", 1);
+    let (_mc_acct, mc_acct_get, mc_acct_set) = add_memcached(&mut app, "memcached-accounts", 1);
+    let (_mg_acct, mg_acct_find, mg_acct_ins) = add_mongodb(&mut app, "mongodb-accounts", 2);
+    let (_mc_txn, _mc_txn_get, mc_txn_set) = add_memcached(&mut app, "memcached-transactions", 1);
+    let (_mg_txn, mg_txn_find, mg_txn_ins) = add_mongodb(&mut app, "mongodb-transactions", 2);
+    let (_mc_offers, mc_offers_get, mc_offers_set) = add_memcached(&mut app, "memcached-offers", 1);
+    let (_bankinfo, bankinfo_q) = add_mysql(&mut app, "bankinfo-db", 1);
+    let (_offerdb, offerdb_q) = add_mysql(&mut app, "offer-db", 1);
+    let (_wealthdb, wealthdb_q) = add_mysql(&mut app, "wealthmgmt-db", 1);
+
+    let xapian = app
+        .service("xapian-index")
+        .profile(UarchProfile::search())
+        .workers(8)
+        .instances(2)
+        .lb(dsb_core::LbPolicy::Partition)
+        .build();
+    let xapian_q = app.endpoint(
+        xapian,
+        "query",
+        Dist::log_normal(4096.0, 0.6),
+        vec![Step::work_us(350.0)],
+    );
+
+    // ---- security tier -------------------------------------------------------
+    let acl = app
+        .service("acl")
+        .profile(UarchProfile::managed_runtime())
+        .workers(16)
+        .build();
+    let acl_check = app.endpoint(
+        acl,
+        "check",
+        Dist::constant(128.0),
+        vec![Step::work_us(90.0), Step::call(mc_cust_get, 64.0)],
+    );
+
+    let authentication = app
+        .service("authentication")
+        .profile(UarchProfile::managed_runtime())
+        .workers(32)
+        .instances(2)
+        .build();
+    let auth_run = app.endpoint(
+        authentication,
+        "verify",
+        Dist::constant(256.0),
+        vec![
+            // Crypto-heavy: token validation + signature check.
+            Step::work_us(350.0),
+            Step::call(acl_check, 128.0),
+            Step::cache_lookup(mc_cust_get, 0.85, vec![Step::call(mg_cust_find, 128.0)]),
+        ],
+    );
+
+    let login = app.service("login").workers(16).build();
+    let login_run = app.endpoint(
+        login,
+        "auth",
+        Dist::constant(256.0),
+        vec![Step::work_us(100.0), Step::call(auth_run, 256.0)],
+    );
+
+    // ---- customer tier -------------------------------------------------------
+    let customer_info = app.service("customerInfo").workers(16).build();
+    let customer_info_get = app.endpoint(
+        customer_info,
+        "get",
+        Dist::log_normal(2048.0, 0.4),
+        vec![
+            Step::work_us(45.0),
+            Step::cache_lookup(
+                mc_cust_get,
+                0.9,
+                vec![Step::call(mg_cust_find, 128.0), Step::call(mc_cust_set, 1024.0)],
+            ),
+        ],
+    );
+
+    let customer_activity = app.service("customerActivity").workers(16).build();
+    let activity_log = app.endpoint(
+        customer_activity,
+        "log",
+        Dist::constant(64.0),
+        vec![Step::work_us(30.0), Step::call(mc_txn_set, 256.0)],
+    );
+
+    let user_prefs = app
+        .service("userPreferences")
+        .profile(UarchProfile::tiny_service())
+        .workers(8)
+        .build();
+    let prefs_get = app.endpoint(
+        user_prefs,
+        "get",
+        Dist::constant(512.0),
+        vec![Step::work_us(25.0), Step::call(mc_cust_get, 64.0)],
+    );
+
+    let contact = app
+        .service("contact")
+        .profile(UarchProfile::tiny_service())
+        .workers(8)
+        .build();
+    let contact_get = app.endpoint(
+        contact,
+        "get",
+        Dist::constant(1024.0),
+        vec![Step::work_us(40.0), Step::call(bankinfo_q, 128.0)],
+    );
+
+    // ---- money movement --------------------------------------------------------
+    let txn_posting = app
+        .service("transactionPosting")
+        .profile(UarchProfile::managed_runtime())
+        .workers(32)
+        .instances(2)
+        .build();
+    let post_txn = app.endpoint(
+        txn_posting,
+        "post",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(180.0),
+            Step::call(mg_txn_ins, 512.0),
+            Step::call(mc_txn_set, 256.0),
+        ],
+    );
+
+    let payments = app
+        .service("payments")
+        .profile(UarchProfile::managed_runtime())
+        .workers(32)
+        .instances(2)
+        .build();
+    let payments_run = app.endpoint(
+        payments,
+        "process",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(250.0),
+            Step::call(mg_acct_find, 128.0),
+            // Interbank clearing round trip.
+            Step::Io {
+                ns: Dist::log_normal(2_500_000.0, 0.5),
+            },
+            Step::call(post_txn, 512.0),
+            Step::call(activity_log, 128.0),
+        ],
+    );
+
+    let deposit = app.service("depositAccount").workers(16).build();
+    let deposit_open = app.endpoint(
+        deposit,
+        "open",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(120.0),
+            Step::call(mg_acct_ins, 512.0),
+            Step::call(mc_acct_set, 256.0),
+        ],
+    );
+
+    let investment = app.service("investmentAccount").workers(16).build();
+    let investment_get = app.endpoint(
+        investment,
+        "review",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(200.0),
+            Step::call(mg_acct_find, 128.0),
+            Step::call(wealthdb_q, 256.0),
+        ],
+    );
+
+    let credit_card = app.service("creditCard").workers(16).instances(2).build();
+    let cc_pay = app.endpoint(
+        credit_card,
+        "pay",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(150.0),
+            Step::cache_lookup(mc_acct_get, 0.85, vec![Step::call(mg_acct_find, 128.0)]),
+            Step::call(post_txn, 512.0),
+        ],
+    );
+
+    let open_cc = app.service("openCreditCard").workers(8).build();
+    let open_cc_run = app.endpoint(
+        open_cc,
+        "open",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(180.0),
+            Step::call(customer_info_get, 128.0),
+            Step::call(mg_acct_ins, 512.0),
+        ],
+    );
+
+    // ---- lending ---------------------------------------------------------------
+    let mortgages = app.service("mortgages").workers(8).build();
+    let mortgages_quote = app.endpoint(
+        mortgages,
+        "quote",
+        Dist::log_normal(2048.0, 0.4),
+        vec![Step::work_us(400.0), Step::call(wealthdb_q, 256.0)],
+    );
+
+    let personal_lending = app.service("personalLending").workers(16).build();
+    let personal_loan = app.endpoint(
+        personal_lending,
+        "apply",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(300.0),
+            Step::call(customer_info_get, 128.0),
+            Step::call(mg_txn_find, 256.0),
+        ],
+    );
+
+    let business_lending = app.service("businessLending").workers(16).build();
+    let business_loan = app.endpoint(
+        business_lending,
+        "apply",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(450.0),
+            Step::call(customer_info_get, 128.0),
+            Step::call(mg_txn_find, 256.0),
+            Step::call(bankinfo_q, 128.0),
+        ],
+    );
+
+    let wealth = app.service("wealthMgmt").workers(16).build();
+    let wealth_run = app.endpoint(
+        wealth,
+        "review",
+        Dist::log_normal(8192.0, 0.4),
+        vec![
+            Step::work_us(350.0),
+            Step::call(investment_get, 256.0),
+            Step::call(wealthdb_q, 256.0),
+        ],
+    );
+
+    let open_account = app.service("openAccount").workers(8).build();
+    let open_account_run = app.endpoint(
+        open_account,
+        "open",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(150.0),
+            Step::call(mg_cust_ins, 512.0),
+            Step::call(deposit_open, 512.0),
+            Step::Branch {
+                p: 0.3,
+                then: Arc::new(vec![Step::call(open_cc_run, 512.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+
+    // ---- content tier ------------------------------------------------------------
+    let (_media, media_run) = add_leaf(
+        &mut app,
+        "media",
+        UarchProfile::vision(),
+        1,
+        140.0,
+        64.0 * 1024.0,
+    );
+    let (_ads, ads_run) = add_leaf(
+        &mut app,
+        "ads",
+        UarchProfile::managed_runtime(),
+        1,
+        250.0,
+        2048.0,
+    );
+
+    let offer_banners = app.service("offerBanners").workers(8).build();
+    let offers_get = app.endpoint(
+        offer_banners,
+        "get",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(60.0),
+            Step::cache_lookup(
+                mc_offers_get,
+                0.9,
+                vec![Step::call(offerdb_q, 128.0), Step::call(mc_offers_set, 2048.0)],
+            ),
+        ],
+    );
+
+    let search = app
+        .service("search")
+        .profile(UarchProfile::search())
+        .workers(8)
+        .build();
+    let search_q = app.endpoint(
+        search,
+        "query",
+        Dist::log_normal(8192.0, 0.5),
+        vec![Step::work_us(120.0), Step::ParCall {
+            calls: vec![
+                (xapian_q, Dist::constant(256.0)),
+                (xapian_q, Dist::constant(256.0)),
+            ],
+        }],
+    );
+
+    // ---- front-end -----------------------------------------------------------------
+    let front = app
+        .service("front-end")
+        .profile(UarchProfile::managed_runtime())
+        .event_driven()
+        .workers(256)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(2048)
+        .build();
+    let fe_payment = app.endpoint(
+        front,
+        "processPayment",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(130.0),
+            Step::call(login_run, 256.0),
+            Step::call(payments_run, 512.0),
+        ],
+    );
+    let fe_cc = app.endpoint(
+        front,
+        "payCreditCard",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(120.0),
+            Step::call(login_run, 256.0),
+            Step::call(cc_pay, 512.0),
+        ],
+    );
+    let fe_loan = app.endpoint(
+        front,
+        "requestLoan",
+        Dist::constant(2048.0),
+        vec![
+            Step::work_us(140.0),
+            Step::call(login_run, 256.0),
+            Step::Branch {
+                p: 0.7,
+                then: Arc::new(vec![Step::call(personal_loan, 1024.0)]),
+                els: Arc::new(vec![
+                    Step::call(business_loan, 1024.0),
+                    Step::call(mortgages_quote, 256.0),
+                ]),
+            },
+        ],
+    );
+    let fe_browse = app.endpoint(
+        front,
+        "browseInfo",
+        Dist::log_normal(32.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(110.0),
+            Step::ParCall {
+                calls: vec![
+                    (contact_get, Dist::constant(128.0)),
+                    (offers_get, Dist::constant(128.0)),
+                    (ads_run, Dist::constant(128.0)),
+                    (media_run, Dist::constant(128.0)),
+                    (prefs_get, Dist::constant(64.0)),
+                ],
+            },
+            Step::Branch {
+                p: 0.25,
+                then: Arc::new(vec![Step::call(search_q, 256.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+    let fe_wealth = app.endpoint(
+        front,
+        "wealthMgmt",
+        Dist::log_normal(8192.0, 0.4),
+        vec![
+            Step::work_us(120.0),
+            Step::call(login_run, 256.0),
+            Step::call(wealth_run, 512.0),
+        ],
+    );
+    let fe_open = app.endpoint(
+        front,
+        "openAccount",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(130.0),
+            Step::call(login_run, 256.0),
+            Step::call(open_account_run, 512.0),
+        ],
+    );
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(fe_payment, PROCESS_PAYMENT, 35.0, Dist::constant(512.0));
+    mix.add(fe_cc, PAY_CREDIT_CARD, 15.0, Dist::constant(512.0));
+    mix.add(fe_loan, REQUEST_LOAN, 10.0, Dist::constant(1024.0));
+    mix.add(fe_browse, BROWSE_INFO, 25.0, Dist::constant(384.0));
+    mix.add(fe_wealth, WEALTH_MGMT, 8.0, Dist::constant(512.0));
+    mix.add(fe_open, OPEN_ACCOUNT, 7.0, Dist::constant(1024.0));
+
+    BuiltApp {
+        frontend: front,
+        qos_p99: SimDuration::from_millis(30),
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_34_services() {
+        let app = banking();
+        assert_eq!(app.spec.service_count(), 34);
+        for name in [
+            "front-end",
+            "authentication",
+            "acl",
+            "payments",
+            "transactionPosting",
+            "wealthMgmt",
+            "bankinfo-db",
+        ] {
+            assert!(app.spec.service_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn payment_path_posts_transactions() {
+        let app = banking();
+        let edges = app.spec.edges();
+        assert!(edges.contains(&(app.service("payments"), app.service("transactionPosting"))));
+        assert!(edges.contains(&(
+            app.service("transactionPosting"),
+            app.service("mongodb-transactions")
+        )));
+    }
+
+    #[test]
+    fn everything_authenticated() {
+        let app = banking();
+        let edges = app.spec.edges();
+        assert!(edges.contains(&(app.service("login"), app.service("authentication"))));
+        assert!(edges.contains(&(app.service("authentication"), app.service("acl"))));
+    }
+}

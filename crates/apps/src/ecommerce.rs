@@ -1,0 +1,549 @@
+//! §3.4 E-commerce: an online clothing store derived from Sockshop —
+//! 41 unique microservices (Fig. 6).
+//!
+//! A node.js front-end fronts Go/Java services (catalogue, orders, cart,
+//! login, payment, shipping, invoicing, queueMaster) over a mix of REST
+//! and RPC, with memcached/MongoDB back-ends. Placing an order chains
+//! cart → login → payment → shipping → invoicing → queueMaster and is 1–2
+//! orders of magnitude slower than browsing the catalogue (§3.8);
+//! queueMaster serializes order commits, constraining its scalability at
+//! high load (§7).
+
+use std::sync::Arc;
+
+use dsb_core::{AppBuilder, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{add_leaf, add_memcached, add_mongodb, BuiltApp};
+
+/// Browse the catalogue.
+pub const BROWSE: RequestType = RequestType(0);
+/// Full-text product search.
+pub const SEARCH: RequestType = RequestType(1);
+/// Place an order (the slow path).
+pub const PLACE_ORDER: RequestType = RequestType(2);
+/// Manage the wishlist.
+pub const WISHLIST: RequestType = RequestType(3);
+/// Add an item to the cart.
+pub const CART_ADD: RequestType = RequestType(4);
+/// Log in.
+pub const LOGIN: RequestType = RequestType(5);
+
+/// Builds the E-commerce application.
+pub fn ecommerce() -> BuiltApp {
+    let mut app = AppBuilder::new("e-commerce");
+
+    // ---- storage tier -----------------------------------------------------
+    let (_mc_cat, mc_cat_get, mc_cat_set) = add_memcached(&mut app, "memcached-catalogue", 2);
+    let (_mg_cat, mg_cat_find, _a) = add_mongodb(&mut app, "mongodb-catalogue", 2);
+    let (_mc_cart, mc_cart_get, mc_cart_set) = add_memcached(&mut app, "memcached-cart", 1);
+    let (_mg_cart, mg_cart_find, mg_cart_ins) = add_mongodb(&mut app, "mongodb-cart", 1);
+    let (_mg_orders, _mg_orders_find, mg_orders_ins) = add_mongodb(&mut app, "mongodb-orders", 2);
+    let (_mc_sess, mc_sess_get, mc_sess_set) = add_memcached(&mut app, "memcached-session", 1);
+    let (_mg_acct, mg_acct_find, _b) = add_mongodb(&mut app, "mongodb-account", 1);
+    let (_mg_ship, _c, mg_ship_ins) = add_mongodb(&mut app, "mongodb-shipping", 1);
+    let (_mg_inv, _d, mg_inv_ins) = add_mongodb(&mut app, "mongodb-invoice", 1);
+    let (_mg_media, mg_media_find, _e) = add_mongodb(&mut app, "mongodb-media", 1);
+    let (_mc_invty, mc_invty_get, mc_invty_set) = add_memcached(&mut app, "memcached-inventory", 1);
+    let (_mg_invty, mg_invty_find, _f) = add_mongodb(&mut app, "mongodb-inventory", 1);
+
+    let xapian = app
+        .service("xapian-index")
+        .profile(UarchProfile::search())
+        .workers(8)
+        .instances(3)
+        .lb(dsb_core::LbPolicy::Partition)
+        .build();
+    let xapian_q = app.endpoint(
+        xapian,
+        "query",
+        Dist::log_normal(4096.0, 0.6),
+        vec![Step::work_us(350.0)],
+    );
+
+    // RabbitMQ-style order queue: serialized commits.
+    let order_queue = app
+        .service("orderQueue")
+        .profile(UarchProfile::managed_runtime())
+        .workers(1)
+        .instances(1)
+        .build();
+    let oq_push = app.endpoint(
+        order_queue,
+        "push",
+        Dist::constant(64.0),
+        vec![Step::work_us(120.0), Step::Io {
+            ns: Dist::log_normal(200_000.0, 0.4),
+        }],
+    );
+
+    // ---- mid tier -----------------------------------------------------------
+    let inventory = app.service("inventory").workers(16).build();
+    let inventory_check = app.endpoint(
+        inventory,
+        "check",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(30.0),
+            Step::cache_lookup(
+                mc_invty_get,
+                0.9,
+                vec![Step::call(mg_invty_find, 128.0), Step::call(mc_invty_set, 256.0)],
+            ),
+        ],
+    );
+
+    // Go catalogue service mining memcached + MongoDB.
+    let catalogue = app.service("catalogue").workers(32).instances(2).build();
+    let catalogue_get = app.endpoint(
+        catalogue,
+        "get",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(90.0),
+            Step::cache_lookup(
+                mc_cat_get,
+                0.88,
+                vec![Step::call(mg_cat_find, 256.0), Step::call(mc_cat_set, 4096.0)],
+            ),
+            Step::call(inventory_check, 64.0),
+        ],
+    );
+
+    let (_media, media_run) = add_leaf(
+        &mut app,
+        "media",
+        UarchProfile::vision(),
+        1,
+        150.0,
+        96.0 * 1024.0,
+    );
+    let (_ads, ads_run) = add_leaf(
+        &mut app,
+        "ads",
+        UarchProfile::managed_runtime(),
+        1,
+        250.0,
+        2048.0,
+    );
+    let (_reco, reco_run) = add_leaf(
+        &mut app,
+        "recommender",
+        UarchProfile::recommender(),
+        2,
+        1800.0,
+        1024.0,
+    );
+    let (_discounts, discounts_run) = add_leaf(
+        &mut app,
+        "discounts",
+        UarchProfile::tiny_service(),
+        1,
+        25.0,
+        512.0,
+    );
+    let (_trending, trending_run) = add_leaf(
+        &mut app,
+        "trending",
+        UarchProfile::managed_runtime(),
+        1,
+        200.0,
+        2048.0,
+    );
+
+    let reviews = app.service("reviews").workers(16).build();
+    let reviews_get = app.endpoint(
+        reviews,
+        "get",
+        Dist::log_normal(8192.0, 0.4),
+        vec![Step::work_us(45.0), Step::call(mg_media_find, 128.0)],
+    );
+
+    let search = app
+        .service("search")
+        .profile(UarchProfile::search())
+        .workers(16)
+        .build();
+    let search_q = app.endpoint(
+        search,
+        "query",
+        Dist::log_normal(8192.0, 0.5),
+        vec![
+            Step::work_us(120.0),
+            Step::ParCall {
+                calls: vec![
+                    (xapian_q, Dist::constant(256.0)),
+                    (xapian_q, Dist::constant(256.0)),
+                ],
+            },
+        ],
+    );
+
+    // Java wishlist: trivially simple (near-zero i-cache misses, §4).
+    let wishlist = app
+        .service("wishlist")
+        .profile(UarchProfile::tiny_service())
+        .workers(8)
+        .build();
+    let wishlist_run = app.endpoint(
+        wishlist,
+        "toggle",
+        Dist::constant(256.0),
+        vec![Step::work_us(20.0), Step::call(mg_cart_ins, 128.0)],
+    );
+
+    let login = app.service("login").workers(16).build();
+    let login_run = app.endpoint(
+        login,
+        "auth",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(80.0),
+            Step::cache_lookup(mc_sess_get, 0.75, vec![
+                Step::call(mg_acct_find, 128.0),
+                Step::call(mc_sess_set, 256.0),
+            ]),
+        ],
+    );
+
+    let account = app.service("accountInfo").workers(16).build();
+    let account_get = app.endpoint(
+        account,
+        "get",
+        Dist::log_normal(1024.0, 0.4),
+        vec![Step::work_us(35.0), Step::call(mg_acct_find, 128.0)],
+    );
+
+    let cart = app
+        .service("cart")
+        .profile(UarchProfile::managed_runtime())
+        .workers(32)
+        .instances(2)
+        .build();
+    let cart_add = app.endpoint(
+        cart,
+        "add",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(70.0),
+            Step::call(mc_cart_set, 512.0),
+            Step::Branch {
+                p: 0.3,
+                then: Arc::new(vec![Step::call(mg_cart_ins, 512.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+    let cart_get = app.endpoint(
+        cart,
+        "get",
+        Dist::log_normal(2048.0, 0.4),
+        vec![
+            Step::work_us(50.0),
+            Step::cache_lookup(mc_cart_get, 0.9, vec![Step::call(mg_cart_find, 128.0)]),
+        ],
+    );
+
+    let (_tax, tax_run) = add_leaf(
+        &mut app,
+        "taxCalculator",
+        UarchProfile::tiny_service(),
+        1,
+        40.0,
+        128.0,
+    );
+    let (_currency, currency_run) = add_leaf(
+        &mut app,
+        "currencyConverter",
+        UarchProfile::tiny_service(),
+        1,
+        15.0,
+        64.0,
+    );
+    let (_fraud, fraud_run) = add_leaf(
+        &mut app,
+        "fraudDetection",
+        UarchProfile::recommender(),
+        1,
+        900.0,
+        128.0,
+    );
+    let (_addr, addr_run) = add_leaf(
+        &mut app,
+        "addressVerify",
+        UarchProfile::tiny_service(),
+        1,
+        60.0,
+        128.0,
+    );
+    let (_txid, txid_run) = add_leaf(
+        &mut app,
+        "transactionID",
+        UarchProfile::tiny_service(),
+        1,
+        15.0,
+        64.0,
+    );
+
+    // Go payment service with an external authorization round trip.
+    let payment = app
+        .service("payment")
+        .profile(UarchProfile::managed_runtime())
+        .workers(32)
+        .instances(2)
+        .build();
+    let payment_run = app.endpoint(
+        payment,
+        "authorize",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(150.0),
+            Step::ParCall {
+                calls: vec![
+                    (fraud_run, Dist::constant(256.0)),
+                    (currency_run, Dist::constant(64.0)),
+                    (tax_run, Dist::constant(64.0)),
+                ],
+            },
+            Step::call(txid_run, 64.0),
+            // External payment-gateway round trip.
+            Step::Io {
+                ns: Dist::log_normal(3_000_000.0, 0.5),
+            },
+        ],
+    );
+
+    let (_loyalty, loyalty_run) = add_leaf(
+        &mut app,
+        "loyaltyPoints",
+        UarchProfile::tiny_service(),
+        1,
+        30.0,
+        64.0,
+    );
+    let (_notify, notify_run) = add_leaf(
+        &mut app,
+        "notifications",
+        UarchProfile::managed_runtime(),
+        1,
+        120.0,
+        64.0,
+    );
+
+    let shipping = app
+        .service("shipping")
+        .profile(UarchProfile::managed_runtime())
+        .workers(16)
+        .build();
+    let shipping_run = app.endpoint(
+        shipping,
+        "arrange",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(100.0),
+            Step::call(addr_run, 128.0),
+            Step::call(mg_ship_ins, 512.0),
+        ],
+    );
+
+    let invoicing = app
+        .service("invoicing")
+        .profile(UarchProfile::managed_runtime())
+        .workers(16)
+        .build();
+    let invoicing_run = app.endpoint(
+        invoicing,
+        "issue",
+        Dist::log_normal(4096.0, 0.3),
+        vec![Step::work_us(140.0), Step::call(mg_inv_ins, 1024.0)],
+    );
+
+    let queue_master = app
+        .service("queueMaster")
+        .profile(UarchProfile::managed_runtime())
+        // Synchronization: orders are serialized, processed and committed
+        // in order — a single logical worker.
+        .workers(1)
+        .build();
+    let qm_commit = app.endpoint(
+        queue_master,
+        "commit",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(80.0),
+            Step::call(oq_push, 1024.0),
+            Step::call(mg_orders_ins, 1024.0),
+        ],
+    );
+
+    let orders = app.service("orders").workers(32).instances(2).build();
+    let orders_place = app.endpoint(
+        orders,
+        "place",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(120.0),
+            Step::call(cart_get, 128.0),
+            Step::call(payment_run, 512.0),
+            Step::call(shipping_run, 512.0),
+            Step::call(invoicing_run, 512.0),
+            Step::call(qm_commit, 1024.0),
+            Step::ParCall {
+                calls: vec![
+                    (notify_run, Dist::constant(128.0)),
+                    (loyalty_run, Dist::constant(64.0)),
+                ],
+            },
+        ],
+    );
+
+    let (_social, social_run) = add_leaf(
+        &mut app,
+        "socialNet",
+        UarchProfile::managed_runtime(),
+        1,
+        180.0,
+        1024.0,
+    );
+
+    // ---- front tier -----------------------------------------------------------
+    let front = app
+        .service("front-end")
+        .profile(UarchProfile::managed_runtime())
+        .event_driven()
+        .workers(256)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(2048)
+        .build();
+    let fe_browse = app.endpoint(
+        front,
+        "browse",
+        Dist::log_normal(32.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(140.0),
+            Step::call(catalogue_get, 256.0),
+            Step::ParCall {
+                calls: vec![
+                    (media_run, Dist::constant(128.0)),
+                    (discounts_run, Dist::constant(64.0)),
+                    (trending_run, Dist::constant(64.0)),
+                    (reco_run, Dist::constant(128.0)),
+                    (ads_run, Dist::constant(128.0)),
+                    (reviews_get, Dist::constant(128.0)),
+                ],
+            },
+        ],
+    );
+    let fe_search = app.endpoint(
+        front,
+        "search",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(110.0),
+            Step::call(search_q, 256.0),
+            Step::call(ads_run, 128.0),
+        ],
+    );
+    let fe_order = app.endpoint(
+        front,
+        "placeOrder",
+        Dist::constant(2048.0),
+        vec![
+            Step::work_us(160.0),
+            Step::call(login_run, 256.0),
+            Step::call(account_get, 128.0),
+            Step::call(orders_place, 1024.0),
+        ],
+    );
+    let fe_wishlist = app.endpoint(
+        front,
+        "wishlist",
+        Dist::constant(512.0),
+        vec![Step::work_us(60.0), Step::call(wishlist_run, 256.0)],
+    );
+    let fe_cart = app.endpoint(
+        front,
+        "cartAdd",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(70.0),
+            Step::call(cart_add, 512.0),
+            Step::call(social_run, 128.0),
+        ],
+    );
+    let fe_login = app.endpoint(
+        front,
+        "login",
+        Dist::constant(256.0),
+        vec![Step::work_us(60.0), Step::call(login_run, 256.0)],
+    );
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(fe_browse, BROWSE, 55.0, Dist::constant(384.0));
+    mix.add(fe_search, SEARCH, 8.0, Dist::constant(256.0));
+    mix.add(fe_order, PLACE_ORDER, 12.0, Dist::constant(1024.0));
+    mix.add(fe_wishlist, WISHLIST, 10.0, Dist::constant(256.0));
+    mix.add(fe_cart, CART_ADD, 10.0, Dist::constant(512.0));
+    mix.add(fe_login, LOGIN, 5.0, Dist::constant(256.0));
+
+    BuiltApp {
+        frontend: front,
+        qos_p99: SimDuration::from_millis(40),
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_41_services() {
+        let app = ecommerce();
+        assert_eq!(app.spec.service_count(), 41);
+        for name in [
+            "front-end",
+            "catalogue",
+            "queueMaster",
+            "orderQueue",
+            "payment",
+            "wishlist",
+            "recommender",
+        ] {
+            assert!(app.spec.service_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn order_path_is_a_chain_through_payment_and_queue() {
+        let app = ecommerce();
+        let edges = app.spec.edges();
+        let orders = app.service("orders");
+        for downstream in ["cart", "payment", "shipping", "invoicing", "queueMaster"] {
+            assert!(
+                edges.contains(&(orders, app.service(downstream))),
+                "orders must call {downstream}"
+            );
+        }
+        let qm = app.service("queueMaster");
+        assert!(edges.contains(&(qm, app.service("orderQueue"))));
+    }
+
+    #[test]
+    fn queue_master_is_serialized() {
+        let app = ecommerce();
+        let qm = app.spec.service(app.service("queueMaster"));
+        assert!(matches!(qm.workers, dsb_core::WorkerPolicy::Fixed(1)));
+    }
+}

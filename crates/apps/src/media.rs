@@ -1,0 +1,532 @@
+//! §3.3 Media Service: browsing movie information, reviewing, rating,
+//! renting, and streaming movies — 38 unique microservices (Fig. 5).
+//!
+//! Clients hit the nginx load balancer, php-fpm orchestrates; movie
+//! metadata lives in a sharded MySQL database, reviews in
+//! memcached+MongoDB, movie files on NFS served by an nginx-hls streaming
+//! tier; payment authentication gates rentals.
+
+use std::sync::Arc;
+
+use dsb_core::{AppBuilder, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{add_leaf, add_memcached, add_mongodb, add_mysql, BuiltApp};
+
+/// Browse a movie page (plot, cast, photos, reviews).
+pub const BROWSE_MOVIE: RequestType = RequestType(0);
+/// Full-text movie search.
+pub const SEARCH_MOVIE: RequestType = RequestType(1);
+/// Write a review (login, compose, store, update rating).
+pub const COMPOSE_REVIEW: RequestType = RequestType(2);
+/// Rent a movie (payment authentication + stream start).
+pub const RENT_MOVIE: RequestType = RequestType(3);
+/// Stream a movie chunk over nginx-hls.
+pub const STREAM_CHUNK: RequestType = RequestType(4);
+/// Log in.
+pub const LOGIN: RequestType = RequestType(5);
+
+/// Builds the Media Service application.
+pub fn media_service() -> BuiltApp {
+    let mut app = AppBuilder::new("media-service");
+
+    // ---- storage tier ------------------------------------------------------
+    let (_mc_rev, mc_rev_get, mc_rev_set) = add_memcached(&mut app, "memcached-reviews", 2);
+    let (_mg_rev, mg_rev_find, mg_rev_ins) = add_mongodb(&mut app, "mongodb-reviews", 2);
+    let (_mc_user, mc_user_get, mc_user_set) = add_memcached(&mut app, "memcached-users", 1);
+    let (_mg_user, mg_user_find, _x) = add_mongodb(&mut app, "mongodb-users", 1);
+    let (_mc_plot, mc_plot_get, mc_plot_set) = add_memcached(&mut app, "memcached-plot", 1);
+    let (_mg_plot, mg_plot_find, _y) = add_mongodb(&mut app, "mongodb-plot", 1);
+    let (_mc_rent, mc_rent_get, mc_rent_set) = add_memcached(&mut app, "memcached-rentals", 1);
+    let (_mg_rent, _mg_rent_find, mg_rent_ins) = add_mongodb(&mut app, "mongodb-rentals", 1);
+    let (_mysql, mysql_query) = add_mysql(&mut app, "mysql-moviedb", 2);
+
+    // NFS file store for the actual movie files (I/O only).
+    let nfs = app
+        .service("nfs")
+        .profile(UarchProfile::mongodb())
+        .workers(64)
+        .instances(2)
+        .build();
+    let nfs_read = app.endpoint(
+        nfs,
+        "read",
+        Dist::log_normal(512.0 * 1024.0, 0.5),
+        vec![Step::Io {
+            ns: Dist::log_normal(900_000.0, 0.6),
+        }],
+    );
+
+    let xapian = app
+        .service("xapian-index")
+        .profile(UarchProfile::search())
+        .workers(8)
+        .instances(3)
+        .lb(dsb_core::LbPolicy::Partition)
+        .build();
+    let xapian_q = app.endpoint(
+        xapian,
+        "query",
+        Dist::log_normal(4096.0, 0.6),
+        vec![Step::work_us(350.0)],
+    );
+
+    // ---- mid tier ------------------------------------------------------------
+    let (_unique, unique_run) =
+        add_leaf(&mut app, "uniqueID", UarchProfile::tiny_service(), 1, 15.0, 64.0);
+    let (_movie_id, movie_id_run) = add_leaf(
+        &mut app,
+        "movieID",
+        UarchProfile::tiny_service(),
+        1,
+        25.0,
+        64.0,
+    );
+    let (_text, text_run) = add_leaf(
+        &mut app,
+        "text",
+        UarchProfile::microservice_default(),
+        1,
+        55.0,
+        512.0,
+    );
+    let (_ads, ads_run) = add_leaf(
+        &mut app,
+        "ads",
+        UarchProfile::managed_runtime(),
+        1,
+        250.0,
+        2048.0,
+    );
+    let (_reco, reco_run) = add_leaf(
+        &mut app,
+        "recommender",
+        UarchProfile::recommender(),
+        2,
+        1500.0,
+        1024.0,
+    );
+
+    let rating = app.service("rating").workers(16).build();
+    let rating_run = app.endpoint(
+        rating,
+        "rate",
+        Dist::constant(64.0),
+        vec![
+            Step::work_us(30.0),
+            Step::call(mc_rev_set, 128.0),
+            Step::Branch {
+                p: 0.25,
+                then: Arc::new(vec![Step::call(mg_rev_ins, 128.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+
+    let user_info = app.service("userInfo").workers(16).build();
+    let user_info_get = app.endpoint(
+        user_info,
+        "get",
+        Dist::log_normal(1024.0, 0.4),
+        vec![
+            Step::work_us(30.0),
+            Step::cache_lookup(
+                mc_user_get,
+                0.92,
+                vec![Step::call(mg_user_find, 128.0), Step::call(mc_user_set, 512.0)],
+            ),
+        ],
+    );
+
+    let login = app.service("login").workers(16).build();
+    let login_run = app.endpoint(
+        login,
+        "auth",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(80.0),
+            Step::cache_lookup(mc_user_get, 0.8, vec![Step::call(mg_user_find, 128.0)]),
+        ],
+    );
+
+    let plot = app.service("plot").workers(16).build();
+    let plot_get = app.endpoint(
+        plot,
+        "get",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(25.0),
+            Step::cache_lookup(
+                mc_plot_get,
+                0.9,
+                vec![Step::call(mg_plot_find, 128.0), Step::call(mc_plot_set, 4096.0)],
+            ),
+        ],
+    );
+
+    let (_thumbnail, thumbnail_run) = add_leaf(
+        &mut app,
+        "thumbnail",
+        UarchProfile::vision(),
+        1,
+        180.0,
+        32.0 * 1024.0,
+    );
+    let (_photos, photos_run) = add_leaf(
+        &mut app,
+        "photos",
+        UarchProfile::vision(),
+        1,
+        220.0,
+        128.0 * 1024.0,
+    );
+    let (_videos, videos_run) = add_leaf(
+        &mut app,
+        "videos",
+        UarchProfile::vision(),
+        1,
+        320.0,
+        64.0 * 1024.0,
+    );
+
+    let (_subtitles, subtitles_run) = add_leaf(
+        &mut app,
+        "subtitles",
+        UarchProfile::tiny_service(),
+        1,
+        60.0,
+        16.0 * 1024.0,
+    );
+    let (_trailer, trailer_run) = add_leaf(
+        &mut app,
+        "trailer",
+        UarchProfile::vision(),
+        1,
+        150.0,
+        64.0 * 1024.0,
+    );
+
+    let cast = app.service("castInfo").workers(16).build();
+    let cast_get = app.endpoint(
+        cast,
+        "get",
+        Dist::log_normal(2048.0, 0.4),
+        vec![Step::work_us(40.0), Step::call(mysql_query, 256.0)],
+    );
+
+    let movie_info = app.service("movieInfo").workers(32).instances(2).build();
+    let movie_info_get = app.endpoint(
+        movie_info,
+        "get",
+        Dist::log_normal(4096.0, 0.4),
+        vec![Step::work_us(45.0), Step::call(mysql_query, 256.0)],
+    );
+
+    let movie_review = app.service("movieReview").workers(16).instances(2).build();
+    let movie_review_get = app.endpoint(
+        movie_review,
+        "get",
+        Dist::log_normal(8192.0, 0.4),
+        vec![
+            Step::work_us(40.0),
+            Step::cache_lookup(
+                mc_rev_get,
+                0.85,
+                vec![Step::call(mg_rev_find, 256.0), Step::call(mc_rev_set, 4096.0)],
+            ),
+        ],
+    );
+
+    let user_review = app.service("userReview").workers(16).build();
+    let user_review_get = app.endpoint(
+        user_review,
+        "get",
+        Dist::log_normal(8192.0, 0.4),
+        vec![
+            Step::work_us(35.0),
+            Step::cache_lookup(mc_rev_get, 0.85, vec![Step::call(mg_rev_find, 256.0)]),
+        ],
+    );
+
+    let review_storage = app.service("reviewStorage").workers(16).build();
+    let review_store = app.endpoint(
+        review_storage,
+        "store",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(35.0),
+            Step::call(mc_rev_set, 2048.0),
+            Step::call(mg_rev_ins, 2048.0),
+        ],
+    );
+
+    let compose_review = app.service("composeReview").workers(32).build();
+    let compose_review_run = app.endpoint(
+        compose_review,
+        "compose",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(60.0),
+            Step::ParCall {
+                calls: vec![
+                    (unique_run, Dist::constant(64.0)),
+                    (movie_id_run, Dist::constant(64.0)),
+                    (text_run, Dist::constant(1024.0)),
+                ],
+            },
+            Step::call(review_store, 2048.0),
+            Step::call(rating_run, 128.0),
+        ],
+    );
+
+    let payment = app
+        .service("payment")
+        .profile(UarchProfile::managed_runtime())
+        .workers(16)
+        .build();
+    let payment_auth = app.endpoint(
+        payment,
+        "authorize",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(200.0),
+            // External payment-gateway round trip.
+            Step::Io {
+                ns: Dist::log_normal(4_000_000.0, 0.5),
+            },
+            Step::call(mg_rent_ins, 256.0),
+        ],
+    );
+
+    let rent = app.service("rent").workers(16).build();
+    let rent_run = app.endpoint(
+        rent,
+        "rent",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(60.0),
+            Step::call(user_info_get, 128.0),
+            Step::call(payment_auth, 512.0),
+            Step::call(mc_rent_set, 128.0),
+        ],
+    );
+
+    let streaming = app
+        .service("video-streaming")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(256)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(1024)
+        .build();
+    let stream_chunk = app.endpoint(
+        streaming,
+        "chunk",
+        Dist::log_normal(1024.0 * 1024.0, 0.3),
+        vec![
+            Step::work_us(45.0),
+            Step::call(mc_rent_get, 64.0),
+            Step::call(subtitles_run, 64.0),
+            Step::call(nfs_read, 128.0),
+        ],
+    );
+
+    let search = app
+        .service("search")
+        .profile(UarchProfile::search())
+        .workers(16)
+        .build();
+    let search_q = app.endpoint(
+        search,
+        "query",
+        Dist::log_normal(8192.0, 0.5),
+        vec![
+            Step::work_us(120.0),
+            Step::ParCall {
+                calls: vec![
+                    (xapian_q, Dist::constant(256.0)),
+                    (xapian_q, Dist::constant(256.0)),
+                ],
+            },
+        ],
+    );
+
+    let compose_page = app.service("composePage").workers(32).instances(2).build();
+    let compose_page_run = app.endpoint(
+        compose_page,
+        "compose",
+        Dist::log_normal(48.0 * 1024.0, 0.3),
+        vec![
+            Step::work_us(80.0),
+            Step::ParCall {
+                calls: vec![
+                    (movie_info_get, Dist::constant(128.0)),
+                    (plot_get, Dist::constant(128.0)),
+                    (cast_get, Dist::constant(128.0)),
+                    (thumbnail_run, Dist::constant(128.0)),
+                    (photos_run, Dist::constant(128.0)),
+                    (videos_run, Dist::constant(128.0)),
+                    (movie_review_get, Dist::constant(128.0)),
+                    (trailer_run, Dist::constant(128.0)),
+                ],
+            },
+            Step::ParCall {
+                calls: vec![
+                    (ads_run, Dist::constant(128.0)),
+                    (reco_run, Dist::constant(128.0)),
+                ],
+            },
+        ],
+    );
+
+    // ---- front tier -----------------------------------------------------------
+    let php = app
+        .service("php-fpm")
+        .profile(UarchProfile::managed_runtime())
+        .blocking()
+        .workers(64)
+        .instances(4)
+        .protocol(Protocol::Fcgi)
+        .conn_limit(256)
+        .build();
+    let php_browse = app.endpoint(
+        php,
+        "browseMovie",
+        Dist::log_normal(48.0 * 1024.0, 0.3),
+        vec![Step::work_us(80.0), Step::call(compose_page_run, 256.0)],
+    );
+    let php_search = app.endpoint(
+        php,
+        "search",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![Step::work_us(70.0), Step::call(search_q, 256.0)],
+    );
+    let php_review = app.endpoint(
+        php,
+        "composeReview",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(90.0),
+            Step::call(login_run, 256.0),
+            Step::call(compose_review_run, 2048.0),
+            Step::call(user_review_get, 128.0),
+        ],
+    );
+    let php_rent = app.endpoint(
+        php,
+        "rentMovie",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(80.0),
+            Step::call(login_run, 256.0),
+            Step::call(rent_run, 512.0),
+        ],
+    );
+    let php_login = app.endpoint(
+        php,
+        "login",
+        Dist::constant(256.0),
+        vec![Step::work_us(50.0), Step::call(login_run, 256.0)],
+    );
+
+    let nginx = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(512)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(2048)
+        .build();
+    let ng_browse = app.endpoint(
+        nginx,
+        "browseMovie",
+        Dist::log_normal(48.0 * 1024.0, 0.3),
+        vec![Step::work_us(25.0), Step::call(php_browse, 384.0)],
+    );
+    let ng_search = app.endpoint(
+        nginx,
+        "search",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![Step::work_us(25.0), Step::call(php_search, 384.0)],
+    );
+    let ng_review = app.endpoint(
+        nginx,
+        "composeReview",
+        Dist::constant(512.0),
+        vec![Step::work_us(25.0), Step::call(php_review, 2048.0)],
+    );
+    let ng_rent = app.endpoint(
+        nginx,
+        "rentMovie",
+        Dist::constant(1024.0),
+        vec![Step::work_us(25.0), Step::call(php_rent, 512.0)],
+    );
+    let ng_login = app.endpoint(
+        nginx,
+        "login",
+        Dist::constant(256.0),
+        vec![Step::work_us(25.0), Step::call(php_login, 384.0)],
+    );
+    let ng_stream = app.endpoint(
+        nginx,
+        "streamChunk",
+        Dist::log_normal(1024.0 * 1024.0, 0.3),
+        vec![Step::work_us(20.0), Step::call(stream_chunk, 256.0)],
+    );
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(ng_browse, BROWSE_MOVIE, 45.0, Dist::constant(384.0));
+    mix.add(ng_search, SEARCH_MOVIE, 10.0, Dist::constant(256.0));
+    mix.add(ng_review, COMPOSE_REVIEW, 15.0, Dist::log_normal(2048.0, 0.4));
+    mix.add(ng_rent, RENT_MOVIE, 8.0, Dist::constant(512.0));
+    mix.add(ng_stream, STREAM_CHUNK, 17.0, Dist::constant(256.0));
+    mix.add(ng_login, LOGIN, 5.0, Dist::constant(256.0));
+
+    BuiltApp {
+        frontend: nginx,
+        qos_p99: SimDuration::from_millis(35),
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_38_services() {
+        let app = media_service();
+        assert_eq!(app.spec.service_count(), 38);
+        for name in ["nginx", "php-fpm", "mysql-moviedb", "nfs", "video-streaming", "payment"] {
+            assert!(app.spec.service_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn rent_path_includes_payment() {
+        let app = media_service();
+        let rent = app.service("rent");
+        let payment = app.service("payment");
+        assert!(app.spec.edges().contains(&(rent, payment)));
+    }
+
+    #[test]
+    fn streaming_reads_nfs() {
+        let app = media_service();
+        let streaming = app.service("video-streaming");
+        let nfs = app.service("nfs");
+        assert!(app.spec.edges().contains(&(streaming, nfs)));
+    }
+}

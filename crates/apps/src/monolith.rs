@@ -1,0 +1,297 @@
+//! Monolithic counterparts of Social Network and E-commerce.
+//!
+//! Per §4, the monoliths are Java applications that include all
+//! functionality except the back-end databases in a single binary: same
+//! end-to-end behaviour from the user's perspective, no internal RPCs.
+//! Their µarch profile reflects the huge instruction footprint
+//! ([`UarchProfile::monolith`]), and their handlers inline the summed
+//! compute of the microservices they replace.
+
+use std::sync::Arc;
+
+use dsb_core::{AppBuilder, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{add_memcached, add_mongodb, BuiltApp};
+
+/// The monolithic Social Network. Request-type ids match
+/// [`crate::social`], so experiments can compare like for like.
+pub fn social_monolith() -> BuiltApp {
+    let mut app = AppBuilder::new("social-network-monolith");
+
+    let (_mc, mc_get, mc_set) = add_memcached(&mut app, "memcached", 4);
+    let (_mg, mg_find, mg_ins) = add_mongodb(&mut app, "mongodb", 4);
+
+    let mono = app
+        .service("monolith")
+        .profile(UarchProfile::monolith())
+        .blocking()
+        .workers(256)
+        .instances(4)
+        .protocol(Protocol::Http1)
+        .conn_limit(4096)
+        // The front load balancer adapts per instance, so a slow monolith
+        // replica only degrades the requests routed to it (§8).
+        .lb(dsb_core::LbPolicy::LeastOutstanding)
+        .build();
+
+    // Compose: inlined unique-id + text + tag + url + storage orchestration
+    // (~300us of user work), then the same cache/DB traffic as the
+    // microservice version, including the follower fan-out writes.
+    let compose_body = |extra_us: f64| {
+        vec![
+            Step::work_us(300.0 + extra_us),
+            Step::call(mc_set, 1024.0),
+            Step::call(mg_ins, 1024.0),
+            Step::FanCall {
+                target: mc_set,
+                req_bytes: Dist::constant(512.0),
+                n: Dist::log_normal(10.0, 1.0),
+            },
+        ]
+    };
+    let ep_compose_text = app.endpoint(mono, "composeText", Dist::constant(512.0), compose_body(0.0));
+    let ep_compose_image =
+        app.endpoint(mono, "composeImage", Dist::constant(512.0), compose_body(300.0));
+    let ep_compose_video =
+        app.endpoint(mono, "composeVideo", Dist::constant(512.0), compose_body(1200.0));
+
+    // Read timeline: inlined timeline + 8 post reads + ads + recommender.
+    let ep_read_tl = app.endpoint(
+        mono,
+        "readTimeline",
+        Dist::log_normal(32.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(2100.0), // includes the inlined recommender + ads
+            Step::cache_lookup(mc_get, 0.85, vec![Step::call(mg_find, 256.0)]),
+            Step::FanCall {
+                target: mc_get,
+                req_bytes: Dist::constant(128.0),
+                n: Dist::log_normal(8.0, 0.4),
+            },
+        ],
+    );
+    let ep_read_post = app.endpoint(
+        mono,
+        "readPost",
+        Dist::log_normal(8.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(160.0),
+            Step::cache_lookup(mc_get, 0.9, vec![Step::call(mg_find, 256.0)]),
+        ],
+    );
+    let ep_repost = app.endpoint(
+        mono,
+        "repost",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(180.0),
+            Step::cache_lookup(mc_get, 0.9, vec![Step::call(mg_find, 256.0)]),
+            Step::work_us(300.0),
+            Step::call(mc_set, 1024.0),
+            Step::call(mg_ins, 1024.0),
+            Step::FanCall {
+                target: mc_set,
+                req_bytes: Dist::constant(512.0),
+                n: Dist::log_normal(10.0, 1.0),
+            },
+        ],
+    );
+    let ep_login = app.endpoint(
+        mono,
+        "login",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(210.0),
+            Step::cache_lookup(mc_get, 0.8, vec![Step::call(mg_find, 128.0)]),
+        ],
+    );
+    let ep_follow = app.endpoint(
+        mono,
+        "follow",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(140.0),
+            Step::call(mg_ins, 256.0),
+            Step::call(mc_set, 256.0),
+        ],
+    );
+    let ep_search = app.endpoint(
+        mono,
+        "search",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![Step::work_us(1100.0), Step::call(mc_get, 128.0)],
+    );
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(ep_read_tl, crate::social::READ_TIMELINE, 40.0, Dist::constant(384.0));
+    mix.add(ep_read_post, crate::social::READ_POST, 15.0, Dist::constant(256.0));
+    mix.add(ep_compose_text, crate::social::COMPOSE_TEXT, 18.0, Dist::constant(512.0));
+    mix.add(
+        ep_compose_image,
+        crate::social::COMPOSE_IMAGE,
+        6.0,
+        Dist::log_normal(256.0 * 1024.0, 0.5),
+    );
+    mix.add(
+        ep_compose_video,
+        crate::social::COMPOSE_VIDEO,
+        2.0,
+        Dist::log_normal(2.0 * 1024.0 * 1024.0, 0.4),
+    );
+    mix.add(ep_repost, crate::social::REPOST, 5.0, Dist::constant(256.0));
+    mix.add(ep_login, crate::social::LOGIN, 6.0, Dist::constant(256.0));
+    mix.add(ep_follow, crate::social::FOLLOW, 3.0, Dist::constant(128.0));
+    mix.add(ep_search, crate::social::SEARCH, 5.0, Dist::constant(256.0));
+
+    BuiltApp {
+        frontend: mono,
+        qos_p99: SimDuration::from_millis(50),
+        spec,
+        mix,
+        order,
+    }
+}
+
+/// The monolithic E-commerce application; request-type ids match
+/// [`crate::ecommerce`].
+pub fn ecommerce_monolith() -> BuiltApp {
+    let mut app = AppBuilder::new("e-commerce-monolith");
+    let (_mc, mc_get, mc_set) = add_memcached(&mut app, "memcached", 4);
+    let (_mg, mg_find, mg_ins) = add_mongodb(&mut app, "mongodb", 4);
+
+    let mono = app
+        .service("monolith")
+        .profile(UarchProfile::monolith())
+        .blocking()
+        .workers(256)
+        .instances(4)
+        .protocol(Protocol::Http1)
+        .conn_limit(4096)
+        .build();
+
+    let ep_browse = app.endpoint(
+        mono,
+        "browse",
+        Dist::log_normal(32.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(2700.0), // catalogue + media + recommender + ads inline
+            Step::cache_lookup(mc_get, 0.88, vec![Step::call(mg_find, 256.0)]),
+        ],
+    );
+    let ep_search = app.endpoint(
+        mono,
+        "search",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![Step::work_us(1000.0), Step::call(mc_get, 128.0)],
+    );
+    let ep_order = app.endpoint(
+        mono,
+        "placeOrder",
+        Dist::constant(2048.0),
+        vec![
+            Step::work_us(1200.0),
+            Step::cache_lookup(mc_get, 0.75, vec![Step::call(mg_find, 128.0)]),
+            // External payment gateway.
+            Step::Io {
+                ns: Dist::log_normal(3_000_000.0, 0.5),
+            },
+            Step::work_us(400.0),
+            Step::call(mg_ins, 1024.0),
+            // Order queue commit (serialized region inlined as extra work).
+            Step::Io {
+                ns: Dist::log_normal(200_000.0, 0.4),
+            },
+        ],
+    );
+    let ep_wishlist = app.endpoint(
+        mono,
+        "wishlist",
+        Dist::constant(512.0),
+        vec![Step::work_us(110.0), Step::call(mg_ins, 128.0)],
+    );
+    let ep_cart = app.endpoint(
+        mono,
+        "cartAdd",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(320.0),
+            Step::call(mc_set, 512.0),
+            Step::Branch {
+                p: 0.3,
+                then: Arc::new(vec![Step::call(mg_ins, 512.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+    let ep_login = app.endpoint(
+        mono,
+        "login",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(200.0),
+            Step::cache_lookup(mc_get, 0.75, vec![Step::call(mg_find, 128.0)]),
+        ],
+    );
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(ep_browse, crate::ecommerce::BROWSE, 55.0, Dist::constant(384.0));
+    mix.add(ep_search, crate::ecommerce::SEARCH, 8.0, Dist::constant(256.0));
+    mix.add(ep_order, crate::ecommerce::PLACE_ORDER, 12.0, Dist::constant(1024.0));
+    mix.add(ep_wishlist, crate::ecommerce::WISHLIST, 10.0, Dist::constant(256.0));
+    mix.add(ep_cart, crate::ecommerce::CART_ADD, 10.0, Dist::constant(512.0));
+    mix.add(ep_login, crate::ecommerce::LOGIN, 5.0, Dist::constant(256.0));
+
+    BuiltApp {
+        frontend: mono,
+        qos_p99: SimDuration::from_millis(40),
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monoliths_have_one_app_tier_plus_backends() {
+        for app in [social_monolith(), ecommerce_monolith()] {
+            assert_eq!(app.spec.service_count(), 3);
+            assert!(app.spec.service_by_name("monolith").is_some());
+            assert_eq!(app.name_of(app.frontend), "monolith");
+        }
+    }
+
+    #[test]
+    fn monolith_profile_has_big_footprint() {
+        let app = social_monolith();
+        let mono = app.spec.service(app.frontend);
+        assert!(mono.profile.l1i_mpki > 50.0);
+    }
+
+    #[test]
+    fn request_types_align_with_microservice_version() {
+        let mono = social_monolith();
+        let micro = crate::social::social_network();
+        assert_eq!(mono.mix.entries().len(), micro.mix.entries().len());
+        for (a, b) in mono.mix.entries().iter().zip(micro.mix.entries()) {
+            assert_eq!(a.rtype, b.rtype);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+}

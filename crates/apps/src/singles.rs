@@ -1,0 +1,164 @@
+//! Single-tier interactive services (§4): nginx, memcached, MongoDB,
+//! Xapian, and the ML recommender — the "traditional cloud applications"
+//! every DeathStarBench study compares against (Figs. 3, 11, 12).
+
+use dsb_core::{AppBuilder, LbPolicy, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::BuiltApp;
+
+/// The single request type each single-tier service serves.
+pub const REQUEST: RequestType = RequestType(0);
+
+fn single(app: AppBuilder, qos: SimDuration, entry: dsb_core::EndpointRef) -> BuiltApp {
+    let spec = app.build();
+    let frontend = entry.service;
+    BuiltApp {
+        mix: QueryMix::single(entry, REQUEST, 256.0),
+        qos_p99: qos,
+        order: vec![frontend],
+        frontend,
+        spec,
+    }
+}
+
+/// nginx serving static content over HTTP.
+pub fn nginx() -> BuiltApp {
+    let mut app = AppBuilder::new("nginx");
+    let id = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(256)
+        .protocol(Protocol::Http1)
+        .conn_limit(4096)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "get",
+        Dist::log_normal(16.0 * 1024.0, 0.5),
+        vec![Step::work_us(300.0)],
+    );
+    single(app, SimDuration::from_millis(5), ep)
+}
+
+/// memcached serving reads with a 10 % write mix.
+pub fn memcached() -> BuiltApp {
+    let mut app = AppBuilder::new("memcached");
+    let id = app
+        .service("memcached")
+        .profile(UarchProfile::memcached())
+        .event_driven()
+        .workers(16)
+        .lb(LbPolicy::Partition)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "get",
+        Dist::log_normal(1024.0, 0.8),
+        vec![Step::Branch {
+            p: 0.9,
+            then: std::sync::Arc::new(vec![Step::work_us(60.0)]),
+            els: std::sync::Arc::new(vec![Step::work_us(80.0)]),
+        }],
+    );
+    single(app, SimDuration::from_millis(2), ep)
+}
+
+/// MongoDB serving queries: modest compute, dominated by I/O (hence its
+/// tolerance of frequency scaling in Fig. 12).
+pub fn mongodb() -> BuiltApp {
+    let mut app = AppBuilder::new("mongodb");
+    let id = app
+        .service("mongodb")
+        .profile(UarchProfile::mongodb())
+        .blocking()
+        .workers(64)
+        .lb(LbPolicy::Partition)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "find",
+        Dist::log_normal(2048.0, 0.8),
+        vec![
+            Step::work_us(120.0),
+            Step::io_us(350.0),
+        ],
+    );
+    single(app, SimDuration::from_millis(10), ep)
+}
+
+/// Xapian web search (from TailBench): compute-bound, the most
+/// frequency-sensitive single-tier service.
+pub fn xapian() -> BuiltApp {
+    let mut app = AppBuilder::new("xapian");
+    let id = app
+        .service("xapian")
+        .profile(UarchProfile::search())
+        .blocking()
+        .workers(16)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "search",
+        Dist::log_normal(8.0 * 1024.0, 0.5),
+        vec![Step::work_us(600.0)],
+    );
+    single(app, SimDuration::from_millis(10), ep)
+}
+
+/// An ML recommender: long, memory-bound inference with very low IPC.
+pub fn recommender() -> BuiltApp {
+    let mut app = AppBuilder::new("recommender");
+    let id = app
+        .service("recommender")
+        .profile(UarchProfile::recommender())
+        .blocking()
+        .workers(16)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "suggest",
+        Dist::log_normal(4.0 * 1024.0, 0.4),
+        vec![Step::work_us(2000.0)],
+    );
+    single(app, SimDuration::from_millis(30), ep)
+}
+
+/// All five single-tier services, labelled.
+pub fn all() -> Vec<(&'static str, BuiltApp)> {
+    vec![
+        ("nginx", nginx()),
+        ("memcached", memcached()),
+        ("mongodb", mongodb()),
+        ("xapian", xapian()),
+        ("recommender", recommender()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_singles_each_one_service() {
+        let singles = all();
+        assert_eq!(singles.len(), 5);
+        for (name, app) in singles {
+            assert_eq!(app.spec.service_count(), 1, "{name}");
+            assert_eq!(app.mix.entries().len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn mongodb_is_io_dominated() {
+        let app = mongodb();
+        let svc = app.spec.service(app.frontend);
+        let script = &svc.endpoints[0].script;
+        let io = script.iter().any(|s| matches!(s, Step::Io { .. }));
+        assert!(io, "mongodb must contain an I/O phase");
+    }
+}

@@ -1,0 +1,593 @@
+//! §3.2 Social Network: a broadcast-style social network with
+//! uni-directional follow relationships — 36 unique microservices.
+//!
+//! Matches the Fig. 4 architecture: clients hit an nginx front-end over
+//! HTTP, which talks FastCGI to a php-fpm tier; everything downstream of
+//! php-fpm is Thrift RPC. Posts are composed from unique-id / text /
+//! url-shorten / user-tag / media services, stored in memcached+MongoDB
+//! pairs, and broadcast to followers' home timelines; read paths serve
+//! timelines and posts through the caching tier, with ads, recommender,
+//! search (Xapian), and user/social-graph services alongside.
+
+use std::sync::Arc;
+
+use dsb_core::{AppBuilder, LbPolicy, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{add_leaf, add_memcached, add_mongodb, BuiltApp};
+
+/// Compose a text-only post.
+pub const COMPOSE_TEXT: RequestType = RequestType(0);
+/// Compose a post with an embedded image.
+pub const COMPOSE_IMAGE: RequestType = RequestType(1);
+/// Compose a post with an embedded video (few MB, like production limits).
+pub const COMPOSE_VIDEO: RequestType = RequestType(2);
+/// Read the caller's home timeline.
+pub const READ_TIMELINE: RequestType = RequestType(3);
+/// Read a single post.
+pub const READ_POST: RequestType = RequestType(4);
+/// Repost: read an existing post, prepend, re-broadcast (the paper's
+/// longest query type).
+pub const REPOST: RequestType = RequestType(5);
+/// Log in.
+pub const LOGIN: RequestType = RequestType(6);
+/// Follow another user.
+pub const FOLLOW: RequestType = RequestType(7);
+/// Full-text search.
+pub const SEARCH: RequestType = RequestType(8);
+
+/// Builds the Social Network application.
+pub fn social_network() -> BuiltApp {
+    let mut app = AppBuilder::new("social-network");
+
+    // ---- storage tier (back-end) ----------------------------------------
+    let (_mc_posts, mc_posts_get, mc_posts_set) = add_memcached(&mut app, "memcached-posts", 2);
+    let (_mg_posts, mg_posts_find, mg_posts_ins) = add_mongodb(&mut app, "mongodb-posts", 2);
+    let (_mc_users, mc_users_get, mc_users_set) = add_memcached(&mut app, "memcached-users", 2);
+    let (_mg_users, mg_users_find, _mg_users_ins) = add_mongodb(&mut app, "mongodb-users", 2);
+    let (_mc_tl, mc_tl_get, mc_tl_set) = add_memcached(&mut app, "memcached-timeline", 2);
+    let (_mg_tl, mg_tl_find, mg_tl_ins) = add_mongodb(&mut app, "mongodb-timeline", 2);
+    let (_mc_sg, mc_sg_get, mc_sg_set) = add_memcached(&mut app, "memcached-social-graph", 1);
+    let (_mg_sg, mg_sg_find, mg_sg_ins) = add_mongodb(&mut app, "mongodb-social-graph", 1);
+    let (_mc_media, _mc_media_get, mc_media_set) = add_memcached(&mut app, "memcached-media", 1);
+    let (_mg_media, _mg_media_find, mg_media_ins) = add_mongodb(&mut app, "mongodb-media", 1);
+
+    // Xapian search indices (the paper shards them as index0..indexN).
+    let xapian = app
+        .service("xapian-index")
+        .profile(UarchProfile::search())
+        .workers(8)
+        .instances(4)
+        .lb(LbPolicy::Partition)
+        .build();
+    let xapian_q = app.endpoint(
+        xapian,
+        "query",
+        Dist::log_normal(4096.0, 0.6),
+        vec![Step::work_us(350.0)],
+    );
+
+    // ---- mid tier --------------------------------------------------------
+    let posts_storage = app.service("postsStorage").workers(32).instances(2).build();
+    let ps_store = app.endpoint(
+        posts_storage,
+        "store",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(40.0),
+            Step::call(mc_posts_set, 1024.0),
+            Step::call(mg_posts_ins, 1024.0),
+        ],
+    );
+    let ps_fetch = app.endpoint(
+        posts_storage,
+        "fetch",
+        Dist::log_normal(2048.0, 0.6),
+        vec![
+            Step::work_us(25.0),
+            Step::cache_lookup(
+                mc_posts_get,
+                0.90,
+                vec![Step::call(mg_posts_find, 256.0), Step::call(mc_posts_set, 1024.0)],
+            ),
+        ],
+    );
+
+    let (_unique_id, unique_id_run) =
+        add_leaf(&mut app, "uniqueID", UarchProfile::tiny_service(), 1, 15.0, 64.0);
+    let (_text, text_run) = add_leaf(
+        &mut app,
+        "text",
+        UarchProfile::microservice_default(),
+        2,
+        60.0,
+        512.0,
+    );
+    let (_url, url_run) = add_leaf(
+        &mut app,
+        "urlShorten",
+        UarchProfile::tiny_service(),
+        1,
+        30.0,
+        128.0,
+    );
+
+    let user_tag = app.service("userTag").workers(16).build();
+    let user_tag_run = app.endpoint(
+        user_tag,
+        "tag",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(25.0),
+            // 30% of posts tag someone -> verify against the user DB.
+            Step::Branch {
+                p: 0.3,
+                then: Arc::new(vec![Step::call(mg_users_find, 128.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+
+    let image = app
+        .service("image")
+        .profile(UarchProfile::vision())
+        .workers(8)
+        .instances(2)
+        .build();
+    let image_run = app.endpoint(
+        image,
+        "process",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(300.0),
+            Step::call(mc_media_set, 64.0 * 1024.0),
+            Step::call(mg_media_ins, 256.0 * 1024.0),
+        ],
+    );
+    let video = app
+        .service("video")
+        .profile(UarchProfile::vision())
+        .workers(8)
+        .instances(2)
+        .build();
+    let video_run = app.endpoint(
+        video,
+        "process",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(1200.0),
+            Step::call(mc_media_set, 128.0 * 1024.0),
+            Step::call(mg_media_ins, 2.0 * 1024.0 * 1024.0),
+        ],
+    );
+
+    let (_ads, ads_run) = add_leaf(
+        &mut app,
+        "ads",
+        UarchProfile::managed_runtime(),
+        2,
+        250.0,
+        2048.0,
+    );
+    let (_recommender, recommender_run) = add_leaf(
+        &mut app,
+        "recommender",
+        UarchProfile::recommender(),
+        2,
+        1500.0,
+        1024.0,
+    );
+
+    let search = app
+        .service("search")
+        .profile(UarchProfile::search())
+        .workers(16)
+        .build();
+    let search_q = app.endpoint(
+        search,
+        "query",
+        Dist::log_normal(8192.0, 0.5),
+        vec![
+            Step::work_us(120.0),
+            Step::ParCall {
+                calls: vec![
+                    (xapian_q, Dist::constant(256.0)),
+                    (xapian_q, Dist::constant(256.0)),
+                ],
+            },
+            Step::work_us(80.0),
+        ],
+    );
+
+    let login = app.service("login").workers(16).build();
+    let login_run = app.endpoint(
+        login,
+        "auth",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(80.0),
+            Step::cache_lookup(mc_users_get, 0.8, vec![Step::call(mg_users_find, 128.0)]),
+        ],
+    );
+
+    let user_info = app.service("userInfo").workers(16).instances(2).build();
+    let user_info_get = app.endpoint(
+        user_info,
+        "get",
+        Dist::log_normal(1024.0, 0.4),
+        vec![
+            Step::work_us(30.0),
+            Step::cache_lookup(
+                mc_users_get,
+                0.92,
+                vec![Step::call(mg_users_find, 128.0), Step::call(mc_users_set, 512.0)],
+            ),
+        ],
+    );
+
+    let blocked = app.service("blockedUsers").workers(16).build();
+    let blocked_check = app.endpoint(
+        blocked,
+        "check",
+        Dist::constant(64.0),
+        vec![
+            Step::work_us(20.0),
+            Step::cache_lookup(mc_sg_get, 0.95, vec![Step::call(mg_sg_find, 128.0)]),
+        ],
+    );
+
+    let user_stats = app.service("userStats").workers(8).build();
+    let user_stats_bump = app.endpoint(
+        user_stats,
+        "bump",
+        Dist::constant(64.0),
+        vec![Step::work_us(20.0), Step::call(mc_users_set, 128.0)],
+    );
+
+    let favorite = app.service("favorite").workers(8).build();
+    let favorite_run = app.endpoint(
+        favorite,
+        "favorite",
+        Dist::constant(64.0),
+        vec![
+            Step::work_us(20.0),
+            Step::call(mc_posts_set, 128.0),
+            Step::Branch {
+                p: 0.3,
+                then: Arc::new(vec![Step::call(mg_posts_ins, 128.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+
+    let read_post = app.service("readPost").workers(32).instances(2).build();
+    let read_post_run = app.endpoint(
+        read_post,
+        "read",
+        Dist::log_normal(4096.0, 0.5),
+        vec![Step::work_us(30.0), Step::call(ps_fetch, 128.0)],
+    );
+
+    let write_tl = app.service("writeTimeline").workers(16).build();
+    let write_tl_run = app.endpoint(
+        write_tl,
+        "write",
+        Dist::constant(64.0),
+        vec![
+            Step::work_us(25.0),
+            Step::call(mc_tl_set, 512.0),
+            Step::Branch {
+                p: 0.2,
+                then: Arc::new(vec![Step::call(mg_tl_ins, 512.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+
+    let write_home_tl = app
+        .service("writeHomeTimeline")
+        .workers(32)
+        .instances(4)
+        .build();
+    let write_home_tl_run = app.endpoint(
+        write_home_tl,
+        "fanout",
+        Dist::constant(64.0),
+        vec![Step::work_us(20.0), Step::call(mc_tl_set, 512.0)],
+    );
+
+    let read_tl = app.service("readTimeline").workers(32).instances(2).build();
+    let read_tl_run = app.endpoint(
+        read_tl,
+        "read",
+        Dist::log_normal(16.0 * 1024.0, 0.4),
+        vec![
+            Step::work_us(50.0),
+            Step::cache_lookup(mc_tl_get, 0.85, vec![Step::call(mg_tl_find, 256.0)]),
+            // Hydrate ~8 posts in parallel.
+            Step::FanCall {
+                target: read_post_run,
+                req_bytes: Dist::constant(128.0),
+                n: Dist::log_normal(8.0, 0.4),
+            },
+        ],
+    );
+
+    let write_graph = app.service("writeGraph").workers(16).build();
+    let write_graph_run = app.endpoint(
+        write_graph,
+        "update",
+        Dist::constant(64.0),
+        vec![
+            Step::work_us(30.0),
+            Step::call(mg_sg_ins, 256.0),
+            Step::call(mc_sg_set, 256.0),
+        ],
+    );
+
+    let follow = app.service("followUser").workers(8).build();
+    let follow_run = app.endpoint(
+        follow,
+        "follow",
+        Dist::constant(64.0),
+        vec![Step::work_us(30.0), Step::call(write_graph_run, 128.0)],
+    );
+
+    let user_mention = app.service("userMention").workers(8).build();
+    let user_mention_run = app.endpoint(
+        user_mention,
+        "mention",
+        Dist::constant(64.0),
+        vec![Step::work_us(20.0), Step::call(user_info_get, 128.0)],
+    );
+
+    let compose = app.service("composePost").workers(32).instances(2).build();
+    let compose_run = app.endpoint(
+        compose,
+        "compose",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(70.0),
+            Step::ParCall {
+                calls: vec![
+                    (unique_id_run, Dist::constant(64.0)),
+                    (text_run, Dist::constant(512.0)),
+                    (user_tag_run, Dist::constant(128.0)),
+                    (url_run, Dist::constant(128.0)),
+                    (user_mention_run, Dist::constant(128.0)),
+                ],
+            },
+            Step::call(ps_store, 1024.0),
+            // Write the author's own timeline, then broadcast to followers.
+            Step::call(write_tl_run, 256.0),
+            Step::FanCall {
+                target: write_home_tl_run,
+                req_bytes: Dist::constant(256.0),
+                // Follower count: median 10, heavy tail into the hundreds.
+                n: Dist::log_normal(10.0, 1.0),
+            },
+        ],
+    );
+
+    // ---- front tier -------------------------------------------------------
+    let php = app
+        .service("php-fpm")
+        .profile(UarchProfile::managed_runtime())
+        .blocking()
+        .workers(64)
+        .instances(4)
+        .protocol(Protocol::Fcgi)
+        .conn_limit(256)
+        .build();
+    let php_resp = |bytes: f64| Dist::log_normal(bytes, 0.4);
+    let php_compose_text = app.endpoint(
+        php,
+        "composeText",
+        php_resp(512.0),
+        vec![
+            Step::work_us(90.0),
+            Step::call(user_info_get, 128.0),
+            Step::call(compose_run, 1024.0),
+        ],
+    );
+    let php_compose_image = app.endpoint(
+        php,
+        "composeImage",
+        php_resp(512.0),
+        vec![
+            Step::work_us(110.0),
+            Step::call(user_info_get, 128.0),
+            Step::call(image_run, 256.0 * 1024.0),
+            Step::call(compose_run, 1024.0),
+        ],
+    );
+    let php_compose_video = app.endpoint(
+        php,
+        "composeVideo",
+        php_resp(512.0),
+        vec![
+            Step::work_us(130.0),
+            Step::call(user_info_get, 128.0),
+            Step::call(video_run, 2.0 * 1024.0 * 1024.0),
+            Step::call(compose_run, 1024.0),
+        ],
+    );
+    let php_read_tl = app.endpoint(
+        php,
+        "readTimeline",
+        php_resp(32.0 * 1024.0),
+        vec![
+            Step::work_us(80.0),
+            Step::ParCall {
+                calls: vec![
+                    (read_tl_run, Dist::constant(256.0)),
+                    (ads_run, Dist::constant(128.0)),
+                    (recommender_run, Dist::constant(128.0)),
+                ],
+            },
+            Step::call(user_stats_bump, 64.0),
+        ],
+    );
+    let php_read_post = app.endpoint(
+        php,
+        "readPost",
+        php_resp(8.0 * 1024.0),
+        vec![
+            Step::work_us(60.0),
+            Step::call(blocked_check, 64.0),
+            Step::call(read_post_run, 128.0),
+            Step::Branch {
+                p: 0.2,
+                then: Arc::new(vec![Step::call(favorite_run, 64.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
+    );
+    let php_repost = app.endpoint(
+        php,
+        "repost",
+        php_resp(1024.0),
+        vec![
+            Step::work_us(100.0),
+            Step::call(read_post_run, 128.0),
+            Step::call(compose_run, 1024.0),
+        ],
+    );
+    let php_login = app.endpoint(
+        php,
+        "login",
+        php_resp(256.0),
+        vec![Step::work_us(50.0), Step::call(login_run, 256.0)],
+    );
+    let php_follow = app.endpoint(
+        php,
+        "follow",
+        php_resp(128.0),
+        vec![Step::work_us(50.0), Step::call(follow_run, 128.0)],
+    );
+    let php_search = app.endpoint(
+        php,
+        "search",
+        php_resp(16.0 * 1024.0),
+        vec![
+            Step::work_us(70.0),
+            Step::call(search_q, 256.0),
+            Step::call(ads_run, 128.0),
+        ],
+    );
+
+    let nginx = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(512)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(2048)
+        .build();
+    let mut front = |name: &str, resp: f64, php_ep| {
+        app.endpoint(
+            nginx,
+            name,
+            Dist::log_normal(resp, 0.4),
+            vec![Step::work_us(25.0), Step::call(php_ep, 512.0)],
+        )
+    };
+    let ng_compose_text = front("composeText", 512.0, php_compose_text);
+    let ng_compose_image = front("composeImage", 512.0, php_compose_image);
+    let ng_compose_video = front("composeVideo", 512.0, php_compose_video);
+    let ng_read_tl = front("readTimeline", 32.0 * 1024.0, php_read_tl);
+    let ng_read_post = front("readPost", 8.0 * 1024.0, php_read_post);
+    let ng_repost = front("repost", 1024.0, php_repost);
+    let ng_login = front("login", 256.0, php_login);
+    let ng_follow = front("follow", 128.0, php_follow);
+    let ng_search = front("search", 16.0 * 1024.0, php_search);
+
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| dsb_core::ServiceId(i as u32))
+        .collect();
+
+    let mut mix = QueryMix::new();
+    mix.add(ng_read_tl, READ_TIMELINE, 40.0, Dist::constant(384.0));
+    mix.add(ng_read_post, READ_POST, 15.0, Dist::constant(256.0));
+    mix.add(ng_compose_text, COMPOSE_TEXT, 18.0, Dist::constant(512.0));
+    mix.add(
+        ng_compose_image,
+        COMPOSE_IMAGE,
+        6.0,
+        Dist::log_normal(256.0 * 1024.0, 0.5),
+    );
+    mix.add(
+        ng_compose_video,
+        COMPOSE_VIDEO,
+        2.0,
+        Dist::log_normal(2.0 * 1024.0 * 1024.0, 0.4),
+    );
+    mix.add(ng_repost, REPOST, 5.0, Dist::constant(256.0));
+    mix.add(ng_login, LOGIN, 6.0, Dist::constant(256.0));
+    mix.add(ng_follow, FOLLOW, 3.0, Dist::constant(128.0));
+    mix.add(ng_search, SEARCH, 5.0, Dist::constant(256.0));
+
+    BuiltApp {
+        frontend: nginx,
+        qos_p99: SimDuration::from_millis(50),
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_36_services_and_expected_names() {
+        let app = social_network();
+        assert_eq!(app.spec.service_count(), 36);
+        for name in [
+            "nginx",
+            "php-fpm",
+            "composePost",
+            "uniqueID",
+            "urlShorten",
+            "writeHomeTimeline",
+            "memcached-posts",
+            "mongodb-social-graph",
+            "xapian-index",
+            "recommender",
+        ] {
+            assert!(
+                app.spec.service_by_name(name).is_some(),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontend_is_nginx_and_last_in_order() {
+        let app = social_network();
+        assert_eq!(app.name_of(app.frontend), "nginx");
+        assert_eq!(*app.order.last().unwrap(), app.frontend);
+    }
+
+    #[test]
+    fn mix_covers_nine_query_types() {
+        let app = social_network();
+        assert_eq!(app.mix.entries().len(), 9);
+        let total: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_reaches_fanout_tier() {
+        let app = social_network();
+        let compose = app.service("composePost");
+        let fanout = app.service("writeHomeTimeline");
+        assert!(app.spec.edges().contains(&(compose, fanout)));
+    }
+}

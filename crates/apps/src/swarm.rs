@@ -1,0 +1,575 @@
+//! §3.6 Swarm coordination: routing a swarm of programmable drones that
+//! perform image recognition and obstacle avoidance (Fig. 8).
+//!
+//! Two variants, as in the paper:
+//!
+//! * [`SwarmVariant::Edge`] — computation on the drones: motion planning,
+//!   image recognition (jimp) and obstacle avoidance (C++) run natively on
+//!   the edge devices over IPC; the cloud only constructs initial routes
+//!   and keeps persistent sensor databases. Low latency at low load, but
+//!   the two on-board cores oversubscribe quickly (Fig. 9).
+//! * [`SwarmVariant::Cloud`] — computation in the cloud
+//!   (ardrone-autonomy + Cylon/OpenCV): drones stream sensor data over
+//!   the wireless link and receive motion commands back. Every action
+//!   pays the cloud-edge round trip, but throughput is far higher.
+//!
+//! Requests originate at the edge ([`Zone::Edge`]); the partition key is
+//! the drone id, so per-drone services stay consistent.
+
+use dsb_core::{AppBuilder, EndpointRef, LbPolicy, RequestType, ServiceId, Step};
+use dsb_net::{Protocol, Zone};
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::{MixEntry, QueryMix};
+
+use crate::BuiltApp;
+
+/// Recognize the current camera frame (compute-heavy).
+pub const IMAGE_RECOG: RequestType = RequestType(0);
+/// Obstacle avoidance + motion adjustment (latency-critical).
+pub const OBSTACLE_AVOID: RequestType = RequestType(1);
+/// (Re)construct a route for a drone (always cloud-side).
+pub const CONSTRUCT_ROUTE: RequestType = RequestType(2);
+
+/// Where the swarm's computation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwarmVariant {
+    /// Compute on the drones (21 services).
+    Edge,
+    /// Compute in the cloud (25 services).
+    Cloud,
+}
+
+const DRONES: u32 = 24;
+
+fn sensor(app: &mut AppBuilder, name: &str) -> (ServiceId, EndpointRef) {
+    let id = app
+        .service(name)
+        .profile(UarchProfile::tiny_service())
+        .workers(2)
+        .instances(DRONES)
+        .lb(LbPolicy::Partition)
+        .protocol(Protocol::Ipc)
+        .zone(Zone::Edge)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "read",
+        Dist::constant(256.0),
+        vec![Step::work_us(40.0)],
+    );
+    (id, ep)
+}
+
+fn cloud_db(app: &mut AppBuilder, name: &str) -> (ServiceId, EndpointRef) {
+    let id = app
+        .service(name)
+        .profile(UarchProfile::mongodb())
+        .workers(16)
+        .instances(1)
+        .protocol(Protocol::Http1)
+        .conn_limit(512)
+        .build();
+    let ep = app.endpoint(
+        id,
+        "store",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(60.0),
+            Step::Io {
+                ns: Dist::log_normal(250_000.0, 0.5),
+            },
+        ],
+    );
+    (id, ep)
+}
+
+/// Builds the requested Swarm variant.
+pub fn swarm(variant: SwarmVariant) -> BuiltApp {
+    match variant {
+        SwarmVariant::Edge => swarm_edge(),
+        SwarmVariant::Cloud => swarm_cloud(),
+    }
+}
+
+fn swarm_edge() -> BuiltApp {
+    let mut app = AppBuilder::new("swarm-edge");
+
+    // Cloud persistent databases (9).
+    let (_t, target_db) = cloud_db(&mut app, "targetDB");
+    let (_o, orientation_db) = cloud_db(&mut app, "orientationDB");
+    let (_l, luminosity_db) = cloud_db(&mut app, "luminosityDB");
+    let (_s, speed_db) = cloud_db(&mut app, "speedDB");
+    let (_lo, location_db) = cloud_db(&mut app, "locationDB");
+    let (_v, video_db) = cloud_db(&mut app, "videoDB");
+    let (_i, image_db) = cloud_db(&mut app, "imageDB");
+    let (_st, stock_image_db) = cloud_db(&mut app, "stockImageDB");
+
+    // Cloud route construction (Java).
+    let construct = app
+        .service("constructRoute")
+        .profile(UarchProfile::managed_runtime())
+        .workers(16)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(512)
+        .build();
+    let construct_run = app.endpoint(
+        construct,
+        "construct",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(900.0),
+            Step::call(target_db, 256.0),
+        ],
+    );
+
+    // Cloud nginx front for the drones' HTTP uploads.
+    let nginx = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(256)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(1024)
+        .build();
+    let ng_route = app.endpoint(
+        nginx,
+        "constructRoute",
+        Dist::log_normal(4096.0, 0.4),
+        vec![Step::work_us(25.0), Step::call(construct_run, 512.0)],
+    );
+
+    // Drone-local sensors (4) + cameras (2) + log (7 edge services so far).
+    let (_sl, loc_read) = sensor(&mut app, "sensor-location");
+    let (_ss, speed_read) = sensor(&mut app, "sensor-speed");
+    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation");
+    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity");
+
+    let edge_svc = |app: &mut AppBuilder, name: &str, profile, workers: u32| {
+        app.service(name)
+            .profile(profile)
+            .workers(workers)
+            .instances(DRONES)
+            .lb(LbPolicy::Partition)
+            .protocol(Protocol::Ipc)
+            .zone(Zone::Edge)
+            .build()
+    };
+
+    let cam_img = edge_svc(&mut app, "camera-image", UarchProfile::tiny_service(), 2);
+    let cam_img_grab = app.endpoint(
+        cam_img,
+        "grab",
+        Dist::log_normal(128.0 * 1024.0, 0.3),
+        vec![Step::work_us(150.0)],
+    );
+    let cam_vid = edge_svc(&mut app, "camera-video", UarchProfile::tiny_service(), 2);
+    let cam_vid_grab = app.endpoint(
+        cam_vid,
+        "grab",
+        Dist::log_normal(256.0 * 1024.0, 0.3),
+        vec![Step::work_us(250.0)],
+    );
+
+    let log = edge_svc(&mut app, "log", UarchProfile::managed_runtime(), 2);
+    let log_write = app.endpoint(log, "write", Dist::constant(64.0), vec![Step::work_us(60.0)]);
+
+    // On-board image recognition (jimp, node.js): heavy for 2 weak cores.
+    let img_rec = edge_svc(&mut app, "imageRecognition", UarchProfile::vision(), 2);
+    let img_rec_run = app.endpoint(
+        img_rec,
+        "recognize",
+        Dist::constant(1024.0),
+        vec![
+            Step::call(cam_img_grab, 64.0),
+            // jimp (node.js library) does the heavy lifting; the
+            // surrounding node application code (decode, tiling, result
+            // handling) stays in user mode — which is why the paper sees
+            // Swarm spending *almost half* its time in libraries.
+            Step::libs_us(330_000.0),
+            Step::work_us(270_000.0),
+            Step::call(log_write, 128.0),
+            // Persist the frame + result in the cloud (wifi hop).
+            Step::call(image_db, 128.0 * 1024.0),
+        ],
+    );
+
+    // On-board obstacle avoidance (C++): light, latency-critical.
+    let motion = edge_svc(&mut app, "motionController", UarchProfile::managed_runtime(), 2);
+    let motion_run = app.endpoint(
+        motion,
+        "adjust",
+        Dist::constant(128.0),
+        vec![Step::work_us(400.0), Step::call(log_write, 64.0)],
+    );
+
+    let obstacle = edge_svc(&mut app, "obstacleAvoidance", UarchProfile::vision(), 2);
+    let obstacle_run = app.endpoint(
+        obstacle,
+        "avoid",
+        Dist::constant(256.0),
+        vec![
+            Step::ParCall {
+                calls: vec![
+                    (loc_read, Dist::constant(64.0)),
+                    (speed_read, Dist::constant(64.0)),
+                    (orient_read, Dist::constant(64.0)),
+                ],
+            },
+            Step::libs_us(2_000.0),
+            Step::call(motion_run, 128.0),
+        ],
+    );
+
+    // Per-drone controller: the entry point for sensor-triggered work.
+    let controller = edge_svc(&mut app, "controller", UarchProfile::managed_runtime(), 4);
+    let ctl_recognize = app.endpoint(
+        controller,
+        "recognize",
+        Dist::constant(512.0),
+        vec![Step::work_us(200.0), Step::call(img_rec_run, 1024.0)],
+    );
+    let ctl_avoid = app.endpoint(
+        controller,
+        "avoid",
+        Dist::constant(256.0),
+        vec![Step::work_us(150.0), Step::call(obstacle_run, 256.0)],
+    );
+    let ctl_route = app.endpoint(
+        controller,
+        "route",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(150.0),
+            Step::call(ng_route, 512.0),
+            Step::ParCall {
+                calls: vec![
+                    (lum_read, Dist::constant(64.0)),
+                    (cam_vid_grab, Dist::constant(64.0)),
+                ],
+            },
+            // Upload sensor snapshots for persistence.
+            Step::call(orientation_db, 1024.0),
+            Step::call(luminosity_db, 512.0),
+            Step::call(speed_db, 512.0),
+            Step::call(location_db, 512.0),
+            Step::call(video_db, 256.0 * 1024.0),
+            Step::call(stock_image_db, 512.0),
+        ],
+    );
+
+    finish(app, controller, ctl_recognize, ctl_avoid, ctl_route, true)
+}
+
+fn swarm_cloud() -> BuiltApp {
+    let mut app = AppBuilder::new("swarm-cloud");
+
+    // Cloud persistent databases (9).
+    let (_t, target_db) = cloud_db(&mut app, "targetDB");
+    let (_o, orientation_db) = cloud_db(&mut app, "orientationDB");
+    let (_l, luminosity_db) = cloud_db(&mut app, "luminosityDB");
+    let (_s, speed_db) = cloud_db(&mut app, "speedDB");
+    let (_lo, location_db) = cloud_db(&mut app, "locationDB");
+    let (_v, video_db) = cloud_db(&mut app, "videoDB");
+    let (_i, image_db) = cloud_db(&mut app, "imageDB");
+    let (_st, stock_image_db) = cloud_db(&mut app, "stockImageDB");
+    let (_rt, route_db) = cloud_db(&mut app, "routeDB");
+
+    let cloud_rpc = |app: &mut AppBuilder, name: &str, profile, workers: u32, instances: u32| {
+        app.service(name)
+            .profile(profile)
+            .workers(workers)
+            .instances(instances)
+            .protocol(Protocol::ThriftRpc)
+            .build()
+    };
+
+    // OpenCV-based image recognition in the cloud.
+    let img_rec = cloud_rpc(&mut app, "imageRecognition", UarchProfile::vision(), 16, 4);
+    let img_rec_run = app.endpoint(
+        img_rec,
+        "recognize",
+        Dist::constant(1024.0),
+        vec![
+            // OpenCV (library) recognition + application glue.
+            Step::libs_us(220_000.0),
+            Step::work_us(180_000.0),
+            Step::call(stock_image_db, 512.0),
+            Step::call(image_db, 128.0 * 1024.0),
+        ],
+    );
+
+    // Video transcoder for archived footage.
+    let transcode = cloud_rpc(&mut app, "videoTranscode", UarchProfile::vision(), 16, 2);
+    let transcode_run = app.endpoint(
+        transcode,
+        "transcode",
+        Dist::constant(512.0),
+        vec![Step::work_us(8_000.0), Step::call(video_db, 256.0 * 1024.0)],
+    );
+
+    // Telemetry ingest fan-in for raw sensor streams.
+    let telemetry = cloud_rpc(&mut app, "telemetry", UarchProfile::managed_runtime(), 32, 2);
+    let telemetry_run = app.endpoint(
+        telemetry,
+        "ingest",
+        Dist::constant(128.0),
+        vec![
+            Step::work_us(120.0),
+            // The DBs speak HTTP/1 (blocking connections), so the ingest
+            // writes are sequential.
+            Step::call(orientation_db, 512.0),
+            Step::call(luminosity_db, 256.0),
+            Step::call(speed_db, 256.0),
+            Step::call(location_db, 256.0),
+        ],
+    );
+
+    let motion = cloud_rpc(&mut app, "motionController", UarchProfile::managed_runtime(), 16, 2);
+    let motion_run = app.endpoint(
+        motion,
+        "plan",
+        Dist::constant(256.0),
+        vec![Step::work_us(800.0)],
+    );
+
+    let obstacle = cloud_rpc(&mut app, "obstacleAvoidance", UarchProfile::vision(), 16, 2);
+    let obstacle_run = app.endpoint(
+        obstacle,
+        "avoid",
+        Dist::constant(256.0),
+        vec![Step::libs_us(1_500.0), Step::call(motion_run, 128.0)],
+    );
+
+    let construct = cloud_rpc(&mut app, "constructRoute", UarchProfile::managed_runtime(), 16, 2);
+    let construct_run = app.endpoint(
+        construct,
+        "construct",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(900.0),
+            Step::call(target_db, 256.0),
+            Step::call(route_db, 1024.0),
+        ],
+    );
+
+    // Cloud controller orchestrating everything.
+    let cloud_ctl = cloud_rpc(&mut app, "cloudController", UarchProfile::managed_runtime(), 32, 2);
+    let cc_recognize = app.endpoint(
+        cloud_ctl,
+        "recognize",
+        Dist::constant(1024.0),
+        vec![
+            Step::work_us(150.0),
+            Step::call(img_rec_run, 128.0 * 1024.0),
+            Step::Branch {
+                p: 0.2,
+                then: std::sync::Arc::new(vec![Step::call(transcode_run, 1024.0)]),
+                els: std::sync::Arc::new(vec![]),
+            },
+        ],
+    );
+    let cc_avoid = app.endpoint(
+        cloud_ctl,
+        "avoid",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(120.0),
+            Step::call(obstacle_run, 2048.0),
+            Step::call(telemetry_run, 2048.0),
+        ],
+    );
+    let cc_route = app.endpoint(
+        cloud_ctl,
+        "route",
+        Dist::constant(512.0),
+        vec![Step::work_us(120.0), Step::call(construct_run, 512.0)],
+    );
+
+    // Cloud nginx front (drones speak HTTP to avoid Thrift dependencies).
+    let nginx = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(512)
+        .instances(2)
+        .protocol(Protocol::Http1)
+        .conn_limit(2048)
+        .build();
+    let ng_recognize = app.endpoint(
+        nginx,
+        "recognize",
+        Dist::constant(1024.0),
+        vec![Step::work_us(25.0), Step::call(cc_recognize, 128.0 * 1024.0)],
+    );
+    let ng_avoid = app.endpoint(
+        nginx,
+        "avoid",
+        Dist::constant(256.0),
+        vec![Step::work_us(25.0), Step::call(cc_avoid, 2048.0)],
+    );
+    let ng_route = app.endpoint(
+        nginx,
+        "route",
+        Dist::constant(512.0),
+        vec![Step::work_us(25.0), Step::call(cc_route, 512.0)],
+    );
+
+    // Drone-local services: sensors, cameras, log, local controller (8).
+    let (_sl, loc_read) = sensor(&mut app, "sensor-location");
+    let (_ss, speed_read) = sensor(&mut app, "sensor-speed");
+    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation");
+    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity");
+
+    let edge_svc = |app: &mut AppBuilder, name: &str, profile, workers: u32| {
+        app.service(name)
+            .profile(profile)
+            .workers(workers)
+            .instances(DRONES)
+            .lb(LbPolicy::Partition)
+            .protocol(Protocol::Ipc)
+            .zone(Zone::Edge)
+            .build()
+    };
+    let cam_img = edge_svc(&mut app, "camera-image", UarchProfile::tiny_service(), 2);
+    let cam_img_grab = app.endpoint(
+        cam_img,
+        "grab",
+        Dist::log_normal(128.0 * 1024.0, 0.3),
+        vec![Step::work_us(150.0)],
+    );
+    let cam_vid = edge_svc(&mut app, "camera-video", UarchProfile::tiny_service(), 2);
+    let cam_vid_grab = app.endpoint(
+        cam_vid,
+        "grab",
+        Dist::log_normal(256.0 * 1024.0, 0.3),
+        vec![Step::work_us(250.0)],
+    );
+    let log = edge_svc(&mut app, "log", UarchProfile::managed_runtime(), 2);
+    let log_write = app.endpoint(log, "write", Dist::constant(64.0), vec![Step::work_us(60.0)]);
+
+    let controller = edge_svc(&mut app, "controller", UarchProfile::managed_runtime(), 4);
+    let ctl_recognize = app.endpoint(
+        controller,
+        "recognize",
+        Dist::constant(512.0),
+        vec![
+            Step::call(cam_img_grab, 64.0),
+            Step::work_us(100.0),
+            Step::call(ng_recognize, 128.0 * 1024.0),
+            Step::call(log_write, 64.0),
+        ],
+    );
+    let ctl_avoid = app.endpoint(
+        controller,
+        "avoid",
+        Dist::constant(256.0),
+        vec![
+            Step::ParCall {
+                calls: vec![
+                    (loc_read, Dist::constant(64.0)),
+                    (speed_read, Dist::constant(64.0)),
+                    (orient_read, Dist::constant(64.0)),
+                    (lum_read, Dist::constant(64.0)),
+                ],
+            },
+            Step::work_us(80.0),
+            Step::call(ng_avoid, 2048.0),
+            Step::call(log_write, 64.0),
+        ],
+    );
+    let ctl_route = app.endpoint(
+        controller,
+        "route",
+        Dist::constant(512.0),
+        vec![
+            Step::work_us(80.0),
+            Step::call(cam_vid_grab, 64.0),
+            Step::call(ng_route, 512.0),
+        ],
+    );
+
+    finish(app, controller, ctl_recognize, ctl_avoid, ctl_route, false)
+}
+
+fn finish(
+    app: AppBuilder,
+    controller: ServiceId,
+    recognize: EndpointRef,
+    avoid: EndpointRef,
+    route: EndpointRef,
+    edge_variant: bool,
+) -> BuiltApp {
+    let spec = app.build();
+    let order: Vec<_> = (0..spec.service_count())
+        .map(|i| ServiceId(i as u32))
+        .collect();
+    let mut mix = QueryMix::new();
+    mix.push(MixEntry {
+        entry: recognize,
+        rtype: IMAGE_RECOG,
+        weight: 30.0,
+        bytes: Dist::constant(512.0),
+        origin: Zone::Edge,
+    });
+    mix.push(MixEntry {
+        entry: avoid,
+        rtype: OBSTACLE_AVOID,
+        weight: 60.0,
+        bytes: Dist::constant(256.0),
+        origin: Zone::Edge,
+    });
+    mix.push(MixEntry {
+        entry: route,
+        rtype: CONSTRUCT_ROUTE,
+        weight: 10.0,
+        bytes: Dist::constant(512.0),
+        origin: Zone::Edge,
+    });
+    BuiltApp {
+        frontend: controller,
+        qos_p99: if edge_variant {
+            SimDuration::from_millis(12_000)
+        } else {
+            SimDuration::from_millis(3_000)
+        },
+        spec,
+        mix,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_counts_match_paper() {
+        assert_eq!(swarm(SwarmVariant::Edge).spec.service_count(), 21);
+        assert_eq!(swarm(SwarmVariant::Cloud).spec.service_count(), 25);
+    }
+
+    #[test]
+    fn edge_variant_runs_recognition_on_drones() {
+        let app = swarm(SwarmVariant::Edge);
+        let rec = app.spec.service(app.service("imageRecognition"));
+        assert_eq!(rec.zone_pref, Some(Zone::Edge));
+    }
+
+    #[test]
+    fn cloud_variant_runs_recognition_in_cloud() {
+        let app = swarm(SwarmVariant::Cloud);
+        let rec = app.spec.service(app.service("imageRecognition"));
+        assert_eq!(rec.zone_pref, None);
+    }
+
+    #[test]
+    fn entry_is_the_drone_controller() {
+        for v in [SwarmVariant::Edge, SwarmVariant::Cloud] {
+            let app = swarm(v);
+            assert_eq!(app.name_of(app.frontend), "controller");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic "death star" applications: parameterized layered service
+//! graphs for studying how graph complexity itself affects behaviour.
+//!
+//! §8 of the paper closes with: *"In general, the more complex an
+//! application's microservices graph, the more impactful slow servers
+//! are, as the probability that a service on the critical path will be
+//! degraded increases."* These generators make that a controlled
+//! variable: same total work, same QoS, different depth / fan-out.
+
+use dsb_core::{AppBuilder, EndpointRef, RequestType, ServiceId, Step};
+use dsb_simcore::{Dist, SimDuration};
+use dsb_workload::QueryMix;
+
+use crate::BuiltApp;
+
+/// Parameters of a synthetic layered application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredSpec {
+    /// Number of tiers between the front-end and the leaves.
+    pub depth: u32,
+    /// Services per tier.
+    pub width: u32,
+    /// Parallel calls each service makes into the next tier.
+    pub fanout: u32,
+    /// Compute per handler, reference-core microseconds.
+    pub work_us: f64,
+    /// Workers per instance.
+    pub workers: u32,
+    /// End-to-end p99 QoS target.
+    pub qos: SimDuration,
+}
+
+impl Default for LayeredSpec {
+    fn default() -> Self {
+        LayeredSpec {
+            depth: 3,
+            width: 3,
+            fanout: 2,
+            work_us: 50.0,
+            workers: 16,
+            qos: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Builds a layered synthetic application: a front-end fanning into
+/// `depth` tiers of `width` services each; every service calls `fanout`
+/// services of the next tier in parallel (over multiplexed RPC).
+///
+/// Total services: `1 + depth × width`. The per-request critical path
+/// touches `depth + 1` tiers; the number of *distinct* services a request
+/// touches grows with `fanout`, so slow-server impact grows with both
+/// knobs, as §8 argues.
+pub fn layered(spec: LayeredSpec) -> BuiltApp {
+    assert!(spec.depth >= 1 && spec.width >= 1, "need at least one tier");
+    let mut app = AppBuilder::new("synthetic-layered");
+    // Build from the leaves (deepest tier) up.
+    let mut below: Vec<EndpointRef> = Vec::new();
+    for tier in (0..spec.depth).rev() {
+        let mut this_tier = Vec::new();
+        for w in 0..spec.width {
+            let svc = app
+                .service(&format!("t{tier}-s{w}"))
+                .workers(spec.workers)
+                .build();
+            let mut steps = vec![Step::work_us(spec.work_us)];
+            if !below.is_empty() {
+                let calls: Vec<(EndpointRef, Dist)> = (0..spec.fanout)
+                    .map(|k| {
+                        // Deterministic rotation spreads edges across the
+                        // tier below.
+                        let idx = ((w + k) % below.len() as u32) as usize;
+                        (below[idx], Dist::constant(256.0))
+                    })
+                    .collect();
+                steps.push(Step::ParCall { calls });
+            }
+            this_tier.push(app.endpoint(svc, "op", Dist::constant(1024.0), steps));
+        }
+        below = this_tier;
+    }
+    // The front-end fans across the whole first tier (an aggregator),
+    // like the suite's real front-ends do.
+    let front = app.service("front").event_driven().workers(256).build();
+    let calls: Vec<(EndpointRef, Dist)> = below
+        .iter()
+        .map(|&e| (e, Dist::constant(256.0)))
+        .collect();
+    let entry = app.endpoint(
+        front,
+        "root",
+        Dist::constant(4096.0),
+        vec![Step::work_us(spec.work_us), Step::ParCall { calls }],
+    );
+    let spec_built = app.build();
+    let order: Vec<ServiceId> = (0..spec_built.service_count())
+        .map(|i| ServiceId(i as u32))
+        .collect();
+    BuiltApp {
+        mix: QueryMix::single(entry, RequestType(0), 256.0),
+        qos_p99: spec.qos,
+        frontend: front,
+        spec: spec_built,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_count_matches_formula() {
+        for (depth, width) in [(1, 1), (2, 3), (4, 5)] {
+            let app = layered(LayeredSpec {
+                depth,
+                width,
+                fanout: width.min(2),
+                ..LayeredSpec::default()
+            });
+            assert_eq!(
+                app.spec.service_count() as u32,
+                1 + depth * width,
+                "depth {depth} width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_graphs_have_longer_chains() {
+        use dsb_core::{ClusterSpec, Simulation};
+        use dsb_simcore::SimTime;
+        let latency = |depth| {
+            let app = layered(LayeredSpec {
+                depth,
+                ..LayeredSpec::default()
+            });
+            let mut cluster = ClusterSpec::xeon_cluster(4, 1);
+            cluster.trace_sample_prob = 0.0;
+            let mut sim = Simulation::new(app.spec.clone(), cluster, 1);
+            for i in 0..50u64 {
+                sim.inject(SimTime::from_millis(i), app.mix.entries()[0].entry, RequestType(0), 128, i);
+            }
+            sim.run_until_idle();
+            sim.request_stats(RequestType(0)).unwrap().latency.mean()
+        };
+        let shallow = latency(1);
+        let deep = latency(6);
+        assert!(
+            deep > shallow * 2.0,
+            "depth must add latency: {shallow} vs {deep}"
+        );
+    }
+
+    #[test]
+    fn all_tiers_reachable() {
+        let app = layered(LayeredSpec {
+            depth: 3,
+            width: 4,
+            fanout: 2,
+            ..LayeredSpec::default()
+        });
+        let edges = app.spec.edges();
+        let n = app.spec.service_count();
+        let mut seen = vec![false; n];
+        seen[app.frontend.0 as usize] = true;
+        let mut stack = vec![app.frontend];
+        while let Some(s) = stack.pop() {
+            for &(a, b) in &edges {
+                if a == s && !seen[b.0 as usize] {
+                    seen[b.0 as usize] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "unreachable tiers exist");
+    }
+}

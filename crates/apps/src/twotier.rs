@@ -1,0 +1,105 @@
+//! The Fig. 17 two-tier example: nginx in front of memcached.
+//!
+//! Case A (nginx saturation) is produced by driving load past the nginx
+//! tier's compute capacity; case B (memcached backpressuring nginx) by
+//! shrinking the nginx→memcached connection pool — requests within an
+//! HTTP/1-style connection are blocking, so nginx workers busy-wait on
+//! connections while memcached itself sits idle, and a utilization-driven
+//! autoscaler wrongly scales *nginx*.
+
+use dsb_core::{AppBuilder, RequestType, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::BuiltApp;
+
+/// The read request type.
+pub const READ: RequestType = RequestType(0);
+
+/// Builds the two-tier app with the given nginx worker count and
+/// nginx→memcached connection limit (per nginx instance).
+pub fn twotier(nginx_workers: u32, conn_limit: u32) -> BuiltApp {
+    let mut app = AppBuilder::new("nginx-memcached");
+
+    let mc = app
+        .service("memcached")
+        .profile(UarchProfile::memcached())
+        .event_driven()
+        .workers(16)
+        // Keep-alive HTTP connections from nginx: blocking semantics.
+        .protocol(Protocol::Http1)
+        .conn_limit(conn_limit)
+        .build();
+    let get = app.endpoint(
+        mc,
+        "get",
+        Dist::log_normal(1024.0, 0.6),
+        vec![Step::work_us(8.0)],
+    );
+
+    let nginx = app
+        .service("nginx")
+        .profile(UarchProfile::nginx())
+        // Worker-process model: a worker is held across the upstream call.
+        .blocking()
+        .workers(nginx_workers)
+        .protocol(Protocol::Http1)
+        .conn_limit(4096)
+        .build();
+    let read = app.endpoint(
+        nginx,
+        "read",
+        Dist::log_normal(4096.0, 0.4),
+        vec![Step::work_us(60.0), Step::call(get, 128.0)],
+    );
+
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(read, READ, 256.0),
+        qos_p99: SimDuration::from_millis(2),
+        order: vec![mc, nginx],
+        frontend: nginx,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsb_core::{ClusterSpec, Simulation};
+    use dsb_simcore::SimTime;
+    use dsb_workload::{OpenLoop, UserPopulation};
+
+    fn p99_at(conn_limit: u32, qps: f64) -> (u64, f64, f64) {
+        let app = twotier(64, conn_limit);
+        let nginx = app.service("nginx");
+        let mc = app.service("memcached");
+        let mut cluster = ClusterSpec::xeon_cluster(2, 1);
+        cluster.trace_sample_prob = 0.0;
+        let mut sim = Simulation::new(app.spec.clone(), cluster, 5);
+        let mut load = OpenLoop::new(app.mix.clone(), UserPopulation::uniform(100), 5);
+        load.drive(&mut sim, SimTime::ZERO, SimTime::from_secs(3), qps);
+        sim.advance_to(SimTime::from_secs(3));
+        let nginx_occ = sim.occupancy(nginx);
+        let mc_occ = sim.occupancy(mc);
+        sim.run_until_idle();
+        let p99 = sim.request_stats(READ).unwrap().latency.quantile(0.99);
+        (p99, nginx_occ, mc_occ)
+    }
+
+    #[test]
+    fn small_conn_pool_backpressures_nginx() {
+        let (p99_large, _, _) = p99_at(1024, 25_000.0);
+        let (p99_small, nginx_occ, mc_occ) = p99_at(2, 25_000.0);
+        // Same load, tiny pool: latency explodes...
+        assert!(
+            p99_small > p99_large * 5,
+            "small {p99_small} vs large {p99_large}"
+        );
+        // ...nginx looks saturated while memcached looks idle.
+        assert!(nginx_occ > 0.9, "nginx occupancy {nginx_occ}");
+        assert!(mc_occ < 0.3, "memcached occupancy {mc_occ}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # dsb-bench — benchmark kernels
+//!
+//! Small, fixed-size simulation kernels used by the Criterion benches in
+//! `benches/`: one kernel per paper table/figure (exercising that figure's
+//! code path end to end at miniature scale) plus engine microbenchmarks.
+//!
+//! The *scientific* outputs live in `dsb-experiments`; these kernels
+//! measure the simulator's own performance so regressions in the engine or
+//! the application models show up in `cargo bench`.
+
+#![warn(missing_docs)]
+
+use dsb_apps::BuiltApp;
+use dsb_core::{RequestType, Simulation};
+use dsb_simcore::SimTime;
+use dsb_workload::{OpenLoop, UserPopulation};
+
+/// Runs `app` for `secs` virtual seconds at `qps` on a small cluster and
+/// returns the number of simulation events processed (the work metric).
+pub fn mini_run(app: &BuiltApp, qps: f64, secs: u64, seed: u64) -> u64 {
+    mini_run_completed(app, qps, secs, seed).0
+}
+
+/// [`mini_run`] that also returns total completions (sanity check).
+pub fn mini_run_completed(app: &BuiltApp, qps: f64, secs: u64, seed: u64) -> (u64, u64) {
+    let mut cluster = dsb_experiments::harness::make_cluster(4);
+    cluster.trace_sample_prob = 0.0;
+    let mut sim = Simulation::new(app.spec.clone(), cluster, seed);
+    let mut load = OpenLoop::new(app.mix.clone(), UserPopulation::uniform(200), seed);
+    load.drive(&mut sim, SimTime::ZERO, SimTime::from_secs(secs), qps);
+    sim.run_until_idle();
+    let mut completed = 0;
+    for t in 0..16u32 {
+        if let Some(st) = sim.request_stats(RequestType(t)) {
+            completed += st.completed;
+        }
+    }
+    (sim.events_processed(), completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_run_does_work() {
+        let app = dsb_apps::singles::memcached();
+        let (events, completed) = mini_run_completed(&app, 500.0, 2, 1);
+        assert!(events > 1_000);
+        assert!(completed > 500);
+    }
+}

@@ -1,0 +1,2023 @@
+//! The simulation runtime: machines, instances, invocations, the event
+//! interpreter, and the [`Simulation`] façade.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dsb_net::{Fabric, FpgaOffload, Nic, Protocol, Zone};
+use dsb_simcore::{Model, Rng, Scheduler, SimDuration, SimTime, UtilizationTracker};
+use dsb_trace::{Span, SpanId, TraceCollector, TraceId};
+use dsb_uarch::{CoreModel, ExecDomain};
+
+use crate::slab::{Slab, SlabKey};
+use crate::spec::{
+    AppSpec, ClusterSpec, Concurrency, EndpointRef, InstanceId, LbPolicy, MachineId, RequestType,
+    ServiceId, Step, WorkerPolicy,
+};
+use crate::stats::{RequestStats, ServiceStats};
+
+/// Lifecycle of a service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Container is booting; not yet in load-balancer rotation.
+    Starting,
+    /// Serving traffic.
+    Up,
+    /// Removed from rotation; finishing queued work.
+    Draining,
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Machine {
+    cores: u32,
+    core: CoreModel,
+    zone: Zone,
+    nic: Nic,
+    offload: FpgaOffload,
+    busy: u32,
+    run_queue: VecDeque<CoreJob>,
+    util: UtilizationTracker,
+}
+
+#[derive(Debug)]
+struct ConnPool {
+    limit: u32,
+    in_use: u32,
+    waiters: VecDeque<SlabKey>,
+}
+
+#[derive(Debug)]
+struct PendingReq {
+    msg: RequestMsg,
+    arrived: SimTime,
+    recv_net_ns: f64,
+}
+
+#[derive(Debug)]
+struct Instance {
+    service: ServiceId,
+    machine: MachineId,
+    state: InstanceState,
+    /// `None` means on-demand (serverless) workers.
+    worker_limit: Option<u32>,
+    warm_free: u32,
+    busy_workers: u32,
+    queue: VecDeque<PendingReq>,
+    conns: HashMap<ServiceId, ConnPool>,
+    inflight: u32,
+}
+
+#[derive(Debug)]
+struct ServiceRt {
+    spec: crate::spec::ServiceSpec,
+    instances: Vec<InstanceId>,
+    rr: usize,
+    pinned: Option<InstanceId>,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    block: Arc<Vec<Step>>,
+    pc: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BlockedCall {
+    target: EndpointRef,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct Invocation {
+    service: ServiceId,
+    instance: InstanceId,
+    machine: MachineId,
+    endpoint: u32,
+    req: u64,
+    rtype: RequestType,
+    origin: Zone,
+    partition_key: u64,
+    spawn: SimTime,
+    caller: Option<SlabKey>,
+    parent_span: Option<SpanId>,
+    span: u64,
+    frames: Vec<Frame>,
+    outstanding: u32,
+    worker_held: bool,
+    conn_to: Option<ServiceId>,
+    blocked: Option<BlockedCall>,
+    arrived: SimTime,
+    started: SimTime,
+    app_ns: f64,
+    net_ns: f64,
+}
+
+/// A request in flight between services (opaque; exposed only through
+/// [`Ev`]).
+#[derive(Debug)]
+pub struct RequestMsg {
+    req: u64,
+    rtype: RequestType,
+    origin: Zone,
+    dst: InstanceId,
+    endpoint: u32,
+    caller: Option<SlabKey>,
+    parent_span: Option<SpanId>,
+    bytes: u64,
+    partition_key: u64,
+    spawn: SimTime,
+}
+
+/// A response in flight back to a caller (opaque).
+#[derive(Debug)]
+pub struct ResponseMsg {
+    to_inv: SlabKey,
+    bytes: u64,
+    protocol: Protocol,
+}
+
+/// A message in flight (opaque; carried by [`Ev::MsgArrive`]).
+#[derive(Debug)]
+pub enum Message {
+    Request(RequestMsg),
+    Response(ResponseMsg),
+    ClientReply {
+        rtype: RequestType,
+        spawn: SimTime,
+    },
+}
+
+/// A unit of CPU work scheduled on a machine core (opaque; carried by
+/// [`Ev::CoreJobDone`]).
+#[derive(Debug)]
+pub struct CoreJob {
+    dur: SimDuration,
+    service: ServiceId,
+    /// (domain, reference-core ns, actual ns) — up to two components.
+    splits: [(ExecDomain, f64, f64); 2],
+    cont: JobCont,
+}
+
+#[derive(Debug)]
+enum JobCont {
+    /// A script compute step finished; resume the invocation.
+    StepDone(SlabKey),
+    /// One CPU timeslice of a long compute step finished; requeue the
+    /// remainder (models preemptive round-robin scheduling, so a long
+    /// vision job cannot monopolize a weak core for seconds).
+    StepChunk {
+        /// The invocation whose step is executing.
+        inv: SlabKey,
+        /// Accounting domain of the step.
+        domain: ExecDomain,
+        /// Remaining reference-core nanoseconds.
+        remaining_ref: f64,
+        /// Remaining actual nanoseconds.
+        remaining_actual: f64,
+    },
+    /// Send-side processing finished; push the message into the network.
+    SendDone {
+        msg: Message,
+        from_machine: MachineId,
+        bytes: u64,
+        /// FPGA pipeline delay (send + recv side), added to flight time.
+        extra: SimDuration,
+        /// Invocation whose span is charged the send processing.
+        charge: Option<SlabKey>,
+    },
+    /// Receive-side processing for a request finished; enqueue at instance.
+    RecvRequest(RequestMsg),
+    /// Receive-side processing for a response finished; resume the caller.
+    RecvResponse(SlabKey),
+}
+
+/// The event alphabet of the microservice simulation.
+#[derive(Debug)]
+pub enum Ev {
+    /// A client (or sensor) issues a request.
+    Inject {
+        /// Entry endpoint (typically the front-end load balancer).
+        entry: EndpointRef,
+        /// Request-type tag for per-type statistics.
+        rtype: RequestType,
+        /// Request payload bytes.
+        bytes: u64,
+        /// Sharding key (user id); drives partitioned load balancing.
+        partition_key: u64,
+        /// Where the request originates.
+        origin: Zone,
+    },
+    /// A message finished its network flight.
+    MsgArrive(Message),
+    /// A core finished executing a job.
+    CoreJobDone {
+        /// The machine whose core completed.
+        machine: MachineId,
+        /// The completed job.
+        job: CoreJob,
+    },
+    /// An I/O wait completed.
+    IoDone {
+        /// The waiting invocation.
+        inv: SlabKey,
+    },
+    /// A blocked caller was granted a downstream connection.
+    ConnGranted {
+        /// The unblocked invocation.
+        inv: SlabKey,
+        /// The service whose pool granted the connection.
+        to: ServiceId,
+    },
+    /// A starting instance became ready.
+    InstanceUp {
+        /// The instance.
+        inst: InstanceId,
+    },
+    /// A serverless cold start finished; a warm worker is available.
+    WorkerSpawned {
+        /// The instance that spawned the worker.
+        inst: InstanceId,
+    },
+}
+
+/// All mutable world state; implements [`Model`] over [`Ev`].
+///
+/// Use through [`Simulation`], which pairs it with a scheduler.
+#[derive(Debug)]
+pub struct Cluster {
+    app: AppSpec,
+    services: Vec<ServiceRt>,
+    instances: Vec<Instance>,
+    machines: Vec<Machine>,
+    fabric: Fabric,
+    collector: TraceCollector,
+    service_stats: Vec<ServiceStats>,
+    request_stats: Vec<RequestStats>,
+    invocations: Slab<Invocation>,
+    rng: Rng,
+    next_req: u64,
+    next_span: u64,
+    window: SimDuration,
+    instance_startup: SimDuration,
+    cpu_quantum_ns: f64,
+    admit_prob: f64,
+    placement_rr: usize,
+    ref_core: CoreModel,
+}
+
+const REF_FREQ_GHZ: f64 = 2.4;
+
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Cluster {
+    fn new(app: AppSpec, cluster: &ClusterSpec, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let machines = cluster
+            .machines
+            .iter()
+            .map(|m| Machine {
+                cores: m.cores,
+                core: m.core,
+                zone: m.zone,
+                nic: Nic::new(m.nic_gbps),
+                offload: FpgaOffload::disabled(),
+                busy: 0,
+                run_queue: VecDeque::new(),
+                util: UtilizationTracker::new(cluster.window, m.cores),
+            })
+            .collect();
+        let collector = TraceCollector::new(cluster.window, cluster.trace_sample_prob, rng.next_u64());
+        let service_stats = app
+            .services
+            .iter()
+            .map(|_| ServiceStats::new(cluster.window))
+            .collect();
+        let services = app
+            .services
+            .iter()
+            .cloned()
+            .map(|spec| ServiceRt {
+                spec,
+                instances: Vec::new(),
+                rr: 0,
+                pinned: None,
+            })
+            .collect();
+        let mut c = Cluster {
+            app,
+            services,
+            instances: Vec::new(),
+            machines,
+            fabric: Fabric::new(cluster.fabric),
+            collector,
+            service_stats,
+            request_stats: Vec::new(),
+            invocations: Slab::new(),
+            rng,
+            next_req: 0,
+            next_span: 0,
+            window: cluster.window,
+            instance_startup: cluster.instance_startup,
+            cpu_quantum_ns: cluster.cpu_quantum.as_nanos() as f64,
+            admit_prob: 1.0,
+            placement_rr: 0,
+            ref_core: CoreModel::xeon(),
+        };
+        for sid in 0..c.services.len() {
+            for _ in 0..c.services[sid].spec.initial_instances {
+                c.spawn_instance(ServiceId(sid as u32), InstanceState::Up);
+            }
+        }
+        c
+    }
+
+    fn place(&mut self, service: ServiceId) -> MachineId {
+        let pref = self.services[service.0 as usize].spec.zone_pref;
+        let candidates: Vec<usize> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| match pref {
+                Some(z) => m.zone == z,
+                None => !matches!(m.zone, Zone::Edge),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "no machine available for service {} (zone pref {:?})",
+            self.services[service.0 as usize].spec.name,
+            pref
+        );
+        self.placement_rr += 1;
+        MachineId(candidates[self.placement_rr % candidates.len()] as u32)
+    }
+
+    fn spawn_instance(&mut self, service: ServiceId, state: InstanceState) -> InstanceId {
+        let machine = self.place(service);
+        let spec = &self.services[service.0 as usize].spec;
+        let worker_limit = match &spec.workers {
+            WorkerPolicy::Fixed(n) => Some(*n),
+            WorkerPolicy::OnDemand { .. } => None,
+        };
+        let id = InstanceId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            service,
+            machine,
+            state,
+            worker_limit,
+            warm_free: 0,
+            busy_workers: 0,
+            queue: VecDeque::new(),
+            conns: HashMap::new(),
+            inflight: 0,
+        });
+        self.services[service.0 as usize].instances.push(id);
+        id
+    }
+
+    fn speed_factor(&self, service: ServiceId, machine: MachineId) -> f64 {
+        let profile = &self.services[service.0 as usize].spec.profile;
+        self.machines[machine.0 as usize].core.speed_factor(profile)
+    }
+
+    fn ref_ipc(&self, service: ServiceId) -> f64 {
+        self.ref_core
+            .ipc(&self.services[service.0 as usize].spec.profile)
+    }
+
+    // -- CPU ---------------------------------------------------------------
+
+    fn submit_job(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: CoreJob) {
+        let m = &mut self.machines[machine.0 as usize];
+        if m.busy < m.cores {
+            m.busy += 1;
+            let now = sched.now();
+            m.util.add_busy(now, now + job.dur);
+            sched.schedule_in(job.dur, Ev::CoreJobDone { machine, job });
+        } else {
+            m.run_queue.push_back(job);
+        }
+    }
+
+    fn on_job_done(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: CoreJob) {
+        // Start the next queued job (or free the core).
+        {
+            let now = sched.now();
+            let m = &mut self.machines[machine.0 as usize];
+            if let Some(next) = m.run_queue.pop_front() {
+                m.util.add_busy(now, now + next.dur);
+                sched.schedule_in(next.dur, Ev::CoreJobDone { machine, job: next });
+            } else {
+                m.busy -= 1;
+            }
+        }
+        // Account the finished job.
+        let freq = self.machines[machine.0 as usize].core.freq_ghz;
+        let ipc = self.ref_ipc(job.service);
+        let stats = &mut self.service_stats[job.service.0 as usize];
+        for (domain, ref_ns, actual_ns) in job.splits {
+            if actual_ns > 0.0 || ref_ns > 0.0 {
+                stats.charge(domain, actual_ns, freq, ref_ns, ipc, REF_FREQ_GHZ);
+            }
+        }
+        // Continuation.
+        match job.cont {
+            JobCont::StepDone(inv) => {
+                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
+                if let Some(i) = self.invocations.get_mut(inv) {
+                    i.app_ns += actual;
+                }
+                self.advance(sched, inv);
+            }
+            JobCont::StepChunk {
+                inv,
+                domain,
+                remaining_ref,
+                remaining_actual,
+            } => {
+                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
+                if let Some(i) = self.invocations.get_mut(inv) {
+                    i.app_ns += actual;
+                } else {
+                    return;
+                }
+                let machine = self.invocations.get(inv).expect("live inv").machine;
+                self.submit_compute(sched, inv, machine, domain, remaining_ref, remaining_actual);
+            }
+            JobCont::SendDone {
+                msg,
+                from_machine,
+                bytes,
+                extra,
+                charge,
+            } => {
+                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
+                let tx = self.transmit(sched, from_machine, bytes, extra, msg);
+                if let Some(k) = charge {
+                    if let Some(i) = self.invocations.get_mut(k) {
+                        // Processing plus NIC queueing/serialization both
+                        // count as network time (the paper's §5 metric).
+                        i.net_ns += actual + tx.as_nanos() as f64;
+                    }
+                }
+            }
+            JobCont::RecvRequest(msg) => {
+                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
+                self.enqueue_request(sched, msg, actual);
+            }
+            JobCont::RecvResponse(inv) => {
+                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
+                if let Some(i) = self.invocations.get_mut(inv) {
+                    i.net_ns += actual;
+                }
+                self.on_response(sched, inv);
+            }
+        }
+    }
+
+    // -- Network -----------------------------------------------------------
+
+    /// Queues send-side processing for `msg` on `from`'s cores, then (via
+    /// `SendDone`) pushes it through the NIC and fabric.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_send(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        from: MachineId,
+        acct: ServiceId,
+        protocol: Protocol,
+        bytes: u64,
+        msg: Message,
+        charge: Option<SlabKey>,
+    ) {
+        let costs = protocol.costs(bytes);
+        let m = &self.machines[from.0 as usize];
+        let (host_kernel, pipe_send) = m.offload.apply(costs.send_kernel_ns);
+        // Receiver-side FPGA pipeline delay is added here too (we know the
+        // destination), so delivery happens in a single hop.
+        let pipe_recv = match &msg {
+            Message::Request(rm) => {
+                let mach = self.instances[rm.dst.0 as usize].machine;
+                self.machines[mach.0 as usize]
+                    .offload
+                    .apply(costs.recv_kernel_ns)
+                    .1
+            }
+            Message::Response(resp) => match self.invocations.get(resp.to_inv) {
+                Some(i) => self.machines[i.machine.0 as usize]
+                    .offload
+                    .apply(costs.recv_kernel_ns)
+                    .1,
+                None => 0.0,
+            },
+            Message::ClientReply { .. } => 0.0,
+        };
+        let sf = self.speed_factor(acct, from);
+        let kernel_act = host_kernel * sf;
+        let libs_act = costs.send_libs_ns * sf;
+        let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
+        let job = CoreJob {
+            dur,
+            service: acct,
+            splits: [
+                (ExecDomain::Kernel, host_kernel, kernel_act),
+                (ExecDomain::Libs, costs.send_libs_ns, libs_act),
+            ],
+            cont: JobCont::SendDone {
+                msg,
+                from_machine: from,
+                bytes,
+                extra: SimDuration::from_nanos((pipe_send + pipe_recv) as u64),
+                charge,
+            },
+        };
+        self.submit_job(sched, from, job);
+    }
+
+    fn transmit(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        from: MachineId,
+        bytes: u64,
+        extra: SimDuration,
+        msg: Message,
+    ) -> SimDuration {
+        let now = sched.now();
+        let tx = self.machines[from.0 as usize].nic.transmit(now, bytes);
+        let from_zone = self.machines[from.0 as usize].zone;
+        let prop = match &msg {
+            Message::Request(rm) => {
+                let mach = self.instances[rm.dst.0 as usize].machine;
+                if mach == from {
+                    self.fabric.loopback()
+                } else {
+                    let z = self.machines[mach.0 as usize].zone;
+                    self.fabric.delay(from_zone, z, &mut self.rng)
+                }
+            }
+            Message::Response(resp) => match self.invocations.get(resp.to_inv) {
+                Some(i) => {
+                    let mach = i.machine;
+                    if mach == from {
+                        self.fabric.loopback()
+                    } else {
+                        let z = self.machines[mach.0 as usize].zone;
+                        self.fabric.delay(from_zone, z, &mut self.rng)
+                    }
+                }
+                None => self.fabric.loopback(),
+            },
+            Message::ClientReply { .. } => {
+                // Reply to the request's origin zone.
+                self.fabric.delay(from_zone, Zone::Client, &mut self.rng)
+            }
+        };
+        sched.schedule_in(tx + prop + extra, Ev::MsgArrive(msg));
+        tx
+    }
+
+    fn deliver(&mut self, sched: &mut Scheduler<Ev>, msg: Message) {
+        match msg {
+            Message::Request(rm) => {
+                let inst = &self.instances[rm.dst.0 as usize];
+                let machine = inst.machine;
+                let service = inst.service;
+                let protocol = self.services[service.0 as usize].spec.protocol;
+                let costs = protocol.costs(rm.bytes);
+                let (host_kernel, _pipe) = self.machines[machine.0 as usize]
+                    .offload
+                    .apply(costs.recv_kernel_ns);
+                let sf = self.speed_factor(service, machine);
+                let kernel_act = host_kernel * sf;
+                let libs_act = costs.recv_libs_ns * sf;
+                let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
+                let job = CoreJob {
+                    dur,
+                    service,
+                    splits: [
+                        (ExecDomain::Kernel, host_kernel, kernel_act),
+                        (ExecDomain::Libs, costs.recv_libs_ns, libs_act),
+                    ],
+                    cont: JobCont::RecvRequest(rm),
+                };
+                self.submit_job(sched, machine, job);
+            }
+            Message::Response(resp) => {
+                let Some(inv) = self.invocations.get(resp.to_inv) else {
+                    return;
+                };
+                let machine = inv.machine;
+                let service = inv.service;
+                let costs = resp.protocol.costs(resp.bytes);
+                let (host_kernel, _pipe) = self.machines[machine.0 as usize]
+                    .offload
+                    .apply(costs.recv_kernel_ns);
+                let sf = self.speed_factor(service, machine);
+                let kernel_act = host_kernel * sf;
+                let libs_act = costs.recv_libs_ns * sf;
+                let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
+                let job = CoreJob {
+                    dur,
+                    service,
+                    splits: [
+                        (ExecDomain::Kernel, host_kernel, kernel_act),
+                        (ExecDomain::Libs, costs.recv_libs_ns, libs_act),
+                    ],
+                    cont: JobCont::RecvResponse(resp.to_inv),
+                };
+                self.submit_job(sched, machine, job);
+            }
+            Message::ClientReply { rtype, spawn } => {
+                let now = sched.now();
+                self.request_stats_mut(rtype).complete(now, now - spawn);
+            }
+        }
+    }
+
+    // -- Instance dispatch ---------------------------------------------------
+
+    fn enqueue_request(&mut self, sched: &mut Scheduler<Ev>, msg: RequestMsg, recv_net_ns: f64) {
+        let now = sched.now();
+        let inst_id = msg.dst;
+        let service = self.instances[inst_id.0 as usize].service;
+        let on_demand = self.instances[inst_id.0 as usize].worker_limit.is_none();
+        let needs_spawn = {
+            let inst = &mut self.instances[inst_id.0 as usize];
+            inst.inflight += 1;
+            inst.queue.push_back(PendingReq {
+                msg,
+                arrived: now,
+                recv_net_ns,
+            });
+            on_demand && inst.warm_free == 0
+        };
+        if needs_spawn {
+            let cold = match &self.services[service.0 as usize].spec.workers {
+                WorkerPolicy::OnDemand { cold_start_ns } => cold_start_ns.sample(&mut self.rng),
+                WorkerPolicy::Fixed(_) => 0.0,
+            };
+            sched.schedule_in(
+                SimDuration::from_nanos(cold as u64),
+                Ev::WorkerSpawned { inst: inst_id },
+            );
+        }
+        self.try_dispatch(sched, inst_id);
+    }
+
+    fn worker_available(&self, inst: &Instance) -> bool {
+        match inst.worker_limit {
+            Some(limit) => inst.busy_workers < limit,
+            None => inst.warm_free > 0,
+        }
+    }
+
+    fn try_dispatch(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId) {
+        loop {
+            let pending = {
+                let inst = &mut self.instances[inst_id.0 as usize];
+                if inst.queue.is_empty() || !self.worker_available_idx(inst_id) {
+                    return;
+                }
+                let inst = &mut self.instances[inst_id.0 as usize];
+                if inst.worker_limit.is_none() {
+                    inst.warm_free -= 1;
+                }
+                inst.busy_workers += 1;
+                inst.queue.pop_front().expect("checked non-empty")
+            };
+            self.start_invocation(sched, inst_id, pending);
+        }
+    }
+
+    fn worker_available_idx(&self, inst_id: InstanceId) -> bool {
+        self.worker_available(&self.instances[inst_id.0 as usize])
+    }
+
+    fn start_invocation(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId, p: PendingReq) {
+        let now = sched.now();
+        let inst = &self.instances[inst_id.0 as usize];
+        let service = inst.service;
+        let machine = inst.machine;
+        let script = self.services[service.0 as usize].spec.endpoints
+            [p.msg.endpoint as usize]
+            .script
+            .clone();
+        self.next_span += 1;
+        let inv = Invocation {
+            service,
+            instance: inst_id,
+            machine,
+            endpoint: p.msg.endpoint,
+            req: p.msg.req,
+            rtype: p.msg.rtype,
+            origin: p.msg.origin,
+            partition_key: p.msg.partition_key,
+            spawn: p.msg.spawn,
+            caller: p.msg.caller,
+            parent_span: p.msg.parent_span,
+            span: self.next_span,
+            frames: vec![Frame {
+                block: script,
+                pc: 0,
+            }],
+            outstanding: 0,
+            worker_held: true,
+            conn_to: None,
+            blocked: None,
+            arrived: p.arrived,
+            started: now,
+            app_ns: 0.0,
+            net_ns: p.recv_net_ns,
+        };
+        let key = self.invocations.insert(inv);
+        self.advance(sched, key);
+    }
+
+    // -- Script interpreter --------------------------------------------------
+
+    fn next_step(&mut self, key: SlabKey) -> Option<Option<Step>> {
+        // Outer None: invocation vanished. Inner None: script finished.
+        let inv = self.invocations.get_mut(key)?;
+        loop {
+            let Some(frame) = inv.frames.last_mut() else {
+                return Some(None);
+            };
+            if frame.pc >= frame.block.len() {
+                inv.frames.pop();
+                continue;
+            }
+            let step = frame.block[frame.pc].clone();
+            frame.pc += 1;
+            return Some(Some(step));
+        }
+    }
+
+    fn advance(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+        loop {
+            let Some(step) = self.next_step(key) else {
+                return;
+            };
+            let Some(step) = step else {
+                self.finish_invocation(sched, key);
+                return;
+            };
+            match step {
+                Step::Compute { ns, domain } => {
+                    let ref_ns = ns.sample(&mut self.rng);
+                    let (service, machine) = {
+                        let inv = self.invocations.get(key).expect("advancing live inv");
+                        (inv.service, inv.machine)
+                    };
+                    let sf = self.speed_factor(service, machine);
+                    let actual = ref_ns * sf;
+                    self.submit_compute(sched, key, machine, domain, ref_ns, actual);
+                    return;
+                }
+                Step::Io { ns } => {
+                    let wait = ns.sample(&mut self.rng);
+                    sched.schedule_in(
+                        SimDuration::from_nanos(wait as u64),
+                        Ev::IoDone { inv: key },
+                    );
+                    return;
+                }
+                Step::Call { target, req_bytes } => {
+                    let bytes = req_bytes.sample(&mut self.rng).max(1.0) as u64;
+                    {
+                        let inv = self.invocations.get_mut(key).expect("live inv");
+                        inv.outstanding = 1;
+                    }
+                    self.maybe_release_worker(sched, key);
+                    let blocking = self.services[target.service.0 as usize]
+                        .spec
+                        .protocol
+                        .blocking_connections();
+                    if blocking {
+                        self.call_with_connection(sched, key, target, bytes);
+                    } else {
+                        self.send_call(sched, key, target, bytes);
+                    }
+                    return;
+                }
+                Step::ParCall { calls } => {
+                    if calls.is_empty() {
+                        continue;
+                    }
+                    let sampled: Vec<(EndpointRef, u64)> = calls
+                        .iter()
+                        .map(|(t, d)| (*t, d.sample(&mut self.rng).max(1.0) as u64))
+                        .collect();
+                    {
+                        let inv = self.invocations.get_mut(key).expect("live inv");
+                        inv.outstanding = sampled.len() as u32;
+                    }
+                    self.maybe_release_worker(sched, key);
+                    for (t, b) in sampled {
+                        self.send_call(sched, key, t, b);
+                    }
+                    return;
+                }
+                Step::FanCall {
+                    target,
+                    req_bytes,
+                    n,
+                } => {
+                    let count = n.sample(&mut self.rng).round().max(0.0) as u32;
+                    if count == 0 {
+                        continue;
+                    }
+                    let bytes: Vec<u64> = (0..count)
+                        .map(|_| req_bytes.sample(&mut self.rng).max(1.0) as u64)
+                        .collect();
+                    {
+                        let inv = self.invocations.get_mut(key).expect("live inv");
+                        inv.outstanding = count;
+                    }
+                    self.maybe_release_worker(sched, key);
+                    for b in bytes {
+                        self.send_call(sched, key, target, b);
+                    }
+                    return;
+                }
+                Step::Branch { p, then, els } => {
+                    let block = if self.rng.chance(p) { then } else { els };
+                    if !block.is_empty() {
+                        let inv = self.invocations.get_mut(key).expect("live inv");
+                        inv.frames.push(Frame { block, pc: 0 });
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Submits a compute step as one core job, or as 5 ms timeslices if
+    /// it is long (round-robin preemption).
+    fn submit_compute(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        key: SlabKey,
+        machine: MachineId,
+        domain: ExecDomain,
+        ref_ns: f64,
+        actual_ns: f64,
+    ) {
+        let service = self.invocations.get(key).expect("live inv").service;
+        let quantum = self.cpu_quantum_ns;
+        if actual_ns <= quantum {
+            let job = CoreJob {
+                dur: SimDuration::from_nanos(actual_ns as u64),
+                service,
+                splits: [(domain, ref_ns, actual_ns), (ExecDomain::Other, 0.0, 0.0)],
+                cont: JobCont::StepDone(key),
+            };
+            self.submit_job(sched, machine, job);
+        } else {
+            let frac = quantum / actual_ns;
+            let chunk_ref = ref_ns * frac;
+            let job = CoreJob {
+                dur: SimDuration::from_nanos(quantum as u64),
+                service,
+                splits: [
+                    (domain, chunk_ref, quantum),
+                    (ExecDomain::Other, 0.0, 0.0),
+                ],
+                cont: JobCont::StepChunk {
+                    inv: key,
+                    domain,
+                    remaining_ref: ref_ns - chunk_ref,
+                    remaining_actual: actual_ns - quantum,
+                },
+            };
+            self.submit_job(sched, machine, job);
+        }
+    }
+
+    /// Event-driven services release their worker at the first await point.
+    fn maybe_release_worker(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+        let (service, held) = {
+            let inv = self.invocations.get(key).expect("live inv");
+            (inv.service, inv.worker_held)
+        };
+        if held && self.services[service.0 as usize].spec.concurrency == Concurrency::Async {
+            let inst_id = self.invocations.get(key).expect("live").instance;
+            {
+                let inv = self.invocations.get_mut(key).expect("live");
+                inv.worker_held = false;
+            }
+            self.release_worker(inst_id);
+            self.try_dispatch(sched, inst_id);
+        }
+    }
+
+    fn release_worker(&mut self, inst_id: InstanceId) {
+        let inst = &mut self.instances[inst_id.0 as usize];
+        inst.busy_workers -= 1;
+        if inst.worker_limit.is_none() {
+            inst.warm_free += 1;
+        }
+    }
+
+    fn call_with_connection(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        key: SlabKey,
+        target: EndpointRef,
+        bytes: u64,
+    ) {
+        let inst_id = self.invocations.get(key).expect("live inv").instance;
+        let limit = self.services[target.service.0 as usize].spec.conn_limit;
+        let granted = {
+            let inst = &mut self.instances[inst_id.0 as usize];
+            let pool = inst.conns.entry(target.service).or_insert(ConnPool {
+                limit,
+                in_use: 0,
+                waiters: VecDeque::new(),
+            });
+            if pool.in_use < pool.limit {
+                pool.in_use += 1;
+                true
+            } else {
+                pool.waiters.push_back(key);
+                false
+            }
+        };
+        if granted {
+            let inv = self.invocations.get_mut(key).expect("live inv");
+            inv.conn_to = Some(target.service);
+            self.send_call(sched, key, target, bytes);
+        } else {
+            let inv = self.invocations.get_mut(key).expect("live inv");
+            inv.blocked = Some(BlockedCall { target, bytes });
+        }
+    }
+
+    fn send_call(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey, target: EndpointRef, bytes: u64) {
+        let (machine, service, req, rtype, origin, pk, spawn, span) = {
+            let inv = self.invocations.get(key).expect("live inv");
+            (
+                inv.machine,
+                inv.service,
+                inv.req,
+                inv.rtype,
+                inv.origin,
+                inv.partition_key,
+                inv.spawn,
+                inv.span,
+            )
+        };
+        let dst = self.pick_instance(target.service, pk);
+        let protocol = self.services[target.service.0 as usize].spec.protocol;
+        let msg = Message::Request(RequestMsg {
+            req,
+            rtype,
+            origin,
+            dst,
+            endpoint: target.endpoint,
+            caller: Some(key),
+            parent_span: Some(SpanId(span)),
+            bytes,
+            partition_key: pk,
+            spawn,
+        });
+        self.begin_send(sched, machine, service, protocol, bytes, msg, Some(key));
+    }
+
+    fn pick_instance(&mut self, service: ServiceId, partition_key: u64) -> InstanceId {
+        let rt = &self.services[service.0 as usize];
+        if let Some(pin) = rt.pinned {
+            return pin;
+        }
+        let ups: Vec<InstanceId> = rt
+            .instances
+            .iter()
+            .copied()
+            .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
+            .collect();
+        assert!(
+            !ups.is_empty(),
+            "service {} has no live instances",
+            rt.spec.name
+        );
+        match rt.spec.lb {
+            LbPolicy::RoundRobin => {
+                let rt = &mut self.services[service.0 as usize];
+                rt.rr = rt.rr.wrapping_add(1);
+                ups[rt.rr % ups.len()]
+            }
+            LbPolicy::LeastOutstanding => *ups
+                .iter()
+                .min_by_key(|i| self.instances[i.0 as usize].inflight)
+                .expect("non-empty"),
+            LbPolicy::Partition => ups[(hash64(partition_key) % ups.len() as u64) as usize],
+        }
+    }
+
+    fn on_response(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+        let Some(inv) = self.invocations.get_mut(key) else {
+            return;
+        };
+        let inst_id = inv.instance;
+        let conn_release = inv.conn_to.take();
+        inv.outstanding = inv.outstanding.saturating_sub(1);
+        let done_waiting = inv.outstanding == 0;
+        if let Some(to) = conn_release {
+            self.release_connection(sched, inst_id, to);
+        }
+        if done_waiting {
+            self.advance(sched, key);
+        }
+    }
+
+    fn release_connection(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId, to: ServiceId) {
+        let waiter = {
+            let inst = &mut self.instances[inst_id.0 as usize];
+            let pool = inst.conns.get_mut(&to).expect("pool exists on release");
+            match pool.waiters.pop_front() {
+                Some(w) => Some(w), // token transfers to the waiter
+                None => {
+                    pool.in_use -= 1;
+                    None
+                }
+            }
+        };
+        if let Some(w) = waiter {
+            sched.schedule_now(Ev::ConnGranted { inv: w, to });
+        }
+    }
+
+    fn on_conn_granted(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey, to: ServiceId) {
+        let Some(inv) = self.invocations.get_mut(key) else {
+            // Waiter vanished (should not happen for blocked callers);
+            // return the token.
+            return;
+        };
+        let blocked = inv.blocked.take().expect("granted inv was blocked");
+        inv.conn_to = Some(to);
+        self.send_call(sched, key, blocked.target, blocked.bytes);
+    }
+
+    fn finish_invocation(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+        let now = sched.now();
+        let inv = self.invocations.remove(key).expect("finishing live inv");
+        // Span.
+        self.collector.record(Span {
+            trace: TraceId(inv.req),
+            id: SpanId(inv.span),
+            parent: inv.parent_span,
+            service: inv.service.0,
+            endpoint: inv.endpoint,
+            start: inv.arrived,
+            end: now,
+            queue_time: inv.started - inv.arrived,
+            app_time: SimDuration::from_nanos(inv.app_ns as u64),
+            net_time: SimDuration::from_nanos(inv.net_ns as u64),
+        });
+        self.service_stats[inv.service.0 as usize].invocations += 1;
+        // Worker + inflight.
+        if inv.worker_held {
+            self.release_worker(inv.instance);
+        }
+        self.instances[inv.instance.0 as usize].inflight -= 1;
+        self.try_dispatch(sched, inv.instance);
+        // Reply.
+        let resp_bytes = self.services[inv.service.0 as usize].spec.endpoints
+            [inv.endpoint as usize]
+            .resp_bytes
+            .sample(&mut self.rng)
+            .max(1.0) as u64;
+        let protocol = self.services[inv.service.0 as usize].spec.protocol;
+        let msg = match inv.caller {
+            Some(caller) => Message::Response(ResponseMsg {
+                to_inv: caller,
+                bytes: resp_bytes,
+                protocol,
+            }),
+            None => Message::ClientReply {
+                rtype: inv.rtype,
+                spawn: inv.spawn,
+            },
+        };
+        self.begin_send(
+            sched,
+            inv.machine,
+            inv.service,
+            protocol,
+            resp_bytes,
+            msg,
+            None,
+        );
+    }
+
+    fn request_stats_mut(&mut self, rtype: RequestType) -> &mut RequestStats {
+        let idx = rtype.0 as usize;
+        if idx >= self.request_stats.len() {
+            let w = self.window;
+            self.request_stats
+                .resize_with(idx + 1, || RequestStats::new(w));
+        }
+        &mut self.request_stats[idx]
+    }
+
+    fn on_inject(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        entry: EndpointRef,
+        rtype: RequestType,
+        bytes: u64,
+        partition_key: u64,
+        origin: Zone,
+    ) {
+        let admit = self.admit_prob >= 1.0 || self.rng.chance(self.admit_prob);
+        let stats = self.request_stats_mut(rtype);
+        stats.issued += 1;
+        if !admit {
+            stats.rejected += 1;
+            return;
+        }
+        self.next_req += 1;
+        let req = self.next_req;
+        let dst = self.pick_instance(entry.service, partition_key);
+        let dst_zone = self.machines[self.instances[dst.0 as usize].machine.0 as usize].zone;
+        let delay = self.fabric.delay(origin, dst_zone, &mut self.rng);
+        let now = sched.now();
+        sched.schedule_in(
+            delay,
+            Ev::MsgArrive(Message::Request(RequestMsg {
+                req,
+                rtype,
+                origin,
+                dst,
+                endpoint: entry.endpoint,
+                caller: None,
+                parent_span: None,
+                bytes,
+                partition_key,
+                spawn: now,
+            })),
+        );
+    }
+}
+
+impl Model for Cluster {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        match ev {
+            Ev::Inject {
+                entry,
+                rtype,
+                bytes,
+                partition_key,
+                origin,
+            } => self.on_inject(sched, entry, rtype, bytes, partition_key, origin),
+            Ev::MsgArrive(msg) => self.deliver(sched, msg),
+            Ev::CoreJobDone { machine, job } => self.on_job_done(sched, machine, job),
+            Ev::IoDone { inv } => self.advance(sched, inv),
+            Ev::ConnGranted { inv, to } => self.on_conn_granted(sched, inv, to),
+            Ev::InstanceUp { inst } => {
+                let i = &mut self.instances[inst.0 as usize];
+                if i.state == InstanceState::Starting {
+                    i.state = InstanceState::Up;
+                }
+            }
+            Ev::WorkerSpawned { inst } => {
+                self.instances[inst.0 as usize].warm_free += 1;
+                self.try_dispatch(sched, inst);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Façade
+// ---------------------------------------------------------------------------
+
+/// A complete simulation: scheduler plus cluster state, with the control
+/// surface the paper's experiments drive.
+///
+/// # Example
+///
+/// ```
+/// use dsb_core::{AppBuilder, ClusterSpec, RequestType, Simulation, Step};
+/// use dsb_simcore::{Dist, SimDuration, SimTime};
+///
+/// let mut app = AppBuilder::new("hello");
+/// let svc = app.service("svc").event_driven().workers(64).build();
+/// let ep = app.endpoint(svc, "get", Dist::constant(512.0), vec![Step::work_us(50.0)]);
+/// let mut sim = Simulation::new(app.build(), ClusterSpec::xeon_cluster(2, 1), 1);
+///
+/// for i in 0..100u64 {
+///     sim.inject(SimTime::from_millis(i), ep, RequestType(0), 256, i);
+/// }
+/// sim.run_until_idle();
+/// let stats = sim.request_stats(RequestType(0)).unwrap();
+/// assert_eq!(stats.completed, 100);
+/// assert!(stats.p99() > SimDuration::from_micros(50));
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    sched: Scheduler<Ev>,
+    cluster: Cluster,
+}
+
+impl Simulation {
+    /// Builds a simulation of `app` on `cluster`, seeded deterministically.
+    pub fn new(app: AppSpec, cluster: ClusterSpec, seed: u64) -> Self {
+        let sched = Scheduler::new(seed ^ 0xD5B);
+        let c = Cluster::new(app, &cluster, seed);
+        Simulation { sched, cluster: c }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
+    }
+
+    /// Runs until all pending events (including in-flight requests) drain.
+    pub fn run_until_idle(&mut self) {
+        self.sched.run(&mut self.cluster);
+    }
+
+    /// Runs the simulation up to the given virtual time, then returns so a
+    /// controller (autoscaler, workload generator) can act.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sched.run_until(&mut self.cluster, t);
+    }
+
+    /// Schedules one client request at `at` from the default client zone.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        entry: EndpointRef,
+        rtype: RequestType,
+        bytes: u64,
+        partition_key: u64,
+    ) {
+        self.inject_from(at, entry, rtype, bytes, partition_key, Zone::Client);
+    }
+
+    /// Schedules one request at `at`, originating from `origin` (e.g.
+    /// [`Zone::Edge`] for sensor-generated traffic).
+    pub fn inject_from(
+        &mut self,
+        at: SimTime,
+        entry: EndpointRef,
+        rtype: RequestType,
+        bytes: u64,
+        partition_key: u64,
+        origin: Zone,
+    ) {
+        self.sched.schedule_at(
+            at,
+            Ev::Inject {
+                entry,
+                rtype,
+                bytes,
+                partition_key,
+                origin,
+            },
+        );
+    }
+
+    /// The application being simulated.
+    pub fn app(&self) -> &AppSpec {
+        &self.cluster.app
+    }
+
+    /// End-to-end statistics for a request type (None if never injected).
+    pub fn request_stats(&self, rtype: RequestType) -> Option<&RequestStats> {
+        self.cluster.request_stats.get(rtype.0 as usize)
+    }
+
+    /// Execution statistics for a service.
+    pub fn service_stats(&self, service: ServiceId) -> &ServiceStats {
+        &self.cluster.service_stats[service.0 as usize]
+    }
+
+    /// The distributed-tracing collector.
+    pub fn collector(&self) -> &TraceCollector {
+        &self.cluster.collector
+    }
+
+    /// Number of `Up` instances of a service.
+    pub fn instance_count(&self, service: ServiceId) -> usize {
+        self.cluster.services[service.0 as usize]
+            .instances
+            .iter()
+            .filter(|i| self.cluster.instances[i.0 as usize].state == InstanceState::Up)
+            .count()
+    }
+
+    /// Instantaneous worker occupancy of a service in `[0, 1]`: busy
+    /// workers over total fixed workers across `Up` instances. This is the
+    /// signal a utilization-driven autoscaler sees — and it counts workers
+    /// blocked on downstream calls as busy, which is exactly the misleading
+    /// behaviour of Figs. 17/19/20. On-demand (serverless) services report
+    /// 0 (they scale themselves).
+    pub fn occupancy(&self, service: ServiceId) -> f64 {
+        let mut busy = 0u64;
+        let mut cap = 0u64;
+        for id in &self.cluster.services[service.0 as usize].instances {
+            let inst = &self.cluster.instances[id.0 as usize];
+            if inst.state != InstanceState::Up {
+                continue;
+            }
+            if let Some(limit) = inst.worker_limit {
+                busy += inst.busy_workers as u64;
+                cap += limit as u64;
+            }
+        }
+        if cap == 0 {
+            0.0
+        } else {
+            busy as f64 / cap as f64
+        }
+    }
+
+    /// Total queued + running invocations across a service's instances.
+    pub fn service_inflight(&self, service: ServiceId) -> u64 {
+        self.cluster.services[service.0 as usize]
+            .instances
+            .iter()
+            .map(|i| self.cluster.instances[i.0 as usize].inflight as u64)
+            .sum()
+    }
+
+    /// Mean core utilization of machine `m` in window `w`.
+    pub fn machine_utilization(&self, m: MachineId, w: usize) -> f64 {
+        self.cluster.machines[m.0 as usize].util.utilization(w)
+    }
+
+    /// Number of machines in the cluster.
+    pub fn machine_count(&self) -> usize {
+        self.cluster.machines.len()
+    }
+
+    // -- Control surface -----------------------------------------------------
+
+    /// Starts a new instance; it joins rotation after the configured
+    /// startup delay. Returns its id.
+    pub fn add_instance(&mut self, service: ServiceId) -> InstanceId {
+        let id = self.cluster.spawn_instance(service, InstanceState::Starting);
+        let delay = self.cluster.instance_startup;
+        self.sched.schedule_in(delay, Ev::InstanceUp { inst: id });
+        id
+    }
+
+    /// Starts a new instance that is immediately up (for initial
+    /// provisioning before the run).
+    pub fn add_instance_now(&mut self, service: ServiceId) -> InstanceId {
+        self.cluster.spawn_instance(service, InstanceState::Up)
+    }
+
+    /// Removes an instance from rotation (it drains its queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would leave the service with no `Up` instance.
+    pub fn retire_instance(&mut self, inst: InstanceId) {
+        let service = self.cluster.instances[inst.0 as usize].service;
+        let ups = self.instance_count(service);
+        assert!(ups > 1, "cannot retire the last instance");
+        self.cluster.instances[inst.0 as usize].state = InstanceState::Draining;
+    }
+
+    /// The newest instance ids of a service (for targeted retirement).
+    pub fn instances_of(&self, service: ServiceId) -> Vec<InstanceId> {
+        self.cluster.services[service.0 as usize].instances.clone()
+    }
+
+    /// Sets the operating frequency of one machine (RAPL / slow server).
+    pub fn set_frequency(&mut self, m: MachineId, ghz: f64) {
+        let core = self.cluster.machines[m.0 as usize].core;
+        self.cluster.machines[m.0 as usize].core = core.at_frequency(ghz);
+    }
+
+    /// Sets the operating frequency of every machine.
+    pub fn set_all_frequencies(&mut self, ghz: f64) {
+        for i in 0..self.cluster.machines.len() {
+            self.set_frequency(MachineId(i as u32), ghz);
+        }
+    }
+
+    /// Installs (or removes) the FPGA RPC accelerator on every machine.
+    pub fn set_offload(&mut self, offload: FpgaOffload) {
+        for m in &mut self.cluster.machines {
+            m.offload = offload;
+        }
+    }
+
+    /// Routes *all* traffic for a service to one instance (models the
+    /// Fig. 22a switch misconfiguration). `None` restores load balancing.
+    pub fn pin_service(&mut self, service: ServiceId, to: Option<InstanceId>) {
+        self.cluster.services[service.0 as usize].pinned = to;
+    }
+
+    /// Admission probability for new requests (rate limiting; 1.0 = all).
+    pub fn set_admission(&mut self, prob: f64) {
+        self.cluster.admit_prob = prob.clamp(0.0, 1.0);
+    }
+
+    /// Changes the load-balancing policy of a service at runtime (e.g.
+    /// to model sticky sessions / per-user data affinity).
+    pub fn set_lb_policy(&mut self, service: ServiceId, lb: LbPolicy) {
+        self.cluster.services[service.0 as usize].spec.lb = lb;
+    }
+
+    /// Changes the connection limit callers enforce toward `service`
+    /// (applies to existing pools too).
+    pub fn set_conn_limit(&mut self, service: ServiceId, limit: u32) {
+        self.cluster.services[service.0 as usize].spec.conn_limit = limit.max(1);
+        for inst in &mut self.cluster.instances {
+            if let Some(pool) = inst.conns.get_mut(&service) {
+                pool.limit = limit.max(1);
+            }
+        }
+    }
+
+    /// The zone a service's first instance runs in (placement inspection).
+    pub fn service_zone(&self, service: ServiceId) -> Option<Zone> {
+        self.cluster.services[service.0 as usize]
+            .instances
+            .first()
+            .map(|i| {
+                let m = self.cluster.instances[i.0 as usize].machine;
+                self.cluster.machines[m.0 as usize].zone
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AppBuilder;
+    use dsb_simcore::Dist;
+
+    fn one_service_app(workers: u32, blocking: bool) -> (AppSpec, EndpointRef) {
+        let mut app = AppBuilder::new("t");
+        let mut b = app.service("svc").workers(workers);
+        if !blocking {
+            b = b.event_driven();
+        }
+        let svc = b.build();
+        let ep = app.endpoint(
+            svc,
+            "op",
+            Dist::constant(256.0),
+            vec![Step::Compute {
+                ns: Dist::constant(100_000.0),
+                domain: ExecDomain::User,
+            }],
+        );
+        (app.build(), ep)
+    }
+
+    fn small_cluster() -> ClusterSpec {
+        ClusterSpec::xeon_cluster(2, 1)
+    }
+
+    #[test]
+    fn request_completes_with_plausible_latency() {
+        let (app, ep) = one_service_app(4, true);
+        let mut sim = Simulation::new(app, small_cluster(), 7);
+        sim.inject(SimTime::ZERO, ep, RequestType(0), 128, 1);
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 1);
+        let lat = st.latency.quantile(1.0);
+        // 100us compute + 2x client hops (~120us each) + processing.
+        assert!(lat > 300_000, "latency {lat}ns too small");
+        assert!(lat < 2_000_000, "latency {lat}ns too large");
+    }
+
+    #[test]
+    fn two_tier_call_chain_works() {
+        let mut app = AppBuilder::new("chain");
+        let back = app.service("back").workers(8).build();
+        let get = app.endpoint(
+            back,
+            "get",
+            Dist::constant(512.0),
+            vec![Step::work_us(20.0)],
+        );
+        let front = app.service("front").workers(8).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(1024.0),
+            vec![Step::work_us(10.0), Step::call(get, 128.0)],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 3);
+        for i in 0..50 {
+            sim.inject(SimTime::from_millis(i), root, RequestType(0), 256, i);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 50);
+        // Both services saw invocations and accumulated stats.
+        assert_eq!(sim.service_stats(front).invocations, 50);
+        assert_eq!(sim.service_stats(back).invocations, 50);
+        assert!(sim.service_stats(back).total_time_ns() > 0.0);
+        // Network processing time was charged to the kernel domain.
+        assert!(sim.service_stats(front).time_ns[ExecDomain::Kernel.index()] > 0.0);
+    }
+
+    #[test]
+    fn worker_limit_queues_requests() {
+        // 1 blocking worker, 100us compute each: 10 simultaneous requests
+        // must serialize -> last latency ~ 10x first.
+        let (app, ep) = one_service_app(1, true);
+        let mut sim = Simulation::new(app, small_cluster(), 1);
+        for i in 0..10 {
+            sim.inject(SimTime::ZERO, ep, RequestType(0), 128, i);
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 10);
+        let min = st.latency.min();
+        let max = st.latency.max();
+        assert!(
+            max > min + 800_000,
+            "expected serialization: min {min} max {max}"
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_joins() {
+        let mut app = AppBuilder::new("fan");
+        let leaf = app.service("leaf").workers(64).build();
+        let get = app.endpoint(
+            leaf,
+            "get",
+            Dist::constant(128.0),
+            vec![Step::work_us(30.0)],
+        );
+        let front = app.service("front").workers(8).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(512.0),
+            vec![Step::FanCall {
+                target: get,
+                req_bytes: Dist::constant(64.0),
+                n: Dist::constant(8.0),
+            }],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 5);
+        sim.inject(SimTime::ZERO, root, RequestType(0), 128, 1);
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 1);
+        assert_eq!(sim.service_stats(leaf).invocations, 8);
+        // Parallel: total latency far below 8 sequential round trips.
+        let lat = sim.request_stats(RequestType(0)).unwrap().latency.max();
+        assert!(lat < 8 * 150_000, "fan-out not parallel: {lat}ns");
+    }
+
+    #[test]
+    fn zero_fanout_skips_calls() {
+        let mut app = AppBuilder::new("fan0");
+        let leaf = app.service("leaf").workers(4).build();
+        let get = app.endpoint(leaf, "get", Dist::constant(128.0), vec![]);
+        let front = app.service("front").workers(4).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(128.0),
+            vec![
+                Step::FanCall {
+                    target: get,
+                    req_bytes: Dist::constant(64.0),
+                    n: Dist::constant(0.0),
+                },
+                Step::work_us(5.0),
+            ],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 5);
+        sim.inject(SimTime::ZERO, root, RequestType(0), 128, 1);
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 1);
+        assert_eq!(sim.service_stats(leaf).invocations, 0);
+    }
+
+    #[test]
+    fn branch_probability_respected() {
+        let mut app = AppBuilder::new("br");
+        let a = app.service("a").workers(16).build();
+        let hit = app.endpoint(a, "hit", Dist::constant(64.0), vec![]);
+        let b = app.service("b").workers(16).build();
+        let miss = app.endpoint(b, "miss", Dist::constant(64.0), vec![]);
+        let front = app.service("front").workers(64).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(64.0),
+            vec![Step::Branch {
+                p: 0.8,
+                then: Arc::new(vec![Step::call(hit, 64.0)]),
+                els: Arc::new(vec![Step::call(miss, 64.0)]),
+            }],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 11);
+        for i in 0..1000 {
+            sim.inject(SimTime::from_micros(i * 500), root, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        let hits = sim.service_stats(a).invocations;
+        let misses = sim.service_stats(b).invocations;
+        assert_eq!(hits + misses, 1000);
+        assert!((700..900).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn blocking_connection_pool_limits_concurrency() {
+        // Front (blocking, many workers) -> back over HTTP/1 with
+        // conn_limit 1 and slow 1ms handler: calls serialize even though
+        // back has plenty of workers.
+        let mut app = AppBuilder::new("conn");
+        let back = app
+            .service("back")
+            .workers(32)
+            .protocol(Protocol::Http1)
+            .conn_limit(1)
+            .build();
+        let get = app.endpoint(
+            back,
+            "get",
+            Dist::constant(128.0),
+            vec![Step::Compute {
+                ns: Dist::constant(1_000_000.0),
+                domain: ExecDomain::User,
+            }],
+        );
+        let front = app.service("front").workers(32).instances(1).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(128.0),
+            vec![Step::call(get, 64.0)],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 2);
+        for i in 0..8 {
+            sim.inject(SimTime::ZERO, root, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 8);
+        // Serialized over one connection: ~8ms of back-end compute total.
+        assert!(
+            st.latency.max() > 7_000_000,
+            "expected head-of-line blocking, max {}",
+            st.latency.max()
+        );
+    }
+
+    #[test]
+    fn occupancy_reflects_blocked_workers() {
+        // Blocking front waiting on a slow back-end counts as busy.
+        let mut app = AppBuilder::new("occ");
+        let back = app.service("back").workers(1).build();
+        let get = app.endpoint(
+            back,
+            "get",
+            Dist::constant(128.0),
+            vec![Step::Io {
+                ns: Dist::constant(1e9), // 1s io
+            }],
+        );
+        let front = app.service("front").workers(4).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(128.0),
+            vec![Step::call(get, 64.0)],
+        );
+        let mut sim = Simulation::new(app.build(), small_cluster(), 2);
+        for i in 0..4 {
+            sim.inject(SimTime::ZERO, root, RequestType(0), 64, i);
+        }
+        sim.advance_to(SimTime::from_millis(500));
+        assert!(
+            sim.occupancy(front) >= 0.99,
+            "front occupancy {}",
+            sim.occupancy(front)
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.occupancy(front), 0.0);
+    }
+
+    #[test]
+    fn on_demand_workers_cold_start_then_serve() {
+        let mut app = AppBuilder::new("svc-less");
+        let f = app
+            .service("fn")
+            .on_demand_workers(Dist::constant(100_000_000.0)) // 100ms cold
+            .build();
+        let ep = app.endpoint(f, "run", Dist::constant(128.0), vec![Step::work_us(10.0)]);
+        let mut sim = Simulation::new(app.build(), small_cluster(), 4);
+        sim.inject(SimTime::ZERO, ep, RequestType(0), 64, 1);
+        // Second request arrives after the first finished: warm start.
+        sim.inject(SimTime::from_millis(500), ep, RequestType(0), 64, 2);
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 2);
+        let cold = st.latency.max();
+        let warm = st.latency.min();
+        assert!(cold > 100_000_000, "cold {cold}");
+        assert!(warm < 5_000_000, "warm {warm}");
+    }
+
+    #[test]
+    fn pinning_routes_all_traffic_to_one_instance() {
+        let mut app = AppBuilder::new("pin");
+        let svc = app.service("s").workers(4).instances(4).build();
+        let ep = app.endpoint(svc, "op", Dist::constant(64.0), vec![Step::work_us(5.0)]);
+        let mut sim = Simulation::new(app.build(), ClusterSpec::xeon_cluster(4, 1), 9);
+        let victim = sim.instances_of(svc)[0];
+        sim.pin_service(svc, Some(victim));
+        for i in 0..40 {
+            sim.inject(SimTime::from_micros(i * 100), ep, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 40);
+        // Unpin and confirm spread resumes (no panic, work completes).
+        sim.pin_service(svc, None);
+        for i in 0..40 {
+            sim.inject(sim.now() + SimDuration::from_micros(i * 100), ep, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 80);
+    }
+
+    #[test]
+    fn frequency_scaling_slows_completion() {
+        let (app, ep) = one_service_app(4, true);
+        let run = |ghz: f64| {
+            let (app2, _) = one_service_app(4, true);
+            let _ = app2;
+            let mut sim = Simulation::new(
+                {
+                    let (a, _) = one_service_app(4, true);
+                    a
+                },
+                small_cluster(),
+                1,
+            );
+            sim.set_all_frequencies(ghz);
+            sim.inject(SimTime::ZERO, ep, RequestType(0), 64, 1);
+            sim.run_until_idle();
+            sim.request_stats(RequestType(0)).unwrap().latency.max()
+        };
+        let _ = app;
+        let fast = run(2.4);
+        let slow = run(1.0);
+        assert!(
+            slow as f64 > fast as f64 * 1.2,
+            "slow {slow} vs fast {fast}"
+        );
+    }
+
+    #[test]
+    fn add_instance_joins_after_startup_delay() {
+        let mut app = AppBuilder::new("scale");
+        let svc = app.service("s").workers(2).build();
+        let ep = app.endpoint(svc, "op", Dist::constant(64.0), vec![Step::work_us(10.0)]);
+        let mut sim = Simulation::new(app.build(), small_cluster(), 6);
+        assert_eq!(sim.instance_count(svc), 1);
+        sim.add_instance(svc);
+        assert_eq!(sim.instance_count(svc), 1); // still starting
+        sim.advance_to(SimTime::from_secs(10));
+        assert_eq!(sim.instance_count(svc), 2);
+        sim.inject(sim.now(), ep, RequestType(0), 64, 1);
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 1);
+    }
+
+    #[test]
+    fn retire_instance_drains() {
+        let mut app = AppBuilder::new("ret");
+        let svc = app.service("s").workers(2).instances(2).build();
+        let ep = app.endpoint(svc, "op", Dist::constant(64.0), vec![Step::work_us(10.0)]);
+        let mut sim = Simulation::new(app.build(), small_cluster(), 6);
+        let insts = sim.instances_of(svc);
+        sim.retire_instance(insts[0]);
+        assert_eq!(sim.instance_count(svc), 1);
+        for i in 0..20 {
+            sim.inject(SimTime::from_micros(i), ep, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the last instance")]
+    fn retiring_last_instance_panics() {
+        let mut app = AppBuilder::new("ret2");
+        let svc = app.service("s").build();
+        app.endpoint(svc, "op", Dist::constant(64.0), vec![]);
+        let mut sim = Simulation::new(app.build(), small_cluster(), 6);
+        let insts = sim.instances_of(svc);
+        sim.retire_instance(insts[0]);
+    }
+
+    #[test]
+    fn admission_control_rejects() {
+        let (app, ep) = one_service_app(8, true);
+        let mut sim = Simulation::new(app, small_cluster(), 8);
+        sim.set_admission(0.0);
+        for i in 0..10 {
+            sim.inject(SimTime::from_micros(i), ep, RequestType(0), 64, i);
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.issued, 10);
+        assert_eq!(st.rejected, 10);
+        assert_eq!(st.completed, 0);
+    }
+
+    #[test]
+    fn spans_reach_collector_with_parents() {
+        let mut app = AppBuilder::new("tr");
+        let back = app.service("back").workers(4).build();
+        let get = app.endpoint(back, "get", Dist::constant(64.0), vec![Step::work_us(5.0)]);
+        let front = app.service("front").workers(4).build();
+        let root = app.endpoint(
+            front,
+            "root",
+            Dist::constant(64.0),
+            vec![Step::call(get, 64.0)],
+        );
+        let mut app_spec = app.build();
+        let _ = &mut app_spec;
+        let mut cluster = small_cluster();
+        cluster.trace_sample_prob = 1.0;
+        let mut sim = Simulation::new(app_spec, cluster, 12);
+        sim.inject(SimTime::ZERO, root, RequestType(0), 64, 1);
+        sim.run_until_idle();
+        let traces: Vec<_> = sim.collector().sampled_traces().collect();
+        assert_eq!(traces.len(), 1);
+        let spans = traces[0].1;
+        assert_eq!(spans.len(), 2);
+        let root_span = spans.iter().find(|s| s.parent.is_none()).unwrap();
+        let child = spans.iter().find(|s| s.parent.is_some()).unwrap();
+        assert_eq!(child.parent, Some(root_span.id));
+        assert_eq!(root_span.service, front.0);
+        assert_eq!(child.service, back.0);
+        assert!(child.start >= root_span.start);
+        assert!(child.end <= root_span.end);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let run = |seed| {
+            let (app, ep) = one_service_app(4, true);
+            let mut sim = Simulation::new(app, small_cluster(), seed);
+            for i in 0..200 {
+                sim.inject(SimTime::from_micros(i * 50), ep, RequestType(0), 64, i);
+            }
+            sim.run_until_idle();
+            let st = sim.request_stats(RequestType(0)).unwrap();
+            (st.latency.mean(), st.latency.quantile(0.99), sim.events_processed())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn partition_lb_concentrates_hot_keys() {
+        let mut app = AppBuilder::new("shard");
+        let svc = app
+            .service("s")
+            .workers(1)
+            .instances(4)
+            .lb(LbPolicy::Partition)
+            .build();
+        let ep = app.endpoint(
+            svc,
+            "op",
+            Dist::constant(64.0),
+            vec![Step::Compute {
+                ns: Dist::constant(200_000.0),
+                domain: ExecDomain::User,
+            }],
+        );
+        let mut sim = Simulation::new(app.build(), ClusterSpec::xeon_cluster(4, 1), 10);
+        // All requests share one key -> one shard serializes them.
+        for i in 0..20 {
+            sim.inject(SimTime::ZERO, ep, RequestType(0), 64, 777);
+            let _ = i;
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert!(
+            st.latency.max() > 3_000_000,
+            "hot shard should serialize: {}",
+            st.latency.max()
+        );
+        // Spread keys -> parallel across shards, much faster.
+        let mut app2 = AppBuilder::new("shard2");
+        let svc2 = app2
+            .service("s")
+            .workers(1)
+            .instances(4)
+            .lb(LbPolicy::Partition)
+            .build();
+        let ep2 = app2.endpoint(
+            svc2,
+            "op",
+            Dist::constant(64.0),
+            vec![Step::Compute {
+                ns: Dist::constant(200_000.0),
+                domain: ExecDomain::User,
+            }],
+        );
+        let mut sim2 = Simulation::new(app2.build(), ClusterSpec::xeon_cluster(4, 1), 10);
+        for i in 0..20u64 {
+            sim2.inject(SimTime::ZERO, ep2, RequestType(0), 64, i * 7919);
+        }
+        sim2.run_until_idle();
+        let st2 = sim2.request_stats(RequestType(0)).unwrap();
+        assert!(
+            st2.latency.max() < st.latency.max(),
+            "spread {} vs hot {}",
+            st2.latency.max(),
+            st.latency.max()
+        );
+    }
+
+    #[test]
+    fn offload_reduces_kernel_time() {
+        let run = |offload: bool| {
+            let mut app = AppBuilder::new("fpga");
+            let back = app.service("back").workers(8).build();
+            let get = app.endpoint(back, "get", Dist::constant(4096.0), vec![Step::work_us(5.0)]);
+            let front = app.service("front").workers(8).build();
+            let root = app.endpoint(
+                front,
+                "root",
+                Dist::constant(1024.0),
+                vec![Step::call(get, 2048.0)],
+            );
+            let mut sim = Simulation::new(app.build(), small_cluster(), 3);
+            if offload {
+                sim.set_offload(FpgaOffload::with_speedup(50.0));
+            }
+            for i in 0..100 {
+                sim.inject(SimTime::from_micros(i * 100), root, RequestType(0), 256, i);
+            }
+            sim.run_until_idle();
+            let front_kernel =
+                sim.service_stats(front).time_ns[ExecDomain::Kernel.index()];
+            let p99 = sim.request_stats(RequestType(0)).unwrap().latency.quantile(0.99);
+            (front_kernel, p99)
+        };
+        let (native_kernel, native_p99) = run(false);
+        let (offload_kernel, offload_p99) = run(true);
+        assert!(native_kernel > 0.0);
+        assert_eq!(offload_kernel, 0.0, "offload must remove host kernel time");
+        assert!(offload_p99 < native_p99, "offload {offload_p99} native {native_p99}");
+    }
+
+    #[test]
+    fn io_steps_insensitive_to_frequency() {
+        let build = || {
+            let mut app = AppBuilder::new("io");
+            let svc = app.service("db").workers(8).build();
+            let ep = app.endpoint(
+                svc,
+                "find",
+                Dist::constant(64.0),
+                vec![Step::Io {
+                    ns: Dist::constant(2_000_000.0),
+                }],
+            );
+            (app.build(), ep)
+        };
+        let run = |ghz: f64| {
+            let (app, ep) = build();
+            let mut sim = Simulation::new(app, small_cluster(), 2);
+            sim.set_all_frequencies(ghz);
+            sim.inject(SimTime::ZERO, ep, RequestType(0), 64, 1);
+            sim.run_until_idle();
+            sim.request_stats(RequestType(0)).unwrap().latency.max() as f64
+        };
+        let fast = run(2.4);
+        let slow = run(1.0);
+        // Only the (small) network processing scales; I/O dominates.
+        assert!(slow / fast < 1.3, "io-bound should tolerate slow cores: {slow} vs {fast}");
+    }
+}

@@ -1,0 +1,192 @@
+//! A generational slab allocator for in-flight simulation entities.
+//!
+//! Invocations are created and destroyed millions of times per run; a slab
+//! with generational keys gives O(1) allocation and guards against stale
+//! references (a reused slot gets a new generation, so old keys miss).
+
+/// A key into a [`Slab`]: slot index plus generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlabKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabKey {
+    /// A packed 64-bit form (for embedding in ids).
+    pub fn as_u64(self) -> u64 {
+        (self.generation as u64) << 32 | self.index as u64
+    }
+}
+
+/// A generational slab.
+///
+/// # Example
+///
+/// ```
+/// use dsb_core::Slab;
+///
+/// let mut slab = Slab::new();
+/// let k = slab.insert("hello");
+/// assert_eq!(slab.get(k), Some(&"hello"));
+/// assert_eq!(slab.remove(k), Some("hello"));
+/// assert_eq!(slab.get(k), None); // stale key
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            SlabKey {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            SlabKey {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Returns the entry for `key`, if it is still live.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        self.slots
+            .get(key.index as usize)
+            .filter(|s| s.generation == key.generation)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Returns the entry for `key` mutably, if it is still live.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        self.slots
+            .get_mut(key.index as usize)
+            .filter(|s| s.generation == key.generation)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Removes and returns the entry for `key`, if live. The slot's
+    /// generation advances so stale keys cannot observe a new tenant.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        if slot.generation != key.generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(key.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterates over live `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    SlabKey {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&1));
+        assert_eq!(s.get_mut(b).map(|v| {
+            *v = 20;
+            *v
+        }), Some(20));
+        assert_eq!(s.remove(a), Some(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(a), None);
+    }
+
+    #[test]
+    fn slots_are_reused_with_new_generation() {
+        let mut s = Slab::new();
+        let a = s.insert("x");
+        s.remove(a);
+        let b = s.insert("y");
+        assert_eq!(a.index, b.index);
+        assert_ne!(a.generation, b.generation);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&"y"));
+    }
+
+    #[test]
+    fn iter_sees_only_live() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let _b = s.insert(20);
+        s.remove(a);
+        let vals: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, vec![20]);
+    }
+
+    #[test]
+    fn keys_pack_to_u64() {
+        let mut s = Slab::new();
+        let a = s.insert(());
+        s.remove(a);
+        let b = s.insert(());
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+}

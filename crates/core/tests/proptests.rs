@@ -1,0 +1,199 @@
+//! Property-based tests for the microservice framework: slab safety,
+//! request conservation over randomized applications, and determinism.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use dsb_core::{
+    AppBuilder, ClusterSpec, EndpointRef, LbPolicy, RequestType, Simulation, Slab,
+    Step,
+};
+use dsb_simcore::{Dist, SimTime};
+use dsb_uarch::ExecDomain;
+
+// ---------------------------------------------------------------------------
+// Slab: model-based testing against a HashMap
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Insert(u32),
+    Remove(usize),
+    Get(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<SlabOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(SlabOp::Insert),
+            (0usize..64).prop_map(SlabOp::Remove),
+            (0usize..64).prop_map(SlabOp::Get),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn slab_matches_model(ops in arb_ops()) {
+        let mut slab = Slab::new();
+        let mut model: HashMap<usize, u32> = HashMap::new();
+        let mut keys = Vec::new();
+        let mut next = 0usize;
+        for op in ops {
+            match op {
+                SlabOp::Insert(v) => {
+                    let k = slab.insert(v);
+                    keys.push((next, k));
+                    model.insert(next, v);
+                    next += 1;
+                }
+                SlabOp::Remove(i) if !keys.is_empty() => {
+                    let (id, k) = keys[i % keys.len()];
+                    let expected = model.remove(&id);
+                    prop_assert_eq!(slab.remove(k), expected);
+                }
+                SlabOp::Get(i) if !keys.is_empty() => {
+                    let (id, k) = keys[i % keys.len()];
+                    prop_assert_eq!(slab.get(k).copied(), model.get(&id).copied());
+                }
+                _ => {}
+            }
+            prop_assert_eq!(slab.len(), model.len());
+        }
+        let live: Vec<u32> = slab.iter().map(|(_, &v)| v).collect();
+        prop_assert_eq!(live.len(), model.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random applications: conservation + determinism
+// ---------------------------------------------------------------------------
+
+/// A compact, generatable description of a layered application.
+#[derive(Debug, Clone)]
+struct RandomApp {
+    /// Per service: (workers, event_driven, work_us, io_us).
+    layers: Vec<(u32, bool, u16, u16)>,
+    /// Call pattern per non-leaf layer: 0 = single call, 1 = two
+    /// sequential calls, 2 = parallel fan of 2, 3 = branch 50/50.
+    call_kind: Vec<u8>,
+}
+
+fn arb_app() -> impl Strategy<Value = RandomApp> {
+    (1usize..5)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec((1u32..8, any::<bool>(), 1u16..300, 0u16..200), n),
+                prop::collection::vec(0u8..4, n),
+            )
+        })
+        .prop_map(|(layers, call_kind)| RandomApp { layers, call_kind })
+}
+
+fn build(r: &RandomApp) -> (dsb_core::AppSpec, EndpointRef) {
+    let mut app = AppBuilder::new("random");
+    let mut downstream: Option<EndpointRef> = None;
+    for (i, &(workers, event_driven, work_us, io_us)) in r.layers.iter().enumerate().rev() {
+        let mut b = app
+            .service(&format!("svc{i}"))
+            .workers(workers)
+            .lb(if i % 2 == 0 {
+                LbPolicy::RoundRobin
+            } else {
+                LbPolicy::LeastOutstanding
+            })
+            .instances(1 + (i as u32 % 2));
+        if event_driven {
+            b = b.event_driven();
+        }
+        let svc = b.build();
+        let mut steps = vec![Step::Compute {
+            ns: Dist::constant(work_us as f64 * 1000.0),
+            domain: ExecDomain::User,
+        }];
+        if io_us > 0 {
+            steps.push(Step::Io {
+                ns: Dist::constant(io_us as f64 * 1000.0),
+            });
+        }
+        if let Some(d) = downstream {
+            match r.call_kind[i] % 4 {
+                0 => steps.push(Step::call(d, 128.0)),
+                1 => {
+                    steps.push(Step::call(d, 128.0));
+                    steps.push(Step::call(d, 64.0));
+                }
+                2 => steps.push(Step::FanCall {
+                    target: d,
+                    req_bytes: Dist::constant(64.0),
+                    n: Dist::constant(2.0),
+                }),
+                _ => steps.push(Step::Branch {
+                    p: 0.5,
+                    then: std::sync::Arc::new(vec![Step::call(d, 128.0)]),
+                    els: std::sync::Arc::new(vec![]),
+                }),
+            }
+        }
+        let ep = app.endpoint(svc, "op", Dist::constant(256.0), steps);
+        downstream = Some(ep);
+    }
+    (app.build(), downstream.expect("at least one layer"))
+}
+
+fn simulate(r: &RandomApp, n_requests: u64, seed: u64) -> (u64, u64, u64) {
+    let (spec, entry) = build(r);
+    let mut cluster = ClusterSpec::xeon_cluster(3, 1);
+    cluster.trace_sample_prob = 0.0;
+    let mut sim = Simulation::new(spec, cluster, seed);
+    for i in 0..n_requests {
+        sim.inject(
+            SimTime::from_micros(i * 997),
+            entry,
+            RequestType(0),
+            128,
+            i,
+        );
+    }
+    sim.run_until_idle();
+    let st = sim.request_stats(RequestType(0)).expect("stats exist");
+    (st.issued, st.completed, sim.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No request is ever lost, regardless of topology, concurrency model,
+    /// worker counts, or call pattern — and the run is deterministic.
+    #[test]
+    fn requests_conserved_and_deterministic(r in arb_app(), seed in 0u64..1000) {
+        let (issued, completed, events) = simulate(&r, 60, seed);
+        prop_assert_eq!(issued, 60);
+        prop_assert_eq!(completed, 60, "lost requests in {:?}", r);
+        let again = simulate(&r, 60, seed);
+        prop_assert_eq!(again, (issued, completed, events), "nondeterminism in {:?}", r);
+    }
+
+    /// Latency is bounded below by the sum of per-layer compute+io along a
+    /// single chain (each request must at least do the work).
+    #[test]
+    fn latency_at_least_service_demand(r in arb_app()) {
+        let (spec, entry) = build(&r);
+        let mut cluster = ClusterSpec::xeon_cluster(3, 1);
+        cluster.trace_sample_prob = 0.0;
+        let mut sim = Simulation::new(spec, cluster, 1);
+        sim.inject(SimTime::ZERO, entry, RequestType(0), 128, 1);
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        prop_assert_eq!(st.completed, 1);
+        // The entry layer's own work is a hard floor.
+        let (_, _, work_us, io_us) = r.layers[0];
+        let floor = (work_us as u64 + io_us as u64) * 1000;
+        prop_assert!(
+            st.latency.max() >= floor,
+            "latency {} below demand floor {floor}",
+            st.latency.max()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Scratch calibration: p99 vs load for each app, at several frequencies.
+use dsb_apps::*;
+use dsb_experiments::harness::*;
+
+fn main() {
+    let apps: Vec<(&str, BuiltApp)> = vec![
+        ("social", social::social_network()),
+        ("media", media::media_service()),
+        ("ecommerce", ecommerce::ecommerce()),
+        ("banking", banking::banking()),
+        ("swarm-cloud", swarm::swarm(swarm::SwarmVariant::Cloud)),
+        ("swarm-edge", swarm::swarm(swarm::SwarmVariant::Edge)),
+        ("mono-social", monolith::social_monolith()),
+        ("nginx", singles::nginx()),
+        ("memcached", singles::memcached()),
+        ("mongodb", singles::mongodb()),
+        ("xapian", singles::xapian()),
+        ("recommender", singles::recommender()),
+        ("twotier", twotier::twotier(64, 1024)),
+    ];
+    let cluster = make_cluster(8);
+    for (name, app) in &apps {
+        print!("{name:12}");
+        for qps in [25.0, 100.0, 400.0, 1600.0, 6400.0, 25600.0] {
+            let p = probe(app, &cluster, &|_| {}, qps, 6, 2, 42);
+            print!("  {:>7.0}q:{:>9.2}ms/{:>4.2}c", qps, p.p99.as_millis_f64(), p.completion);
+        }
+        println!();
+    }
+    // frequency sensitivity of social at fixed 200 qps
+    for f in [2.4, 1.8, 1.2, 1.0] {
+        let app = social::social_network();
+        let p = probe(&app, &cluster, &move |s| s.set_all_frequencies(f), 200.0, 6, 2, 42);
+        println!("social @{f}GHz 200qps: p99 {:.2}ms completion {:.2}", p.p99.as_millis_f64(), p.completion);
+    }
+}

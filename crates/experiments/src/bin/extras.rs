@@ -1,0 +1,5 @@
+//! §7 in-text results (RPC vs REST, critical-path shift) and ablations.
+fn main() {
+    let scale = dsb_experiments::Scale::from_env();
+    print!("{}", dsb_experiments::extras::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 output. Pass --quick for a scaled-down run.
+fn main() {
+    let scale = dsb_experiments::Scale::from_env();
+    print!("{}", dsb_experiments::fig12::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 output. Pass --quick for a scaled-down run.
+fn main() {
+    let scale = dsb_experiments::Scale::from_env();
+    print!("{}", dsb_experiments::fig14::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig18 output. Pass --quick for a scaled-down run.
+fn main() {
+    let scale = dsb_experiments::Scale::from_env();
+    print!("{}", dsb_experiments::fig18::run(scale));
+}

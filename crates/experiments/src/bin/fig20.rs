@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig20 output. Pass --quick for a scaled-down run.
+fn main() {
+    let scale = dsb_experiments::Scale::from_env();
+    print!("{}", dsb_experiments::fig20::run(scale));
+}

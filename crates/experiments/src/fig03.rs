@@ -1,0 +1,78 @@
+//! Fig. 3 — network vs application processing for monolithic single-tier
+//! services against the end-to-end Social Network.
+//!
+//! The paper: NGINX spends 5.3 % of execution time in network processing,
+//! memcached 19.8 %, MongoDB 13.6 % — but the microservices-based Social
+//! Network spends 36.3 %, shifting the system's resource bottlenecks.
+
+use dsb_apps::{singles, social, BuiltApp};
+use dsb_core::ServiceId;
+
+use crate::harness::{build_sim, drive, make_cluster};
+use crate::report::{ms, pct, Table};
+use crate::Scale;
+
+/// Network-processing share of total processing time across all services.
+fn net_share(app: &BuiltApp, qps: f64, secs: u64, seed: u64) -> (f64, u64) {
+    let (mut sim, mut load) = build_sim(app, make_cluster(8), seed);
+    drive(&mut sim, &mut load, 0, secs, qps);
+    sim.run_until_idle();
+    let mut net = 0u128;
+    let mut appt = 0u128;
+    for i in 0..app.spec.service_count() {
+        if let Some(s) = sim.collector().service(ServiceId(i as u32).0) {
+            net += s.net_ns;
+            appt += s.app_ns;
+        }
+    }
+    let share = if net + appt == 0 {
+        0.0
+    } else {
+        net as f64 / (net + appt) as f64
+    };
+    let lat = crate::harness::merged_latency(&sim, 1, secs).mean() as u64;
+    (share, lat)
+}
+
+/// Regenerates Fig. 3.
+pub fn run(scale: Scale) -> String {
+    let secs = scale.secs(10);
+    let mut t = Table::new(
+        "Fig 3: time in network processing vs application processing",
+        &["application", "network share", "paper", "mean latency (ms)"],
+    );
+    let cases: Vec<(&str, BuiltApp, f64, &str)> = vec![
+        ("NGINX", singles::nginx(), 2000.0, "5.3%"),
+        ("memcached", singles::memcached(), 4000.0, "19.8%"),
+        ("MongoDB", singles::mongodb(), 1000.0, "13.6%"),
+        ("Social Network", social::social_network(), 120.0, "36.3%"),
+    ];
+    for (i, (name, app, qps, paper)) in cases.into_iter().enumerate() {
+        let (share, lat) = net_share(&app, qps, secs, 40 + i as u64);
+        t.row_owned(vec![
+            name.to_string(),
+            pct(share),
+            paper.to_string(),
+            ms(lat),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_has_much_higher_network_share_than_single_tiers() {
+        let secs = 4;
+        let (nginx, _) = net_share(&singles::nginx(), 1000.0, secs, 1);
+        let (social, _) = net_share(&social::social_network(), 60.0, secs, 1);
+        assert!(
+            social > 2.0 * nginx,
+            "social {social} vs nginx {nginx}: microservices must shift \
+             time into network processing"
+        );
+        assert!(social > 0.15, "social share {social}");
+    }
+}

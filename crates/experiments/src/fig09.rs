@@ -1,0 +1,100 @@
+//! Fig. 9 — throughput vs tail latency for the Swarm service, executing at
+//! the edge vs in the cloud.
+//!
+//! The paper: for image recognition, cloud execution has higher latency at
+//! low load (wireless round trip) but ~7.8× higher throughput at equal
+//! tail latency / ~20× lower latency at equal throughput once the drones'
+//! two on-board cores oversubscribe. Obstacle avoidance flips the
+//! trade-off at low load: it is light but latency-critical, and the cloud
+//! round trip is catastrophic for route adjustment.
+
+use dsb_apps::swarm::{self, SwarmVariant};
+use dsb_core::RequestType;
+
+use crate::harness::{build_sim, drive, make_cluster};
+use crate::report::{f2, Table};
+use crate::Scale;
+
+/// p99 per request type (ms) and completion rate at one offered load.
+fn tail_at(variant: SwarmVariant, qps: f64, secs: u64, seed: u64) -> (f64, f64, f64) {
+    let app = swarm::swarm(variant);
+    let (mut sim, mut load) = build_sim(&app, make_cluster(8), seed);
+    drive(&mut sim, &mut load, 0, secs, qps);
+    let from = (secs / 3).max(1) as usize;
+    let p99 = |rt: RequestType| {
+        sim.request_stats(rt).map_or(0.0, |st| {
+            st.windows
+                .merged_range(from, secs as usize)
+                .quantile(0.99) as f64
+                / 1e6
+        })
+    };
+    let (issued, completed, _) = crate::harness::totals(&sim);
+    (
+        p99(swarm::IMAGE_RECOG),
+        p99(swarm::OBSTACLE_AVOID),
+        completed as f64 / issued.max(1) as f64,
+    )
+}
+
+/// Regenerates Fig. 9.
+pub fn run(scale: Scale) -> String {
+    let secs = scale.secs(12);
+    let loads: Vec<f64> = match scale {
+        Scale::Quick => vec![5.0, 20.0, 80.0],
+        Scale::Full => vec![2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0],
+    };
+    let mut t = Table::new(
+        "Fig 9: Swarm edge vs cloud — p99 (ms) per query type vs offered QPS",
+        &["QPS", "edge imgRecog", "cloud imgRecog", "edge obstacle", "cloud obstacle"],
+    );
+    for (i, &qps) in loads.iter().enumerate() {
+        let (e_img, e_obs, e_c) = tail_at(SwarmVariant::Edge, qps, secs, 90 + i as u64);
+        let (c_img, c_obs, c_c) = tail_at(SwarmVariant::Cloud, qps, secs, 90 + i as u64);
+        t.row_owned(vec![
+            format!("{qps:.0}"),
+            format!("{} ({:.0}%)", f2(e_img), e_c * 100.0),
+            format!("{} ({:.0}%)", f2(c_img), c_c * 100.0),
+            f2(e_obs),
+            f2(c_obs),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_higher_latency_at_low_load() {
+        let (e_img, e_obs, _) = tail_at(SwarmVariant::Edge, 3.0, 8, 1);
+        let (c_img, c_obs, _) = tail_at(SwarmVariant::Cloud, 3.0, 8, 1);
+        // Obstacle avoidance local at the edge vs cloud round trip.
+        assert!(
+            c_obs > e_obs,
+            "cloud obstacle {c_obs}ms must exceed edge {e_obs}ms at low load"
+        );
+        let _ = (e_img, c_img);
+    }
+
+    #[test]
+    fn edge_saturates_before_cloud_on_recognition() {
+        let (e_lo, _, e_lo_c) = tail_at(SwarmVariant::Edge, 3.0, 8, 2);
+        let (e_hi, _, e_hi_c) = tail_at(SwarmVariant::Edge, 150.0, 8, 2);
+        let (c_hi, _, c_hi_c) = tail_at(SwarmVariant::Cloud, 150.0, 8, 2);
+        // At 50x the load, the edge's two on-board cores oversubscribe
+        // (latency inflates and requests stop completing) while the cloud
+        // still serves nearly everything at a sane tail.
+        assert!(e_lo_c > 0.9, "edge at low load must complete ({e_lo_c})");
+        assert!(
+            e_hi > 2.0 * e_lo || e_hi_c < 0.7,
+            "edge must oversubscribe: {e_lo}ms -> {e_hi}ms (completion {e_hi_c})"
+        );
+        assert!(c_hi_c > 0.9, "cloud must absorb the load ({c_hi_c})");
+        assert!(
+            e_hi > 3.0 * c_hi,
+            "edge {e_hi}ms must be far worse than cloud {c_hi}ms at high load"
+        );
+    }
+}

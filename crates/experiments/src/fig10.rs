@@ -1,0 +1,140 @@
+//! Fig. 10 — top-down cycle breakdown and IPC per microservice for Social
+//! Network and E-commerce, plus the monolith.
+//!
+//! Per-service bars come from the analytic top-down model; the end-to-end
+//! bar weights each service by the cycles it actually consumed in a run
+//! (the paper's "End-to-End" bar aggregates the same way).
+
+use dsb_apps::{ecommerce, monolith, social, BuiltApp};
+use dsb_core::ServiceId;
+use dsb_uarch::CoreModel;
+
+use crate::harness::{build_sim, drive, make_cluster};
+use crate::report::{f2, pct, Table};
+use crate::Scale;
+
+fn service_row(t: &mut Table, app: &BuiltApp, name: &str) {
+    let p = app.spec.service(app.service(name)).profile;
+    let b = CoreModel::xeon().breakdown(&p);
+    t.row_owned(vec![
+        app.spec.name.clone(),
+        name.to_string(),
+        pct(b.frontend),
+        pct(b.bad_spec),
+        pct(b.backend),
+        pct(b.retiring),
+        f2(b.ipc),
+    ]);
+}
+
+fn end_to_end_row(t: &mut Table, app: &BuiltApp, qps: f64, secs: u64, seed: u64) {
+    let (mut sim, mut load) = build_sim(app, make_cluster(8), seed);
+    drive(&mut sim, &mut load, 0, secs, qps);
+    sim.run_until_idle();
+    let xeon = CoreModel::xeon();
+    let mut w = [0.0f64; 4];
+    let mut ipc_num = 0.0;
+    let mut total = 0.0;
+    for i in 0..app.spec.service_count() {
+        let sid = ServiceId(i as u32);
+        let cycles: f64 = sim.service_stats(sid).cycles.iter().sum();
+        if cycles == 0.0 {
+            continue;
+        }
+        let b = xeon.breakdown(&app.spec.service(sid).profile);
+        w[0] += cycles * b.frontend;
+        w[1] += cycles * b.bad_spec;
+        w[2] += cycles * b.backend;
+        w[3] += cycles * b.retiring;
+        ipc_num += cycles * b.ipc;
+        total += cycles;
+    }
+    t.row_owned(vec![
+        app.spec.name.clone(),
+        "End-to-End".to_string(),
+        pct(w[0] / total),
+        pct(w[1] / total),
+        pct(w[2] / total),
+        pct(w[3] / total),
+        f2(ipc_num / total),
+    ]);
+}
+
+/// Regenerates Fig. 10.
+pub fn run(scale: Scale) -> String {
+    let secs = scale.secs(8);
+    let mut t = Table::new(
+        "Fig 10: top-down cycle breakdown + IPC (Xeon)",
+        &["application", "service", "front-end", "bad spec", "back-end", "retiring", "IPC"],
+    );
+    let social = social::social_network();
+    for name in [
+        "nginx", "text", "image", "uniqueID", "userTag", "urlShorten", "video",
+        "recommender", "login", "readPost", "writeGraph", "memcached-posts",
+        "mongodb-posts",
+    ] {
+        service_row(&mut t, &social, name);
+    }
+    end_to_end_row(&mut t, &social, 120.0, secs, 50);
+    let mono = monolith::social_monolith();
+    service_row(&mut t, &mono, "monolith");
+
+    let ecom = ecommerce::ecommerce();
+    for name in [
+        "front-end", "login", "orders", "search", "cart", "wishlist", "catalogue",
+        "recommender", "shipping", "payment", "invoicing", "queueMaster",
+        "memcached-catalogue", "mongodb-catalogue",
+    ] {
+        service_row(&mut t, &ecom, name);
+    }
+    end_to_end_row(&mut t, &ecom, 120.0, secs, 51);
+    let emono = monolith::ecommerce_monolith();
+    service_row(&mut t, &emono, "monolith");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsb_uarch::UarchProfile;
+
+    #[test]
+    fn frontend_stalls_significant_retiring_minority() {
+        // Paper: a large fraction of cycles (often the majority) in the
+        // front-end; only ~21-35% retiring.
+        let social = social::social_network();
+        let xeon = CoreModel::xeon();
+        let mut frontend_sum = 0.0;
+        let mut retiring_sum = 0.0;
+        let mut n = 0.0;
+        for s in &social.spec.services {
+            let b = xeon.breakdown(&s.profile);
+            frontend_sum += b.frontend;
+            retiring_sum += b.retiring;
+            n += 1.0;
+        }
+        assert!(frontend_sum / n > 0.15, "mean frontend {}", frontend_sum / n);
+        assert!(retiring_sum / n < 0.5, "mean retiring {}", retiring_sum / n);
+    }
+
+    #[test]
+    fn search_high_ipc_recommender_lowest() {
+        let ecom = ecommerce::ecommerce();
+        let xeon = CoreModel::xeon();
+        let ipc = |name: &str| xeon.ipc(&ecom.spec.service(ecom.service(name)).profile);
+        assert!(ipc("search") > ipc("front-end"));
+        assert!(ipc("recommender") < ipc("front-end"));
+        assert!(ipc("search") > 2.0 * ipc("recommender"));
+    }
+
+    #[test]
+    fn monolith_breakdown_close_to_microservices_but_more_frontend() {
+        // Paper: "the cycles breakdown is not drastically different for
+        // monoliths", but they have more i-cache pressure.
+        let xeon = CoreModel::xeon();
+        let mono = xeon.breakdown(&UarchProfile::monolith());
+        let micro = xeon.breakdown(&UarchProfile::microservice_default());
+        assert!(mono.frontend > micro.frontend);
+        assert!((mono.retiring - micro.retiring).abs() < 0.4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 11 — L1 instruction-cache pressure (MPKI) per microservice for
+//! Social Network and E-commerce, against the single-tier services and the
+//! monolith.
+//!
+//! The paper's observation: nginx/memcached/MongoDB and *especially* the
+//! monolith retain high i-cache pressure, while the single-concern
+//! microservices sit far lower thanks to their small code footprints.
+
+use dsb_apps::{ecommerce, monolith, social};
+
+use crate::report::{f1, Table};
+use crate::Scale;
+
+fn rows(t: &mut Table, app: &dsb_apps::BuiltApp, services: &[&str]) {
+    for name in services {
+        let id = app.service(name);
+        let p = app.spec.service(id).profile;
+        t.row_owned(vec![
+            app.spec.name.clone(),
+            (*name).to_string(),
+            f1(p.l1i_mpki),
+        ]);
+    }
+}
+
+/// Regenerates Fig. 11.
+pub fn run(_scale: Scale) -> String {
+    let mut t = Table::new(
+        "Fig 11: L1-i MPKI per service (small services => small footprints)",
+        &["application", "service", "L1i MPKI"],
+    );
+    let social = social::social_network();
+    rows(
+        &mut t,
+        &social,
+        &[
+            "nginx",
+            "text",
+            "image",
+            "uniqueID",
+            "userTag",
+            "urlShorten",
+            "video",
+            "recommender",
+            "login",
+            "readPost",
+            "writeGraph",
+            "memcached-posts",
+            "mongodb-posts",
+        ],
+    );
+    let ecom = ecommerce::ecommerce();
+    rows(
+        &mut t,
+        &ecom,
+        &[
+            "front-end",
+            "login",
+            "orders",
+            "search",
+            "cart",
+            "wishlist",
+            "catalogue",
+            "recommender",
+            "shipping",
+            "payment",
+            "invoicing",
+            "queueMaster",
+            "memcached-catalogue",
+            "mongodb-catalogue",
+        ],
+    );
+    let mono = monolith::social_monolith();
+    rows(&mut t, &mono, &["monolith"]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolith_dominates_everything() {
+        let social = social::social_network();
+        let mono = monolith::social_monolith();
+        let mono_mpki = mono.spec.service(mono.service("monolith")).profile.l1i_mpki;
+        for s in &social.spec.services {
+            assert!(
+                mono_mpki > s.profile.l1i_mpki,
+                "monolith {mono_mpki} vs {} {}",
+                s.name,
+                s.profile.l1i_mpki
+            );
+        }
+    }
+
+    #[test]
+    fn wishlist_is_negligible() {
+        // Paper: "simple microservices, such as the wishlist, for which
+        // i-cache misses are practically negligible".
+        let ecom = ecommerce::ecommerce();
+        let wishlist = ecom.spec.service(ecom.service("wishlist")).profile.l1i_mpki;
+        let frontend = ecom.spec.service(ecom.service("front-end")).profile.l1i_mpki;
+        assert!(wishlist < 3.0, "wishlist {wishlist}");
+        assert!(wishlist < frontend);
+    }
+
+    #[test]
+    fn output_contains_both_apps() {
+        let out = run(Scale::Quick);
+        assert!(out.contains("social-network"));
+        assert!(out.contains("e-commerce"));
+        assert!(out.contains("monolith"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Fig. 12 — tail latency under increasing load and decreasing frequency
+//! (RAPL), for five single-tier services and the five end-to-end
+//! DeathStarBench services.
+//!
+//! For each application we first find its max QPS under QoS at nominal
+//! frequency, then sweep (load fraction × frequency) and report p99
+//! normalized to the QoS target (values > 1 are violations — the paper's
+//! bright/yellow cells).
+//!
+//! Expected shapes: Xapian is the most frequency-sensitive single-tier
+//! service and MongoDB the least (I/O-bound); the end-to-end microservice
+//! apps are *more* sensitive to low frequency than any single-tier
+//! service, because each tier must meet a far stricter internal latency
+//! budget.
+
+use dsb_apps::{banking, ecommerce, media, singles, social, swarm, BuiltApp};
+
+use crate::harness::{make_cluster, max_qps_under_qos, probe};
+use crate::report::Table;
+use crate::Scale;
+
+const FREQS: [f64; 3] = [2.4, 1.8, 1.0];
+
+/// Sweep result for one app: `grid[freq][load] = p99 / qos`.
+pub struct FreqSweep {
+    /// Application name.
+    pub name: String,
+    /// Max QPS under QoS at nominal frequency.
+    pub base_qps: f64,
+    /// Normalized p99 per (frequency, load-fraction) cell.
+    pub grid: Vec<Vec<f64>>,
+    /// The load fractions used.
+    pub loads: Vec<f64>,
+}
+
+/// Runs the frequency sweep for one app.
+pub fn sweep(app: &BuiltApp, scale: Scale, seed: u64) -> FreqSweep {
+    let secs = scale.secs(8);
+    let cluster = make_cluster(8);
+    let app = &crate::harness::shrink(app, 4);
+    let base = max_qps_under_qos(app, &cluster, &|_| {}, app.qos_p99, secs, seed).max(10.0);
+    let loads = vec![0.3, 0.6, 0.9];
+    let mut grid = Vec::new();
+    for &f in &FREQS {
+        let mut row = Vec::new();
+        for &lf in &loads {
+            let p = probe(
+                app,
+                &cluster,
+                &move |sim| sim.set_all_frequencies(f),
+                base * lf,
+                secs,
+                secs / 3,
+                seed,
+            );
+            let mut norm = p.p99.as_nanos() as f64 / app.qos_p99.as_nanos() as f64;
+            if p.completion < 0.95 {
+                norm = norm.max(10.0); // saturated: unbounded queues
+            }
+            row.push(norm);
+        }
+        grid.push(row);
+    }
+    FreqSweep {
+        name: app.spec.name.clone(),
+        base_qps: base,
+        grid,
+        loads,
+    }
+}
+
+/// Number of QoS-violated cells in the grid (the paper's bright cells).
+pub fn violated_cells(s: &FreqSweep) -> usize {
+    s.grid
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter(|&&v| v > 1.0)
+        .count()
+}
+
+/// Pure single-thread sensitivity: p99 inflation from 2.4 GHz to 1.0 GHz
+/// at the lightest load (no saturation in the way).
+pub fn sensitivity(s: &FreqSweep) -> f64 {
+    s.grid[FREQS.len() - 1][0] / s.grid[0][0].max(1e-9)
+}
+
+/// Regenerates Fig. 12.
+pub fn run(scale: Scale) -> String {
+    let apps: Vec<BuiltApp> = vec![
+        singles::nginx(),
+        singles::memcached(),
+        singles::mongodb(),
+        singles::xapian(),
+        singles::recommender(),
+        social::social_network(),
+        media::media_service(),
+        ecommerce::ecommerce(),
+        banking::banking(),
+        swarm::swarm(swarm::SwarmVariant::Cloud),
+    ];
+    let mut out = String::new();
+    let mut summary = Table::new(
+        "Fig 12 summary: QoS-violated cells (of 9) and low-load p99 inflation at 1.0GHz",
+        &["application", "max QPS@QoS (2.4GHz)", "violated cells", "p99 inflation @1GHz"],
+    );
+    for (i, app) in apps.iter().enumerate() {
+        let s = sweep(app, scale, 100 + i as u64);
+        let mut t = Table::new(
+            &format!("Fig 12 [{}]: p99 / QoS over load x frequency", s.name),
+            &["freq (GHz)", "0.3 load", "0.6 load", "0.9 load"],
+        );
+        for (fi, &f) in FREQS.iter().enumerate() {
+            t.row_owned(vec![
+                format!("{f:.1}"),
+                format!("{:.2}", s.grid[fi][0]),
+                format!("{:.2}", s.grid[fi][1]),
+                format!("{:.2}", s.grid[fi][2]),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        summary.row_owned(vec![
+            s.name.clone(),
+            format!("{:.0}", s.base_qps),
+            format!("{}", violated_cells(&s)),
+            format!("{:.2}x", sensitivity(&s)),
+        ]);
+    }
+    out.push_str(&summary.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mongodb_tolerates_low_frequency_xapian_does_not() {
+        let mongo = sweep(&singles::mongodb(), Scale::Quick, 1);
+        let xapian = sweep(&singles::xapian(), Scale::Quick, 1);
+        let sm = sensitivity(&mongo);
+        let sx = sensitivity(&xapian);
+        assert!(
+            sx > sm,
+            "xapian sensitivity {sx} must exceed mongodb {sm} (I/O-bound)"
+        );
+        assert!(
+            violated_cells(&xapian) >= violated_cells(&mongo),
+            "xapian must violate at least as many cells"
+        );
+        // MongoDB barely notices the slow core at low load.
+        assert!(sm < 1.6, "mongodb inflation {sm}");
+        assert!(sx > 1.7, "xapian inflation {sx}");
+    }
+
+    #[test]
+    fn latency_grows_with_load_at_fixed_frequency() {
+        let s = sweep(&singles::xapian(), Scale::Quick, 2);
+        // At nominal frequency, p99 at 0.9 load >= p99 at 0.3 load.
+        assert!(s.grid[0][2] >= s.grid[0][0] * 0.8, "{:?}", s.grid[0]);
+        assert!(s.base_qps > 50.0);
+    }
+}

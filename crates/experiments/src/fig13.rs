@@ -1,0 +1,77 @@
+//! Fig. 13 — throughput under QoS on a Xeon server, a frequency-equalized
+//! Xeon (1.8 GHz), and a Cavium ThunderX.
+//!
+//! The paper: all five services saturate much earlier on ThunderX; the
+//! Xeon at 1.8 GHz is worse than at nominal frequency but still clearly
+//! ahead of the in-order SoC; Swarm suffers least (network-bound).
+
+use dsb_apps::{banking, ecommerce, media, social, swarm, BuiltApp};
+
+use crate::harness::{make_cluster, make_thunderx_cluster, max_qps_under_qos};
+use crate::report::Table;
+use crate::Scale;
+
+/// Goodput per platform for one app: `(xeon, xeon@1.8, thunderx)`.
+pub fn goodput(app: &BuiltApp, scale: Scale, seed: u64) -> (f64, f64, f64) {
+    let secs = scale.secs(8);
+    let app = &crate::harness::shrink(app, 4);
+    let xeon_cluster = make_cluster(8);
+    let tx_cluster = make_thunderx_cluster(8);
+    let xeon = max_qps_under_qos(app, &xeon_cluster, &|_| {}, app.qos_p99, secs, seed);
+    let xeon18 = max_qps_under_qos(
+        app,
+        &xeon_cluster,
+        &|sim| sim.set_all_frequencies(1.8),
+        app.qos_p99,
+        secs,
+        seed,
+    );
+    let tx = max_qps_under_qos(app, &tx_cluster, &|_| {}, app.qos_p99, secs, seed);
+    (xeon, xeon18, tx)
+}
+
+/// Regenerates Fig. 13.
+pub fn run(scale: Scale) -> String {
+    let mut t = Table::new(
+        "Fig 13: max QPS under QoS per platform",
+        &["application", "Xeon", "Xeon@1.8GHz", "ThunderX", "TX/Xeon"],
+    );
+    let apps: Vec<BuiltApp> = vec![
+        social::social_network(),
+        ecommerce::ecommerce(),
+        banking::banking(),
+        media::media_service(),
+        swarm::swarm(swarm::SwarmVariant::Cloud),
+    ];
+    for (i, app) in apps.iter().enumerate() {
+        let (xeon, xeon18, tx) = goodput(app, scale, 110 + i as u64);
+        t.row_owned(vec![
+            app.spec.name.clone(),
+            format!("{xeon:.0}"),
+            format!("{xeon18:.0}"),
+            format!("{tx:.0}"),
+            format!("{:.2}", tx / xeon.max(1.0)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_ordering_holds_for_social_network() {
+        let app = social::social_network();
+        let (xeon, xeon18, tx) = goodput(&app, Scale::Quick, 1);
+        assert!(xeon > 0.0, "xeon goodput {xeon}");
+        assert!(
+            xeon >= xeon18,
+            "nominal {xeon} must beat equalized {xeon18}"
+        );
+        assert!(
+            xeon18 > tx,
+            "equalized Xeon {xeon18} must beat ThunderX {tx} (in-order penalty)"
+        );
+    }
+}

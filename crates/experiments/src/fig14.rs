@@ -1,0 +1,99 @@
+//! Fig. 14 — cycles (C) and instructions (I) split across kernel ("OS"),
+//! user, and library code for each end-to-end service.
+//!
+//! The shares fall out of the simulator's execution-domain accounting:
+//! message (TCP/RPC) processing is charged to the kernel, de/serialization
+//! to libraries, handler compute to user code. The paper's findings:
+//! Social Network and Media are the most kernel-heavy (caching tiers +
+//! high network traffic); E-commerce and Banking are more
+//! computationally intensive and spend more time in user mode; Swarm
+//! leans on libraries.
+
+use dsb_apps::{banking, ecommerce, media, social, swarm, BuiltApp};
+use dsb_core::ServiceId;
+use dsb_uarch::ExecDomain;
+
+use crate::harness::{build_sim, drive, make_cluster};
+use crate::report::{pct, Table};
+use crate::Scale;
+
+/// Aggregated domain shares: `(cycles[os,user,libs], instr[os,user,libs])`.
+pub fn shares(app: &BuiltApp, qps: f64, secs: u64, seed: u64) -> ([f64; 3], [f64; 3]) {
+    let (mut sim, mut load) = build_sim(app, make_cluster(8), seed);
+    drive(&mut sim, &mut load, 0, secs, qps);
+    sim.run_until_idle();
+    let mut cycles = [0.0f64; 4];
+    let mut instr = [0.0f64; 4];
+    for i in 0..app.spec.service_count() {
+        let st = sim.service_stats(ServiceId(i as u32));
+        for d in 0..4 {
+            cycles[d] += st.cycles[d];
+            instr[d] += st.instructions[d];
+        }
+    }
+    let ct: f64 = cycles.iter().sum();
+    let it: f64 = instr.iter().sum();
+    let k = ExecDomain::Kernel.index();
+    let u = ExecDomain::User.index();
+    let l = ExecDomain::Libs.index();
+    (
+        [cycles[k] / ct, cycles[u] / ct, cycles[l] / ct],
+        [instr[k] / it, instr[u] / it, instr[l] / it],
+    )
+}
+
+/// Regenerates Fig. 14.
+pub fn run(scale: Scale) -> String {
+    let secs = scale.secs(8);
+    let mut t = Table::new(
+        "Fig 14: kernel/user/libs shares of cycles (C) and instructions (I)",
+        &["application", "C:OS", "C:User", "C:Libs", "I:OS", "I:User", "I:Libs"],
+    );
+    let apps: Vec<(BuiltApp, f64)> = vec![
+        (social::social_network(), 120.0),
+        (media::media_service(), 120.0),
+        (ecommerce::ecommerce(), 120.0),
+        (banking::banking(), 120.0),
+        (swarm::swarm(swarm::SwarmVariant::Cloud), 40.0),
+        (swarm::swarm(swarm::SwarmVariant::Edge), 40.0),
+    ];
+    for (i, (app, qps)) in apps.into_iter().enumerate() {
+        let (c, instr) = shares(&app, qps, secs, 60 + i as u64);
+        t.row_owned(vec![
+            app.spec.name.clone(),
+            pct(c[0]),
+            pct(c[1]),
+            pct(c[2]),
+            pct(instr[0]),
+            pct(instr[1]),
+            pct(instr[2]),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_more_kernel_heavy_than_banking() {
+        let (social_c, _) = shares(&social::social_network(), 60.0, 4, 1);
+        let (banking_c, _) = shares(&banking::banking(), 60.0, 4, 1);
+        assert!(
+            social_c[0] > banking_c[0],
+            "social OS {} vs banking OS {}",
+            social_c[0],
+            banking_c[0]
+        );
+        // Banking compensates in user mode.
+        assert!(banking_c[1] > social_c[1]);
+    }
+
+    #[test]
+    fn kernel_share_is_large_for_social() {
+        // Paper: "a large fraction of execution is at kernel mode".
+        let (c, _) = shares(&social::social_network(), 60.0, 4, 2);
+        assert!(c[0] > 0.2, "kernel share {}", c[0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 18 — microservice dependency graphs.
+//!
+//! The paper renders the "death star" graphs of Netflix/Twitter/Amazon and
+//! of Social Network. We emit Graphviz DOT for every suite application
+//! (written next to the binary as `figures/figN_<app>.dot` when run with
+//! write access) plus the degree statistics that characterize the graphs.
+
+use dsb_apps::{banking, ecommerce, media, social, swarm, BuiltApp};
+
+use crate::report::{f1, Table};
+use crate::Scale;
+
+fn stats(app: &BuiltApp) -> (usize, usize, usize, usize, f64) {
+    let edges = app.spec.edges();
+    let n = app.spec.service_count();
+    let mut indeg = vec![0usize; n];
+    let mut outdeg = vec![0usize; n];
+    for (a, b) in &edges {
+        outdeg[a.0 as usize] += 1;
+        indeg[b.0 as usize] += 1;
+    }
+    let max_in = indeg.iter().copied().max().unwrap_or(0);
+    let max_out = outdeg.iter().copied().max().unwrap_or(0);
+    let avg = edges.len() as f64 / n as f64;
+    (n, edges.len(), max_in, max_out, avg)
+}
+
+/// Regenerates Fig. 18 (graph statistics + DOT export).
+pub fn run(_scale: Scale) -> String {
+    let apps = vec![
+        social::social_network(),
+        media::media_service(),
+        ecommerce::ecommerce(),
+        banking::banking(),
+        swarm::swarm(swarm::SwarmVariant::Cloud),
+        swarm::swarm(swarm::SwarmVariant::Edge),
+    ];
+    let mut t = Table::new(
+        "Fig 18: dependency graph shape",
+        &["application", "services", "edges", "max fan-in", "max fan-out", "avg degree"],
+    );
+    let mut dots = String::new();
+    let _ = std::fs::create_dir_all("figures");
+    for app in &apps {
+        let (n, e, mi, mo, avg) = stats(app);
+        t.row_owned(vec![
+            app.spec.name.clone(),
+            n.to_string(),
+            e.to_string(),
+            mi.to_string(),
+            mo.to_string(),
+            f1(avg),
+        ]);
+        let dot = app.spec.to_dot();
+        let path = format!("figures/fig18_{}.dot", app.spec.name);
+        if std::fs::write(&path, &dot).is_ok() {
+            dots.push_str(&format!("wrote {path}\n"));
+        }
+    }
+    format!("{}{}", t.render(), dots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_graph_has_hub_structure() {
+        let app = social::social_network();
+        let (_, _, max_in, max_out, _) = stats(&app);
+        // Caches/DBs are heavily fanned into; orchestrators fan out widely.
+        assert!(max_in >= 3, "max fan-in {max_in}");
+        assert!(max_out >= 5, "max fan-out {max_out}");
+    }
+
+    #[test]
+    fn dot_is_valid_ish() {
+        let app = banking::banking();
+        let dot = app.spec.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), app.spec.edges().len());
+    }
+}

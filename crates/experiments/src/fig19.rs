@@ -1,0 +1,156 @@
+//! Fig. 19 — cascading QoS violations in Social Network.
+//!
+//! A back-end tier (the posts MongoDB) is saturated mid-run by direct
+//! poison load; its latency spike propagates to every upstream service all
+//! the way to the front-end, while CPU (worker) utilization *misleads*: the
+//! saturated back-end is busy, but blocked mid-tier services show high
+//! occupancy without being the culprit, and some degraded services show
+//! low utilization.
+
+use dsb_apps::social;
+use dsb_core::{EndpointRef, RequestType, ServiceId};
+use dsb_simcore::SimTime;
+
+use crate::harness::{build_sim, drive_ticked, make_cluster};
+use crate::report::heatmap;
+use crate::Scale;
+
+/// The services shown as heatmap rows (back-end at the top, front-end at
+/// the bottom, like the paper).
+const ROWS: [&str; 10] = [
+    "mongodb-posts",
+    "memcached-posts",
+    "postsStorage",
+    "writeHomeTimeline",
+    "readPost",
+    "readTimeline",
+    "composePost",
+    "userInfo",
+    "php-fpm",
+    "nginx",
+];
+
+/// Output of the cascade run: per-service per-window latency increase over
+/// its pre-fault baseline, plus occupancy samples.
+pub struct Cascade {
+    /// Service names (row order).
+    pub names: Vec<String>,
+    /// `latency_increase[row][window]`, as a multiple of baseline mean.
+    pub latency_increase: Vec<Vec<f64>>,
+    /// `occupancy[row][window]`, each value in the unit interval.
+    pub occupancy: Vec<Vec<f64>>,
+}
+
+/// Runs the cascade experiment: fault injected during the middle third.
+pub fn cascade(scale: Scale, seed: u64) -> Cascade {
+    let secs = scale.secs(90);
+    let fault_from = secs / 3;
+    let fault_to = 2 * secs / 3;
+    let app = social::social_network();
+    let (mut sim, mut load) = build_sim(&app, make_cluster(10), seed);
+    let ids: Vec<ServiceId> = ROWS.iter().map(|n| app.service(n)).collect();
+    let mongo_find = EndpointRef {
+        service: app.service("mongodb-posts"),
+        endpoint: 0,
+    };
+    let mut occ: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
+    {
+        let occ = &mut occ;
+        let ids = &ids;
+        drive_ticked(&mut sim, &mut load, 0, secs, |_| 250.0, &mut |sim, s| {
+            // Poison the back-end during the fault window.
+            if s + 1 >= fault_from && s + 1 < fault_to {
+                let t0 = SimTime::from_secs(s + 1);
+                // ~35k poison finds/s, above the posts-DB capacity.
+                for k in 0..35_000u64 {
+                    sim.inject(
+                        t0 + dsb_simcore::SimDuration::from_nanos(k * 28_571),
+                        mongo_find,
+                        RequestType(15),
+                        256,
+                        k,
+                    );
+                }
+            }
+            for (row, &svc) in ids.iter().enumerate() {
+                occ[row].push(sim.occupancy(svc));
+            }
+        });
+    }
+    // Latency increase per service per window vs its pre-fault mean.
+    let mut latency_increase = Vec::new();
+    for &svc in &ids {
+        let stats = sim.collector().service(svc.0).expect("service saw spans");
+        let mut base = 0.0;
+        let mut base_n = 0.0f64;
+        for w in 1..fault_from as usize {
+            let m = stats.latency_windows.mean(w);
+            if m > 0.0 {
+                base += m;
+                base_n += 1.0;
+            }
+        }
+        let base = (base / base_n.max(1.0)).max(1.0);
+        let series: Vec<f64> = (0..secs as usize)
+            .map(|w| {
+                let m = stats.latency_windows.mean(w);
+                if m == 0.0 {
+                    1.0
+                } else {
+                    m / base
+                }
+            })
+            .collect();
+        latency_increase.push(series);
+    }
+    Cascade {
+        names: ROWS.iter().map(|s| s.to_string()).collect(),
+        latency_increase,
+        occupancy: occ,
+    }
+}
+
+/// Regenerates Fig. 19.
+pub fn run(scale: Scale) -> String {
+    let c = cascade(scale, 130);
+    let lat = heatmap(
+        "Fig 19a: per-service latency increase over baseline (rows: back-end top -> front-end bottom)",
+        &c.names,
+        &c.latency_increase,
+        |v| (v.log10() / 2.0).clamp(0.0, 1.0), // 1x..100x
+    );
+    let occ = heatmap(
+        "Fig 19b: per-service worker occupancy (can mislead: blocked != culprit)",
+        &c.names,
+        &c.occupancy,
+        |v| v,
+    );
+    format!("{lat}\n{occ}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_propagates_from_backend_to_frontend() {
+        let c = cascade(Scale::Quick, 1);
+        let secs = c.latency_increase[0].len();
+        let mid = secs / 2; // inside the fault window
+        let mongo = &c.latency_increase[0];
+        let nginx = &c.latency_increase[c.names.len() - 1];
+        assert!(
+            mongo[mid] > 3.0,
+            "backend latency must spike (got {}x)",
+            mongo[mid]
+        );
+        assert!(
+            nginx[mid] > 1.5,
+            "front-end must degrade too (got {}x)",
+            nginx[mid]
+        );
+        // Before the fault both are nominal.
+        assert!(mongo[2] < 2.0, "pre-fault backend {}x", mongo[2]);
+        assert!(nginx[2] < 2.0, "pre-fault frontend {}x", nginx[2]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Text-table and heatmap rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// An aligned text table with a title and column headers.
+///
+/// # Example
+///
+/// ```
+/// use dsb_experiments::report::Table;
+///
+/// let mut t = Table::new("demo", &["service", "p99 (ms)"]);
+/// t.row(&["nginx", "1.25"]);
+/// t.row(&["memcached", "0.19"]);
+/// let s = t.render();
+/// assert!(s.contains("nginx"));
+/// assert!(s.contains("p99 (ms)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Adds a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for i in 0..ncols {
+                let pad = widths[i];
+                let cell = &cells[i];
+                if i == 0 {
+                    let _ = write!(s, "{cell:<pad$}");
+                } else {
+                    let _ = write!(s, "  {cell:>pad$}");
+                }
+            }
+            s
+        };
+        let header = line(&self.headers, &widths);
+        out.push_str(&header);
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats nanoseconds as milliseconds with 2 decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Renders a heatmap of `values[row][col]` as shade characters plus a
+/// legend; `levels` maps a value to an intensity in `[0, 1]`.
+pub fn heatmap(
+    title: &str,
+    row_labels: &[String],
+    values: &[Vec<f64>],
+    levels: impl Fn(f64) -> f64,
+) -> String {
+    const SHADES: [char; 6] = [' ', '.', ':', '*', '#', '@'];
+    let mut out = format!("== {title} ==\n");
+    let w = row_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (label, row) in row_labels.iter().zip(values) {
+        let cells: String = row
+            .iter()
+            .map(|&v| {
+                let lvl = levels(v).clamp(0.0, 1.0);
+                SHADES[((lvl * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
+            })
+            .collect();
+        let _ = writeln!(out, "{label:>w$} |{cells}|");
+    }
+    let _ = writeln!(
+        out,
+        "{:>w$}  (shade: ' ' low '@' high; columns = time/windows)",
+        ""
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new("x", &["a", "bbbb"]);
+        t.row(&["longer", "1"]);
+        t.row(&["s", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[1].starts_with("a     "));
+        assert!(r.contains("== x =="));
+        // all data lines same length
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.004), "1.00");
+        assert_eq!(f1(2.34), "2.3");
+        assert_eq!(ms(1_500_000), "1.50");
+        assert_eq!(pct(0.363), "36.3%");
+    }
+
+    #[test]
+    fn heatmap_renders_rows() {
+        let hm = heatmap(
+            "h",
+            &["a".into(), "bb".into()],
+            &[vec![0.0, 1.0], vec![0.5, 0.5]],
+            |v| v,
+        );
+        assert!(hm.contains(" a | @|"));
+        assert!(hm.contains("bb |"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Propagation latency between machine locations.
+
+use dsb_simcore::{Rng, SimDuration};
+
+/// Where a machine (or client) sits in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zone {
+    /// A server in datacenter rack `n`.
+    Rack(u16),
+    /// An edge device (drone) reachable over the wireless link.
+    Edge,
+    /// The external client population.
+    Client,
+}
+
+/// One-way latency parameters of the fabric.
+///
+/// Defaults model the paper's testbed: a 10 GbE ToR-switched cluster, plus
+/// a multi-millisecond wireless hop to the drone swarm and a small WAN hop
+/// for clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Loopback / same-machine delivery, ns.
+    pub loopback_ns: u64,
+    /// One-way latency between two servers in the same rack, ns.
+    pub intra_rack_ns: u64,
+    /// One-way latency between racks through the ToR/aggregation, ns.
+    pub cross_rack_ns: u64,
+    /// One-way latency from clients to the datacenter, ns.
+    pub client_ns: u64,
+    /// One-way latency of the cloud↔edge wireless link, ns.
+    pub wireless_ns: u64,
+    /// Relative jitter (std-dev as a fraction of the base latency).
+    pub jitter_frac: f64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            loopback_ns: 2_000,
+            intra_rack_ns: 25_000,
+            cross_rack_ns: 45_000,
+            client_ns: 120_000,
+            wireless_ns: 6_000_000,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+/// Computes message propagation delays between zones.
+///
+/// # Example
+///
+/// ```
+/// use dsb_net::{Fabric, Zone};
+/// use dsb_simcore::Rng;
+///
+/// let fabric = Fabric::default();
+/// let mut rng = Rng::new(1);
+/// let dc = fabric.delay(Zone::Rack(0), Zone::Rack(1), &mut rng);
+/// let edge = fabric.delay(Zone::Rack(0), Zone::Edge, &mut rng);
+/// assert!(edge > dc * 10); // the wireless hop dominates
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fabric {
+    config: FabricConfig,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given latency parameters.
+    pub fn new(config: FabricConfig) -> Self {
+        Fabric { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Delivery latency between two processes on the *same machine*
+    /// (zones identify racks, not machines, so callers that know both
+    /// endpoints share a host should use this instead of
+    /// [`Fabric::base_delay`]).
+    pub fn loopback(&self) -> SimDuration {
+        SimDuration::from_nanos(self.config.loopback_ns)
+    }
+
+    /// Base (jitter-free) one-way latency between two zones.
+    pub fn base_delay(&self, from: Zone, to: Zone) -> SimDuration {
+        let c = &self.config;
+        let ns = match (from, to) {
+            (Zone::Edge, Zone::Edge) => c.loopback_ns,
+            (Zone::Rack(a), Zone::Rack(b)) => {
+                if a == b {
+                    c.intra_rack_ns
+                } else {
+                    c.cross_rack_ns
+                }
+            }
+            (Zone::Client, Zone::Rack(_)) | (Zone::Rack(_), Zone::Client) => c.client_ns,
+            (Zone::Edge, Zone::Rack(_)) | (Zone::Rack(_), Zone::Edge) => c.wireless_ns,
+            (Zone::Client, Zone::Edge) | (Zone::Edge, Zone::Client) => {
+                c.wireless_ns + c.client_ns
+            }
+            (Zone::Client, Zone::Client) => c.loopback_ns,
+        };
+        SimDuration::from_nanos(ns)
+    }
+
+    /// One-way latency with multiplicative jitter (truncated normal).
+    pub fn delay(&self, from: Zone, to: Zone, rng: &mut Rng) -> SimDuration {
+        let base = self.base_delay(from, to).as_nanos() as f64;
+        let jittered = base * (1.0 + self.config.jitter_frac * rng.normal()).max(0.2);
+        SimDuration::from_nanos(jittered as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_machine_is_loopback() {
+        let f = Fabric::default();
+        assert_eq!(f.loopback(), SimDuration::from_nanos(2_000));
+        // Same *rack* still pays the switch hop:
+        assert_eq!(
+            f.base_delay(Zone::Rack(3), Zone::Rack(3)),
+            SimDuration::from_nanos(25_000)
+        );
+        assert_eq!(
+            f.base_delay(Zone::Client, Zone::Client),
+            SimDuration::from_nanos(2_000)
+        );
+    }
+
+    #[test]
+    fn ordering_of_hops() {
+        let f = Fabric::default();
+        let intra = f.base_delay(Zone::Rack(0), Zone::Rack(0));
+        let cross = f.base_delay(Zone::Rack(0), Zone::Rack(1));
+        let client = f.base_delay(Zone::Client, Zone::Rack(0));
+        let edge = f.base_delay(Zone::Rack(0), Zone::Edge);
+        assert!(intra < cross && cross < client && client < edge);
+    }
+
+    #[test]
+    fn delay_is_symmetric_on_average() {
+        let f = Fabric::default();
+        assert_eq!(
+            f.base_delay(Zone::Edge, Zone::Rack(1)),
+            f.base_delay(Zone::Rack(1), Zone::Edge)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_positive_and_near_base() {
+        let f = Fabric::default();
+        let mut rng = Rng::new(5);
+        let base = f.base_delay(Zone::Rack(0), Zone::Rack(1)).as_nanos() as f64;
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let d = f.delay(Zone::Rack(0), Zone::Rack(1), &mut rng);
+            assert!(d > SimDuration::ZERO);
+            sum += d.as_nanos() as f64;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - base).abs() / base < 0.02, "mean {mean} base {base}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # dsb-net — network substrate
+//!
+//! Models the parts of the network stack the paper's findings hinge on:
+//!
+//! * **Protocol processing costs** ([`Protocol`], [`MsgCosts`]): every
+//!   message charges kernel-domain CPU cycles at the sender and receiver
+//!   (TCP processing, interrupts) plus library-domain cycles
+//!   (de/serialization). This is how "microservices spend 36.3 % of time in
+//!   network processing" (Fig. 3) and the kernel share of Fig. 14 emerge.
+//! * **Propagation latency** ([`Fabric`], [`Zone`]): one-way delays between
+//!   machines in the same rack, across racks, to clients, and over the
+//!   cloud↔edge wireless link that dominates the Swarm service (Fig. 9).
+//! * **NIC transmit queues** ([`Nic`]): a fluid FIFO with finite bandwidth;
+//!   at high load queues build up and tails inflate (Fig. 15).
+//! * **FPGA offload** ([`FpgaOffload`]): the bump-in-the-wire accelerator of
+//!   Fig. 16 — kernel network-processing cycles are divided by a 10–68×
+//!   factor and removed from the host cores.
+//!
+//! Costs are expressed in *reference-core nanoseconds* (Xeon at nominal
+//! frequency); `dsb-core` rescales them by the executing core's speed
+//! factor, so a wimpy core also processes packets more slowly, as the paper
+//! observes.
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod nic;
+mod protocol;
+
+pub use fabric::{Fabric, FabricConfig, Zone};
+pub use nic::Nic;
+pub use protocol::{FpgaOffload, MsgCosts, Protocol};

@@ -1,0 +1,125 @@
+//! A machine's NIC transmit path, modelled as a fluid FIFO.
+
+use dsb_simcore::{SimDuration, SimTime};
+
+/// A network interface with finite transmit bandwidth.
+///
+/// Frames are serialized through the link in FIFO order: a message enqueued
+/// at `now` finishes transmitting at `max(now, queue_drain) + size/bw`.
+/// This is the mechanism behind the paper's observation that at high load
+/// "long queues build up in the NICs" and network processing becomes a much
+/// larger share of tail latency (Fig. 15).
+///
+/// # Example
+///
+/// ```
+/// use dsb_net::Nic;
+/// use dsb_simcore::SimTime;
+///
+/// let mut nic = Nic::new(10.0); // 10 Gb/s
+/// let t0 = SimTime::ZERO;
+/// let d1 = nic.transmit(t0, 125_000); // 1 Mb => 100us on the wire
+/// let d2 = nic.transmit(t0, 125_000); // queues behind the first
+/// assert_eq!(d1.as_micros_f64(), 100.0);
+/// assert_eq!(d2.as_micros_f64(), 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nic {
+    bits_per_ns: f64,
+    next_free: SimTime,
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl Nic {
+    /// Creates a NIC with the given bandwidth in Gb/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive.
+    pub fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        Nic {
+            bits_per_ns: gbps, // 1 Gb/s == 1 bit/ns
+            next_free: SimTime::ZERO,
+            bytes_sent: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// Enqueues a message of `bytes` at time `now`; returns the delay from
+    /// `now` until the last bit is on the wire (queueing + transmission).
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        let tx_ns = (bytes as f64 * 8.0 / self.bits_per_ns).ceil() as u64;
+        let start = self.next_free.max(now);
+        let done = start + SimDuration::from_nanos(tx_ns);
+        self.next_free = done;
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        done - now
+    }
+
+    /// Current queueing delay a new message would see before transmission
+    /// starts.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free - now
+    }
+
+    /// Total bytes accepted for transmission.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages accepted for transmission.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let mut nic = Nic::new(10.0);
+        let d = nic.transmit(SimTime::ZERO, 12_500); // 100 kb => 10us
+        assert_eq!(d, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut nic = Nic::new(1.0); // 1 Gb/s
+        let t = SimTime::ZERO;
+        let d1 = nic.transmit(t, 1_250); // 10us
+        let d2 = nic.transmit(t, 1_250); // waits 10us
+        assert_eq!(d1, SimDuration::from_micros(10));
+        assert_eq!(d2, SimDuration::from_micros(20));
+        assert_eq!(nic.backlog(t), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut nic = Nic::new(1.0);
+        nic.transmit(SimTime::ZERO, 1_250);
+        let later = SimTime::from_micros(50);
+        assert_eq!(nic.backlog(later), SimDuration::ZERO);
+        let d = nic.transmit(later, 1_250);
+        assert_eq!(d, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut nic = Nic::new(10.0);
+        nic.transmit(SimTime::ZERO, 100);
+        nic.transmit(SimTime::ZERO, 200);
+        assert_eq!(nic.bytes_sent(), 300);
+        assert_eq!(nic.messages_sent(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        Nic::new(0.0);
+    }
+}

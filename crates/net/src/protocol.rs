@@ -1,0 +1,230 @@
+//! Communication protocols and their per-message processing costs.
+
+/// The wire protocol used on a dependency edge between two services.
+///
+/// The paper's suite mixes Apache Thrift RPCs (Social Network, Media,
+/// Banking, everything downstream of php-fpm), RESTful HTTP (E-commerce,
+/// Swarm edge↔cloud), FastCGI (nginx → php-fpm), and raw IPC between
+/// processes co-located on a drone. Each has a distinct cost profile, and
+/// HTTP/1 additionally has blocking-connection semantics (modelled by the
+/// connection pools in `dsb-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Apache-Thrift-style binary RPC: cheap framing, multiplexed
+    /// connections.
+    ThriftRpc,
+    /// HTTP/1.x REST: text parsing, one outstanding request per connection.
+    Http1,
+    /// FastCGI between a web server and a php-fpm pool.
+    Fcgi,
+    /// Same-host inter-process communication (drone-local services).
+    Ipc,
+}
+
+impl Protocol {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::ThriftRpc => "thrift-rpc",
+            Protocol::Http1 => "http/1",
+            Protocol::Fcgi => "fastcgi",
+            Protocol::Ipc => "ipc",
+        }
+    }
+
+    /// Whether callers must hold one connection per outstanding request
+    /// (HTTP/1 head-of-line blocking; see Fig. 17 case B).
+    pub fn blocking_connections(self) -> bool {
+        matches!(self, Protocol::Http1 | Protocol::Fcgi)
+    }
+
+    /// Per-message processing costs for a payload of `bytes`, on the
+    /// reference core, in nanoseconds.
+    pub fn costs(self, bytes: u64) -> MsgCosts {
+        let kb = bytes as f64 / 1024.0;
+        match self {
+            Protocol::ThriftRpc => MsgCosts {
+                send_kernel_ns: 7_000.0 + 450.0 * kb,
+                recv_kernel_ns: 8_000.0 + 550.0 * kb,
+                send_libs_ns: 1_500.0 + 250.0 * kb,
+                recv_libs_ns: 1_800.0 + 300.0 * kb,
+            },
+            Protocol::Http1 => MsgCosts {
+                send_kernel_ns: 9_000.0 + 500.0 * kb,
+                recv_kernel_ns: 10_000.0 + 600.0 * kb,
+                send_libs_ns: 4_000.0 + 700.0 * kb,
+                recv_libs_ns: 5_000.0 + 900.0 * kb,
+            },
+            Protocol::Fcgi => MsgCosts {
+                send_kernel_ns: 8_000.0 + 480.0 * kb,
+                recv_kernel_ns: 9_000.0 + 560.0 * kb,
+                send_libs_ns: 2_500.0 + 400.0 * kb,
+                recv_libs_ns: 3_000.0 + 450.0 * kb,
+            },
+            Protocol::Ipc => MsgCosts {
+                send_kernel_ns: 1_200.0 + 120.0 * kb,
+                recv_kernel_ns: 1_200.0 + 120.0 * kb,
+                send_libs_ns: 300.0 + 60.0 * kb,
+                recv_libs_ns: 300.0 + 60.0 * kb,
+            },
+        }
+    }
+}
+
+/// CPU costs of moving one message, split by endpoint and execution
+/// domain, in reference-core nanoseconds.
+///
+/// Kernel components model TCP/interrupt processing; library components
+/// model de/serialization (Thrift/JSON). `dsb-core` charges each component
+/// on the corresponding machine's cores, in the corresponding
+/// `ExecDomain` bucket (see `dsb-uarch`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MsgCosts {
+    /// Kernel-domain nanoseconds at the sender.
+    pub send_kernel_ns: f64,
+    /// Kernel-domain nanoseconds at the receiver.
+    pub recv_kernel_ns: f64,
+    /// Library-domain (serialization) nanoseconds at the sender.
+    pub send_libs_ns: f64,
+    /// Library-domain (deserialization) nanoseconds at the receiver.
+    pub recv_libs_ns: f64,
+}
+
+impl MsgCosts {
+    /// Total network-processing nanoseconds across both endpoints.
+    pub fn total_ns(&self) -> f64 {
+        self.send_kernel_ns + self.recv_kernel_ns + self.send_libs_ns + self.recv_libs_ns
+    }
+
+    /// Kernel-only nanoseconds (the part the FPGA can absorb).
+    pub fn kernel_ns(&self) -> f64 {
+        self.send_kernel_ns + self.recv_kernel_ns
+    }
+}
+
+/// The Fig. 16 bump-in-the-wire FPGA: offloads the TCP stack.
+///
+/// With offload enabled, the kernel network-processing component of every
+/// message no longer executes on host cores; it becomes a fixed-function
+/// pipeline delay of `kernel_ns / speedup`. Library-domain serialization
+/// stays on the host (the accelerator sits between NIC and ToR switch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaOffload {
+    /// Whether the accelerator is present.
+    pub enabled: bool,
+    /// Network-processing speedup over native TCP (the paper measures
+    /// 10–68×).
+    pub speedup: f64,
+}
+
+impl Default for FpgaOffload {
+    fn default() -> Self {
+        FpgaOffload {
+            enabled: false,
+            speedup: 1.0,
+        }
+    }
+}
+
+impl FpgaOffload {
+    /// No acceleration; kernel costs execute on host cores.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An accelerator with the given network-processing speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup < 1.0`.
+    pub fn with_speedup(speedup: f64) -> Self {
+        assert!(speedup >= 1.0, "speedup must be >= 1");
+        FpgaOffload {
+            enabled: true,
+            speedup,
+        }
+    }
+
+    /// Splits a kernel cost into (host-core ns, fixed-pipeline-delay ns).
+    pub fn apply(&self, kernel_ns: f64) -> (f64, f64) {
+        if self.enabled {
+            (0.0, kernel_ns / self.speedup)
+        } else {
+            (kernel_ns, 0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_cheaper_than_http() {
+        for bytes in [128, 1024, 64 * 1024] {
+            let rpc = Protocol::ThriftRpc.costs(bytes);
+            let http = Protocol::Http1.costs(bytes);
+            assert!(
+                rpc.total_ns() < http.total_ns(),
+                "RPC must be cheaper at {bytes}B"
+            );
+        }
+    }
+
+    #[test]
+    fn ipc_is_cheapest() {
+        let ipc = Protocol::Ipc.costs(1024);
+        for p in [Protocol::ThriftRpc, Protocol::Http1, Protocol::Fcgi] {
+            assert!(ipc.total_ns() < p.costs(1024).total_ns());
+        }
+    }
+
+    #[test]
+    fn costs_grow_with_size() {
+        for p in [
+            Protocol::ThriftRpc,
+            Protocol::Http1,
+            Protocol::Fcgi,
+            Protocol::Ipc,
+        ] {
+            assert!(p.costs(1 << 20).total_ns() > p.costs(64).total_ns());
+        }
+    }
+
+    #[test]
+    fn blocking_semantics() {
+        assert!(Protocol::Http1.blocking_connections());
+        assert!(Protocol::Fcgi.blocking_connections());
+        assert!(!Protocol::ThriftRpc.blocking_connections());
+        assert!(!Protocol::Ipc.blocking_connections());
+    }
+
+    #[test]
+    fn offload_moves_kernel_cost_off_host() {
+        let off = FpgaOffload::with_speedup(50.0);
+        let (host, pipeline) = off.apply(10_000.0);
+        assert_eq!(host, 0.0);
+        assert!((pipeline - 200.0).abs() < 1e-9);
+        let (host, pipeline) = FpgaOffload::disabled().apply(10_000.0);
+        assert_eq!(host, 10_000.0);
+        assert_eq!(pipeline, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offload_below_one_rejected() {
+        FpgaOffload::with_speedup(0.5);
+    }
+
+    #[test]
+    fn names_nonempty() {
+        for p in [
+            Protocol::ThriftRpc,
+            Protocol::Http1,
+            Protocol::Fcgi,
+            Protocol::Ipc,
+        ] {
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Probability distributions for service times, message sizes and
+//! popularity skew.
+
+use crate::rng::Rng;
+
+/// A sampleable, non-negative real-valued distribution.
+///
+/// `Dist` values parameterize every stochastic demand in the suite: CPU
+/// cycles per handler, I/O waits, payload sizes, think times. All samples
+/// are clamped to be non-negative.
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::{Dist, Rng};
+///
+/// let mut rng = Rng::new(1);
+/// let d = Dist::log_normal(1_000.0, 0.5);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// // The configured median is preserved:
+/// assert!((d.mean() - 1_000.0 * (0.5f64 * 0.5 / 2.0).exp()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always returns the given value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Erlang-`k`: the sum of `k` i.i.d. exponentials, with the given total
+    /// mean. Lower variance than an exponential; models pipelined work.
+    Erlang {
+        /// Shape (number of exponential stages).
+        k: u32,
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Log-normal parameterized by its median and the log-space standard
+    /// deviation `sigma`. Heavy-tailed; the usual model for RPC service
+    /// times.
+    LogNormal {
+        /// Median (`e^mu`).
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+    /// Pareto truncated to `[lo, hi]`, via inverse-CDF sampling. Models
+    /// payload sizes with occasional large documents.
+    ParetoBounded {
+        /// Tail exponent (> 0).
+        alpha: f64,
+        /// Minimum value.
+        lo: f64,
+        /// Maximum value.
+        hi: f64,
+    },
+    /// A two-component mixture: with probability `p_b`, sample from `b`,
+    /// otherwise from `a`. Models bimodal handlers (e.g. cache hit vs miss).
+    Mix {
+        /// Probability of drawing from `b`.
+        p_b: f64,
+        /// First component.
+        a: Box<Dist>,
+        /// Second component.
+        b: Box<Dist>,
+    },
+    /// `base + extra`, where `extra` is sampled. Models a fixed setup cost
+    /// plus variable work.
+    Shifted {
+        /// Fixed offset added to every sample.
+        base: f64,
+        /// Variable component.
+        extra: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// A constant distribution.
+    pub fn constant(v: f64) -> Dist {
+        Dist::Constant(v)
+    }
+
+    /// An exponential distribution with the given mean.
+    pub fn exp(mean: f64) -> Dist {
+        Dist::Exp { mean }
+    }
+
+    /// A uniform distribution on `[lo, hi)`.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        Dist::Uniform { lo, hi }
+    }
+
+    /// An Erlang-`k` distribution with the given mean.
+    pub fn erlang(k: u32, mean: f64) -> Dist {
+        Dist::Erlang { k, mean }
+    }
+
+    /// A log-normal distribution with the given median and log-space sigma.
+    pub fn log_normal(median: f64, sigma: f64) -> Dist {
+        Dist::LogNormal { median, sigma }
+    }
+
+    /// A bounded Pareto distribution.
+    pub fn pareto(alpha: f64, lo: f64, hi: f64) -> Dist {
+        Dist::ParetoBounded { alpha, lo, hi }
+    }
+
+    /// A two-point mixture drawing from `b` with probability `p_b`.
+    pub fn mix(p_b: f64, a: Dist, b: Dist) -> Dist {
+        Dist::Mix {
+            p_b,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
+    }
+
+    /// A shifted distribution: `base + extra`.
+    pub fn shifted(base: f64, extra: Dist) -> Dist {
+        Dist::Shifted {
+            base,
+            extra: Box::new(extra),
+        }
+    }
+
+    /// Draws one sample (always `>= 0`).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.f64(),
+            Dist::Exp { mean } => rng.exp(*mean),
+            Dist::Erlang { k, mean } => {
+                let stage = mean / (*k).max(1) as f64;
+                (0..(*k).max(1)).map(|_| rng.exp(stage)).sum()
+            }
+            Dist::LogNormal { median, sigma } => median * (sigma * rng.normal()).exp(),
+            Dist::ParetoBounded { alpha, lo, hi } => {
+                let u = rng.f64();
+                let la = lo.powf(*alpha);
+                let ha = hi.powf(*alpha);
+                // Inverse CDF of Pareto truncated to [lo, hi].
+                (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+            }
+            Dist::Mix { p_b, a, b } => {
+                if rng.chance(*p_b) {
+                    b.sample(rng)
+                } else {
+                    a.sample(rng)
+                }
+            }
+            Dist::Shifted { base, extra } => base + extra.sample(rng),
+        };
+        v.max(0.0)
+    }
+
+    /// The analytic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exp { mean } => *mean,
+            Dist::Erlang { mean, .. } => *mean,
+            Dist::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Dist::ParetoBounded { alpha, lo, hi } => {
+                if (*alpha - 1.0).abs() < 1e-12 {
+                    let la = lo.powf(*alpha);
+                    let ha = hi.powf(*alpha);
+                    (ha * la) / (ha - la) * (hi / lo).ln()
+                } else {
+                    let la = lo.powf(*alpha);
+                    let ha = hi.powf(*alpha);
+                    la / (1.0 - la / ha) * (alpha / (alpha - 1.0))
+                        * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
+                }
+            }
+            Dist::Mix { p_b, a, b } => (1.0 - p_b) * a.mean() + p_b * b.mean(),
+            Dist::Shifted { base, extra } => base + extra.mean(),
+        }
+    }
+
+    /// Returns a copy of this distribution with every sample (and the mean)
+    /// scaled by `factor`. Used to express "the same handler, on a core
+    /// that is `factor×` slower".
+    pub fn scaled(&self, factor: f64) -> Dist {
+        match self {
+            Dist::Constant(v) => Dist::Constant(v * factor),
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::Exp { mean } => Dist::Exp {
+                mean: mean * factor,
+            },
+            Dist::Erlang { k, mean } => Dist::Erlang {
+                k: *k,
+                mean: mean * factor,
+            },
+            Dist::LogNormal { median, sigma } => Dist::LogNormal {
+                median: median * factor,
+                sigma: *sigma,
+            },
+            Dist::ParetoBounded { alpha, lo, hi } => Dist::ParetoBounded {
+                alpha: *alpha,
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::Mix { p_b, a, b } => Dist::Mix {
+                p_b: *p_b,
+                a: Box::new(a.scaled(factor)),
+                b: Box::new(b.scaled(factor)),
+            },
+            Dist::Shifted { base, extra } => Dist::Shifted {
+                base: base * factor,
+                extra: Box::new(extra.scaled(factor)),
+            },
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, 1, …, n-1}` with exponent `s`.
+///
+/// Item `i` is drawn with probability proportional to `1/(i+1)^s`. Used for
+/// user-popularity skew (Sec. 8 of the paper) and key popularity in caches.
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::{Rng, Zipf};
+///
+/// let z = Zipf::new(100, 1.2);
+/// let mut rng = Rng::new(3);
+/// let mut first = 0;
+/// for _ in 0..1000 {
+///     if z.sample(&mut rng) == 0 {
+///         first += 1;
+///     }
+/// }
+/// assert!(first > 100); // rank 0 is by far the most popular
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true; see [`Zipf::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &Dist, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(5.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn means_match_samples() {
+        let dists = vec![
+            Dist::uniform(2.0, 10.0),
+            Dist::exp(7.0),
+            Dist::erlang(4, 9.0),
+            Dist::log_normal(3.0, 0.7),
+            Dist::pareto(1.5, 1.0, 100.0),
+            Dist::mix(0.3, Dist::constant(1.0), Dist::constant(11.0)),
+            Dist::shifted(5.0, Dist::exp(2.0)),
+        ];
+        for d in dists {
+            let m = empirical_mean(&d, 99, 300_000);
+            let a = d.mean();
+            assert!(
+                (m - a).abs() / a.max(1e-9) < 0.05,
+                "dist {d:?}: empirical {m} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn erlang_less_variable_than_exp() {
+        let mut rng = Rng::new(4);
+        let e = Dist::exp(10.0);
+        let g = Dist::erlang(10, 10.0);
+        let var = |d: &Dist, rng: &mut Rng| {
+            let xs: Vec<f64> = (0..100_000).map(|_| d.sample(rng)).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&g, &mut rng) < var(&e, &mut rng) / 2.0);
+    }
+
+    #[test]
+    fn pareto_stays_in_bounds() {
+        let d = Dist::pareto(1.1, 2.0, 50.0);
+        let mut rng = Rng::new(6);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=50.0001).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn scaled_scales_mean() {
+        let d = Dist::log_normal(4.0, 0.5);
+        let s = d.scaled(3.0);
+        assert!((s.mean() - 3.0 * d.mean()).abs() < 1e-9);
+        let d = Dist::mix(0.5, Dist::exp(2.0), Dist::constant(8.0));
+        let s = d.scaled(2.0);
+        assert!((s.mean() - 2.0 * d.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_is_monotone_and_normalized() {
+        let z = Zipf::new(1000, 0.99);
+        let total: f64 = (0..1000).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(100));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(10);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_sample_skews_to_low_ranks() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = Rng::new(11);
+        let mut low = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 5 {
+                low += 1;
+            }
+        }
+        assert!(low as f64 / n as f64 > 0.7, "low-rank share {low}/{n}");
+    }
+}

@@ -1,0 +1,271 @@
+//! The discrete-event loop: a [`Scheduler`] of typed events and the
+//! [`Model`] trait that consumes them.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: owns all mutable world state and interprets events.
+///
+/// The event type is typically one enum covering every occurrence in the
+/// modelled system (message deliveries, compute completions, timer ticks…).
+/// [`Scheduler::run`] pops events in timestamp order and hands them to
+/// [`Model::handle`], which may schedule further events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event at the scheduler's current virtual time.
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, ev: Self::Event);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        // Ties broken by insertion sequence for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue and clock of a simulation run.
+///
+/// A `Scheduler` owns virtual time, the pending-event heap and the run's
+/// root [`Rng`]. Two events scheduled for the same instant are delivered in
+/// the order they were scheduled, making every run deterministic.
+///
+/// See the [crate-level example](crate) for typical usage.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    rng: Rng,
+    processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler at time zero with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: Rng::new(seed),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The run's root random-number generator.
+    ///
+    /// Components that need decoupled streams should take
+    /// `sched.rng().split()` once at setup.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Schedules `ev` at the absolute instant `at`.
+    ///
+    /// Events scheduled in the past are delivered at the current time (the
+    /// simulation clock never runs backwards).
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Schedules `ev` after the given delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, ev: E) {
+        self.schedule_at(self.now + delay, ev);
+    }
+
+    /// Schedules `ev` at the current instant (after already-queued events
+    /// for this instant).
+    pub fn schedule_now(&mut self, ev: E) {
+        self.schedule_at(self.now, ev);
+    }
+
+    /// Runs the model until the event queue is empty.
+    pub fn run<M: Model<Event = E>>(&mut self, model: &mut M) {
+        self.run_until(model, SimTime::MAX);
+    }
+
+    /// Runs the model until the queue is empty or the next event would be
+    /// after `until`; the clock is left at the last processed event (or
+    /// unchanged if none ran).
+    pub fn run_until<M: Model<Event = E>>(&mut self, model: &mut M, until: SimTime) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > until {
+                break;
+            }
+            let sc = self.heap.pop().expect("peeked");
+            debug_assert!(sc.at >= self.now, "time went backwards");
+            self.now = sc.at;
+            self.processed += 1;
+            model.handle(self, sc.ev);
+        }
+    }
+
+    /// Runs at most `n` further events (for stepping in tests/debuggers).
+    /// Returns the number actually processed.
+    pub fn step<M: Model<Event = E>>(&mut self, model: &mut M, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n {
+            let Some(sc) = self.heap.pop() else { break };
+            self.now = sc.at;
+            self.processed += 1;
+            model.handle(self, sc.ev);
+            done += 1;
+        }
+        done
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tag(u32),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+            match ev {
+                Ev::Tag(t) => self.seen.push((sched.now().as_nanos(), t)),
+                Ev::Chain(n) => {
+                    self.seen.push((sched.now().as_nanos(), n));
+                    if n > 0 {
+                        sched.schedule_in(SimDuration::from_nanos(10), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut s = Scheduler::new(0);
+        s.schedule_at(SimTime::from_nanos(30), Ev::Tag(3));
+        s.schedule_at(SimTime::from_nanos(10), Ev::Tag(1));
+        s.schedule_at(SimTime::from_nanos(20), Ev::Tag(2));
+        let mut m = Recorder::default();
+        s.run(&mut m);
+        assert_eq!(m.seen, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(s.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_delivered_in_schedule_order() {
+        let mut s = Scheduler::new(0);
+        for i in 0..50 {
+            s.schedule_at(SimTime::from_nanos(5), Ev::Tag(i));
+        }
+        let mut m = Recorder::default();
+        s.run(&mut m);
+        let tags: Vec<u32> = m.seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut s = Scheduler::new(0);
+        s.schedule_at(SimTime::ZERO, Ev::Chain(5));
+        let mut m = Recorder::default();
+        s.run(&mut m);
+        assert_eq!(s.now(), SimTime::from_nanos(50));
+        assert_eq!(m.seen.len(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut s = Scheduler::new(0);
+        s.schedule_at(SimTime::from_nanos(10), Ev::Tag(1));
+        s.schedule_at(SimTime::from_nanos(100), Ev::Tag(2));
+        let mut m = Recorder::default();
+        s.run_until(&mut m, SimTime::from_nanos(50));
+        assert_eq!(m.seen, vec![(10, 1)]);
+        assert_eq!(s.pending(), 1);
+        // Can resume afterwards.
+        s.run(&mut m);
+        assert_eq!(m.seen.len(), 2);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut s = Scheduler::new(0);
+        s.schedule_at(SimTime::from_nanos(100), Ev::Tag(1));
+        let mut m = Recorder::default();
+        s.run(&mut m);
+        s.schedule_at(SimTime::from_nanos(5), Ev::Tag(2)); // in the past
+        s.run(&mut m);
+        assert_eq!(m.seen, vec![(100, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn step_limits_event_count() {
+        let mut s = Scheduler::new(0);
+        s.schedule_at(SimTime::ZERO, Ev::Chain(10));
+        let mut m = Recorder::default();
+        assert_eq!(s.step(&mut m, 3), 3);
+        assert_eq!(m.seen.len(), 3);
+        assert_eq!(s.step(&mut m, 100), 8);
+    }
+}

@@ -1,0 +1,406 @@
+//! Latency and throughput metrics: log-bucketed histograms with quantile
+//! extraction, streaming mean/variance, and simple counters.
+
+use crate::time::SimDuration;
+
+/// A log-linear histogram of non-negative `u64` samples (HDR-style).
+///
+/// Values are bucketed with a configurable number of sub-buckets per
+/// power of two (`precision_bits`), bounding relative quantile error to
+/// about `2^-precision_bits`. The default of 5 bits gives ≈3 % error — ample
+/// for tail-latency reporting — with 64 octaves × 32 buckets of `u64`.
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    precision_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(5)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with `2^precision_bits` sub-buckets per octave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision_bits` is not in `1..=8`.
+    pub fn new(precision_bits: u32) -> Self {
+        assert!(
+            (1..=8).contains(&precision_bits),
+            "precision_bits must be in 1..=8"
+        );
+        Histogram {
+            precision_bits,
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// A compact (3-bit, ≈12 % error) histogram for memory-sensitive
+    /// per-window series.
+    pub fn compact() -> Self {
+        Histogram::new(3)
+    }
+
+    fn index_of(&self, value: u64) -> usize {
+        let p = self.precision_bits;
+        if value < (1 << p) {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros(); // >= p
+        let sub = ((value >> (octave - p)) - (1 << p)) as usize;
+        (((octave - p + 1) as usize) << p) + sub
+    }
+
+    fn bucket_upper(&self, index: usize) -> u64 {
+        let p = self.precision_bits;
+        let base = 1usize << p;
+        if index < base {
+            return index as u64;
+        }
+        let octave = (index >> p) as u32 + p - 1;
+        let sub = (index & (base - 1)) as u64;
+        ((1u64 << p) + sub + 1) << (octave - p)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) as a bucket upper bound; exact
+    /// samples are approximated within the bucket's relative precision.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `q`-quantile as a [`SimDuration`] (samples interpreted as ns).
+    pub fn quantile_duration(&self, q: f64) -> SimDuration {
+        SimDuration::from_nanos(self.quantile(q))
+    }
+
+    /// Mean as a [`SimDuration`] (samples interpreted as ns).
+    pub fn mean_duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.mean() as u64)
+    }
+
+    /// Merges another histogram of the same precision into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.precision_bits, other.precision_bits,
+            "cannot merge histograms of different precision"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Clears all samples, keeping the precision.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+/// Streaming mean and variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::MeanVar;
+///
+/// let mut mv = MeanVar::default();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     mv.record(x);
+/// }
+/// assert_eq!(mv.mean(), 5.0);
+/// assert!((mv.variance() - 4.571428).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A monotone event counter with a helper for rates over a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Events per second over the given span (0 for a zero span).
+    pub fn rate(self, over: SimDuration) -> f64 {
+        let secs = over.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.0 as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::default();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q) as f64;
+            let exact = q * 100_000.0;
+            assert!(
+                (est - exact).abs() / exact < 0.05,
+                "q={q}: est {est} exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100_000);
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 17, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let p50 = a.quantile(0.5) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_huge_values() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX / 2);
+        h.record(1_000_000_000_000);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 1_000_000_000_000);
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut h = Histogram::default();
+        h.record(5);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_mismatched_precision_panics() {
+        let mut a = Histogram::new(5);
+        let b = Histogram::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn meanvar_single_value() {
+        let mut mv = MeanVar::new();
+        mv.record(42.0);
+        assert_eq!(mv.mean(), 42.0);
+        assert_eq!(mv.variance(), 0.0);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.add(100);
+        c.incr();
+        assert_eq!(c.get(), 101);
+        assert!((c.rate(SimDuration::from_secs(10)) - 10.1).abs() < 1e-9);
+        assert_eq!(c.rate(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The centralized trace collector.
+
+use std::collections::HashMap;
+
+use dsb_simcore::{Histogram, Rng, SimDuration, WindowedSeries};
+
+use crate::span::{Span, TraceId};
+
+/// Aggregated tracing statistics for one service.
+#[derive(Debug, Clone)]
+pub struct ServiceTraceStats {
+    /// Distribution of span durations over the whole run.
+    pub latency: Histogram,
+    /// Per-window span durations (ns), for timeline heatmaps.
+    pub latency_windows: WindowedSeries,
+    /// Total time spans spent queued for workers/connections, ns.
+    pub queue_ns: u128,
+    /// Total application-processing time, ns.
+    pub app_ns: u128,
+    /// Total network-processing time, ns.
+    pub net_ns: u128,
+    /// Number of spans recorded.
+    pub spans: u64,
+}
+
+impl ServiceTraceStats {
+    fn new(window: SimDuration) -> Self {
+        ServiceTraceStats {
+            latency: Histogram::default(),
+            latency_windows: WindowedSeries::new(window),
+            queue_ns: 0,
+            app_ns: 0,
+            net_ns: 0,
+            spans: 0,
+        }
+    }
+
+    /// Fraction of processing time spent in network processing (the
+    /// paper's Fig. 15 metric): `net / (net + app)`.
+    pub fn net_fraction(&self) -> f64 {
+        let denom = (self.net_ns + self.app_ns) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.net_ns as f64 / denom
+        }
+    }
+}
+
+/// The centralized collector: per-service aggregates plus a sample of
+/// complete traces (like Zipkin's sampled storage).
+///
+/// Aggregation is unconditional and cheap; full span retention is sampled
+/// per trace so long runs stay within memory. The paper verifies tracing
+/// overhead is < 0.1 % of end-to-end latency; in the simulator collection
+/// is free (no simulated cost), which we note in EXPERIMENTS.md.
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::{SimDuration, SimTime};
+/// use dsb_trace::{Span, SpanId, TraceCollector, TraceId};
+///
+/// let mut col = TraceCollector::new(SimDuration::from_secs(1), 1.0, 7);
+/// col.record(Span {
+///     trace: TraceId(1),
+///     id: SpanId(1),
+///     parent: None,
+///     service: 0,
+///     endpoint: 0,
+///     start: SimTime::ZERO,
+///     end: SimTime::from_micros(150),
+///     queue_time: SimDuration::ZERO,
+///     app_time: SimDuration::from_micros(100),
+///     net_time: SimDuration::from_micros(50),
+/// });
+/// let stats = col.service(0).unwrap();
+/// assert_eq!(stats.spans, 1);
+/// assert!((stats.net_fraction() - 1.0 / 3.0).abs() < 1e-9);
+/// assert_eq!(col.sampled_traces().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceCollector {
+    window: SimDuration,
+    sample_prob: f64,
+    rng: Rng,
+    services: Vec<ServiceTraceStats>,
+    sampled: HashMap<TraceId, Vec<Span>>,
+    sample_decisions: HashMap<TraceId, bool>,
+    dropped: u64,
+}
+
+impl TraceCollector {
+    /// Creates a collector with the given heatmap window width, trace
+    /// sampling probability, and RNG seed.
+    pub fn new(window: SimDuration, sample_prob: f64, seed: u64) -> Self {
+        TraceCollector {
+            window,
+            sample_prob: sample_prob.clamp(0.0, 1.0),
+            rng: Rng::new(seed),
+            services: Vec::new(),
+            sampled: HashMap::new(),
+            sample_decisions: HashMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records one completed span.
+    pub fn record(&mut self, span: Span) {
+        let idx = span.service as usize;
+        if idx >= self.services.len() {
+            let w = self.window;
+            self.services
+                .resize_with(idx + 1, || ServiceTraceStats::new(w));
+        }
+        let s = &mut self.services[idx];
+        let dur = span.duration().as_nanos();
+        s.latency.record(dur);
+        s.latency_windows.record(span.end, dur);
+        s.queue_ns += span.queue_time.as_nanos() as u128;
+        s.app_ns += span.app_time.as_nanos() as u128;
+        s.net_ns += span.net_time.as_nanos() as u128;
+        s.spans += 1;
+
+        let keep = *self
+            .sample_decisions
+            .entry(span.trace)
+            .or_insert_with(|| self.rng.chance(self.sample_prob));
+        if keep {
+            self.sampled.entry(span.trace).or_default().push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Aggregates for service `id`, if any span was recorded for it.
+    pub fn service(&self, id: u32) -> Option<&ServiceTraceStats> {
+        self.services.get(id as usize).filter(|s| s.spans > 0)
+    }
+
+    /// Number of services with at least one span.
+    pub fn service_count(&self) -> usize {
+        self.services.iter().filter(|s| s.spans > 0).count()
+    }
+
+    /// Iterates over retained complete traces.
+    pub fn sampled_traces(&self) -> impl Iterator<Item = (&TraceId, &Vec<Span>)> {
+        self.sampled.iter()
+    }
+
+    /// The spans of one sampled trace, if retained.
+    pub fn trace(&self, id: TraceId) -> Option<&[Span]> {
+        self.sampled.get(&id).map(Vec::as_slice)
+    }
+
+    /// Spans recorded but not retained (aggregation still happened).
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+    use dsb_simcore::SimTime;
+
+    fn span(trace: u64, svc: u32, start_us: u64, end_us: u64) -> Span {
+        Span {
+            trace: TraceId(trace),
+            id: SpanId(trace * 100 + svc as u64),
+            parent: None,
+            service: svc,
+            endpoint: 0,
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            queue_time: SimDuration::from_micros(1),
+            app_time: SimDuration::from_micros(5),
+            net_time: SimDuration::from_micros(3),
+        }
+    }
+
+    #[test]
+    fn aggregates_per_service() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.0, 1);
+        c.record(span(1, 0, 0, 100));
+        c.record(span(2, 0, 0, 200));
+        c.record(span(3, 5, 0, 50));
+        assert_eq!(c.service_count(), 2);
+        let s0 = c.service(0).unwrap();
+        assert_eq!(s0.spans, 2);
+        assert!(s0.latency.quantile(1.0) >= 190_000);
+        assert!(c.service(1).is_none());
+        assert!(c.service(99).is_none());
+    }
+
+    #[test]
+    fn sampling_zero_drops_all_traces() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.0, 1);
+        for i in 0..50 {
+            c.record(span(i, 0, 0, 10));
+        }
+        assert_eq!(c.sampled_traces().count(), 0);
+        assert_eq!(c.dropped_spans(), 50);
+        // Aggregation unaffected by sampling.
+        assert_eq!(c.service(0).unwrap().spans, 50);
+    }
+
+    #[test]
+    fn sampling_one_keeps_all() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 1.0, 1);
+        for i in 0..20 {
+            c.record(span(i, 0, 0, 10));
+        }
+        assert_eq!(c.sampled_traces().count(), 20);
+        assert_eq!(c.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn sampling_decision_consistent_within_trace() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.5, 42);
+        for i in 0..200 {
+            // 3 spans per trace.
+            c.record(span(i, 0, 0, 10));
+            c.record(span(i, 1, 0, 10));
+            c.record(span(i, 2, 0, 10));
+        }
+        for (_, spans) in c.sampled_traces() {
+            assert_eq!(spans.len(), 3, "trace must be kept or dropped whole");
+        }
+        let kept = c.sampled_traces().count();
+        assert!((60..140).contains(&kept), "kept {kept} of 200");
+    }
+
+    #[test]
+    fn net_fraction_computed() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.0, 1);
+        c.record(span(1, 0, 0, 10));
+        let f = c.service(0).unwrap().net_fraction();
+        assert!((f - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_track_time() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.0, 1);
+        c.record(span(1, 0, 0, 100));
+        c.record(span(2, 0, 1_500_000, 1_500_100));
+        let s = c.service(0).unwrap();
+        assert_eq!(s.latency_windows.count(0), 1);
+        assert_eq!(s.latency_windows.count(1), 1);
+    }
+}

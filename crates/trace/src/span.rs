@@ -1,0 +1,236 @@
+//! Span records and critical-path attribution.
+
+use dsb_simcore::{SimDuration, SimTime};
+
+/// Identifies one end-to-end request across all of its RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span (one RPC's execution at one service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// One RPC's lifetime at one service, in the style of Dapper/Zipkin.
+///
+/// `start` is the instant the request arrived at the service (before
+/// queueing); `end` is the instant the response left. The component fields
+/// decompose the interval the way the paper's §5 analysis does: time queued
+/// for a worker, time executing application code, time executing network
+/// (TCP/RPC) processing, and time blocked on downstream calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// End-to-end request this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (unique within the run).
+    pub id: SpanId,
+    /// The caller's span, if any (`None` for the root/front-end span).
+    pub parent: Option<SpanId>,
+    /// Raw service id (assigned by `dsb-core`).
+    pub service: u32,
+    /// Raw endpoint index within the service.
+    pub endpoint: u32,
+    /// Arrival at the service.
+    pub start: SimTime,
+    /// Response departure.
+    pub end: SimTime,
+    /// Time spent waiting for a worker / connection.
+    pub queue_time: SimDuration,
+    /// Time executing application-domain compute.
+    pub app_time: SimDuration,
+    /// Time executing network processing (kernel + serialization).
+    pub net_time: SimDuration,
+}
+
+impl Span {
+    /// Total wall-clock duration of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Latency attributed to one service by [`critical_path`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attribution {
+    /// Raw service id.
+    pub service: u32,
+    /// Nanoseconds of end-to-end latency attributed to this service.
+    pub ns: u64,
+}
+
+/// Attributes the root span's latency to services along the critical path.
+///
+/// Uses the "last finishing child" walk standard for Dapper-style traces:
+/// starting from a span's end, repeatedly find the child whose completion
+/// gates progress, attribute the gap after it to the span's own service,
+/// and recurse into the child. Returns per-service totals, sorted by
+/// descending attribution. Returns an empty vector if `spans` is empty or
+/// contains no root.
+///
+/// # Example
+///
+/// ```
+/// use dsb_simcore::{SimDuration, SimTime};
+/// use dsb_trace::{critical_path, Span, SpanId, TraceId};
+///
+/// let t = TraceId(1);
+/// let mk = |id: u64, parent: Option<u64>, svc: u32, s: u64, e: u64| Span {
+///     trace: t,
+///     id: SpanId(id),
+///     parent: parent.map(SpanId),
+///     service: svc,
+///     endpoint: 0,
+///     start: SimTime::from_micros(s),
+///     end: SimTime::from_micros(e),
+///     queue_time: SimDuration::ZERO,
+///     app_time: SimDuration::ZERO,
+///     net_time: SimDuration::ZERO,
+/// };
+/// // Root 0..100us, child covering 20..90us.
+/// let spans = vec![mk(1, None, 0, 0, 100), mk(2, Some(1), 7, 20, 90)];
+/// let attr = critical_path(&spans);
+/// let child = attr.iter().find(|a| a.service == 7).unwrap();
+/// assert_eq!(child.ns, 70_000);
+/// let root = attr.iter().find(|a| a.service == 0).unwrap();
+/// assert_eq!(root.ns, 30_000);
+/// ```
+pub fn critical_path(spans: &[Span]) -> Vec<Attribution> {
+    let Some(root) = spans.iter().find(|s| s.parent.is_none()) else {
+        return Vec::new();
+    };
+    let mut totals: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    attribute(root, spans, &mut totals);
+    let mut out: Vec<Attribution> = totals
+        .into_iter()
+        .map(|(service, ns)| Attribution { service, ns })
+        .collect();
+    out.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.service.cmp(&b.service)));
+    out
+}
+
+fn attribute(
+    span: &Span,
+    spans: &[Span],
+    totals: &mut std::collections::HashMap<u32, u64>,
+) {
+    let mut children: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.parent == Some(span.id))
+        .collect();
+    // Walk backwards from the span's end.
+    children.sort_by_key(|s| std::cmp::Reverse(s.end));
+    let mut cursor = span.end;
+    for child in children {
+        if child.end <= cursor {
+            // Gap after this child is the span's own work.
+            *totals.entry(span.service).or_insert(0) +=
+                (cursor - child.end.min(cursor)).as_nanos();
+            attribute(child, spans, totals);
+            cursor = child.start.min(cursor);
+        }
+        // Children ending after the cursor overlap work already attributed;
+        // they are off the critical path.
+    }
+    *totals.entry(span.service).or_insert(0) += (cursor - span.start.min(cursor)).as_nanos();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u64, parent: Option<u64>, svc: u32, s_us: u64, e_us: u64) -> Span {
+        Span {
+            trace: TraceId(1),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            service: svc,
+            endpoint: 0,
+            start: SimTime::from_micros(s_us),
+            end: SimTime::from_micros(e_us),
+            queue_time: SimDuration::ZERO,
+            app_time: SimDuration::ZERO,
+            net_time: SimDuration::ZERO,
+        }
+    }
+
+    fn attr_of(attr: &[Attribution], svc: u32) -> u64 {
+        attr.iter()
+            .find(|a| a.service == svc)
+            .map_or(0, |a| a.ns)
+    }
+
+    #[test]
+    fn single_span_owns_everything() {
+        let spans = vec![mk(1, None, 3, 10, 60)];
+        let attr = critical_path(&spans);
+        assert_eq!(attr.len(), 1);
+        assert_eq!(attr_of(&attr, 3), 50_000);
+    }
+
+    #[test]
+    fn sequential_children_chain() {
+        // Root 0..100; children 10..40 and 50..90 (sequential calls).
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 10, 40),
+            mk(3, Some(1), 2, 50, 90),
+        ];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 2), 40_000);
+        assert_eq!(attr_of(&attr, 1), 30_000);
+        // Root gets 100 - 40 - 30 - (overlap gaps): [90,100]+[40,50]+[0,10] = 30.
+        assert_eq!(attr_of(&attr, 0), 30_000);
+        let total: u64 = attr.iter().map(|a| a.ns).sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn parallel_children_attribute_longest() {
+        // Two parallel children 10..90 (svc 1) and 10..50 (svc 2):
+        // only the later-ending child is on the critical path.
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 10, 90),
+            mk(3, Some(1), 2, 10, 50),
+        ];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 1), 80_000);
+        assert_eq!(attr_of(&attr, 2), 0);
+        assert_eq!(attr_of(&attr, 0), 20_000);
+    }
+
+    #[test]
+    fn nested_grandchildren_recurse() {
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 20, 80),
+            mk(3, Some(2), 2, 30, 70),
+        ];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 2), 40_000);
+        assert_eq!(attr_of(&attr, 1), 20_000);
+        assert_eq!(attr_of(&attr, 0), 40_000);
+    }
+
+    #[test]
+    fn empty_and_rootless_traces() {
+        assert!(critical_path(&[]).is_empty());
+        let spans = vec![mk(2, Some(1), 1, 0, 10)];
+        assert!(critical_path(&spans).is_empty());
+    }
+
+    #[test]
+    fn attribution_sorted_descending() {
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 5, 95),
+        ];
+        let attr = critical_path(&spans);
+        assert!(attr.windows(2).all(|w| w[0].ns >= w[1].ns));
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = mk(1, None, 0, 10, 35);
+        assert_eq!(s.duration(), SimDuration::from_micros(25));
+    }
+}

@@ -1,0 +1,270 @@
+//! Core models: brawny out-of-order vs wimpy in-order, frequency scaling,
+//! and the analytic top-down cycle breakdown.
+
+use crate::profile::UarchProfile;
+
+/// The pipeline organization of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Wide out-of-order core (Xeon-class): overlaps memory stalls.
+    BrawnyOoO,
+    /// Narrow in-order core (Cavium ThunderX-class): exposed stalls.
+    WimpyInOrder,
+}
+
+/// A top-down cycle breakdown, as fractions that sum to 1 (Fig. 10's
+/// stacked bars), plus the resulting IPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Front-end bound fraction (fetch stalls, i-cache misses).
+    pub frontend: f64,
+    /// Bad-speculation fraction (branch mispredictions).
+    pub bad_spec: f64,
+    /// Back-end bound fraction (data-memory and execution stalls).
+    pub backend: f64,
+    /// Retiring fraction (useful work).
+    pub retiring: f64,
+    /// Instructions per cycle implied by the breakdown.
+    pub ipc: f64,
+}
+
+impl CycleBreakdown {
+    /// Sanity helper: the four fractions, in Fig. 10's stacking order.
+    pub fn fractions(&self) -> [f64; 4] {
+        [self.frontend, self.bad_spec, self.backend, self.retiring]
+    }
+}
+
+/// A processor core: kind, issue width, frequency, and stall penalties.
+///
+/// The model computes cycles-per-kilo-instruction (CPKI) as
+/// `base + frontend + bad-speculation + backend` where each stall term is
+/// `MPKI × penalty`, with back-end penalties partially hidden on
+/// out-of-order cores (`mem_overlap`). Dividing demand expressed in
+/// *reference-core nanoseconds* by [`CoreModel::speed_factor`] turns the
+/// same handler into its latency on any core at any frequency — which is
+/// how the RAPL (Fig. 12) and ThunderX (Fig. 13) experiments run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreModel {
+    /// Pipeline organization.
+    pub kind: CoreKind,
+    /// Issue width (caps achievable IPC).
+    pub width: f64,
+    /// Operating frequency in GHz.
+    pub freq_ghz: f64,
+    /// Nominal (design) frequency in GHz; RAPL lowers `freq_ghz` below it.
+    pub nominal_ghz: f64,
+    /// Fraction of memory-stall cycles hidden by out-of-order execution.
+    pub mem_overlap: f64,
+    /// L1-i miss penalty, cycles.
+    pub l1i_penalty: f64,
+    /// L2 hit-after-L1-miss penalty, cycles.
+    pub l2_penalty: f64,
+    /// DRAM access penalty, cycles.
+    pub mem_penalty: f64,
+    /// Branch misprediction penalty, cycles.
+    pub branch_penalty: f64,
+    /// D-TLB miss penalty, cycles.
+    pub dtlb_penalty: f64,
+}
+
+impl CoreModel {
+    /// The reference server core: Intel Xeon-class, 4-wide OoO at 2.4 GHz
+    /// (between the paper's E5-2660 v3 and E5-2699 v4 clusters).
+    pub fn xeon() -> Self {
+        CoreModel {
+            kind: CoreKind::BrawnyOoO,
+            width: 4.0,
+            freq_ghz: 2.4,
+            nominal_ghz: 2.4,
+            mem_overlap: 0.55,
+            l1i_penalty: 14.0,
+            l2_penalty: 12.0,
+            mem_penalty: 120.0,
+            branch_penalty: 16.0,
+            dtlb_penalty: 30.0,
+        }
+    }
+
+    /// A Cavium ThunderX-class core: 2-wide in-order at 1.8 GHz. In-order
+    /// execution exposes memory stalls (`mem_overlap = 0`).
+    pub fn thunderx() -> Self {
+        CoreModel {
+            kind: CoreKind::WimpyInOrder,
+            width: 2.0,
+            freq_ghz: 1.8,
+            nominal_ghz: 1.8,
+            mem_overlap: 0.0,
+            l1i_penalty: 20.0,
+            l2_penalty: 20.0,
+            mem_penalty: 150.0,
+            branch_penalty: 8.0,
+            dtlb_penalty: 40.0,
+        }
+    }
+
+    /// Returns a copy clocked at `ghz` (models RAPL frequency scaling).
+    pub fn at_frequency(mut self, ghz: f64) -> Self {
+        assert!(ghz > 0.0, "frequency must be positive");
+        self.freq_ghz = ghz;
+        self
+    }
+
+    /// Cycles per kilo-instruction for the given instruction stream,
+    /// split into (base, frontend, bad-spec, backend).
+    fn cpki_terms(&self, p: &UarchProfile) -> (f64, f64, f64, f64) {
+        let ipc_ideal = p.ilp.min(self.width);
+        let base = 1000.0 / ipc_ideal;
+        let frontend = p.l1i_mpki * self.l1i_penalty;
+        let bad_spec = p.branch_mpki * self.branch_penalty;
+        let hidden = match self.kind {
+            CoreKind::BrawnyOoO => 1.0 - self.mem_overlap,
+            CoreKind::WimpyInOrder => 1.0,
+        };
+        let backend = hidden
+            * (p.l2_mpki * self.l2_penalty
+                + p.llc_mpki * self.mem_penalty
+                + p.dtlb_mpki * self.dtlb_penalty);
+        (base, frontend, bad_spec, backend)
+    }
+
+    /// The top-down cycle breakdown and IPC of `p` on this core.
+    ///
+    /// Fractions are over *issue slots* (`width × cycles`), the proper
+    /// top-down denominator: retiring is `IPC / width`; cycles in which the
+    /// pipeline issues below width due to limited ILP are charged to the
+    /// back-end (core-bound), as vTune does.
+    pub fn breakdown(&self, p: &UarchProfile) -> CycleBreakdown {
+        let (base, fe, bs, be) = self.cpki_terms(p);
+        let total_cycles = base + fe + bs + be;
+        let slots = total_cycles * self.width;
+        let retiring = 1000.0 / slots;
+        let frontend = fe / total_cycles;
+        let bad_spec = bs / total_cycles;
+        let backend = (be + base - 1000.0 / self.width) / total_cycles;
+        CycleBreakdown {
+            frontend,
+            bad_spec,
+            backend,
+            retiring,
+            ipc: 1000.0 / total_cycles,
+        }
+    }
+
+    /// Instructions per cycle of `p` on this core.
+    pub fn ipc(&self, p: &UarchProfile) -> f64 {
+        self.breakdown(p).ipc
+    }
+
+    /// Wall-clock time multiplier for running `p` on this core, relative
+    /// to the same work on the reference core ([`CoreModel::xeon`] at its
+    /// nominal frequency). 1.0 on the reference; > 1 means slower.
+    pub fn speed_factor(&self, p: &UarchProfile) -> f64 {
+        let reference = CoreModel::xeon();
+        let t_self = self.time_per_kilo_instruction_ns(p);
+        let t_ref = reference.time_per_kilo_instruction_ns(p);
+        t_self / t_ref
+    }
+
+    /// Nanoseconds to execute one kilo-instruction of `p` on this core.
+    pub fn time_per_kilo_instruction_ns(&self, p: &UarchProfile) -> f64 {
+        let (base, fe, bs, be) = self.cpki_terms(p);
+        (base + fe + bs + be) / self.freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let c = CoreModel::xeon();
+        for p in [
+            UarchProfile::microservice_default(),
+            UarchProfile::monolith(),
+            UarchProfile::search(),
+            UarchProfile::recommender(),
+        ] {
+            let b = c.breakdown(&p);
+            let sum: f64 = b.fractions().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{p:?} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn search_has_high_ipc_recommender_low() {
+        // Paper: Search (xapian) retires most instructions & high IPC;
+        // the recommender's IPC is extremely low.
+        let c = CoreModel::xeon();
+        let search = c.ipc(&UarchProfile::search());
+        let recommender = c.ipc(&UarchProfile::recommender());
+        let typical = c.ipc(&UarchProfile::microservice_default());
+        assert!(search > typical, "search {search} vs typical {typical}");
+        assert!(recommender < typical * 0.7, "recommender {recommender}");
+        assert!(search > 2.0 * recommender);
+    }
+
+    #[test]
+    fn monolith_more_frontend_bound_than_microservice() {
+        let c = CoreModel::xeon();
+        let mono = c.breakdown(&UarchProfile::monolith());
+        let micro = c.breakdown(&UarchProfile::microservice_default());
+        assert!(mono.frontend > micro.frontend);
+    }
+
+    #[test]
+    fn retiring_fraction_is_minority_for_microservices() {
+        // Paper: ~21% retiring on average for Social Network.
+        let c = CoreModel::xeon();
+        let b = c.breakdown(&UarchProfile::microservice_default());
+        assert!(b.retiring < 0.5, "retiring {}", b.retiring);
+    }
+
+    #[test]
+    fn reference_speed_factor_is_one() {
+        let p = UarchProfile::microservice_default();
+        assert!((CoreModel::xeon().speed_factor(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_scaling_slows_proportionally() {
+        let p = UarchProfile::nginx();
+        let full = CoreModel::xeon();
+        let half = CoreModel::xeon().at_frequency(1.2);
+        let ratio = half.speed_factor(&p) / full.speed_factor(&p);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn thunderx_slower_than_xeon_even_at_equal_frequency() {
+        let p = UarchProfile::microservice_default();
+        let xeon18 = CoreModel::xeon().at_frequency(1.8);
+        let tx = CoreModel::thunderx();
+        assert!(
+            tx.speed_factor(&p) > xeon18.speed_factor(&p),
+            "in-order core must be slower at equal clocks"
+        );
+    }
+
+    #[test]
+    fn memory_bound_code_suffers_more_in_order() {
+        // In-order penalty is largest for memory-bound code (no overlap).
+        let tx = CoreModel::thunderx();
+        let xeon = CoreModel::xeon().at_frequency(1.8);
+        let mem_bound = UarchProfile::recommender();
+        let compute_bound = UarchProfile::search();
+        let penalty_mem = tx.speed_factor(&mem_bound) / xeon.speed_factor(&mem_bound);
+        let penalty_cpu = tx.speed_factor(&compute_bound) / xeon.speed_factor(&compute_bound);
+        assert!(
+            penalty_mem > penalty_cpu,
+            "mem {penalty_mem} vs cpu {penalty_cpu}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_frequency_panics() {
+        let _ = CoreModel::xeon().at_frequency(0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-service microarchitectural profiles and execution domains.
+
+/// Where cycles are spent, from the OS-accounting perspective of Fig. 14.
+///
+/// Every compute step in a behaviour script is tagged with a domain so that
+/// kernel/user/library shares fall out of ordinary accounting. Network
+/// (TCP/RPC) processing is charged to [`ExecDomain::Kernel`] like the paper
+/// observes for interrupt handling and TCP processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecDomain {
+    /// Kernel mode: interrupts, TCP processing, scheduling.
+    Kernel,
+    /// Application code proper.
+    User,
+    /// Shared libraries (libc, libstdc++, language runtimes, Thrift).
+    Libs,
+    /// Anything else (JITs, VDSO, …).
+    Other,
+}
+
+impl ExecDomain {
+    /// All domains, in the order the paper's Fig. 14 stacks them.
+    pub const ALL: [ExecDomain; 4] = [
+        ExecDomain::Kernel,
+        ExecDomain::User,
+        ExecDomain::Libs,
+        ExecDomain::Other,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecDomain::Kernel => "OS",
+            ExecDomain::User => "User",
+            ExecDomain::Libs => "Libs",
+            ExecDomain::Other => "Other",
+        }
+    }
+
+    /// Dense index for array-backed accounting.
+    pub fn index(self) -> usize {
+        match self {
+            ExecDomain::Kernel => 0,
+            ExecDomain::User => 1,
+            ExecDomain::Libs => 2,
+            ExecDomain::Other => 3,
+        }
+    }
+}
+
+/// Microarchitectural characteristics of one service's instruction stream.
+///
+/// Miss rates are expressed per kilo-instruction (MPKI), matching how the
+/// paper reports them; `ilp` is the inherent instruction-level parallelism
+/// the code exposes (the IPC it would achieve on a perfect front-end and
+/// memory system, capped by the core's issue width).
+///
+/// Constructors provide calibrated presets for the service archetypes that
+/// appear across the suite; applications tweak them per tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UarchProfile {
+    /// L1 instruction-cache misses per kilo-instruction (Fig. 11's metric).
+    pub l1i_mpki: f64,
+    /// L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// Last-level-cache misses per kilo-instruction (DRAM accesses).
+    pub llc_mpki: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Data-TLB misses per kilo-instruction.
+    pub dtlb_mpki: f64,
+    /// Inherent ILP of the code (ideal IPC on an unconstrained core).
+    pub ilp: f64,
+}
+
+impl UarchProfile {
+    /// A typical single-concern microservice: small code footprint, hence
+    /// modest i-cache pressure (the paper's central µarch observation).
+    pub fn microservice_default() -> Self {
+        UarchProfile {
+            l1i_mpki: 12.0,
+            l2_mpki: 4.0,
+            llc_mpki: 0.8,
+            branch_mpki: 3.0,
+            dtlb_mpki: 0.6,
+            ilp: 2.2,
+        }
+    }
+
+    /// A monolithic binary containing the whole application: large code
+    /// footprint, heavy i-cache pressure (Fig. 11 shows the monolith worst).
+    pub fn monolith() -> Self {
+        UarchProfile {
+            l1i_mpki: 68.0,
+            l2_mpki: 12.0,
+            llc_mpki: 1.6,
+            branch_mpki: 6.5,
+            dtlb_mpki: 1.8,
+            ilp: 2.0,
+        }
+    }
+
+    /// nginx-style event-driven web server / load balancer.
+    pub fn nginx() -> Self {
+        UarchProfile {
+            l1i_mpki: 32.0,
+            l2_mpki: 7.0,
+            llc_mpki: 1.0,
+            branch_mpki: 5.0,
+            dtlb_mpki: 1.0,
+            ilp: 2.1,
+        }
+    }
+
+    /// memcached-style in-memory key-value store: kernel-heavy, moderate
+    /// i-cache pressure, data-dependent loads.
+    pub fn memcached() -> Self {
+        UarchProfile {
+            l1i_mpki: 30.0,
+            l2_mpki: 9.0,
+            llc_mpki: 2.2,
+            branch_mpki: 4.0,
+            dtlb_mpki: 2.0,
+            ilp: 1.8,
+        }
+    }
+
+    /// MongoDB-style persistent store: large binary, I/O bound.
+    pub fn mongodb() -> Self {
+        UarchProfile {
+            l1i_mpki: 38.0,
+            l2_mpki: 10.0,
+            llc_mpki: 2.8,
+            branch_mpki: 5.5,
+            dtlb_mpki: 2.4,
+            ilp: 1.7,
+        }
+    }
+
+    /// Xapian-style search: optimized for memory locality, small hot loop —
+    /// the paper calls out its high IPC and few front-end stalls.
+    pub fn search() -> Self {
+        UarchProfile {
+            l1i_mpki: 4.0,
+            l2_mpki: 2.0,
+            llc_mpki: 0.5,
+            branch_mpki: 1.5,
+            dtlb_mpki: 0.4,
+            ilp: 3.0,
+        }
+    }
+
+    /// ML recommender: extremely low IPC, memory-bound dense/sparse math
+    /// (the paper notes its IPC is the lowest in E-commerce).
+    pub fn recommender() -> Self {
+        UarchProfile {
+            l1i_mpki: 3.0,
+            l2_mpki: 18.0,
+            llc_mpki: 9.0,
+            branch_mpki: 1.0,
+            dtlb_mpki: 3.5,
+            ilp: 1.4,
+        }
+    }
+
+    /// A trivially simple microservice (e.g. wishlist): negligible i-cache
+    /// misses.
+    pub fn tiny_service() -> Self {
+        UarchProfile {
+            l1i_mpki: 1.5,
+            l2_mpki: 1.0,
+            llc_mpki: 0.3,
+            branch_mpki: 1.0,
+            dtlb_mpki: 0.2,
+            ilp: 2.6,
+        }
+    }
+
+    /// Managed-runtime service (JVM/node.js): larger footprint than native
+    /// microservices, more indirect branches.
+    pub fn managed_runtime() -> Self {
+        UarchProfile {
+            l1i_mpki: 18.0,
+            l2_mpki: 6.0,
+            llc_mpki: 1.2,
+            branch_mpki: 5.0,
+            dtlb_mpki: 1.0,
+            ilp: 1.9,
+        }
+    }
+
+    /// Computer-vision kernel (image recognition): data-crunching loop with
+    /// good locality and high ILP.
+    pub fn vision() -> Self {
+        UarchProfile {
+            l1i_mpki: 2.0,
+            l2_mpki: 6.0,
+            llc_mpki: 2.5,
+            branch_mpki: 0.8,
+            dtlb_mpki: 0.8,
+            ilp: 2.8,
+        }
+    }
+
+    /// Returns a copy with a different L1-i MPKI (for sweeps/ablations).
+    pub fn with_l1i_mpki(mut self, mpki: f64) -> Self {
+        self.l1i_mpki = mpki;
+        self
+    }
+
+    /// Returns a copy with a different inherent ILP.
+    pub fn with_ilp(mut self, ilp: f64) -> Self {
+        self.ilp = ilp;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolith_has_most_icache_pressure() {
+        let presets = [
+            UarchProfile::microservice_default(),
+            UarchProfile::nginx(),
+            UarchProfile::memcached(),
+            UarchProfile::mongodb(),
+            UarchProfile::search(),
+            UarchProfile::recommender(),
+            UarchProfile::tiny_service(),
+            UarchProfile::managed_runtime(),
+            UarchProfile::vision(),
+        ];
+        let mono = UarchProfile::monolith();
+        for p in presets {
+            assert!(mono.l1i_mpki > p.l1i_mpki, "monolith must dominate {p:?}");
+        }
+    }
+
+    #[test]
+    fn microservices_below_traditional_cloud_apps() {
+        // The paper: microservice i-cache pressure is "considerably lower"
+        // than nginx/memcached/mongodb.
+        let micro = UarchProfile::microservice_default();
+        assert!(micro.l1i_mpki < UarchProfile::nginx().l1i_mpki);
+        assert!(micro.l1i_mpki < UarchProfile::memcached().l1i_mpki);
+        assert!(micro.l1i_mpki < UarchProfile::mongodb().l1i_mpki);
+    }
+
+    #[test]
+    fn domain_indices_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for d in ExecDomain::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+            assert!(!d.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let p = UarchProfile::search().with_l1i_mpki(9.0).with_ilp(1.1);
+        assert_eq!(p.l1i_mpki, 9.0);
+        assert_eq!(p.ilp, 1.1);
+    }
+}

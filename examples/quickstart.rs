@@ -1,0 +1,73 @@
+//! Quickstart: build the Social Network, drive Poisson load through it,
+//! and read end-to-end and per-tier results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deathstarbench_sim::apps::{social, BuiltApp};
+use deathstarbench_sim::core::{ClusterSpec, RequestType, Simulation};
+use deathstarbench_sim::simcore::SimTime;
+use deathstarbench_sim::workload::{OpenLoop, UserPopulation};
+
+fn main() {
+    // 1. The application: 36 microservices matching the paper's Fig. 4.
+    let app: BuiltApp = social::social_network();
+    println!(
+        "built {} with {} services and {} dependency edges",
+        app.spec.name,
+        app.spec.service_count(),
+        app.spec.edges().len()
+    );
+
+    // 2. A cluster: eight 40-core Xeon servers over two racks.
+    let cluster = ClusterSpec::xeon_cluster(8, 2);
+
+    // 3. Deterministic simulation + an open-loop generator over the app's
+    //    query mix (composePost / readTimeline / repost / …).
+    let mut sim = Simulation::new(app.spec.clone(), cluster, 42);
+    let mut load = OpenLoop::new(app.mix.clone(), UserPopulation::uniform(1000), 42);
+
+    // 4. Drive 300 QPS for 20 virtual seconds and let everything drain.
+    load.drive(&mut sim, SimTime::ZERO, SimTime::from_secs(20), 300.0);
+    sim.run_until_idle();
+
+    // 5. Per-query-type end-to-end latency.
+    println!("\nper-query-type end-to-end latency:");
+    let names = [
+        "composeText",
+        "composeImage",
+        "composeVideo",
+        "readTimeline",
+        "readPost",
+        "repost",
+        "login",
+        "follow",
+        "search",
+    ];
+    for (i, name) in names.iter().enumerate() {
+        if let Some(st) = sim.request_stats(RequestType(i as u32)) {
+            println!(
+                "  {name:>13}: {:>6} reqs, p50 {:>8}, p99 {:>8}",
+                st.completed,
+                st.latency.quantile_duration(0.5),
+                st.latency.quantile_duration(0.99),
+            );
+        }
+    }
+
+    // 6. Where did the cycles go? (the paper's Fig. 3 / Fig. 14 view)
+    let mut net = 0u128;
+    let mut appt = 0u128;
+    for i in 0..app.spec.service_count() {
+        if let Some(s) = sim.collector().service(i as u32) {
+            net += s.net_ns;
+            appt += s.app_ns;
+        }
+    }
+    println!(
+        "\nnetwork processing share of execution: {:.1}% (paper reports 36.3%)",
+        net as f64 / (net + appt) as f64 * 100.0
+    );
+    println!("events processed: {}", sim.events_processed());
+}

@@ -1,0 +1,63 @@
+//! The Swarm IoT trade-off (§3.6, Fig. 9): run the drone-coordination
+//! service with computation at the edge vs in the cloud and sweep load.
+//!
+//! ```sh
+//! cargo run --release --example swarm_edge_vs_cloud
+//! ```
+
+use deathstarbench_sim::apps::swarm::{self, SwarmVariant};
+use deathstarbench_sim::core::{ClusterSpec, MachineSpec, Simulation};
+use deathstarbench_sim::simcore::SimTime;
+use deathstarbench_sim::workload::{OpenLoop, UserPopulation};
+
+fn run(variant: SwarmVariant, qps: f64) -> (f64, f64, f64) {
+    let app = swarm::swarm(variant);
+    let mut cluster = ClusterSpec::xeon_cluster(8, 2);
+    for _ in 0..24 {
+        cluster.machines.push(MachineSpec::edge_device()); // the drones
+    }
+    let mut sim = Simulation::new(app.spec.clone(), cluster, 9);
+    let mut load = OpenLoop::new(app.mix.clone(), UserPopulation::uniform(24), 9);
+    load.drive(&mut sim, SimTime::ZERO, SimTime::from_secs(10), qps);
+    sim.advance_to(SimTime::from_secs(10));
+    let p99 = |rt| {
+        sim.request_stats(rt)
+            .map_or(0.0, |s| s.windows.merged_range(3, 10).quantile(0.99) as f64 / 1e6)
+    };
+    let mut issued = 0;
+    let mut completed = 0;
+    for t in 0..3 {
+        if let Some(s) = sim.request_stats(deathstarbench_sim::core::RequestType(t)) {
+            issued += s.issued;
+            completed += s.completed;
+        }
+    }
+    (
+        p99(swarm::IMAGE_RECOG),
+        p99(swarm::OBSTACLE_AVOID),
+        completed as f64 / issued.max(1) as f64,
+    )
+}
+
+fn main() {
+    println!("Swarm coordination: p99 (ms) per query type, edge vs cloud\n");
+    println!(
+        "{:>6}  {:>14} {:>14}  {:>14} {:>14}",
+        "QPS", "edge imgRec", "cloud imgRec", "edge obstacle", "cloud obstacle"
+    );
+    for qps in [2.0, 8.0, 30.0, 120.0] {
+        let (ei, eo, ec) = run(SwarmVariant::Edge, qps);
+        let (ci, co, cc) = run(SwarmVariant::Cloud, qps);
+        println!(
+            "{qps:>6.0}  {ei:>10.1} ({:>2.0}%) {ci:>9.1} ({:>2.0}%)  {eo:>14.1} {co:>14.1}",
+            ec * 100.0,
+            cc * 100.0
+        );
+    }
+    println!(
+        "\nShape (paper Fig. 9): obstacle avoidance is cheaper at the edge at low\n\
+         load (no wireless round trip — offloading it is catastrophic for route\n\
+         adjustment), while image recognition oversubscribes the drones' two\n\
+         weak cores and achieves far higher throughput in the cloud."
+    );
+}
