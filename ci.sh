@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate for DeathStarBench-sim. Fully offline and hermetic: the
+# workspace has no crates-io dependencies, so `--offline` always works
+# from a clean checkout with no network and no vendored registry.
+#
+#   ./ci.sh          # build + test + format check
+#
+# Golden fixtures: after an intentional change to the timing model,
+# regenerate with `UPDATE_GOLDENS=1 cargo test --offline --test goldens`
+# and commit the diff under tests/goldens/.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

@@ -112,7 +112,10 @@ pub fn banking() -> BuiltApp {
             Step::cache_lookup(
                 mc_cust_get,
                 0.9,
-                vec![Step::call(mg_cust_find, 128.0), Step::call(mc_cust_set, 1024.0)],
+                vec![
+                    Step::call(mg_cust_find, 128.0),
+                    Step::call(mc_cust_set, 1024.0),
+                ],
             ),
         ],
     );
@@ -328,7 +331,10 @@ pub fn banking() -> BuiltApp {
             Step::cache_lookup(
                 mc_offers_get,
                 0.9,
-                vec![Step::call(offerdb_q, 128.0), Step::call(mc_offers_set, 2048.0)],
+                vec![
+                    Step::call(offerdb_q, 128.0),
+                    Step::call(mc_offers_set, 2048.0),
+                ],
             ),
         ],
     );
@@ -342,12 +348,15 @@ pub fn banking() -> BuiltApp {
         search,
         "query",
         Dist::log_normal(8192.0, 0.5),
-        vec![Step::work_us(120.0), Step::ParCall {
-            calls: vec![
-                (xapian_q, Dist::constant(256.0)),
-                (xapian_q, Dist::constant(256.0)),
-            ],
-        }],
+        vec![
+            Step::work_us(120.0),
+            Step::ParCall {
+                calls: vec![
+                    (xapian_q, Dist::constant(256.0)),
+                    (xapian_q, Dist::constant(256.0)),
+                ],
+            },
+        ],
     );
 
     // ---- front-end -----------------------------------------------------------------

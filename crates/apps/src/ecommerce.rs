@@ -75,9 +75,12 @@ pub fn ecommerce() -> BuiltApp {
         order_queue,
         "push",
         Dist::constant(64.0),
-        vec![Step::work_us(120.0), Step::Io {
-            ns: Dist::log_normal(200_000.0, 0.4),
-        }],
+        vec![
+            Step::work_us(120.0),
+            Step::Io {
+                ns: Dist::log_normal(200_000.0, 0.4),
+            },
+        ],
     );
 
     // ---- mid tier -----------------------------------------------------------
@@ -91,7 +94,10 @@ pub fn ecommerce() -> BuiltApp {
             Step::cache_lookup(
                 mc_invty_get,
                 0.9,
-                vec![Step::call(mg_invty_find, 128.0), Step::call(mc_invty_set, 256.0)],
+                vec![
+                    Step::call(mg_invty_find, 128.0),
+                    Step::call(mc_invty_set, 256.0),
+                ],
             ),
         ],
     );
@@ -107,7 +113,10 @@ pub fn ecommerce() -> BuiltApp {
             Step::cache_lookup(
                 mc_cat_get,
                 0.88,
-                vec![Step::call(mg_cat_find, 256.0), Step::call(mc_cat_set, 4096.0)],
+                vec![
+                    Step::call(mg_cat_find, 256.0),
+                    Step::call(mc_cat_set, 4096.0),
+                ],
             ),
             Step::call(inventory_check, 64.0),
         ],
@@ -202,10 +211,14 @@ pub fn ecommerce() -> BuiltApp {
         Dist::constant(256.0),
         vec![
             Step::work_us(80.0),
-            Step::cache_lookup(mc_sess_get, 0.75, vec![
-                Step::call(mg_acct_find, 128.0),
-                Step::call(mc_sess_set, 256.0),
-            ]),
+            Step::cache_lookup(
+                mc_sess_get,
+                0.75,
+                vec![
+                    Step::call(mg_acct_find, 128.0),
+                    Step::call(mc_sess_set, 256.0),
+                ],
+            ),
         ],
     );
 

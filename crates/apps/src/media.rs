@@ -75,8 +75,14 @@ pub fn media_service() -> BuiltApp {
     );
 
     // ---- mid tier ------------------------------------------------------------
-    let (_unique, unique_run) =
-        add_leaf(&mut app, "uniqueID", UarchProfile::tiny_service(), 1, 15.0, 64.0);
+    let (_unique, unique_run) = add_leaf(
+        &mut app,
+        "uniqueID",
+        UarchProfile::tiny_service(),
+        1,
+        15.0,
+        64.0,
+    );
     let (_movie_id, movie_id_run) = add_leaf(
         &mut app,
         "movieID",
@@ -136,7 +142,10 @@ pub fn media_service() -> BuiltApp {
             Step::cache_lookup(
                 mc_user_get,
                 0.92,
-                vec![Step::call(mg_user_find, 128.0), Step::call(mc_user_set, 512.0)],
+                vec![
+                    Step::call(mg_user_find, 128.0),
+                    Step::call(mc_user_set, 512.0),
+                ],
             ),
         ],
     );
@@ -162,7 +171,10 @@ pub fn media_service() -> BuiltApp {
             Step::cache_lookup(
                 mc_plot_get,
                 0.9,
-                vec![Step::call(mg_plot_find, 128.0), Step::call(mc_plot_set, 4096.0)],
+                vec![
+                    Step::call(mg_plot_find, 128.0),
+                    Step::call(mc_plot_set, 4096.0),
+                ],
             ),
         ],
     );
@@ -235,7 +247,10 @@ pub fn media_service() -> BuiltApp {
             Step::cache_lookup(
                 mc_rev_get,
                 0.85,
-                vec![Step::call(mg_rev_find, 256.0), Step::call(mc_rev_set, 4096.0)],
+                vec![
+                    Step::call(mg_rev_find, 256.0),
+                    Step::call(mc_rev_set, 4096.0),
+                ],
             ),
         ],
     );
@@ -487,7 +502,12 @@ pub fn media_service() -> BuiltApp {
     let mut mix = QueryMix::new();
     mix.add(ng_browse, BROWSE_MOVIE, 45.0, Dist::constant(384.0));
     mix.add(ng_search, SEARCH_MOVIE, 10.0, Dist::constant(256.0));
-    mix.add(ng_review, COMPOSE_REVIEW, 15.0, Dist::log_normal(2048.0, 0.4));
+    mix.add(
+        ng_review,
+        COMPOSE_REVIEW,
+        15.0,
+        Dist::log_normal(2048.0, 0.4),
+    );
     mix.add(ng_rent, RENT_MOVIE, 8.0, Dist::constant(512.0));
     mix.add(ng_stream, STREAM_CHUNK, 17.0, Dist::constant(256.0));
     mix.add(ng_login, LOGIN, 5.0, Dist::constant(256.0));
@@ -509,7 +529,14 @@ mod tests {
     fn has_38_services() {
         let app = media_service();
         assert_eq!(app.spec.service_count(), 38);
-        for name in ["nginx", "php-fpm", "mysql-moviedb", "nfs", "video-streaming", "payment"] {
+        for name in [
+            "nginx",
+            "php-fpm",
+            "mysql-moviedb",
+            "nfs",
+            "video-streaming",
+            "payment",
+        ] {
             assert!(app.spec.service_by_name(name).is_some(), "missing {name}");
         }
     }

@@ -53,11 +53,24 @@ pub fn social_monolith() -> BuiltApp {
             },
         ]
     };
-    let ep_compose_text = app.endpoint(mono, "composeText", Dist::constant(512.0), compose_body(0.0));
-    let ep_compose_image =
-        app.endpoint(mono, "composeImage", Dist::constant(512.0), compose_body(300.0));
-    let ep_compose_video =
-        app.endpoint(mono, "composeVideo", Dist::constant(512.0), compose_body(1200.0));
+    let ep_compose_text = app.endpoint(
+        mono,
+        "composeText",
+        Dist::constant(512.0),
+        compose_body(0.0),
+    );
+    let ep_compose_image = app.endpoint(
+        mono,
+        "composeImage",
+        Dist::constant(512.0),
+        compose_body(300.0),
+    );
+    let ep_compose_video = app.endpoint(
+        mono,
+        "composeVideo",
+        Dist::constant(512.0),
+        compose_body(1200.0),
+    );
 
     // Read timeline: inlined timeline + 8 post reads + ads + recommender.
     let ep_read_tl = app.endpoint(
@@ -132,9 +145,24 @@ pub fn social_monolith() -> BuiltApp {
         .collect();
 
     let mut mix = QueryMix::new();
-    mix.add(ep_read_tl, crate::social::READ_TIMELINE, 40.0, Dist::constant(384.0));
-    mix.add(ep_read_post, crate::social::READ_POST, 15.0, Dist::constant(256.0));
-    mix.add(ep_compose_text, crate::social::COMPOSE_TEXT, 18.0, Dist::constant(512.0));
+    mix.add(
+        ep_read_tl,
+        crate::social::READ_TIMELINE,
+        40.0,
+        Dist::constant(384.0),
+    );
+    mix.add(
+        ep_read_post,
+        crate::social::READ_POST,
+        15.0,
+        Dist::constant(256.0),
+    );
+    mix.add(
+        ep_compose_text,
+        crate::social::COMPOSE_TEXT,
+        18.0,
+        Dist::constant(512.0),
+    );
     mix.add(
         ep_compose_image,
         crate::social::COMPOSE_IMAGE,
@@ -248,12 +276,42 @@ pub fn ecommerce_monolith() -> BuiltApp {
         .collect();
 
     let mut mix = QueryMix::new();
-    mix.add(ep_browse, crate::ecommerce::BROWSE, 55.0, Dist::constant(384.0));
-    mix.add(ep_search, crate::ecommerce::SEARCH, 8.0, Dist::constant(256.0));
-    mix.add(ep_order, crate::ecommerce::PLACE_ORDER, 12.0, Dist::constant(1024.0));
-    mix.add(ep_wishlist, crate::ecommerce::WISHLIST, 10.0, Dist::constant(256.0));
-    mix.add(ep_cart, crate::ecommerce::CART_ADD, 10.0, Dist::constant(512.0));
-    mix.add(ep_login, crate::ecommerce::LOGIN, 5.0, Dist::constant(256.0));
+    mix.add(
+        ep_browse,
+        crate::ecommerce::BROWSE,
+        55.0,
+        Dist::constant(384.0),
+    );
+    mix.add(
+        ep_search,
+        crate::ecommerce::SEARCH,
+        8.0,
+        Dist::constant(256.0),
+    );
+    mix.add(
+        ep_order,
+        crate::ecommerce::PLACE_ORDER,
+        12.0,
+        Dist::constant(1024.0),
+    );
+    mix.add(
+        ep_wishlist,
+        crate::ecommerce::WISHLIST,
+        10.0,
+        Dist::constant(256.0),
+    );
+    mix.add(
+        ep_cart,
+        crate::ecommerce::CART_ADD,
+        10.0,
+        Dist::constant(512.0),
+    );
+    mix.add(
+        ep_login,
+        crate::ecommerce::LOGIN,
+        5.0,
+        Dist::constant(256.0),
+    );
 
     BuiltApp {
         frontend: mono,

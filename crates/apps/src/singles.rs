@@ -83,10 +83,7 @@ pub fn mongodb() -> BuiltApp {
         id,
         "find",
         Dist::log_normal(2048.0, 0.8),
-        vec![
-            Step::work_us(120.0),
-            Step::io_us(350.0),
-        ],
+        vec![Step::work_us(120.0), Step::io_us(350.0)],
     );
     single(app, SimDuration::from_millis(10), ep)
 }

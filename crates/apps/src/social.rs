@@ -91,13 +91,22 @@ pub fn social_network() -> BuiltApp {
             Step::cache_lookup(
                 mc_posts_get,
                 0.90,
-                vec![Step::call(mg_posts_find, 256.0), Step::call(mc_posts_set, 1024.0)],
+                vec![
+                    Step::call(mg_posts_find, 256.0),
+                    Step::call(mc_posts_set, 1024.0),
+                ],
             ),
         ],
     );
 
-    let (_unique_id, unique_id_run) =
-        add_leaf(&mut app, "uniqueID", UarchProfile::tiny_service(), 1, 15.0, 64.0);
+    let (_unique_id, unique_id_run) = add_leaf(
+        &mut app,
+        "uniqueID",
+        UarchProfile::tiny_service(),
+        1,
+        15.0,
+        64.0,
+    );
     let (_text, text_run) = add_leaf(
         &mut app,
         "text",
@@ -223,7 +232,10 @@ pub fn social_network() -> BuiltApp {
             Step::cache_lookup(
                 mc_users_get,
                 0.92,
-                vec![Step::call(mg_users_find, 128.0), Step::call(mc_users_set, 512.0)],
+                vec![
+                    Step::call(mg_users_find, 128.0),
+                    Step::call(mc_users_set, 512.0),
+                ],
             ),
         ],
     );
@@ -561,10 +573,7 @@ mod tests {
             "xapian-index",
             "recommender",
         ] {
-            assert!(
-                app.spec.service_by_name(name).is_some(),
-                "missing {name}"
-            );
+            assert!(app.spec.service_by_name(name).is_some(), "missing {name}");
         }
     }
 

@@ -52,12 +52,7 @@ fn sensor(app: &mut AppBuilder, name: &str) -> (ServiceId, EndpointRef) {
         .protocol(Protocol::Ipc)
         .zone(Zone::Edge)
         .build();
-    let ep = app.endpoint(
-        id,
-        "read",
-        Dist::constant(256.0),
-        vec![Step::work_us(40.0)],
-    );
+    let ep = app.endpoint(id, "read", Dist::constant(256.0), vec![Step::work_us(40.0)]);
     (id, ep)
 }
 
@@ -118,10 +113,7 @@ fn swarm_edge() -> BuiltApp {
         construct,
         "construct",
         Dist::log_normal(4096.0, 0.4),
-        vec![
-            Step::work_us(900.0),
-            Step::call(target_db, 256.0),
-        ],
+        vec![Step::work_us(900.0), Step::call(target_db, 256.0)],
     );
 
     // Cloud nginx front for the drones' HTTP uploads.
@@ -174,7 +166,12 @@ fn swarm_edge() -> BuiltApp {
     );
 
     let log = edge_svc(&mut app, "log", UarchProfile::managed_runtime(), 2);
-    let log_write = app.endpoint(log, "write", Dist::constant(64.0), vec![Step::work_us(60.0)]);
+    let log_write = app.endpoint(
+        log,
+        "write",
+        Dist::constant(64.0),
+        vec![Step::work_us(60.0)],
+    );
 
     // On-board image recognition (jimp, node.js): heavy for 2 weak cores.
     let img_rec = edge_svc(&mut app, "imageRecognition", UarchProfile::vision(), 2);
@@ -197,7 +194,12 @@ fn swarm_edge() -> BuiltApp {
     );
 
     // On-board obstacle avoidance (C++): light, latency-critical.
-    let motion = edge_svc(&mut app, "motionController", UarchProfile::managed_runtime(), 2);
+    let motion = edge_svc(
+        &mut app,
+        "motionController",
+        UarchProfile::managed_runtime(),
+        2,
+    );
     let motion_run = app.endpoint(
         motion,
         "adjust",
@@ -311,7 +313,13 @@ fn swarm_cloud() -> BuiltApp {
     );
 
     // Telemetry ingest fan-in for raw sensor streams.
-    let telemetry = cloud_rpc(&mut app, "telemetry", UarchProfile::managed_runtime(), 32, 2);
+    let telemetry = cloud_rpc(
+        &mut app,
+        "telemetry",
+        UarchProfile::managed_runtime(),
+        32,
+        2,
+    );
     let telemetry_run = app.endpoint(
         telemetry,
         "ingest",
@@ -327,7 +335,13 @@ fn swarm_cloud() -> BuiltApp {
         ],
     );
 
-    let motion = cloud_rpc(&mut app, "motionController", UarchProfile::managed_runtime(), 16, 2);
+    let motion = cloud_rpc(
+        &mut app,
+        "motionController",
+        UarchProfile::managed_runtime(),
+        16,
+        2,
+    );
     let motion_run = app.endpoint(
         motion,
         "plan",
@@ -343,7 +357,13 @@ fn swarm_cloud() -> BuiltApp {
         vec![Step::libs_us(1_500.0), Step::call(motion_run, 128.0)],
     );
 
-    let construct = cloud_rpc(&mut app, "constructRoute", UarchProfile::managed_runtime(), 16, 2);
+    let construct = cloud_rpc(
+        &mut app,
+        "constructRoute",
+        UarchProfile::managed_runtime(),
+        16,
+        2,
+    );
     let construct_run = app.endpoint(
         construct,
         "construct",
@@ -356,7 +376,13 @@ fn swarm_cloud() -> BuiltApp {
     );
 
     // Cloud controller orchestrating everything.
-    let cloud_ctl = cloud_rpc(&mut app, "cloudController", UarchProfile::managed_runtime(), 32, 2);
+    let cloud_ctl = cloud_rpc(
+        &mut app,
+        "cloudController",
+        UarchProfile::managed_runtime(),
+        32,
+        2,
+    );
     let cc_recognize = app.endpoint(
         cloud_ctl,
         "recognize",
@@ -402,7 +428,10 @@ fn swarm_cloud() -> BuiltApp {
         nginx,
         "recognize",
         Dist::constant(1024.0),
-        vec![Step::work_us(25.0), Step::call(cc_recognize, 128.0 * 1024.0)],
+        vec![
+            Step::work_us(25.0),
+            Step::call(cc_recognize, 128.0 * 1024.0),
+        ],
     );
     let ng_avoid = app.endpoint(
         nginx,
@@ -448,7 +477,12 @@ fn swarm_cloud() -> BuiltApp {
         vec![Step::work_us(250.0)],
     );
     let log = edge_svc(&mut app, "log", UarchProfile::managed_runtime(), 2);
-    let log_write = app.endpoint(log, "write", Dist::constant(64.0), vec![Step::work_us(60.0)]);
+    let log_write = app.endpoint(
+        log,
+        "write",
+        Dist::constant(64.0),
+        vec![Step::work_us(60.0)],
+    );
 
     let controller = edge_svc(&mut app, "controller", UarchProfile::managed_runtime(), 4);
     let ctl_recognize = app.endpoint(

@@ -82,10 +82,8 @@ pub fn layered(spec: LayeredSpec) -> BuiltApp {
     // The front-end fans across the whole first tier (an aggregator),
     // like the suite's real front-ends do.
     let front = app.service("front").event_driven().workers(256).build();
-    let calls: Vec<(EndpointRef, Dist)> = below
-        .iter()
-        .map(|&e| (e, Dist::constant(256.0)))
-        .collect();
+    let calls: Vec<(EndpointRef, Dist)> =
+        below.iter().map(|&e| (e, Dist::constant(256.0))).collect();
     let entry = app.endpoint(
         front,
         "root",
@@ -139,7 +137,13 @@ mod tests {
             cluster.trace_sample_prob = 0.0;
             let mut sim = Simulation::new(app.spec.clone(), cluster, 1);
             for i in 0..50u64 {
-                sim.inject(SimTime::from_millis(i), app.mix.entries()[0].entry, RequestType(0), 128, i);
+                sim.inject(
+                    SimTime::from_millis(i),
+                    app.mix.entries()[0].entry,
+                    RequestType(0),
+                    128,
+                    i,
+                );
             }
             sim.run_until_idle();
             sim.request_stats(RequestType(0)).unwrap().latency.mean()

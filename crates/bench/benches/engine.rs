@@ -1,10 +1,13 @@
 //! Engine microbenchmarks: raw event throughput, metrics, distributions,
 //! and whole-application simulation rates.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//!
+//! Runs on the `dsb-testkit` bench runner (no external harness):
+//! `cargo bench` measures with warmup + fixed iterations and reports
+//! median/MAD; under `cargo test` the same kernels run once as a smoke
+//! pass.
 
 use dsb_simcore::{Dist, Histogram, Model, Rng, Scheduler, SimDuration, SimTime, Zipf};
+use dsb_testkit::bench::{black_box, Bench};
 
 struct Pinger {
     left: u64,
@@ -24,66 +27,60 @@ impl Model for Pinger {
     }
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("engine/event_chain_100k", |b| {
-        b.iter(|| {
-            let mut sched = Scheduler::new(1);
-            sched.schedule_at(SimTime::ZERO, Ev::Ping);
-            let mut m = Pinger { left: 100_000 };
-            sched.run(&mut m);
-            black_box(sched.events_processed())
-        })
+fn bench_scheduler(b: &mut Bench) {
+    b.bench("engine/event_chain_100k", || {
+        let mut sched = Scheduler::new(1);
+        sched.schedule_at(SimTime::ZERO, Ev::Ping);
+        let mut m = Pinger { left: 100_000 };
+        sched.run(&mut m);
+        black_box(sched.events_processed())
     });
 }
 
-fn bench_metrics(c: &mut Criterion) {
-    c.bench_function("engine/histogram_record_100k", |b| {
-        let mut rng = Rng::new(7);
-        b.iter(|| {
-            let mut h = Histogram::default();
-            for _ in 0..100_000 {
-                h.record(rng.next_u64() % 10_000_000);
-            }
-            black_box(h.quantile(0.99))
-        })
+fn bench_metrics(b: &mut Bench) {
+    let mut rng = Rng::new(7);
+    b.bench("engine/histogram_record_100k", || {
+        let mut h = Histogram::default();
+        for _ in 0..100_000 {
+            h.record(rng.next_u64() % 10_000_000);
+        }
+        black_box(h.quantile(0.99))
     });
-    c.bench_function("engine/lognormal_sample_100k", |b| {
-        let d = Dist::log_normal(1000.0, 0.5);
-        let mut rng = Rng::new(9);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..100_000 {
-                acc += d.sample(&mut rng);
-            }
-            black_box(acc)
-        })
+    let d = Dist::log_normal(1000.0, 0.5);
+    let mut rng = Rng::new(9);
+    b.bench("engine/lognormal_sample_100k", || {
+        let mut acc = 0.0;
+        for _ in 0..100_000 {
+            acc += d.sample(&mut rng);
+        }
+        black_box(acc)
     });
-    c.bench_function("engine/zipf_sample_100k", |b| {
-        let z = Zipf::new(10_000, 1.1);
-        let mut rng = Rng::new(11);
-        b.iter(|| {
-            let mut acc = 0usize;
-            for _ in 0..100_000 {
-                acc += z.sample(&mut rng);
-            }
-            black_box(acc)
-        })
+    let z = Zipf::new(10_000, 1.1);
+    let mut rng = Rng::new(11);
+    b.bench("engine/zipf_sample_100k", || {
+        let mut acc = 0usize;
+        for _ in 0..100_000 {
+            acc += z.sample(&mut rng);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
+fn bench_apps(b: &mut Bench) {
     let social = dsb_apps::social::social_network();
-    g.bench_function("social_network_2s_100qps", |b| {
-        b.iter(|| black_box(dsb_bench::mini_run(&social, 100.0, 2, 1)))
+    b.bench("simulate/social_network_2s_100qps", || {
+        black_box(dsb_bench::mini_run(&social, 100.0, 2, 1))
     });
     let twotier = dsb_apps::twotier::twotier(64, 1024);
-    g.bench_function("twotier_2s_5kqps", |b| {
-        b.iter(|| black_box(dsb_bench::mini_run(&twotier, 5_000.0, 2, 1)))
+    b.bench("simulate/twotier_2s_5kqps", || {
+        black_box(dsb_bench::mini_run(&twotier, 5_000.0, 2, 1))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_scheduler, bench_metrics, bench_apps);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("engine");
+    bench_scheduler(&mut b);
+    bench_metrics(&mut b);
+    bench_apps(&mut b);
+    b.finish();
+}

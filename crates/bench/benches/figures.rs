@@ -1,197 +1,144 @@
-//! One Criterion bench per paper table/figure.
+//! One benchmark per paper table/figure, on the `dsb-testkit` runner.
 //!
 //! Each bench runs a miniature kernel of the corresponding experiment —
 //! the same code path `dsb-experiments` uses, at a fixed small scale — so
 //! `cargo bench` both validates that every figure's pipeline still runs
 //! and tracks the simulator's performance on it. The full-size outputs are
 //! produced by the `dsb-experiments` binaries (`cargo run --bin figNN`).
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Under `cargo test` every kernel runs once as a smoke pass.
 
 use dsb_apps::{monolith, singles, social, swarm, twotier};
 use dsb_bench::mini_run;
 use dsb_experiments::{fig10, fig11, fig18, table01, Scale};
 use dsb_net::FpgaOffload;
 use dsb_simcore::SimTime;
+use dsb_testkit::bench::{black_box, Bench};
 
-fn group<'a>(
-    c: &'a mut Criterion,
-    name: &str,
-) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10);
-    g
-}
-
-fn bench_table01(c: &mut Criterion) {
-    let mut g = group(c, "table01");
-    g.bench_function("suite_composition", |b| {
-        b.iter(|| black_box(table01::run(Scale::Quick)))
+fn bench_table01(b: &mut Bench) {
+    b.bench("table01/suite_composition", || {
+        black_box(table01::run(Scale::Quick))
     });
-    g.finish();
 }
 
-fn bench_fig03(c: &mut Criterion) {
-    let mut g = group(c, "fig03");
+fn bench_fig03(b: &mut Bench) {
     let nginx = singles::nginx();
     let social = social::social_network();
-    g.bench_function("net_vs_app_processing", |b| {
-        b.iter(|| {
-            black_box(mini_run(&nginx, 500.0, 1, 1));
-            black_box(mini_run(&social, 40.0, 1, 1));
-        })
+    b.bench("fig03/net_vs_app_processing", || {
+        black_box(mini_run(&nginx, 500.0, 1, 1));
+        black_box(mini_run(&social, 40.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig09(c: &mut Criterion) {
-    let mut g = group(c, "fig09");
+fn bench_fig09(b: &mut Bench) {
     let edge = swarm::swarm(swarm::SwarmVariant::Edge);
     let cloud = swarm::swarm(swarm::SwarmVariant::Cloud);
-    g.bench_function("swarm_edge_vs_cloud", |b| {
-        b.iter(|| {
-            black_box(mini_run(&edge, 10.0, 1, 1));
-            black_box(mini_run(&cloud, 10.0, 1, 1));
-        })
+    b.bench("fig09/swarm_edge_vs_cloud", || {
+        black_box(mini_run(&edge, 10.0, 1, 1));
+        black_box(mini_run(&cloud, 10.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig10_fig11(c: &mut Criterion) {
-    let mut g = group(c, "fig10_fig11");
-    g.bench_function("cycle_breakdown_tables", |b| {
-        b.iter(|| {
-            // fig10 includes short end-to-end runs; fig11 is analytic.
-            black_box(fig11::run(Scale::Quick));
-            black_box(fig10::run(Scale::Quick).len())
-        })
+fn bench_fig10_fig11(b: &mut Bench) {
+    b.bench("fig10_fig11/cycle_breakdown_tables", || {
+        // fig10 includes short end-to-end runs; fig11 is analytic.
+        black_box(fig11::run(Scale::Quick));
+        black_box(fig10::run(Scale::Quick).len())
     });
-    g.finish();
 }
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = group(c, "fig12");
+fn bench_fig12(b: &mut Bench) {
     let xapian = singles::xapian();
-    g.bench_function("frequency_probe_kernel", |b| {
-        b.iter(|| {
-            // One cell of the load x frequency grid.
-            let cluster = dsb_experiments::harness::make_cluster(2);
-            let p = dsb_experiments::harness::probe(
-                &xapian,
-                &cluster,
-                &|sim| sim.set_all_frequencies(1.2),
-                2_000.0,
-                2,
-                1,
-                1,
-            );
-            black_box(p.p99)
-        })
+    b.bench("fig12/frequency_probe_kernel", || {
+        // One cell of the load x frequency grid.
+        let cluster = dsb_experiments::harness::make_cluster(2);
+        let p = dsb_experiments::harness::probe(
+            &xapian,
+            &cluster,
+            &|sim| sim.set_all_frequencies(1.2),
+            2_000.0,
+            2,
+            1,
+            1,
+        );
+        black_box(p.p99)
     });
-    g.finish();
 }
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = group(c, "fig13");
+fn bench_fig13(b: &mut Bench) {
     let app = dsb_experiments::harness::shrink(&social::social_network(), 8);
-    g.bench_function("thunderx_probe_kernel", |b| {
-        b.iter(|| {
-            let cluster = dsb_experiments::harness::make_thunderx_cluster(2);
-            let p = dsb_experiments::harness::probe(&app, &cluster, &|_| {}, 50.0, 2, 1, 1);
-            black_box(p.p99)
-        })
+    b.bench("fig13/thunderx_probe_kernel", || {
+        let cluster = dsb_experiments::harness::make_thunderx_cluster(2);
+        let p = dsb_experiments::harness::probe(&app, &cluster, &|_| {}, 50.0, 2, 1, 1);
+        black_box(p.p99)
     });
-    g.finish();
 }
 
-fn bench_fig14_fig15(c: &mut Criterion) {
-    let mut g = group(c, "fig14_fig15");
+fn bench_fig14_fig15(b: &mut Bench) {
     let banking = dsb_apps::banking::banking();
-    g.bench_function("domain_accounting_run", |b| {
-        b.iter(|| black_box(mini_run(&banking, 60.0, 1, 1)))
+    b.bench("fig14_fig15/domain_accounting_run", || {
+        black_box(mini_run(&banking, 60.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig16(c: &mut Criterion) {
-    let mut g = group(c, "fig16");
+fn bench_fig16(b: &mut Bench) {
     let app = social::social_network();
-    g.bench_function("fpga_offload_run", |b| {
-        b.iter(|| {
-            let mut cluster = dsb_experiments::harness::make_cluster(4);
-            cluster.trace_sample_prob = 0.0;
-            let (mut sim, mut load) = dsb_experiments::harness::build_sim(&app, cluster, 1);
-            sim.set_offload(FpgaOffload::with_speedup(50.0));
-            dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 100.0);
-            sim.run_until_idle();
-            black_box(sim.events_processed())
-        })
+    b.bench("fig16/fpga_offload_run", || {
+        let mut cluster = dsb_experiments::harness::make_cluster(4);
+        cluster.trace_sample_prob = 0.0;
+        let (mut sim, mut load) = dsb_experiments::harness::build_sim(&app, cluster, 1);
+        sim.set_offload(FpgaOffload::with_speedup(50.0));
+        dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 100.0);
+        sim.run_until_idle();
+        black_box(sim.events_processed())
     });
-    g.finish();
 }
 
-fn bench_fig17(c: &mut Criterion) {
-    let mut g = group(c, "fig17");
+fn bench_fig17(b: &mut Bench) {
     let app = twotier::twotier(64, 1);
-    g.bench_function("backpressure_run", |b| {
-        b.iter(|| black_box(mini_run(&app, 10_000.0, 1, 1)))
+    b.bench("fig17/backpressure_run", || {
+        black_box(mini_run(&app, 10_000.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig18(c: &mut Criterion) {
-    let mut g = group(c, "fig18");
-    g.bench_function("graph_export", |b| {
-        b.iter(|| black_box(fig18::run(Scale::Quick)))
-    });
-    g.finish();
+fn bench_fig18(b: &mut Bench) {
+    b.bench("fig18/graph_export", || black_box(fig18::run(Scale::Quick)));
 }
 
-fn bench_fig19_fig22a(c: &mut Criterion) {
-    let mut g = group(c, "fig19_fig22a");
+fn bench_fig19_fig22a(b: &mut Bench) {
     let app = social::social_network();
-    g.bench_function("poisoned_backend_run", |b| {
-        b.iter(|| {
-            let mut cluster = dsb_experiments::harness::make_cluster(4);
-            cluster.trace_sample_prob = 0.0;
-            let (mut sim, mut load) = dsb_experiments::harness::build_sim(&app, cluster, 1);
-            let mongo = dsb_core::EndpointRef {
-                service: app.service("mongodb-posts"),
-                endpoint: 0,
-            };
-            for k in 0..2_000u64 {
-                sim.inject(
-                    SimTime::from_nanos(k * 500_000),
-                    mongo,
-                    dsb_core::RequestType(15),
-                    256,
-                    k,
-                );
-            }
-            dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 60.0);
-            sim.run_until_idle();
-            black_box(sim.events_processed())
-        })
+    b.bench("fig19_fig22a/poisoned_backend_run", || {
+        let mut cluster = dsb_experiments::harness::make_cluster(4);
+        cluster.trace_sample_prob = 0.0;
+        let (mut sim, mut load) = dsb_experiments::harness::build_sim(&app, cluster, 1);
+        let mongo = dsb_core::EndpointRef {
+            service: app.service("mongodb-posts"),
+            endpoint: 0,
+        };
+        for k in 0..2_000u64 {
+            sim.inject(
+                SimTime::from_nanos(k * 500_000),
+                mongo,
+                dsb_core::RequestType(15),
+                256,
+                k,
+            );
+        }
+        dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 60.0);
+        sim.run_until_idle();
+        black_box(sim.events_processed())
     });
-    g.finish();
 }
 
-fn bench_fig20(c: &mut Criterion) {
-    let mut g = group(c, "fig20");
+fn bench_fig20(b: &mut Bench) {
     let micro = dsb_experiments::harness::shrink(&social::social_network(), 8);
     let mono = dsb_experiments::harness::shrink(&monolith::social_monolith(), 8);
-    g.bench_function("recovery_kernels", |b| {
-        b.iter(|| {
-            black_box(mini_run(&micro, 60.0, 1, 1));
-            black_box(mini_run(&mono, 60.0, 1, 1));
-        })
+    b.bench("fig20/recovery_kernels", || {
+        black_box(mini_run(&micro, 60.0, 1, 1));
+        black_box(mini_run(&mono, 60.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig21(c: &mut Criterion) {
-    let mut g = group(c, "fig21");
+fn bench_fig21(b: &mut Bench) {
     let app = social::social_network();
     let backends: Vec<dsb_core::ServiceId> = app
         .spec
@@ -208,50 +155,45 @@ fn bench_fig21(c: &mut Criterion) {
     );
     let mut lambda = app.clone();
     lambda.spec = s.app;
-    g.bench_function("lambda_mem_run", |b| {
-        b.iter(|| black_box(mini_run(&lambda, 40.0, 1, 1)))
+    b.bench("fig21/lambda_mem_run", || {
+        black_box(mini_run(&lambda, 40.0, 1, 1))
     });
-    g.finish();
 }
 
-fn bench_fig22bc(c: &mut Criterion) {
-    let mut g = group(c, "fig22bc");
+fn bench_fig22bc(b: &mut Bench) {
     let app = dsb_experiments::harness::shrink(&social::social_network(), 8);
-    g.bench_function("skew_and_slow_server_kernels", |b| {
-        b.iter(|| {
-            let mut cluster = dsb_experiments::harness::make_cluster(4);
-            cluster.trace_sample_prob = 0.0;
-            let (mut sim, mut load) = dsb_experiments::harness::build_sim_with_users(
-                &app,
-                cluster,
-                1,
-                dsb_workload::UserPopulation::with_skew(1000, 95.0),
-            );
-            let mut rng = dsb_simcore::Rng::new(5);
-            dsb_cluster::slow_down_machines(&mut sim, 0.25, 1.0, &mut rng);
-            dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 60.0);
-            sim.run_until_idle();
-            black_box(sim.events_processed())
-        })
+    b.bench("fig22bc/skew_and_slow_server_kernels", || {
+        let mut cluster = dsb_experiments::harness::make_cluster(4);
+        cluster.trace_sample_prob = 0.0;
+        let (mut sim, mut load) = dsb_experiments::harness::build_sim_with_users(
+            &app,
+            cluster,
+            1,
+            dsb_workload::UserPopulation::with_skew(1000, 95.0),
+        );
+        let mut rng = dsb_simcore::Rng::new(5);
+        dsb_cluster::slow_down_machines(&mut sim, 0.25, 1.0, &mut rng);
+        dsb_experiments::harness::drive(&mut sim, &mut load, 0, 1, 60.0);
+        sim.run_until_idle();
+        black_box(sim.events_processed())
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table01,
-    bench_fig03,
-    bench_fig09,
-    bench_fig10_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14_fig15,
-    bench_fig16,
-    bench_fig17,
-    bench_fig18,
-    bench_fig19_fig22a,
-    bench_fig20,
-    bench_fig21,
-    bench_fig22bc
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("figures");
+    bench_table01(&mut b);
+    bench_fig03(&mut b);
+    bench_fig09(&mut b);
+    bench_fig10_fig11(&mut b);
+    bench_fig12(&mut b);
+    bench_fig13(&mut b);
+    bench_fig14_fig15(&mut b);
+    bench_fig16(&mut b);
+    bench_fig17(&mut b);
+    bench_fig18(&mut b);
+    bench_fig19_fig22a(&mut b);
+    bench_fig20(&mut b);
+    bench_fig21(&mut b);
+    bench_fig22bc(&mut b);
+    b.finish();
+}

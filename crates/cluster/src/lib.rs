@@ -293,7 +293,10 @@ impl QosMonitor {
         if violated && self.violated_at.is_none() {
             self.violated_at = Some(now);
         }
-        if !violated && self.violated_at.is_some() && self.recovered_at.is_none() && p99 > SimDuration::ZERO
+        if !violated
+            && self.violated_at.is_some()
+            && self.recovered_at.is_none()
+            && p99 > SimDuration::ZERO
         {
             self.recovered_at = Some(now);
         }

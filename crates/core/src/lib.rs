@@ -37,8 +37,8 @@ mod stats;
 pub use sim::{Cluster, Ev, InstanceState, Simulation};
 pub use slab::{Slab, SlabKey};
 pub use spec::{
-    AppBuilder, AppSpec, ClusterSpec, Concurrency, EndpointRef, EndpointSpec, InstanceId,
-    LbPolicy, MachineId, MachineSpec, RequestType, ServiceBuilder, ServiceId, ServiceSpec, Step,
+    AppBuilder, AppSpec, ClusterSpec, Concurrency, EndpointRef, EndpointSpec, InstanceId, LbPolicy,
+    MachineId, MachineSpec, RequestType, ServiceBuilder, ServiceId, ServiceSpec, Step,
     WorkerPolicy,
 };
 pub use stats::{RequestStats, ServiceStats};

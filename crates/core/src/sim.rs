@@ -145,10 +145,7 @@ pub struct ResponseMsg {
 pub enum Message {
     Request(RequestMsg),
     Response(ResponseMsg),
-    ClientReply {
-        rtype: RequestType,
-        spawn: SimTime,
-    },
+    ClientReply { rtype: RequestType, spawn: SimTime },
 }
 
 /// A unit of CPU work scheduled on a machine core (opaque; carried by
@@ -295,7 +292,8 @@ impl Cluster {
                 util: UtilizationTracker::new(cluster.window, m.cores),
             })
             .collect();
-        let collector = TraceCollector::new(cluster.window, cluster.trace_sample_prob, rng.next_u64());
+        let collector =
+            TraceCollector::new(cluster.window, cluster.trace_sample_prob, rng.next_u64());
         let service_stats = app
             .services
             .iter()
@@ -514,10 +512,12 @@ impl Cluster {
                     .1
             }
             Message::Response(resp) => match self.invocations.get(resp.to_inv) {
-                Some(i) => self.machines[i.machine.0 as usize]
-                    .offload
-                    .apply(costs.recv_kernel_ns)
-                    .1,
+                Some(i) => {
+                    self.machines[i.machine.0 as usize]
+                        .offload
+                        .apply(costs.recv_kernel_ns)
+                        .1
+                }
                 None => 0.0,
             },
             Message::ClientReply { .. } => 0.0,
@@ -708,8 +708,7 @@ impl Cluster {
         let inst = &self.instances[inst_id.0 as usize];
         let service = inst.service;
         let machine = inst.machine;
-        let script = self.services[service.0 as usize].spec.endpoints
-            [p.msg.endpoint as usize]
+        let script = self.services[service.0 as usize].spec.endpoints[p.msg.endpoint as usize]
             .script
             .clone();
         self.next_span += 1;
@@ -888,10 +887,7 @@ impl Cluster {
             let job = CoreJob {
                 dur: SimDuration::from_nanos(quantum as u64),
                 service,
-                splits: [
-                    (domain, chunk_ref, quantum),
-                    (ExecDomain::Other, 0.0, 0.0),
-                ],
+                splits: [(domain, chunk_ref, quantum), (ExecDomain::Other, 0.0, 0.0)],
                 cont: JobCont::StepChunk {
                     inv: key,
                     domain,
@@ -962,7 +958,13 @@ impl Cluster {
         }
     }
 
-    fn send_call(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey, target: EndpointRef, bytes: u64) {
+    fn send_call(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        key: SlabKey,
+        target: EndpointRef,
+        bytes: u64,
+    ) {
         let (machine, service, req, rtype, origin, pk, spawn, span) = {
             let inv = self.invocations.get(key).expect("live inv");
             (
@@ -1039,7 +1041,12 @@ impl Cluster {
         }
     }
 
-    fn release_connection(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId, to: ServiceId) {
+    fn release_connection(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        inst_id: InstanceId,
+        to: ServiceId,
+    ) {
         let waiter = {
             let inst = &mut self.instances[inst_id.0 as usize];
             let pool = inst.conns.get_mut(&to).expect("pool exists on release");
@@ -1091,8 +1098,7 @@ impl Cluster {
         self.instances[inv.instance.0 as usize].inflight -= 1;
         self.try_dispatch(sched, inv.instance);
         // Reply.
-        let resp_bytes = self.services[inv.service.0 as usize].spec.endpoints
-            [inv.endpoint as usize]
+        let resp_bytes = self.services[inv.service.0 as usize].spec.endpoints[inv.endpoint as usize]
             .resp_bytes
             .sample(&mut self.rng)
             .max(1.0) as u64;
@@ -1374,7 +1380,9 @@ impl Simulation {
     /// Starts a new instance; it joins rotation after the configured
     /// startup delay. Returns its id.
     pub fn add_instance(&mut self, service: ServiceId) -> InstanceId {
-        let id = self.cluster.spawn_instance(service, InstanceState::Starting);
+        let id = self
+            .cluster
+            .spawn_instance(service, InstanceState::Starting);
         let delay = self.cluster.instance_startup;
         self.sched.schedule_in(delay, Ev::InstanceUp { inst: id });
         id
@@ -1757,7 +1765,13 @@ mod tests {
         // Unpin and confirm spread resumes (no panic, work completes).
         sim.pin_service(svc, None);
         for i in 0..40 {
-            sim.inject(sim.now() + SimDuration::from_micros(i * 100), ep, RequestType(0), 64, i);
+            sim.inject(
+                sim.now() + SimDuration::from_micros(i * 100),
+                ep,
+                RequestType(0),
+                64,
+                i,
+            );
         }
         sim.run_until_idle();
         assert_eq!(sim.request_stats(RequestType(0)).unwrap().completed, 80);
@@ -1891,7 +1905,11 @@ mod tests {
             }
             sim.run_until_idle();
             let st = sim.request_stats(RequestType(0)).unwrap();
-            (st.latency.mean(), st.latency.quantile(0.99), sim.events_processed())
+            (
+                st.latency.mean(),
+                st.latency.quantile(0.99),
+                sim.events_processed(),
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -1964,7 +1982,12 @@ mod tests {
         let run = |offload: bool| {
             let mut app = AppBuilder::new("fpga");
             let back = app.service("back").workers(8).build();
-            let get = app.endpoint(back, "get", Dist::constant(4096.0), vec![Step::work_us(5.0)]);
+            let get = app.endpoint(
+                back,
+                "get",
+                Dist::constant(4096.0),
+                vec![Step::work_us(5.0)],
+            );
             let front = app.service("front").workers(8).build();
             let root = app.endpoint(
                 front,
@@ -1980,16 +2003,22 @@ mod tests {
                 sim.inject(SimTime::from_micros(i * 100), root, RequestType(0), 256, i);
             }
             sim.run_until_idle();
-            let front_kernel =
-                sim.service_stats(front).time_ns[ExecDomain::Kernel.index()];
-            let p99 = sim.request_stats(RequestType(0)).unwrap().latency.quantile(0.99);
+            let front_kernel = sim.service_stats(front).time_ns[ExecDomain::Kernel.index()];
+            let p99 = sim
+                .request_stats(RequestType(0))
+                .unwrap()
+                .latency
+                .quantile(0.99);
             (front_kernel, p99)
         };
         let (native_kernel, native_p99) = run(false);
         let (offload_kernel, offload_p99) = run(true);
         assert!(native_kernel > 0.0);
         assert_eq!(offload_kernel, 0.0, "offload must remove host kernel time");
-        assert!(offload_p99 < native_p99, "offload {offload_p99} native {native_p99}");
+        assert!(
+            offload_p99 < native_p99,
+            "offload {offload_p99} native {native_p99}"
+        );
     }
 
     #[test]
@@ -2018,6 +2047,9 @@ mod tests {
         let fast = run(2.4);
         let slow = run(1.0);
         // Only the (small) network processing scales; I/O dominates.
-        assert!(slow / fast < 1.3, "io-bound should tolerate slow cores: {slow} vs {fast}");
+        assert!(
+            slow / fast < 1.3,
+            "io-bound should tolerate slow cores: {slow} vs {fast}"
+        );
     }
 }

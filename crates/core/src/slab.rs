@@ -150,10 +150,13 @@ mod tests {
         let b = s.insert(2);
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(a), Some(&1));
-        assert_eq!(s.get_mut(b).map(|v| {
-            *v = 20;
-            *v
-        }), Some(20));
+        assert_eq!(
+            s.get_mut(b).map(|v| {
+                *v = 20;
+                *v
+            }),
+            Some(20)
+        );
         assert_eq!(s.remove(a), Some(1));
         assert_eq!(s.len(), 1);
         assert_eq!(s.remove(a), None);

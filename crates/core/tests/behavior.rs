@@ -19,7 +19,11 @@ fn one_service(
     work_us: f64,
 ) -> (AppSpec, EndpointRef, ServiceId) {
     let mut app = AppBuilder::new("t");
-    let mut b = app.service("svc").workers(workers).instances(instances).lb(lb);
+    let mut b = app
+        .service("svc")
+        .workers(workers)
+        .instances(instances)
+        .lb(lb);
     b = match concurrency {
         Concurrency::Async => b.event_driven(),
         Concurrency::Blocking => b.blocking(),
@@ -55,7 +59,10 @@ fn least_outstanding_balances_heterogeneous_instances() {
             sim.inject(SimTime::from_micros(i * 150), ep, RequestType(0), 64, i);
         }
         sim.run_until_idle();
-        sim.request_stats(RequestType(0)).unwrap().latency.quantile(0.99)
+        sim.request_stats(RequestType(0))
+            .unwrap()
+            .latency
+            .quantile(0.99)
     };
     let rr = run(LbPolicy::RoundRobin);
     let lo = run(LbPolicy::LeastOutstanding);
@@ -100,7 +107,10 @@ fn event_driven_sustains_more_concurrency_than_blocking() {
             sim.inject(SimTime::from_micros(i * 100), ep, RequestType(0), 64, i);
         }
         sim.run_until_idle();
-        sim.request_stats(RequestType(0)).unwrap().latency.quantile(0.99)
+        sim.request_stats(RequestType(0))
+            .unwrap()
+            .latency
+            .quantile(0.99)
     };
     let blocking = run(Concurrency::Blocking);
     let event_driven = run(Concurrency::Async);
@@ -144,10 +154,7 @@ fn runtime_lb_policy_switch_takes_effect() {
     }
     sim.run_until_idle();
     let p = sim.request_stats(RequestType(0)).unwrap().latency.max();
-    assert!(
-        p > 900_000,
-        "partitioned hot key must serialize: max {p}"
-    );
+    assert!(p > 900_000, "partitioned hot key must serialize: max {p}");
 }
 
 #[test]
@@ -161,7 +168,13 @@ fn draining_instance_finishes_work_then_gets_no_more() {
     let victim = sim.instances_of(svc)[0];
     sim.retire_instance(victim);
     for i in 0..20u64 {
-        sim.inject(sim.now() + SimDuration::from_micros(i * 100), ep, RequestType(0), 64, i);
+        sim.inject(
+            sim.now() + SimDuration::from_micros(i * 100),
+            ep,
+            RequestType(0),
+            64,
+            i,
+        );
     }
     sim.run_until_idle();
     let st = sim.request_stats(RequestType(0)).unwrap();

@@ -23,14 +23,31 @@ fn main() {
         print!("{name:12}");
         for qps in [25.0, 100.0, 400.0, 1600.0, 6400.0, 25600.0] {
             let p = probe(app, &cluster, &|_| {}, qps, 6, 2, 42);
-            print!("  {:>7.0}q:{:>9.2}ms/{:>4.2}c", qps, p.p99.as_millis_f64(), p.completion);
+            print!(
+                "  {:>7.0}q:{:>9.2}ms/{:>4.2}c",
+                qps,
+                p.p99.as_millis_f64(),
+                p.completion
+            );
         }
         println!();
     }
     // frequency sensitivity of social at fixed 200 qps
     for f in [2.4, 1.8, 1.2, 1.0] {
         let app = social::social_network();
-        let p = probe(&app, &cluster, &move |s| s.set_all_frequencies(f), 200.0, 6, 2, 42);
-        println!("social @{f}GHz 200qps: p99 {:.2}ms completion {:.2}", p.p99.as_millis_f64(), p.completion);
+        let p = probe(
+            &app,
+            &cluster,
+            &move |s| s.set_all_frequencies(f),
+            200.0,
+            6,
+            2,
+            42,
+        );
+        println!(
+            "social @{f}GHz 200qps: p99 {:.2}ms completion {:.2}",
+            p.p99.as_millis_f64(),
+            p.completion
+        );
     }
 }

@@ -62,7 +62,12 @@ pub fn rpc_vs_rest(scale: Scale) -> String {
     let secs = scale.secs(8);
     let mut t = Table::new(
         "Sec 7: RPC vs RESTful APIs on a 5-tier chain",
-        &["protocol", "p50 low load (ms)", "p99 low load (ms)", "max QPS @ 5ms QoS"],
+        &[
+            "protocol",
+            "p50 low load (ms)",
+            "p99 low load (ms)",
+            "max QPS @ 5ms QoS",
+        ],
     );
     for protocol in [Protocol::ThriftRpc, Protocol::Http1] {
         let app = chain(protocol, 5);
@@ -175,9 +180,11 @@ pub fn critical_path_shift(scale: Scale) -> String {
         t.row_owned(vec![
             (i + 1).to_string(),
             low.get(i).map_or(String::new(), |r| r.0.clone()),
-            low.get(i).map_or(String::new(), |r| format!("{:.1}%", r.1 * 100.0)),
+            low.get(i)
+                .map_or(String::new(), |r| format!("{:.1}%", r.1 * 100.0)),
             high.get(i).map_or(String::new(), |r| r.0.clone()),
-            high.get(i).map_or(String::new(), |r| format!("{:.1}%", r.1 * 100.0)),
+            high.get(i)
+                .map_or(String::new(), |r| format!("{:.1}%", r.1 * 100.0)),
         ]);
     }
     let mut t2 = Table::new(
@@ -189,8 +196,12 @@ pub fn critical_path_shift(scale: Scale) -> String {
     for (name, o) in occ_sorted.iter().take(8) {
         t2.row_owned(vec![name.clone(), format!("{o:.2}")]);
     }
-    format!("{}
-{}", t.render(), t2.render())
+    format!(
+        "{}
+{}",
+        t.render(),
+        t2.render()
+    )
 }
 
 /// Ablation: obstacle-avoidance p99 on the drones, with and without CPU
@@ -205,18 +216,11 @@ pub fn quantum_effect(scale: Scale, seed: u64) -> (f64, f64) {
         let (mut sim, mut load) = build_sim(&app, cluster, seed);
         drive(&mut sim, &mut load, 0, secs, 8.0);
         sim.advance_to(SimTime::from_secs(secs));
-        sim.request_stats(swarm::OBSTACLE_AVOID)
-            .map_or(0.0, |st| {
-                st.windows
-                    .merged_range(2, secs as usize)
-                    .quantile(0.99) as f64
-                    / 1e6
-            })
+        sim.request_stats(swarm::OBSTACLE_AVOID).map_or(0.0, |st| {
+            st.windows.merged_range(2, secs as usize).quantile(0.99) as f64 / 1e6
+        })
     };
-    (
-        run(SimDuration::from_millis(5)),
-        run(SimDuration::MAX),
-    )
+    (run(SimDuration::from_millis(5)), run(SimDuration::MAX))
 }
 
 /// The quantum ablation, formatted.
@@ -226,7 +230,10 @@ pub fn quantum_ablation(scale: Scale) -> String {
         "Ablation: CPU preemption quantum vs drone obstacle-avoidance tail (8 QPS)",
         &["scheduler", "obstacle-avoidance p99 (ms)"],
     );
-    t.row_owned(vec!["5ms round-robin quantum".into(), format!("{with_q:.1}")]);
+    t.row_owned(vec![
+        "5ms round-robin quantum".into(),
+        format!("{with_q:.1}"),
+    ]);
     t.row_owned(vec!["run-to-completion".into(), format!("{without_q:.1}")]);
     format!(
         "{}(without preemption, multi-second image-recognition jobs head-of-line\n\
@@ -243,13 +250,27 @@ pub fn provisioning_ratios(scale: Scale) -> String {
     let secs = scale.secs(3).max(2);
     let mut t = Table::new(
         "Sec 3.8: provisioned instances per tier (top 5 per app) after balancing",
-        &["application", "calib QPS", "total insts", "most provisioned tiers"],
+        &[
+            "application",
+            "calib QPS",
+            "total insts",
+            "most provisioned tiers",
+        ],
     );
     let apps: Vec<(BuiltApp, f64)> = vec![
         (crate::harness::shrink(&social::social_network(), 4), 1500.0),
-        (crate::harness::shrink(&dsb_apps::media::media_service(), 4), 900.0),
-        (crate::harness::shrink(&dsb_apps::ecommerce::ecommerce(), 4), 1200.0),
-        (crate::harness::shrink(&dsb_apps::banking::banking(), 4), 1500.0),
+        (
+            crate::harness::shrink(&dsb_apps::media::media_service(), 4),
+            900.0,
+        ),
+        (
+            crate::harness::shrink(&dsb_apps::ecommerce::ecommerce(), 4),
+            1200.0,
+        ),
+        (
+            crate::harness::shrink(&dsb_apps::banking::banking(), 4),
+            1500.0,
+        ),
         (
             crate::harness::shrink(&swarm::swarm(SwarmVariant::Cloud), 4),
             250.0,
@@ -288,7 +309,13 @@ pub fn graph_complexity(scale: Scale) -> String {
     let secs = scale.secs(5).max(3);
     let mut t = Table::new(
         "Sec 8: slow-server impact vs graph complexity (5% slow servers)",
-        &["depth", "services", "goodput healthy", "goodput w/ slow", "retained"],
+        &[
+            "depth",
+            "services",
+            "goodput healthy",
+            "goodput w/ slow",
+            "retained",
+        ],
     );
     for depth in [1u32, 3, 6] {
         let app = dsb_apps::synthetic::layered(dsb_apps::synthetic::LayeredSpec {

@@ -23,10 +23,7 @@ fn tail_at(variant: SwarmVariant, qps: f64, secs: u64, seed: u64) -> (f64, f64, 
     let from = (secs / 3).max(1) as usize;
     let p99 = |rt: RequestType| {
         sim.request_stats(rt).map_or(0.0, |st| {
-            st.windows
-                .merged_range(from, secs as usize)
-                .quantile(0.99) as f64
-                / 1e6
+            st.windows.merged_range(from, secs as usize).quantile(0.99) as f64 / 1e6
         })
     };
     let (issued, completed, _) = crate::harness::totals(&sim);
@@ -46,7 +43,13 @@ pub fn run(scale: Scale) -> String {
     };
     let mut t = Table::new(
         "Fig 9: Swarm edge vs cloud — p99 (ms) per query type vs offered QPS",
-        &["QPS", "edge imgRecog", "cloud imgRecog", "edge obstacle", "cloud obstacle"],
+        &[
+            "QPS",
+            "edge imgRecog",
+            "cloud imgRecog",
+            "edge obstacle",
+            "cloud obstacle",
+        ],
     );
     for (i, &qps) in loads.iter().enumerate() {
         let (e_img, e_obs, e_c) = tail_at(SwarmVariant::Edge, qps, secs, 90 + i as u64);

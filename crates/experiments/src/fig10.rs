@@ -65,12 +65,30 @@ pub fn run(scale: Scale) -> String {
     let secs = scale.secs(8);
     let mut t = Table::new(
         "Fig 10: top-down cycle breakdown + IPC (Xeon)",
-        &["application", "service", "front-end", "bad spec", "back-end", "retiring", "IPC"],
+        &[
+            "application",
+            "service",
+            "front-end",
+            "bad spec",
+            "back-end",
+            "retiring",
+            "IPC",
+        ],
     );
     let social = social::social_network();
     for name in [
-        "nginx", "text", "image", "uniqueID", "userTag", "urlShorten", "video",
-        "recommender", "login", "readPost", "writeGraph", "memcached-posts",
+        "nginx",
+        "text",
+        "image",
+        "uniqueID",
+        "userTag",
+        "urlShorten",
+        "video",
+        "recommender",
+        "login",
+        "readPost",
+        "writeGraph",
+        "memcached-posts",
         "mongodb-posts",
     ] {
         service_row(&mut t, &social, name);
@@ -81,9 +99,20 @@ pub fn run(scale: Scale) -> String {
 
     let ecom = ecommerce::ecommerce();
     for name in [
-        "front-end", "login", "orders", "search", "cart", "wishlist", "catalogue",
-        "recommender", "shipping", "payment", "invoicing", "queueMaster",
-        "memcached-catalogue", "mongodb-catalogue",
+        "front-end",
+        "login",
+        "orders",
+        "search",
+        "cart",
+        "wishlist",
+        "catalogue",
+        "recommender",
+        "shipping",
+        "payment",
+        "invoicing",
+        "queueMaster",
+        "memcached-catalogue",
+        "mongodb-catalogue",
     ] {
         service_row(&mut t, &ecom, name);
     }
@@ -113,7 +142,11 @@ mod tests {
             retiring_sum += b.retiring;
             n += 1.0;
         }
-        assert!(frontend_sum / n > 0.15, "mean frontend {}", frontend_sum / n);
+        assert!(
+            frontend_sum / n > 0.15,
+            "mean frontend {}",
+            frontend_sum / n
+        );
         assert!(retiring_sum / n < 0.5, "mean retiring {}", retiring_sum / n);
     }
 

@@ -100,7 +100,11 @@ mod tests {
         // i-cache misses are practically negligible".
         let ecom = ecommerce::ecommerce();
         let wishlist = ecom.spec.service(ecom.service("wishlist")).profile.l1i_mpki;
-        let frontend = ecom.spec.service(ecom.service("front-end")).profile.l1i_mpki;
+        let frontend = ecom
+            .spec
+            .service(ecom.service("front-end"))
+            .profile
+            .l1i_mpki;
         assert!(wishlist < 3.0, "wishlist {wishlist}");
         assert!(wishlist < frontend);
     }

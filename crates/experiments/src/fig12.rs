@@ -101,7 +101,12 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     let mut summary = Table::new(
         "Fig 12 summary: QoS-violated cells (of 9) and low-load p99 inflation at 1.0GHz",
-        &["application", "max QPS@QoS (2.4GHz)", "violated cells", "p99 inflation @1GHz"],
+        &[
+            "application",
+            "max QPS@QoS (2.4GHz)",
+            "violated cells",
+            "p99 inflation @1GHz",
+        ],
     );
     for (i, app) in apps.iter().enumerate() {
         let s = sweep(app, scale, 100 + i as u64);

@@ -47,7 +47,15 @@ pub fn run(scale: Scale) -> String {
     let secs = scale.secs(8);
     let mut t = Table::new(
         "Fig 14: kernel/user/libs shares of cycles (C) and instructions (I)",
-        &["application", "C:OS", "C:User", "C:Libs", "I:OS", "I:User", "I:Libs"],
+        &[
+            "application",
+            "C:OS",
+            "C:User",
+            "C:Libs",
+            "I:OS",
+            "I:User",
+            "I:Libs",
+        ],
     );
     let apps: Vec<(BuiltApp, f64)> = vec![
         (social::social_network(), 120.0),

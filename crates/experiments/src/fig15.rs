@@ -20,8 +20,15 @@ use crate::Scale;
 fn load_points(app: &BuiltApp, scale: Scale, seed: u64) -> (BuiltApp, f64, f64) {
     let shrunk = shrink(app, 4);
     let secs = scale.secs(6);
-    let g = max_qps_under_qos(&shrunk, &make_cluster(8), &|_| {}, shrunk.qos_p99, secs, seed)
-        .max(20.0);
+    let g = max_qps_under_qos(
+        &shrunk,
+        &make_cluster(8),
+        &|_| {},
+        shrunk.qos_p99,
+        secs,
+        seed,
+    )
+    .max(20.0);
     // "High load" sits just past the saturation knee, where NIC and worker
     // queues start building — the regime the paper's Fig. 15 calls high.
     (shrunk, 0.15 * g, 1.1 * g)
@@ -59,11 +66,27 @@ pub fn run(scale: Scale) -> String {
     let (high, _) = run_at(&app, hi_q, secs, 70);
     let mut ta = Table::new(
         "Fig 15a: Social Network — mean per-invocation app vs TCP time (us)",
-        &["service", "app (low)", "net (low)", "net share (low)", "net share (high)"],
+        &[
+            "service",
+            "app (low)",
+            "net (low)",
+            "net share (low)",
+            "net share (high)",
+        ],
     );
     for name in [
-        "nginx", "text", "image", "uniqueID", "userTag", "urlShorten", "video",
-        "recommender", "login", "readPost", "writeGraph", "memcached-posts",
+        "nginx",
+        "text",
+        "image",
+        "uniqueID",
+        "userTag",
+        "urlShorten",
+        "video",
+        "recommender",
+        "login",
+        "readPost",
+        "writeGraph",
+        "memcached-posts",
         "mongodb-posts",
     ] {
         let id = app.service(name);
@@ -87,7 +110,14 @@ pub fn run(scale: Scale) -> String {
     // (b) end-to-end network share + tail inflation for every service.
     let mut tb = Table::new(
         "Fig 15b: network processing share of execution (low vs high load) and tail inflation",
-        &["application", "net share (low)", "net share (high)", "p99 low (ms)", "p99 high (ms)", "inflation"],
+        &[
+            "application",
+            "net share (low)",
+            "net share (high)",
+            "p99 low (ms)",
+            "p99 high (ms)",
+            "inflation",
+        ],
     );
     let cases: Vec<BuiltApp> = vec![
         social::social_network(),

@@ -18,7 +18,13 @@ struct Outcome {
     p99: SimDuration,
 }
 
-fn run_one(app: &BuiltApp, qps: f64, secs: u64, seed: u64, offload: Option<FpgaOffload>) -> Outcome {
+fn run_one(
+    app: &BuiltApp,
+    qps: f64,
+    secs: u64,
+    seed: u64,
+    offload: Option<FpgaOffload>,
+) -> Outcome {
     let (mut sim, mut load) = build_sim(app, make_cluster(8), seed);
     if let Some(o) = offload {
         sim.set_offload(o);
@@ -52,7 +58,13 @@ pub fn run(scale: Scale) -> String {
     let secs = scale.secs(10);
     let mut t = Table::new(
         "Fig 16: FPGA RPC acceleration (50x TCP-stack speedup), at 0.8x saturation",
-        &["application", "net time/RPC speedup", "end-to-end p99 speedup", "p99 native (ms)", "p99 FPGA (ms)"],
+        &[
+            "application",
+            "net time/RPC speedup",
+            "end-to-end p99 speedup",
+            "p99 native (ms)",
+            "p99 FPGA (ms)",
+        ],
     );
     let cases: Vec<BuiltApp> = vec![
         social::social_network(),

@@ -73,7 +73,14 @@ fn run_case(
 fn render(title: &str, tl: &Timeline) -> String {
     let mut t = Table::new(
         title,
-        &["t (s)", "nginx p99 (ms)", "memcached p99 (ms)", "nginx insts", "nginx occ", "mc occ"],
+        &[
+            "t (s)",
+            "nginx p99 (ms)",
+            "memcached p99 (ms)",
+            "nginx insts",
+            "nginx occ",
+            "mc occ",
+        ],
     );
     for &(s, np, mp, ni, no, mo) in &tl.rows {
         t.row_owned(vec![

@@ -37,7 +37,14 @@ pub fn run(_scale: Scale) -> String {
     ];
     let mut t = Table::new(
         "Fig 18: dependency graph shape",
-        &["application", "services", "edges", "max fan-in", "max fan-out", "avg degree"],
+        &[
+            "application",
+            "services",
+            "edges",
+            "max fan-in",
+            "max fan-out",
+            "avg degree",
+        ],
     );
     let mut dots = String::new();
     let _ = std::fs::create_dir_all("figures");

@@ -106,11 +106,21 @@ pub fn compare(scale: Scale, seed: u64) -> (Recovery, Recovery) {
     let cluster = make_cluster(12);
     let cal_secs = scale.secs(6);
     let micro_cap = crate::harness::max_qps_under_qos(
-        &micro_app, &cluster, &|_| {}, micro_app.qos_p99, cal_secs, seed,
+        &micro_app,
+        &cluster,
+        &|_| {},
+        micro_app.qos_p99,
+        cal_secs,
+        seed,
     )
     .max(50.0);
     let mono_cap = crate::harness::max_qps_under_qos(
-        &mono_app, &cluster, &|_| {}, mono_app.qos_p99, cal_secs, seed,
+        &mono_app,
+        &cluster,
+        &|_| {},
+        mono_app.qos_p99,
+        cal_secs,
+        seed,
     )
     .max(50.0);
     let micro = run_one(&micro_app, 0.4 * micro_cap, 1.6 * micro_cap, secs, seed);

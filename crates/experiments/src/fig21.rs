@@ -78,7 +78,16 @@ pub fn run(scale: Scale) -> String {
     let secs = scale.secs(30);
     let mut t = Table::new(
         "Fig 21 (top): latency quartiles (ms) + cost per 10min, per execution mode",
-        &["application", "mode", "p5", "p25", "p50", "p75", "p95", "cost ($)"],
+        &[
+            "application",
+            "mode",
+            "p5",
+            "p25",
+            "p50",
+            "p75",
+            "p95",
+            "cost ($)",
+        ],
     );
     let apps: Vec<(BuiltApp, f64)> = vec![
         (social::social_network(), 60.0),
@@ -179,7 +188,10 @@ pub fn run(scale: Scale) -> String {
     for s in 0..secs2 as usize {
         tb.row_owned(vec![
             s.to_string(),
-            format!("{:.0}", pattern.qps(dsb_simcore::SimTime::from_secs(s as u64))),
+            format!(
+                "{:.0}",
+                pattern.qps(dsb_simcore::SimTime::from_secs(s as u64))
+            ),
             format!("{:.2}", ec2[s]),
             format!("{:.2}", lambda[s]),
         ]);

@@ -15,9 +15,7 @@ use dsb_core::ServiceId;
 use dsb_simcore::{Rng, SimDuration};
 use dsb_workload::UserPopulation;
 
-use crate::harness::{
-    build_sim_with_users, drive_ticked, make_cluster, max_qps_under_qos,
-};
+use crate::harness::{build_sim_with_users, drive_ticked, make_cluster, max_qps_under_qos};
 use crate::report::{heatmap, Table};
 use crate::Scale;
 
@@ -38,12 +36,8 @@ pub fn run_a(scale: Scale) -> String {
         "nginx",
     ];
     let ids: Vec<ServiceId> = rows.iter().map(|n| app.service(n)).collect();
-    let (mut sim, mut load) = build_sim_with_users(
-        &app,
-        make_cluster(16),
-        170,
-        UserPopulation::uniform(1000),
-    );
+    let (mut sim, mut load) =
+        build_sim_with_users(&app, make_cluster(16), 170, UserPopulation::uniform(1000));
     // Scale out the hot tiers so the pinned instance is one of many
     // (misrouting then concentrates ~4x the provisioned per-instance load).
     for name in ["composePost", "readPost", "php-fpm", "readTimeline"] {

@@ -266,14 +266,7 @@ mod tests {
     fn goodput_search_finds_saturation() {
         let app = singles::xapian();
         let cluster = make_cluster(2);
-        let qps = max_qps_under_qos(
-            &app,
-            &cluster,
-            &|_| {},
-            SimDuration::from_millis(4),
-            4,
-            7,
-        );
+        let qps = max_qps_under_qos(&app, &cluster, &|_| {}, SimDuration::from_millis(4), 4, 7);
         // 16 workers x ~600us -> capacity around 26k/s; QoS binds earlier.
         assert!(qps > 100.0, "goodput {qps}");
         assert!(qps < 200_000.0, "goodput {qps}");

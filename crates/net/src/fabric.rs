@@ -99,9 +99,7 @@ impl Fabric {
             }
             (Zone::Client, Zone::Rack(_)) | (Zone::Rack(_), Zone::Client) => c.client_ns,
             (Zone::Edge, Zone::Rack(_)) | (Zone::Rack(_), Zone::Edge) => c.wireless_ns,
-            (Zone::Client, Zone::Edge) | (Zone::Edge, Zone::Client) => {
-                c.wireless_ns + c.client_ns
-            }
+            (Zone::Client, Zone::Edge) | (Zone::Edge, Zone::Client) => c.wireless_ns + c.client_ns,
             (Zone::Client, Zone::Client) => c.loopback_ns,
         };
         SimDuration::from_nanos(ns)

@@ -67,7 +67,11 @@ pub struct ServerlessApp {
 /// their inputs), and a `put` precedes every downstream invocation.
 ///
 /// [`ExecutionMode::Ec2`] returns the app unchanged.
-pub fn to_serverless(app: &AppSpec, mode: ExecutionMode, keep_provisioned: &[ServiceId]) -> ServerlessApp {
+pub fn to_serverless(
+    app: &AppSpec,
+    mode: ExecutionMode,
+    keep_provisioned: &[ServiceId],
+) -> ServerlessApp {
     if mode == ExecutionMode::Ec2 {
         return ServerlessApp {
             app: app.clone(),
@@ -281,18 +285,15 @@ pub fn lambda_cost_for_run(
             // span counts, so split by the observed call pattern: one get
             // per function invocation, one put per downstream call — both
             // recorded as store spans. Approximate an even split.
-            let ops = sim
-                .collector()
-                .service(sid.0)
-                .map_or(0, |s| s.spans) as f64;
+            let ops = sim.collector().service(sid.0).map_or(0, |s| s.spans) as f64;
             (ops / 2.0) / 1000.0 * (pricing.s3_get_per_k + pricing.s3_put_per_k)
         }
         _ => 0.0,
     };
     if let (Some(sid), false) = (store, s3_store) {
         // Remote-memory store: dedicated instances billed per hour.
-        storage_usd += sim.instance_count(sid) as f64 * run.as_secs_f64() / 3600.0
-            * pricing.ec2_instance_hour;
+        storage_usd +=
+            sim.instance_count(sid) as f64 * run.as_secs_f64() / 3600.0 * pricing.ec2_instance_hour;
     }
     CostReport {
         compute_usd,
@@ -320,7 +321,12 @@ mod tests {
     fn two_tier() -> (AppSpec, EndpointRef, ServiceId, ServiceId) {
         let mut app = AppBuilder::new("t");
         let back = app.service("back").workers(8).build();
-        let get = app.endpoint(back, "get", Dist::constant(512.0), vec![Step::work_us(20.0)]);
+        let get = app.endpoint(
+            back,
+            "get",
+            Dist::constant(512.0),
+            vec![Step::work_us(20.0)],
+        );
         let front = app.service("front").workers(8).build();
         let root = app.endpoint(
             front,
@@ -378,7 +384,10 @@ mod tests {
                 sim.inject(SimTime::from_millis(i * 5), root, RequestType(0), 256, i);
             }
             sim.run_until_idle();
-            sim.request_stats(RequestType(0)).unwrap().latency.quantile(0.5)
+            sim.request_stats(RequestType(0))
+                .unwrap()
+                .latency
+                .quantile(0.5)
         };
         let ec2 = run(ExecutionMode::Ec2);
         let mem = run(ExecutionMode::LambdaMem);
@@ -427,7 +436,10 @@ mod tests {
             ExecutionMode::LambdaMem.label(),
         ];
         assert_eq!(
-            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
     }

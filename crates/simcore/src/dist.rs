@@ -178,7 +178,8 @@ impl Dist {
                 } else {
                     let la = lo.powf(*alpha);
                     let ha = hi.powf(*alpha);
-                    la / (1.0 - la / ha) * (alpha / (alpha - 1.0))
+                    la / (1.0 - la / ha)
+                        * (alpha / (alpha - 1.0))
                         * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
                 }
             }

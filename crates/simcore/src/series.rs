@@ -91,7 +91,12 @@ impl WindowedSeries {
     /// quantiles.
     pub fn merged_range(&self, from: usize, to: usize) -> Histogram {
         let mut h = Histogram::compact();
-        for w in self.windows.iter().take(to.min(self.windows.len())).skip(from) {
+        for w in self
+            .windows
+            .iter()
+            .take(to.min(self.windows.len()))
+            .skip(from)
+        {
             h.merge(w);
         }
         h

@@ -1,157 +1,240 @@
-//! Property-based tests for the simulation kernel's data structures.
-
-use proptest::prelude::*;
+//! Property-based tests for the simulation kernel's data structures,
+//! on the in-repo `dsb-testkit` engine.
 
 use dsb_simcore::{
     Dist, Histogram, MeanVar, Model, Rng, Scheduler, SimDuration, SimTime, UtilizationTracker,
     WindowedSeries, Zipf,
 };
+use dsb_testkit::{gen, prop, prop_assert, prop_assert_eq};
 
 // ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Quantiles are monotone in q and bracketed by min/max.
-    #[test]
-    fn histogram_quantiles_monotone(values in prop::collection::vec(0u64..10_000_000_000, 1..500)) {
-        let mut h = Histogram::default();
-        for &v in &values {
-            h.record(v);
+/// Quantiles are monotone in q and bracketed by min/max.
+#[test]
+fn histogram_quantiles_monotone() {
+    prop!(
+        |rng| gen::vec_with(rng, 1, 500, |r| gen::u64_in(r, 0, 10_000_000_000)),
+        |values: &Vec<u64>| {
+            if values.is_empty() {
+                return Ok(()); // outside the generator's domain (shrink artifact)
+            }
+            let mut h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+            let mut prev = 0;
+            for &q in &qs {
+                let x = h.quantile(q);
+                prop_assert!(x >= prev, "quantile({q}) = {x} < previous {prev}");
+                prev = x;
+            }
+            prop_assert!(h.quantile(0.0) >= h.min());
+            prop_assert_eq!(h.quantile(1.0), h.max());
+            prop_assert_eq!(h.count(), values.len() as u64);
+            Ok(())
         }
-        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
-        let mut prev = 0;
-        for &q in &qs {
-            let x = h.quantile(q);
-            prop_assert!(x >= prev, "quantile({q}) = {x} < previous {prev}");
-            prev = x;
-        }
-        prop_assert!(h.quantile(0.0) >= h.min());
-        prop_assert_eq!(h.quantile(1.0), h.max());
-        prop_assert_eq!(h.count(), values.len() as u64);
-    }
+    );
+}
 
-    /// Quantile estimates stay within the documented ~3% relative error of
-    /// the exact order statistic (plus one bucket at the low end).
-    #[test]
-    fn histogram_quantile_error_bounded(
-        mut values in prop::collection::vec(1u64..1_000_000_000, 10..400),
-        qi in 0usize..5,
-    ) {
-        let q = [0.1, 0.25, 0.5, 0.9, 0.99][qi];
-        let mut h = Histogram::default();
-        for &v in &values {
-            h.record(v);
+/// Quantile estimates stay within the documented ~3% relative error of
+/// the exact order statistic (plus one bucket at the low end).
+#[test]
+fn histogram_quantile_error_bounded() {
+    prop!(
+        |rng| {
+            (
+                gen::vec_with(rng, 10, 400, |r| gen::u64_in(r, 1, 1_000_000_000)),
+                gen::usize_in(rng, 0, 5),
+            )
+        },
+        |&(ref values, qi): &(Vec<u64>, usize)| {
+            if values.is_empty() {
+                return Ok(());
+            }
+            let q = [0.1, 0.25, 0.5, 0.9, 0.99][qi % 5];
+            let mut h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let est = h.quantile(q) as f64;
+            prop_assert!(
+                (est - exact).abs() <= exact * 0.04 + 2.0,
+                "q={q}: est {est} exact {exact}"
+            );
+            Ok(())
         }
-        values.sort_unstable();
-        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
-        let exact = values[rank - 1] as f64;
-        let est = h.quantile(q) as f64;
-        prop_assert!(
-            (est - exact).abs() <= exact * 0.04 + 2.0,
-            "q={q}: est {est} exact {exact}"
-        );
-    }
+    );
+}
 
-    /// Merging histograms is equivalent to recording the union.
-    #[test]
-    fn histogram_merge_union(
-        a in prop::collection::vec(0u64..1_000_000, 0..200),
-        b in prop::collection::vec(0u64..1_000_000, 0..200),
-    ) {
-        let mut ha = Histogram::default();
-        let mut hb = Histogram::default();
-        let mut hu = Histogram::default();
-        for &v in &a { ha.record(v); hu.record(v); }
-        for &v in &b { hb.record(v); hu.record(v); }
-        ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hu.count());
-        for &q in &[0.1, 0.5, 0.9, 1.0] {
-            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+/// Merging histograms is equivalent to recording the union.
+#[test]
+fn histogram_merge_union() {
+    prop!(
+        |rng| {
+            (
+                gen::vec_with(rng, 0, 200, |r| gen::u64_in(r, 0, 1_000_000)),
+                gen::vec_with(rng, 0, 200, |r| gen::u64_in(r, 0, 1_000_000)),
+            )
+        },
+        |&(ref a, ref b): &(Vec<u64>, Vec<u64>)| {
+            let mut ha = Histogram::default();
+            let mut hb = Histogram::default();
+            let mut hu = Histogram::default();
+            for &v in a {
+                ha.record(v);
+                hu.record(v);
+            }
+            for &v in b {
+                hb.record(v);
+                hu.record(v);
+            }
+            ha.merge(&hb);
+            prop_assert_eq!(ha.count(), hu.count());
+            for &q in &[0.1, 0.5, 0.9, 1.0] {
+                prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+            }
+            prop_assert_eq!(ha.max(), hu.max());
+            prop_assert_eq!(ha.min(), hu.min());
+            Ok(())
         }
-        prop_assert_eq!(ha.max(), hu.max());
-        prop_assert_eq!(ha.min(), hu.min());
-    }
+    );
 }
 
 // ---------------------------------------------------------------------------
 // MeanVar
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Welford matches the naive two-pass computation.
-    #[test]
-    fn meanvar_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
-        let mut mv = MeanVar::new();
-        for &v in &values {
-            mv.record(v);
+/// Welford matches the naive two-pass computation.
+#[test]
+fn meanvar_matches_naive() {
+    prop!(
+        |rng| gen::vec_with(rng, 2, 200, |r| gen::f64_in(r, -1e6, 1e6)),
+        |values: &Vec<f64>| {
+            if values.len() < 2 {
+                return Ok(());
+            }
+            let mut mv = MeanVar::new();
+            for &v in values {
+                mv.record(v);
+            }
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((mv.mean() - mean).abs() <= mean.abs() * 1e-9 + 1e-6);
+            prop_assert!((mv.variance() - var).abs() <= var.abs() * 1e-6 + 1e-3);
+            Ok(())
         }
-        let n = values.len() as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((mv.mean() - mean).abs() <= mean.abs() * 1e-9 + 1e-6);
-        prop_assert!((mv.variance() - var).abs() <= var.abs() * 1e-6 + 1e-3);
-    }
+    );
 }
 
 // ---------------------------------------------------------------------------
 // Distributions
 // ---------------------------------------------------------------------------
 
-fn arb_dist() -> impl Strategy<Value = Dist> {
-    prop_oneof![
-        (0.0f64..1e6).prop_map(Dist::constant),
-        (0.1f64..1e5, 1.0f64..2.0).prop_map(|(lo, f)| Dist::uniform(lo, lo * f + 1.0)),
-        (0.1f64..1e5).prop_map(Dist::exp),
-        (1u32..8, 0.1f64..1e5).prop_map(|(k, m)| Dist::erlang(k, m)),
-        (0.1f64..1e5, 0.05f64..1.2).prop_map(|(m, s)| Dist::log_normal(m, s)),
-        (1.05f64..3.0, 1.0f64..100.0).prop_map(|(a, lo)| Dist::pareto(a, lo, lo * 50.0)),
-    ]
+/// A plain-data distribution descriptor: generated (and shrunk) as
+/// primitives, turned into a [`Dist`] inside the property. `kind`
+/// selects the family, `p1`/`p2` are uniform in `[0, 1)` and mapped to
+/// each family's parameter ranges.
+type DistSpec = (u8, f64, f64);
+
+fn arb_dist_spec(rng: &mut Rng) -> DistSpec {
+    (gen::u8_in(rng, 0, 6), rng.f64(), rng.f64())
 }
 
-proptest! {
-    /// All samples are non-negative and finite; the empirical mean of many
-    /// samples approaches the analytic mean.
-    #[test]
-    fn dist_samples_sane(d in arb_dist(), seed in 0u64..1_000_000) {
-        let mut rng = Rng::new(seed);
-        let n = 30_000;
-        let mut sum = 0.0;
-        for _ in 0..n {
-            let x = d.sample(&mut rng);
-            prop_assert!(x.is_finite() && x >= 0.0, "bad sample {x} from {d:?}");
-            sum += x;
+fn make_dist((kind, p1, p2): DistSpec) -> Dist {
+    let p1 = p1.clamp(0.0, 1.0);
+    let p2 = p2.clamp(0.0, 1.0);
+    match kind % 6 {
+        0 => Dist::constant(p1 * 1e6),
+        1 => {
+            let lo = 0.1 + p1 * 1e5;
+            let f = 1.0 + p2;
+            Dist::uniform(lo, lo * f + 1.0)
         }
-        let mean = sum / n as f64;
-        let analytic = d.mean();
-        prop_assert!(
-            (mean - analytic).abs() <= analytic * 0.2 + 1e-6,
-            "{d:?}: empirical {mean} vs analytic {analytic}"
-        );
-    }
-
-    /// Scaling a distribution scales its mean exactly.
-    #[test]
-    fn dist_scaled_mean(d in arb_dist(), k in 0.1f64..10.0) {
-        let s = d.scaled(k);
-        prop_assert!((s.mean() - d.mean() * k).abs() <= d.mean() * k * 1e-9 + 1e-9);
-    }
-
-    /// Zipf pmf is a normalized, non-increasing distribution.
-    #[test]
-    fn zipf_pmf_valid(n in 1usize..2000, s in 0.0f64..3.0) {
-        let z = Zipf::new(n, s);
-        let mut total = 0.0;
-        let mut prev = f64::INFINITY;
-        for i in 0..n {
-            let p = z.pmf(i);
-            prop_assert!(p >= -1e-12);
-            prop_assert!(p <= prev + 1e-12, "pmf not monotone at {i}");
-            prev = p;
-            total += p;
+        2 => Dist::exp(0.1 + p1 * 1e5),
+        3 => Dist::erlang(1 + (p1 * 7.0) as u32, 0.1 + p2 * 1e5),
+        4 => Dist::log_normal(0.1 + p1 * 1e5, 0.05 + p2 * 1.15),
+        _ => {
+            let lo = 1.0 + p2 * 99.0;
+            Dist::pareto(1.05 + p1 * 1.95, lo, lo * 50.0)
         }
-        prop_assert!((total - 1.0).abs() < 1e-9);
     }
+}
+
+/// All samples are non-negative and finite; the empirical mean of many
+/// samples approaches the analytic mean.
+#[test]
+fn dist_samples_sane() {
+    prop!(
+        |rng| (arb_dist_spec(rng), gen::u64_in(rng, 0, 1_000_000)),
+        |&(spec, seed): &(DistSpec, u64)| {
+            let d = make_dist(spec);
+            let mut rng = Rng::new(seed);
+            let n = 30_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "bad sample {x} from {d:?}");
+                sum += x;
+            }
+            let mean = sum / n as f64;
+            let analytic = d.mean();
+            prop_assert!(
+                (mean - analytic).abs() <= analytic * 0.2 + 1e-6,
+                "{d:?}: empirical {mean} vs analytic {analytic}"
+            );
+            Ok(())
+        }
+    );
+}
+
+/// Scaling a distribution scales its mean exactly.
+#[test]
+fn dist_scaled_mean() {
+    prop!(
+        |rng| (arb_dist_spec(rng), gen::f64_in(rng, 0.1, 10.0)),
+        |&(spec, k): &(DistSpec, f64)| {
+            let d = make_dist(spec);
+            let k = k.abs().clamp(0.1, 10.0);
+            let s = d.scaled(k);
+            prop_assert!(
+                (s.mean() - d.mean() * k).abs() <= d.mean() * k * 1e-9 + 1e-9,
+                "{d:?} scaled by {k}"
+            );
+            Ok(())
+        }
+    );
+}
+
+/// Zipf pmf is a normalized, non-increasing distribution.
+#[test]
+fn zipf_pmf_valid() {
+    prop!(
+        |rng| (gen::usize_in(rng, 1, 2000), gen::f64_in(rng, 0.0, 3.0)),
+        |&(n, s): &(usize, f64)| {
+            let n = n.max(1);
+            let s = s.abs().min(3.0);
+            let z = Zipf::new(n, s);
+            let mut total = 0.0;
+            let mut prev = f64::INFINITY;
+            for i in 0..n {
+                let p = z.pmf(i);
+                prop_assert!(p >= -1e-12);
+                prop_assert!(p <= prev + 1e-12, "pmf not monotone at {i}");
+                prev = p;
+                total += p;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            Ok(())
+        }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -174,61 +257,83 @@ impl Model for Recorder {
     }
 }
 
-proptest! {
-    /// Events fire in non-decreasing time order; equal times preserve the
-    /// schedule order.
-    #[test]
-    fn scheduler_total_order(times in prop::collection::vec(0u64..1_000, 1..300)) {
-        let mut sched = Scheduler::new(0);
-        for (i, &t) in times.iter().enumerate() {
-            sched.schedule_at(SimTime::from_nanos(t), REv::Tag(i));
-        }
-        let mut m = Recorder { seen: Vec::new() };
-        sched.run(&mut m);
-        prop_assert_eq!(m.seen.len(), times.len());
-        for w in m.seen.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
-            if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie not FIFO");
+/// Events fire in non-decreasing time order; equal times preserve the
+/// schedule order.
+#[test]
+fn scheduler_total_order() {
+    prop!(
+        |rng| gen::vec_with(rng, 1, 300, |r| gen::u64_in(r, 0, 1_000)),
+        |times: &Vec<u64>| {
+            let mut sched = Scheduler::new(0);
+            for (i, &t) in times.iter().enumerate() {
+                sched.schedule_at(SimTime::from_nanos(t), REv::Tag(i));
             }
+            let mut m = Recorder { seen: Vec::new() };
+            sched.run(&mut m);
+            prop_assert_eq!(m.seen.len(), times.len());
+            for w in m.seen.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "tie not FIFO");
+                }
+            }
+            Ok(())
         }
-    }
+    );
 }
 
 // ---------------------------------------------------------------------------
 // Utilization / windows
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Busy time is conserved: the per-window sums equal the interval sum.
-    #[test]
-    fn utilization_conserves_busy_time(
-        intervals in prop::collection::vec((0u64..100_000u64, 1u64..50_000u64), 0..50),
-    ) {
-        let window = SimDuration::from_micros(10);
-        let mut u = UtilizationTracker::new(window, 1);
-        let mut total = 0u64;
-        for &(start, len) in &intervals {
-            u.add_busy(SimTime::from_nanos(start), SimTime::from_nanos(start + len));
-            total += len;
+/// Busy time is conserved: the per-window sums equal the interval sum.
+#[test]
+fn utilization_conserves_busy_time() {
+    prop!(
+        |rng| {
+            gen::vec_with(rng, 0, 50, |r| {
+                (gen::u64_in(r, 0, 100_000), gen::u64_in(r, 1, 50_000))
+            })
+        },
+        |intervals: &Vec<(u64, u64)>| {
+            let window = SimDuration::from_micros(10);
+            let mut u = UtilizationTracker::new(window, 1);
+            let mut total = 0u64;
+            for &(start, len) in intervals {
+                let len = len.max(1);
+                u.add_busy(SimTime::from_nanos(start), SimTime::from_nanos(start + len));
+                total += len;
+            }
+            let tracked: f64 = (0..u.window_count())
+                .map(|i| u.utilization(i) * window.as_nanos() as f64)
+                .sum();
+            prop_assert!(
+                (tracked - total as f64).abs() < 1.0,
+                "tracked {tracked} vs {total}"
+            );
+            Ok(())
         }
-        let tracked: f64 = (0..u.window_count())
-            .map(|i| u.utilization(i) * window.as_nanos() as f64)
-            .sum();
-        prop_assert!((tracked - total as f64).abs() < 1.0, "tracked {tracked} vs {total}");
-    }
+    );
+}
 
-    /// Windowed series place every sample in exactly one window.
-    #[test]
-    fn windowed_series_conserves_counts(
-        samples in prop::collection::vec((0u64..10_000_000u64, 0u64..1000u64), 0..300),
-    ) {
-        let mut s = WindowedSeries::new(SimDuration::from_micros(100));
-        for &(at, v) in &samples {
-            s.record(SimTime::from_nanos(at), v);
+/// Windowed series place every sample in exactly one window.
+#[test]
+fn windowed_series_conserves_counts() {
+    prop!(
+        |rng| {
+            gen::vec_with(rng, 0, 300, |r| {
+                (gen::u64_in(r, 0, 10_000_000), gen::u64_in(r, 0, 1000))
+            })
+        },
+        |samples: &Vec<(u64, u64)>| {
+            let mut s = WindowedSeries::new(SimDuration::from_micros(100));
+            for &(at, v) in samples {
+                s.record(SimTime::from_nanos(at), v);
+            }
+            let total: u64 = (0..s.window_count()).map(|i| s.count(i)).sum();
+            prop_assert_eq!(total, samples.len() as u64);
+            prop_assert_eq!(s.total().count(), samples.len() as u64);
+            Ok(())
         }
-        let total: u64 = (0..s.window_count()).map(|i| s.count(i)).sum();
-        prop_assert_eq!(total, samples.len() as u64);
-        prop_assert_eq!(s.total().count(), samples.len() as u64);
-    }
+    );
 }

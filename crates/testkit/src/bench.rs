@@ -1,0 +1,233 @@
+//! A no-harness microbenchmark runner.
+//!
+//! Replaces Criterion for the workspace's `[[bench]]` targets (which
+//! set `harness = false`): each benchmark runs a warmup phase and then
+//! a fixed number of timed iterations, and the suite reports the
+//! per-iteration **median** and **MAD** (median absolute deviation) —
+//! robust statistics that ignore the occasional preempted iteration.
+//!
+//! Cargo runs bench targets in two modes, and the runner adapts:
+//!
+//! * `cargo bench` passes `--bench`: full iteration counts.
+//! * `cargo test` runs the same binary with no `--bench` flag: a
+//!   single-iteration smoke pass, so the tier-1 gate exercises every
+//!   kernel without paying measurement-grade repetition.
+//!
+//! `DSB_BENCH_ITERS=<n>` forces full mode with `n` timed iterations.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iteration counts for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations per benchmark.
+    pub warmup: u32,
+    /// Timed iterations per benchmark.
+    pub iters: u32,
+}
+
+impl BenchConfig {
+    /// Measurement-grade defaults (used under `cargo bench`).
+    pub fn full() -> Self {
+        BenchConfig {
+            warmup: 3,
+            iters: 15,
+        }
+    }
+
+    /// One untimed-free iteration, for smoke runs under `cargo test`.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            warmup: 0,
+            iters: 1,
+        }
+    }
+
+    /// Picks a mode from the process arguments and environment as
+    /// described in the module docs.
+    pub fn from_env_and_args() -> Self {
+        if let Ok(raw) = std::env::var("DSB_BENCH_ITERS") {
+            let iters: u32 = raw
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("DSB_BENCH_ITERS must be a u32, got {raw:?}"));
+            return BenchConfig {
+                warmup: 3,
+                iters: iters.max(1),
+            };
+        }
+        if std::env::args().any(|a| a == "--bench") {
+            BenchConfig::full()
+        } else {
+            BenchConfig::smoke()
+        }
+    }
+}
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Median absolute deviation of the iteration times, ns.
+    pub mad_ns: f64,
+    /// Timed iterations measured.
+    pub iters: u32,
+}
+
+/// A benchmark suite: register kernels with [`Bench::bench`], then
+/// print the table with [`Bench::finish`].
+///
+/// ```no_run
+/// use dsb_testkit::bench::{black_box, Bench};
+///
+/// let mut b = Bench::new("engine");
+/// b.bench("sum_1k", || black_box((0u64..1000).sum::<u64>()));
+/// b.finish();
+/// ```
+pub struct Bench {
+    suite: String,
+    cfg: BenchConfig,
+    results: Vec<Sample>,
+}
+
+impl Bench {
+    /// Creates a suite, picking smoke vs full mode via
+    /// [`BenchConfig::from_env_and_args`].
+    pub fn new(suite: &str) -> Self {
+        Bench::with_config(suite, BenchConfig::from_env_and_args())
+    }
+
+    /// Creates a suite with explicit iteration counts.
+    pub fn with_config(suite: &str, cfg: BenchConfig) -> Self {
+        println!(
+            "# bench suite `{suite}` ({} warmup + {} timed iterations per case)",
+            cfg.warmup, cfg.iters
+        );
+        Bench {
+            suite: suite.to_string(),
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, recording one [`Sample`]. The closure's return value
+    /// is passed through [`black_box`] so the work cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.cfg.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.cfg.iters as usize);
+        for _ in 0..self.cfg.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        let sample = Sample {
+            name: name.to_string(),
+            median_ns: median(&mut times.clone()),
+            mad_ns: mad(&times),
+            iters: self.cfg.iters,
+        };
+        println!(
+            "{:<44} {:>12}  ± {:>10}  x{}",
+            sample.name,
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.mad_ns),
+            sample.iters
+        );
+        self.results.push(sample);
+    }
+
+    /// The samples measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Prints the suite footer. Call last (consumes the suite).
+    pub fn finish(self) {
+        println!(
+            "# bench suite `{}` done: {} case(s)",
+            self.suite,
+            self.results.len()
+        );
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    assert!(!times.is_empty());
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let n = times.len();
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        (times[n / 2 - 1] + times[n / 2]) / 2.0
+    }
+}
+
+fn mad(times: &[f64]) -> f64 {
+    let m = median(&mut times.to_vec());
+    let mut dev: Vec<f64> = times.iter().map(|t| (t - m).abs()).collect();
+    median(&mut dev)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let mut xs = vec![10.0, 11.0, 9.0, 10.0, 1000.0];
+        assert_eq!(median(&mut xs), 10.0);
+        assert_eq!(mad(&[10.0, 11.0, 9.0, 10.0, 1000.0]), 1.0);
+        let mut even = vec![1.0, 3.0];
+        assert_eq!(median(&mut even), 2.0);
+    }
+
+    #[test]
+    fn bench_records_samples() {
+        let mut b = Bench::with_config(
+            "t",
+            BenchConfig {
+                warmup: 1,
+                iters: 5,
+            },
+        );
+        let mut calls = 0u32;
+        b.bench("noop", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6, "warmup + timed iterations");
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert_eq!(s.iters, 5);
+        assert!(s.median_ns >= 0.0 && s.mad_ns >= 0.0);
+        b.finish();
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert!(fmt_ns(2_500.0).ends_with("µs"));
+        assert!(fmt_ns(2_500_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with(" s"));
+    }
+}

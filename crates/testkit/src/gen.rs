@@ -1,0 +1,137 @@
+//! Deterministic value generators.
+//!
+//! Generators are plain functions over [`Rng`]: a test's generator is
+//! any `Fn(&mut Rng) -> T` closure, and these helpers are the building
+//! blocks. Because the runner seeds a fresh `Rng` per case from a
+//! recorded seed, a generator alone is enough to replay any case — no
+//! choice-recording machinery is needed.
+
+use dsb_simcore::Rng;
+
+/// Uniform `u64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn u64_in(rng: &mut Rng, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "u64_in: empty range {lo}..{hi}");
+    lo + rng.below(hi - lo)
+}
+
+/// Uniform `u32` in `[lo, hi)`.
+pub fn u32_in(rng: &mut Rng, lo: u32, hi: u32) -> u32 {
+    u64_in(rng, lo as u64, hi as u64) as u32
+}
+
+/// Uniform `u16` in `[lo, hi)`.
+pub fn u16_in(rng: &mut Rng, lo: u16, hi: u16) -> u16 {
+    u64_in(rng, lo as u64, hi as u64) as u16
+}
+
+/// Uniform `u8` in `[lo, hi)`.
+pub fn u8_in(rng: &mut Rng, lo: u8, hi: u8) -> u8 {
+    u64_in(rng, lo as u64, hi as u64) as u8
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+pub fn usize_in(rng: &mut Rng, lo: usize, hi: usize) -> usize {
+    u64_in(rng, lo as u64, hi as u64) as usize
+}
+
+/// Uniform `i64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn i64_in(rng: &mut Rng, lo: i64, hi: i64) -> i64 {
+    assert!(lo < hi, "i64_in: empty range {lo}..{hi}");
+    lo.wrapping_add(rng.below(lo.abs_diff(hi)) as i64)
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+pub fn f64_in(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo < hi && lo.is_finite() && hi.is_finite(),
+        "f64_in: bad range {lo}..{hi}"
+    );
+    lo + rng.f64() * (hi - lo)
+}
+
+/// A fair coin.
+pub fn bool_(rng: &mut Rng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+/// A vector of `len ∈ [min_len, max_len]` elements drawn from `elem`.
+pub fn vec_with<T>(
+    rng: &mut Rng,
+    min_len: usize,
+    max_len: usize,
+    mut elem: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let len = usize_in(rng, min_len, max_len + 1);
+    (0..len).map(|_| elem(rng)).collect()
+}
+
+/// A uniformly chosen element of `items`.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn choice<'a, T>(rng: &mut Rng, items: &'a [T]) -> &'a T {
+    &items[rng.index(items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Rng::new(1);
+        for _ in 0..2_000 {
+            assert!((3..17).contains(&u64_in(&mut rng, 3, 17)));
+            assert!((-5..5).contains(&i64_in(&mut rng, -5, 5)));
+            let f = f64_in(&mut rng, 0.5, 2.5);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn i64_full_width_ranges_do_not_overflow() {
+        let mut rng = Rng::new(2);
+        for _ in 0..500 {
+            let v = i64_in(&mut rng, i64::MIN, i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn vec_len_bounds_inclusive() {
+        let mut rng = Rng::new(3);
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..500 {
+            let v = vec_with(&mut rng, 2, 4, |r| r.next_u64());
+            assert!((2..=4).contains(&v.len()));
+            seen_min |= v.len() == 2;
+            seen_max |= v.len() == 4;
+        }
+        assert!(seen_min && seen_max);
+    }
+
+    #[test]
+    fn choice_covers_all_items() {
+        let mut rng = Rng::new(4);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*choice(&mut rng, &items) - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden-trace fixtures: checked-in text snapshots of simulation
+//! summaries.
+//!
+//! A golden test renders a deterministic summary (request counts,
+//! latency percentiles at a fixed seed) to text and compares it against
+//! a fixture committed to the repository. Any behavioural drift — a
+//! changed service demand, a different sampling order, a scheduler tie
+//! broken differently — shows up as a readable line diff. When the
+//! change is intentional, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Returns `true` when `UPDATE_GOLDENS` is set to something other than
+/// `0`/empty, i.e. fixtures should be rewritten instead of checked.
+pub fn updating() -> bool {
+    std::env::var("UPDATE_GOLDENS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Compares `actual` against the fixture at `path`.
+///
+/// * Fixture matches: returns.
+/// * Fixture differs or is missing, and [`updating`]: (re)writes it.
+/// * Otherwise: panics with a line diff and the regeneration command.
+///
+/// Trailing-newline differences are ignored; everything else is exact.
+/// Call with an absolute path, e.g.
+/// `concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/social.txt")`.
+pub fn check(path: impl AsRef<Path>, actual: &str) {
+    let path = path.as_ref();
+    let actual = normalized(actual);
+    let expected = fs::read_to_string(path).ok().map(|s| normalized(&s));
+    if expected.as_deref() == Some(actual.as_str()) {
+        return;
+    }
+    if updating() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+        fs::write(path, actual.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("golden: wrote {}", path.display());
+        return;
+    }
+    match expected {
+        None => panic!(
+            "golden fixture {} does not exist.\n\
+             Generate it with: UPDATE_GOLDENS=1 cargo test",
+            path.display()
+        ),
+        Some(expected) => panic!(
+            "golden mismatch for {}:\n{}\n\
+             If this change is intentional, regenerate with: UPDATE_GOLDENS=1 cargo test",
+            path.display(),
+            diff(&expected, &actual)
+        ),
+    }
+}
+
+fn normalized(s: &str) -> String {
+    let mut out = s.trim_end_matches('\n').to_string();
+    out.push('\n');
+    out
+}
+
+/// Maximum differing lines shown before the diff is elided.
+const DIFF_LINE_CAP: usize = 20;
+
+fn diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let (e, a) = (exp.get(i), act.get(i));
+        if e == a {
+            continue;
+        }
+        if shown == DIFF_LINE_CAP {
+            let _ = writeln!(out, "  … further differences elided …");
+            break;
+        }
+        shown += 1;
+        match (e, a) {
+            (Some(e), Some(a)) => {
+                let _ = writeln!(out, "  line {}:\n    - {e}\n    + {a}", i + 1);
+            }
+            (Some(e), None) => {
+                let _ = writeln!(out, "  line {} only in fixture:\n    - {e}", i + 1);
+            }
+            (None, Some(a)) => {
+                let _ = writeln!(out, "  line {} only in actual:\n    + {a}", i + 1);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    let _ = write!(
+        out,
+        "  ({} fixture line(s), {} actual line(s))",
+        exp.len(),
+        act.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dsb-testkit-golden-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn matching_fixture_passes() {
+        let p = tmp("match.txt");
+        fs::write(&p, "a\nb\n").unwrap();
+        check(&p, "a\nb");
+        check(&p, "a\nb\n"); // trailing newline is normalized
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn mismatch_panics_with_diff() {
+        if updating() {
+            return; // under UPDATE_GOLDENS=1 check() rewrites instead
+        }
+        let p = tmp("mismatch.txt");
+        fs::write(&p, "a\nb\n").unwrap();
+        let err =
+            std::panic::catch_unwind(|| check(&p, "a\nc\n")).expect_err("must panic on mismatch");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("- b") && msg.contains("+ c"), "{msg}");
+        assert!(msg.contains("UPDATE_GOLDENS=1"), "{msg}");
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_fixture_panics_with_instructions() {
+        if updating() {
+            return;
+        }
+        let p = tmp("missing.txt");
+        let _ = fs::remove_file(&p);
+        let err = std::panic::catch_unwind(|| check(&p, "x\n"))
+            .expect_err("must panic when fixture is absent");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("does not exist"), "{msg}");
+    }
+
+    #[test]
+    fn diff_is_line_precise() {
+        let d = diff("one\ntwo\n", "one\n2\nthree\n");
+        assert!(d.contains("line 2"));
+        assert!(d.contains("- two") && d.contains("+ 2"));
+        assert!(d.contains("only in actual"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The property-test runner: case generation, failure shrinking, and
+//! seed replay.
+//!
+//! Each case gets its own 64-bit seed, derived deterministically from
+//! the base seed, and the input value is a pure function of that seed
+//! (`gen(&mut Rng::new(case_seed))`). A failure report therefore only
+//! needs the case seed: `DSB_PROP_SEED=<seed> cargo test <name>` reruns
+//! exactly the failing input (and then shrinks it again, so the
+//! minimized value is also reproduced).
+
+use std::fmt;
+
+use dsb_simcore::Rng;
+
+use crate::shrink::Shrink;
+
+/// A property either holds (`Ok`) or fails with a message.
+pub type PropResult = Result<(), String>;
+
+/// Runner configuration, usually built by [`Config::from_env`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it.
+    pub seed: u64,
+    /// Cap on accepted shrink steps (each step is a strictly smaller
+    /// failing input).
+    pub max_shrink_steps: u32,
+    /// Replay exactly one case with this seed instead of running the
+    /// sweep (set via `DSB_PROP_SEED`).
+    pub replay: Option<u64>,
+    /// `true` when `DSB_PROP_CASES` was set, in which case `prop!`'s
+    /// per-test `cases = N` is ignored.
+    cases_from_env: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0xD5B_BE9C4,
+            max_shrink_steps: 2_000,
+            replay: None,
+            cases_from_env: false,
+        }
+    }
+}
+
+impl Config {
+    /// Reads `DSB_PROP_CASES` and `DSB_PROP_SEED` on top of the
+    /// defaults (64 cases, fixed base seed).
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(cases) = env_u64("DSB_PROP_CASES") {
+            cfg.cases = cases.clamp(1, u32::MAX as u64) as u32;
+            cfg.cases_from_env = true;
+        }
+        cfg.replay = env_u64("DSB_PROP_SEED");
+        cfg
+    }
+
+    /// Sets the case count unless `DSB_PROP_CASES` already fixed it.
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        if !self.cases_from_env {
+            self.cases = cases.max(1);
+        }
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64, got {raw:?}"),
+    }
+}
+
+/// A minimized failing input, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Counterexample<T> {
+    /// The minimized failing value.
+    pub value: T,
+    /// Seed that regenerates the *original* failing case.
+    pub case_seed: u64,
+    /// Index of the failing case within the sweep.
+    pub case: u32,
+    /// Accepted shrink steps between the original and `value`.
+    pub shrink_steps: u32,
+    /// The property's failure message for `value`.
+    pub message: String,
+}
+
+impl<T: fmt::Debug> Counterexample<T> {
+    /// A multi-line report naming the test, the minimized input, and
+    /// the replay seed.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "property `{name}` failed (case {case}): {msg}\n\
+             minimized after {steps} shrink step(s):\n  {value:?}\n\
+             replay with: DSB_PROP_SEED={seed} cargo test {short}",
+            case = self.case,
+            msg = self.message,
+            steps = self.shrink_steps,
+            value = self.value,
+            seed = self.case_seed,
+            short = name.rsplit("::").next().unwrap_or(name),
+        )
+    }
+}
+
+/// Runs `prop` over `cfg.cases` generated inputs; on failure, shrinks
+/// greedily and returns the minimized counterexample.
+///
+/// This is the non-panicking core — tests normally go through [`run`]
+/// or the [`prop!`](crate::prop) macro, which panic with
+/// [`Counterexample::report`]. It is public so the engine itself can be
+/// tested (and so harnesses can collect failures without unwinding).
+pub fn check<T, G, P>(cfg: &Config, gen: G, prop: P) -> Result<(), Counterexample<T>>
+where
+    T: Shrink + Clone + fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    let mut seeder = Rng::new(cfg.seed);
+    let (first, total) = match cfg.replay {
+        Some(seed) => (Some(seed), 1),
+        None => (None, cfg.cases),
+    };
+    for case in 0..total {
+        let case_seed = first.unwrap_or_else(|| seeder.next_u64());
+        let value = gen(&mut Rng::new(case_seed));
+        if let Err(message) = prop(&value) {
+            return Err(minimize(cfg, case, case_seed, value, message, &prop));
+        }
+    }
+    Ok(())
+}
+
+fn minimize<T, P>(
+    cfg: &Config,
+    case: u32,
+    case_seed: u64,
+    value: T,
+    message: String,
+    prop: &P,
+) -> Counterexample<T>
+where
+    T: Shrink + Clone + fmt::Debug,
+    P: Fn(&T) -> PropResult,
+{
+    let mut cur = value;
+    let mut cur_msg = message;
+    let mut steps = 0;
+    'outer: while steps < cfg.max_shrink_steps {
+        for cand in cur.shrink() {
+            if let Err(m) = prop(&cand) {
+                cur = cand;
+                cur_msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: every candidate passes
+    }
+    Counterexample {
+        value: cur,
+        case_seed,
+        case,
+        shrink_steps: steps,
+        message: cur_msg,
+    }
+}
+
+/// [`check`] that panics with a replayable report — the function the
+/// [`prop!`](crate::prop) macro expands to.
+pub fn run<T, G, P>(cfg: &Config, name: &str, gen: G, prop: P)
+where
+    T: Shrink + Clone + fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    if let Err(ce) = check(cfg, gen, prop) {
+        panic!("{}", ce.report(name));
+    }
+}
+
+/// Runs a property over generated inputs, shrinking failures.
+///
+/// ```text
+/// prop!(|rng| <T>, |v: &T| -> PropResult);
+/// prop!(cases = N, |rng| <T>, |v: &T| -> PropResult);
+/// ```
+///
+/// `T` must implement [`Shrink`](crate::Shrink) + `Clone` + `Debug`.
+/// Inside the property body, use [`prop_assert!`](crate::prop_assert) /
+/// [`prop_assert_eq!`](crate::prop_assert_eq) and finish with `Ok(())`.
+#[macro_export]
+macro_rules! prop {
+    (cases = $cases:expr, $gen:expr, $prop:expr $(,)?) => {
+        $crate::runner::run(
+            &$crate::runner::Config::from_env().with_cases($cases),
+            module_path!(),
+            $gen,
+            $prop,
+        )
+    };
+    ($gen:expr, $prop:expr $(,)?) => {
+        $crate::runner::run(
+            &$crate::runner::Config::from_env(),
+            module_path!(),
+            $gen,
+            $prop,
+        )
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (and
+/// triggering shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body; the failure message shows
+/// both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!("{}: {:?} vs {:?}", format!($($fmt)+), __a, __b));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut cfg = cfg(64);
+        cfg.replay = None;
+        let r: Result<(), Counterexample<u64>> = check(
+            &cfg,
+            |rng| gen::u64_in(rng, 0, 100),
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err("out of range".into())
+                }
+            },
+        );
+        assert!(r.is_ok());
+    }
+
+    /// The acceptance check for the engine itself: a deliberately broken
+    /// invariant must produce the *minimal* counterexample and a seed
+    /// that replays the same original failing input.
+    #[test]
+    fn broken_invariant_shrinks_to_boundary() {
+        let ce = check(
+            &cfg(200),
+            |rng| gen::u64_in(rng, 0, 10_000),
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} >= 100"))
+                }
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(ce.value, 100, "greedy shrink must reach the boundary");
+        assert!(ce.shrink_steps > 0);
+        // The recorded seed regenerates the original failing input …
+        let replayed = gen::u64_in(&mut Rng::new(ce.case_seed), 0, 10_000);
+        assert!(replayed >= 100);
+        // … and a replay run converges on the same minimum.
+        let mut replay_cfg = cfg(200);
+        replay_cfg.replay = Some(ce.case_seed);
+        let ce2 = check(
+            &replay_cfg,
+            |rng| gen::u64_in(rng, 0, 10_000),
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} >= 100"))
+                }
+            },
+        )
+        .expect_err("replay must fail too");
+        assert_eq!(ce2.value, 100);
+        assert_eq!(ce2.case, 0, "replay runs exactly one case");
+    }
+
+    #[test]
+    fn vec_counterexample_is_minimal() {
+        let ce = check(
+            &cfg(100),
+            |rng| gen::vec_with(rng, 0, 30, |r| gen::u32_in(r, 0, 1000)),
+            |xs: &Vec<u32>| {
+                prop_assert!(xs.iter().all(|&x| x < 500), "element >= 500");
+                Ok(())
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(ce.value.len(), 1, "shrink must drop unrelated elements");
+        assert_eq!(ce.value[0], 500, "shrink must minimize the element");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let run_once = || {
+            check(
+                &cfg(50),
+                |rng| gen::u64_in(rng, 0, 1_000_000),
+                |&v| {
+                    if v % 7 != 0 {
+                        Ok(())
+                    } else {
+                        Err("divisible".into())
+                    }
+                },
+            )
+            .expect_err("hits a multiple of 7")
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a.case_seed, b.case_seed);
+        assert_eq!(a.case, b.case);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn report_contains_replay_seed() {
+        let ce = Counterexample {
+            value: 42u64,
+            case_seed: 777,
+            case: 3,
+            shrink_steps: 5,
+            message: "boom".into(),
+        };
+        let r = ce.report("my::mod::test_name");
+        assert!(r.contains("DSB_PROP_SEED=777"));
+        assert!(r.contains("42"));
+        assert!(r.contains("boom"));
+        assert!(r.contains("test_name"));
+    }
+
+    #[test]
+    fn prop_macro_compiles_and_passes() {
+        prop!(
+            cases = 16,
+            |rng| (gen::u64_in(rng, 1, 50), gen::u64_in(rng, 1, 50)),
+            |&(a, b): &(u64, u64)| {
+                prop_assert_eq!(a + b, b + a);
+                prop_assert!(a * b >= a.max(b), "{a} * {b}");
+                Ok(())
+            }
+        );
+    }
+}

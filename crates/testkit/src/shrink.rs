@@ -1,0 +1,202 @@
+//! Type-directed shrinking.
+//!
+//! A failing input is minimized by repeatedly asking it for *smaller
+//! candidates* and keeping the first candidate that still fails the
+//! property. Integers halve toward zero, vectors drop halves and then
+//! single elements before shrinking element-wise, tuples shrink one
+//! coordinate at a time. Custom test-input types implement [`Shrink`]
+//! by composing these.
+
+/// Produces strictly-smaller candidate values for counterexample
+/// minimization.
+///
+/// `shrink` returns candidates in preference order (most aggressive
+/// first); it must eventually return an empty list so shrinking
+/// terminates. Types with no useful notion of "smaller" can return
+/// `Vec::new()`.
+pub trait Shrink: Sized {
+    /// Candidate smaller values, most aggressive first.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                if v > 1 {
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - v.signum()];
+                if v < 0 {
+                    // Positive values of the same magnitude are "simpler".
+                    out.push(-v);
+                }
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 || !v.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0, v / 2.0, v.trunc()];
+        if v < 0.0 {
+            out.push(-v);
+        }
+        out.retain(|&c| c != v);
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// How many positions we try for single-element removal / element-wise
+/// shrinking before giving up; keeps candidate lists small on big vecs
+/// (the halving steps have usually shortened them long before this
+/// matters).
+const VEC_POSITION_CAP: usize = 24;
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: shorter inputs beat smaller elements.
+        if n > 1 {
+            out.push(self[n / 2..].to_vec()); // drop the first half
+            out.push(self[..n / 2].to_vec()); // drop the second half
+        } else {
+            out.push(Vec::new());
+        }
+        for i in 0..n.min(VEC_POSITION_CAP) {
+            let mut shorter = self.clone();
+            shorter.remove(i);
+            out.push(shorter);
+        }
+        // Element-wise: replace one element with its first few shrinks.
+        for i in 0..n.min(VEC_POSITION_CAP) {
+            for cand in self[i].shrink().into_iter().take(3) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert!(0u64.shrink().is_empty());
+        let c = 100u64.shrink();
+        assert!(c.contains(&0) && c.contains(&50) && c.contains(&99));
+        assert!(!c.contains(&100));
+    }
+
+    #[test]
+    fn int_shrinks_negatives_via_abs() {
+        let c = (-8i64).shrink();
+        assert!(c.contains(&0) && c.contains(&8));
+    }
+
+    #[test]
+    fn vec_shrinks_structure_first() {
+        let v = vec![5u32, 6, 7, 8];
+        let c = v.shrink();
+        assert_eq!(c[0], vec![7, 8]);
+        assert_eq!(c[1], vec![5, 6]);
+        assert!(c.iter().any(|s| s.len() == 3));
+        assert!(c.iter().any(|s| *s == vec![0, 6, 7, 8]));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_coordinate() {
+        let c = (4u32, true).shrink();
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(4, false)));
+    }
+}

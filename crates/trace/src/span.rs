@@ -107,23 +107,15 @@ pub fn critical_path(spans: &[Span]) -> Vec<Attribution> {
     out
 }
 
-fn attribute(
-    span: &Span,
-    spans: &[Span],
-    totals: &mut std::collections::HashMap<u32, u64>,
-) {
-    let mut children: Vec<&Span> = spans
-        .iter()
-        .filter(|s| s.parent == Some(span.id))
-        .collect();
+fn attribute(span: &Span, spans: &[Span], totals: &mut std::collections::HashMap<u32, u64>) {
+    let mut children: Vec<&Span> = spans.iter().filter(|s| s.parent == Some(span.id)).collect();
     // Walk backwards from the span's end.
     children.sort_by_key(|s| std::cmp::Reverse(s.end));
     let mut cursor = span.end;
     for child in children {
         if child.end <= cursor {
             // Gap after this child is the span's own work.
-            *totals.entry(span.service).or_insert(0) +=
-                (cursor - child.end.min(cursor)).as_nanos();
+            *totals.entry(span.service).or_insert(0) += (cursor - child.end.min(cursor)).as_nanos();
             attribute(child, spans, totals);
             cursor = child.start.min(cursor);
         }
@@ -153,9 +145,7 @@ mod tests {
     }
 
     fn attr_of(attr: &[Attribution], svc: u32) -> u64 {
-        attr.iter()
-            .find(|a| a.service == svc)
-            .map_or(0, |a| a.ns)
+        attr.iter().find(|a| a.service == svc).map_or(0, |a| a.ns)
     }
 
     #[test]
@@ -220,10 +210,7 @@ mod tests {
 
     #[test]
     fn attribution_sorted_descending() {
-        let spans = vec![
-            mk(1, None, 0, 0, 100),
-            mk(2, Some(1), 1, 5, 95),
-        ];
+        let spans = vec![mk(1, None, 0, 0, 100), mk(2, Some(1), 1, 5, 95)];
         let attr = critical_path(&spans);
         assert!(attr.windows(2).all(|w| w[0].ns >= w[1].ns));
     }

@@ -32,10 +32,9 @@ fn scenario(title: &str, nginx_workers: u32, conn_limit: u32, qps: f64) {
         sim.advance_to(b);
         scaler.tick(&mut sim);
         if s % 5 == 4 {
-            let p99 = sim
-                .collector()
-                .service(nginx.0)
-                .map_or(0.0, |st| st.latency_windows.quantile(s as usize, 0.99) as f64 / 1e6);
+            let p99 = sim.collector().service(nginx.0).map_or(0.0, |st| {
+                st.latency_windows.quantile(s as usize, 0.99) as f64 / 1e6
+            });
             println!(
                 "  t={s:>2}s  nginx p99 {:>9.2}ms  nginx occ {:>4.2}  mc occ {:>4.2}  nginx insts {}",
                 p99,

@@ -83,9 +83,6 @@ fn main() {
     let total: u64 = attr.iter().map(|a| a.1).sum();
     println!("\ncritical-path attribution (share of end-to-end latency):");
     for (name, ns) in attr.iter().take(10) {
-        println!(
-            "  {name:>22}: {:>5.1}%",
-            *ns as f64 / total as f64 * 100.0
-        );
+        println!("  {name:>22}: {:>5.1}%", *ns as f64 / total as f64 * 100.0);
     }
 }

@@ -21,8 +21,9 @@ fn run(variant: SwarmVariant, qps: f64) -> (f64, f64, f64) {
     load.drive(&mut sim, SimTime::ZERO, SimTime::from_secs(10), qps);
     sim.advance_to(SimTime::from_secs(10));
     let p99 = |rt| {
-        sim.request_stats(rt)
-            .map_or(0.0, |s| s.windows.merged_range(3, 10).quantile(0.99) as f64 / 1e6)
+        sim.request_stats(rt).map_or(0.0, |s| {
+            s.windows.merged_range(3, 10).quantile(0.99) as f64 / 1e6
+        })
     };
     let mut issued = 0;
     let mut completed = 0;

@@ -1,0 +1,70 @@
+//! Determinism tests: every application, run twice at the same seed on
+//! the same cluster, produces bit-identical totals, latency statistics,
+//! and event counts — and a different seed produces a different run.
+
+mod common;
+
+use deathstarbench_sim::apps::{self, BuiltApp};
+use deathstarbench_sim::core::RequestType;
+
+/// A compact fingerprint of a run: totals, events, and a mix of all
+/// per-type latency quantiles (any nondeterminism in timing lands here).
+fn digest(app: &BuiltApp, qps: f64, seed: u64) -> (u64, u64, u64, u64, u64) {
+    let sim = common::run_fixed(app, qps, 2, seed);
+    let (issued, completed, rejected) = common::totals(&sim);
+    let mut lat = 0u64;
+    for i in 0..common::MAX_RTYPE {
+        if let Some(st) = sim.request_stats(RequestType(i)) {
+            lat ^= st.latency.quantile(0.5).rotate_left(i);
+            lat ^= st.latency.quantile(0.99).rotate_left(i + 17);
+            lat ^= st.latency.max().rotate_left(i + 41);
+        }
+    }
+    (issued, completed, rejected, lat, sim.events_processed())
+}
+
+fn assert_deterministic(name: &str, app: &BuiltApp, qps: f64) {
+    let a = digest(app, qps, 7);
+    let b = digest(app, qps, 7);
+    assert_eq!(a, b, "{name}: same seed must reproduce bit-identically");
+    let c = digest(app, qps, 8);
+    assert_ne!(a, c, "{name}: different seeds must differ");
+}
+
+#[test]
+fn social_network_is_deterministic() {
+    assert_deterministic("social-network", &apps::social::social_network(), 40.0);
+}
+
+#[test]
+fn media_service_is_deterministic() {
+    assert_deterministic("media-service", &apps::media::media_service(), 40.0);
+}
+
+#[test]
+fn ecommerce_is_deterministic() {
+    assert_deterministic("ecommerce", &apps::ecommerce::ecommerce(), 40.0);
+}
+
+#[test]
+fn banking_is_deterministic() {
+    assert_deterministic("banking", &apps::banking::banking(), 40.0);
+}
+
+#[test]
+fn swarm_edge_is_deterministic() {
+    assert_deterministic(
+        "swarm-edge",
+        &apps::swarm::swarm(apps::swarm::SwarmVariant::Edge),
+        15.0,
+    );
+}
+
+#[test]
+fn swarm_cloud_is_deterministic() {
+    assert_deterministic(
+        "swarm-cloud",
+        &apps::swarm::swarm(apps::swarm::SwarmVariant::Cloud),
+        15.0,
+    );
+}

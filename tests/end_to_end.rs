@@ -86,7 +86,10 @@ fn query_diversity_matches_paper() {
 
     let ecom = apps::ecommerce::ecommerce();
     let sim = run(&ecom, 120.0, 10, 4);
-    let order = sim.request_stats(apps::ecommerce::PLACE_ORDER).unwrap().p99();
+    let order = sim
+        .request_stats(apps::ecommerce::PLACE_ORDER)
+        .unwrap()
+        .p99();
     let browse = sim.request_stats(apps::ecommerce::BROWSE).unwrap().p99();
     assert!(
         order > browse * 2,
@@ -131,17 +134,14 @@ fn traces_are_well_formed_trees() {
 /// deployment.
 #[test]
 fn autoscaling_social_network_under_overload() {
-    let app = deathstarbench_sim::experiments::harness::shrink(
-        &apps::social::social_network(),
-        8,
-    );
+    let app = deathstarbench_sim::experiments::harness::shrink(&apps::social::social_network(), 8);
     let run_managed = |managed: bool| {
         let mut c = cluster();
         c.trace_sample_prob = 0.0;
         let mut sim = Simulation::new(app.spec.clone(), c, 6);
         let mut load = OpenLoop::new(app.mix.clone(), UserPopulation::uniform(500), 6);
         let mut scaler = Autoscaler::new(ScalePolicy {
-            cooldown: SimDuration::from_secs(8),
+            cooldown: SimDuration::from_secs(4),
             max_instances: 30,
             ..ScalePolicy::default()
         });
@@ -151,16 +151,16 @@ fn autoscaling_social_network_under_overload() {
             }
         }
         // Well above the shrunk deployment's ~3k QPS capacity.
-        for s in 0..60u64 {
+        for s in 0..24u64 {
             let (a, b) = (SimTime::from_secs(s), SimTime::from_secs(s + 1));
-            load.drive(&mut sim, a, b, 4_500.0);
+            load.drive(&mut sim, a, b, 4_000.0);
             sim.advance_to(b);
             scaler.tick(&mut sim);
         }
         let mut h = deathstarbench_sim::simcore::Histogram::compact();
         for t in 0..16u32 {
             if let Some(st) = sim.request_stats(RequestType(t)) {
-                h.merge(&st.windows.merged_range(50, 60));
+                h.merge(&st.windows.merged_range(18, 24));
             }
         }
         (h.quantile(0.99), scaler.events().len())
