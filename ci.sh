@@ -21,4 +21,7 @@ cargo test -q --workspace --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> dsb-lint (spec pass + determinism source pass)"
+cargo run -q --release --offline -p dsb-analyzer --bin dsb-lint
+
 echo "ci.sh: all green"

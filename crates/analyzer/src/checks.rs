@@ -1,0 +1,1026 @@
+//! The spec analysis passes.
+//!
+//! Every check is purely static: it consumes an [`AppSpec`] (plus
+//! optional entry-point and offered-load context) and never runs the
+//! simulator. Diagnostics come back sorted by service id, then code, so
+//! reports are golden-testable byte for byte.
+
+use dsb_core::{AppSpec, Concurrency, EndpointRef, LbPolicy, ServiceId, Step, WorkerPolicy};
+
+use crate::{Code, Diagnostic, Severity};
+
+/// Analyzes a spec with no external context: entry points are taken to
+/// be every service that no script calls (in-degree zero).
+pub fn analyze(spec: &AppSpec) -> Vec<Diagnostic> {
+    Analyzer::new(spec).run()
+}
+
+/// A configurable analysis run.
+///
+/// # Example
+///
+/// ```
+/// use dsb_analyzer::{Analyzer, Code};
+/// use dsb_core::{AppBuilder, Step};
+/// use dsb_simcore::Dist;
+///
+/// let mut app = AppBuilder::new("loop");
+/// let a = app.service("a").build();
+/// let b = app.service("b").build();
+/// let bep = app.endpoint(b, "run", Dist::constant(1.0), vec![]);
+/// let aep = app.endpoint(a, "run", Dist::constant(1.0), vec![Step::call(bep, 64.0)]);
+/// // Close the cycle: b calls a back.
+/// let mut spec = app.build();
+/// let mut script = (*spec.services[b.0 as usize].endpoints[0].script).clone();
+/// script.push(Step::call(aep, 64.0));
+/// spec.services[b.0 as usize].endpoints[0].script = std::sync::Arc::new(script);
+///
+/// let diags = Analyzer::new(&spec).run();
+/// assert!(diags.iter().any(|d| d.code == Code::CallCycle));
+/// ```
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    spec: &'a AppSpec,
+    entries: Vec<ServiceId>,
+    offered: Vec<(EndpointRef, f64)>,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Starts an analysis of `spec`.
+    pub fn new(spec: &'a AppSpec) -> Self {
+        Analyzer {
+            spec,
+            entries: Vec::new(),
+            offered: Vec::new(),
+        }
+    }
+
+    /// Declares `service` an entry point (the front-end clients hit).
+    /// May be called multiple times; when never called, every service
+    /// with in-degree zero counts as an entry.
+    pub fn entry(mut self, service: ServiceId) -> Self {
+        if !self.entries.contains(&service) {
+            self.entries.push(service);
+        }
+        self
+    }
+
+    /// Adds offered load: `qps` requests per second arriving at `entry`.
+    /// Enables the DSB009 capacity check (skipped when the graph is
+    /// cyclic, since rates cannot be propagated).
+    pub fn offered(mut self, entry: EndpointRef, qps: f64) -> Self {
+        self.offered.push((entry, qps));
+        self
+    }
+
+    /// Runs every check and returns the sorted diagnostics.
+    pub fn run(&self) -> Vec<Diagnostic> {
+        let spec = self.spec;
+        let mut out = Vec::new();
+
+        // DSB005 / DSB006 first: later passes only follow *valid* refs.
+        self.check_refs(&mut out);
+        let edges = valid_edges(spec);
+
+        // DSB001 cycles.
+        let cycle_anchors = self.check_cycles(&edges, &mut out);
+
+        // DSB004 / DSB010 reachability.
+        self.check_reachability(&edges, &cycle_anchors, &mut out);
+
+        // DSB002 blocking-pool backpressure, DSB003 fan-out sizing,
+        // DSB007 IPC zones, DSB008 degenerate partitioning.
+        self.check_pools(&mut out);
+
+        // DSB009 offered load vs capacity (needs an acyclic graph).
+        if !self.offered.is_empty() && cycle_anchors.is_empty() {
+            self.check_capacity(&mut out);
+        }
+
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn diag(
+        &self,
+        code: Code,
+        severity: Severity,
+        service: ServiceId,
+        endpoint: Option<&str>,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            service: Some(service),
+            service_name: self.spec.services[service.0 as usize].name.clone(),
+            endpoint: endpoint.map(str::to_string),
+            message,
+        }
+    }
+
+    // -- DSB005 / DSB006 ----------------------------------------------------
+
+    fn check_refs(&self, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        for (i, svc) in spec.services.iter().enumerate() {
+            let from = ServiceId(i as u32);
+            for ep in &svc.endpoints {
+                walk_calls(
+                    &ep.script,
+                    &mut |target, parallel| match resolve(spec, target) {
+                        None => out.push(self.diag(
+                            Code::DanglingEndpoint,
+                            Severity::Error,
+                            from,
+                            Some(&ep.name),
+                            format!(
+                                "call target (service {}, endpoint {}) does not exist",
+                                target.service.0, target.endpoint
+                            ),
+                        )),
+                        Some(callee) => {
+                            if parallel && callee.protocol.blocking_connections() {
+                                out.push(self.diag(
+                                    Code::ParallelToBlocking,
+                                    Severity::Error,
+                                    from,
+                                    Some(&ep.name),
+                                    format!(
+                                        "parallel fan-out to `{}` over {}: one outstanding \
+                                         request per connection cannot multiplex parallel calls",
+                                        callee.name,
+                                        callee.protocol.name()
+                                    ),
+                                ));
+                            }
+                        }
+                    },
+                );
+            }
+        }
+    }
+
+    // -- DSB001 -------------------------------------------------------------
+
+    /// Reports every strongly connected component with more than one
+    /// service (or a self-loop) as a cycle. Returns each cycle's anchor
+    /// (lowest-id member), used to seed default reachability roots —
+    /// cycle members have no in-degree-0 ancestor and would otherwise
+    /// all double-report as unreachable.
+    fn check_cycles(
+        &self,
+        edges: &[(ServiceId, ServiceId)],
+        out: &mut Vec<Diagnostic>,
+    ) -> Vec<usize> {
+        let n = self.spec.services.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a.0 as usize].push(b.0 as usize);
+        }
+        let mut anchors = Vec::new();
+        for scc in tarjan_sccs(&adj) {
+            let is_cycle = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
+            if !is_cycle {
+                continue;
+            }
+            let anchor = *scc.iter().min().expect("non-empty SCC");
+            anchors.push(anchor);
+            let mut members: Vec<usize> = scc.clone();
+            members.sort_unstable();
+            let names: Vec<&str> = members
+                .iter()
+                .map(|&s| self.spec.services[s].name.as_str())
+                .collect();
+            let all_blocking = members.iter().all(|&s| {
+                let svc = &self.spec.services[s];
+                svc.concurrency == Concurrency::Blocking
+                    && matches!(svc.workers, WorkerPolicy::Fixed(_))
+            });
+            let mut message = format!("call cycle among {{{}}}", names.join(", "));
+            if all_blocking {
+                message.push_str(
+                    "; every tier holds a worker across its downstream call, \
+                     so finite pools can deadlock",
+                );
+            }
+            out.push(self.diag(
+                Code::CallCycle,
+                Severity::Error,
+                ServiceId(anchor as u32),
+                None,
+                message,
+            ));
+        }
+        anchors
+    }
+
+    // -- DSB004 / DSB010 ----------------------------------------------------
+
+    fn check_reachability(
+        &self,
+        edges: &[(ServiceId, ServiceId)],
+        cycle_anchors: &[usize],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let spec = self.spec;
+        let n = spec.services.len();
+
+        // Entry set: explicit entries, else in-degree-zero services plus
+        // one anchor per cycle (cycle members have no in-degree-0
+        // ancestor; DSB001 already covers them).
+        let mut roots: Vec<usize> = self.entries.iter().map(|s| s.0 as usize).collect();
+        if roots.is_empty() {
+            let mut indeg = vec![0u32; n];
+            for &(_, b) in edges {
+                indeg[b.0 as usize] += 1;
+            }
+            roots = (0..n).filter(|&i| indeg[i] == 0).collect();
+            roots.extend_from_slice(cycle_anchors);
+        }
+
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a.0 as usize].push(b.0 as usize);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = roots.clone();
+        for &r in &roots {
+            seen[r] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &adj[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        for (i, svc) in spec.services.iter().enumerate() {
+            if !seen[i] {
+                out.push(self.diag(
+                    Code::UnreachableService,
+                    Severity::Warning,
+                    ServiceId(i as u32),
+                    None,
+                    format!(
+                        "`{}` is unreachable: no entry point's call graph ever invokes it",
+                        svc.name
+                    ),
+                ));
+            }
+        }
+
+        // DSB010: endpoints of reachable non-entry services that no valid
+        // call references (entry services' endpoints are client-facing).
+        let mut used = vec![Vec::new(); n];
+        for (i, svc) in spec.services.iter().enumerate() {
+            used[i] = vec![false; svc.endpoints.len()];
+        }
+        for svc in &spec.services {
+            for ep in &svc.endpoints {
+                walk_calls(&ep.script, &mut |t, _| {
+                    if resolve(spec, t).is_some() {
+                        used[t.service.0 as usize][t.endpoint as usize] = true;
+                    }
+                });
+            }
+        }
+        for (i, svc) in spec.services.iter().enumerate() {
+            if roots.contains(&i) || !seen[i] {
+                continue;
+            }
+            for (e, ep) in svc.endpoints.iter().enumerate() {
+                if !used[i][e] {
+                    out.push(self.diag(
+                        Code::UnusedEndpoint,
+                        Severity::Warning,
+                        ServiceId(i as u32),
+                        Some(&ep.name),
+                        format!("endpoint `{}` is never called by any script", ep.name),
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- DSB002 / DSB003 / DSB007 / DSB008 ----------------------------------
+
+    fn check_pools(&self, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        for (i, svc) in spec.services.iter().enumerate() {
+            let from = ServiceId(i as u32);
+
+            // DSB008: partitioning with nothing to partition over.
+            if svc.lb == LbPolicy::Partition && svc.initial_instances < 2 {
+                out.push(self.diag(
+                    Code::PartitionDegenerate,
+                    Severity::Warning,
+                    from,
+                    None,
+                    format!(
+                        "`{}` uses partition load-balancing over a single instance: \
+                         the partition key cannot spread load",
+                        svc.name
+                    ),
+                ));
+            }
+
+            let blocking_workers = match (svc.concurrency, &svc.workers) {
+                (Concurrency::Blocking, WorkerPolicy::Fixed(w)) => Some(*w),
+                _ => None,
+            };
+
+            // Distinct callees reached synchronously from this service.
+            let mut sync_callees: Vec<ServiceId> = Vec::new();
+            for ep in &svc.endpoints {
+                walk_calls(&ep.script, &mut |t, parallel| {
+                    if !parallel
+                        && resolve(spec, t).is_some()
+                        && t.service != from
+                        && !sync_callees.contains(&t.service)
+                    {
+                        sync_callees.push(t.service);
+                    }
+                });
+            }
+
+            for callee_id in sync_callees {
+                let callee = &spec.services[callee_id.0 as usize];
+
+                // DSB002: the Fig. 17 case-B shape — more blocking workers
+                // than connections toward a head-of-line-blocked callee.
+                if let Some(w) = blocking_workers {
+                    if callee.protocol.blocking_connections() && callee.conn_limit < w {
+                        out.push(self.diag(
+                            Code::BlockingBackpressure,
+                            Severity::Warning,
+                            from,
+                            None,
+                            format!(
+                                "{w} blocking workers of `{}` share only {} connections \
+                                 toward `{}` ({}); under load, workers stall holding their \
+                                 callers' connections while `{}` idles (Fig. 17 case B)",
+                                svc.name,
+                                callee.conn_limit,
+                                callee.name,
+                                callee.protocol.name(),
+                                callee.name
+                            ),
+                        ));
+                    }
+                }
+
+                // DSB007: same-host IPC cannot span a network hop.
+                if callee.protocol.same_host_only() && svc.zone_pref != callee.zone_pref {
+                    out.push(self.diag(
+                        Code::IpcCrossZone,
+                        Severity::Warning,
+                        from,
+                        None,
+                        format!(
+                            "IPC edge `{}` ({}) -> `{}` ({}) crosses zones: same-host \
+                             IPC cannot span a network hop",
+                            svc.name,
+                            zone_name(svc.zone_pref),
+                            callee.name,
+                            zone_name(callee.zone_pref),
+                        ),
+                    ));
+                }
+            }
+
+            // DSB003: a single request's fan-out vs the callee's pool.
+            for ep in &svc.endpoints {
+                walk_fanouts(&ep.script, &mut |t, mean_n| {
+                    let Some(callee) = resolve(spec, t) else {
+                        return;
+                    };
+                    let WorkerPolicy::Fixed(w) = callee.workers else {
+                        return; // on-demand pools absorb any fan-out
+                    };
+                    let total = (callee.initial_instances.max(1) * w) as f64;
+                    if mean_n > total {
+                        out.push(self.diag(
+                            Code::FanoutOversubscription,
+                            Severity::Warning,
+                            from,
+                            Some(&ep.name),
+                            format!(
+                                "fan-out of ~{:.0} parallel calls to `{}` exceeds its {} \
+                                 total workers ({}x{}): one request can saturate the tier",
+                                mean_n,
+                                callee.name,
+                                total as u64,
+                                callee.initial_instances.max(1),
+                                w
+                            ),
+                        ));
+                    }
+                });
+            }
+        }
+    }
+
+    // -- DSB009 -------------------------------------------------------------
+
+    fn check_capacity(&self, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let Some(rates) = endpoint_rates(spec, &self.offered) else {
+            return;
+        };
+        for (i, svc) in spec.services.iter().enumerate() {
+            let WorkerPolicy::Fixed(w) = svc.workers else {
+                continue; // on-demand tiers scale with load
+            };
+            let capacity = (svc.initial_instances.max(1) * w) as f64;
+            let busy: f64 = svc
+                .endpoints
+                .iter()
+                .enumerate()
+                .map(|(e, ep)| rates[i][e] * local_demand_ns(&ep.script) / 1e9)
+                .sum();
+            let util = busy / capacity;
+            if util < 0.75 {
+                continue;
+            }
+            let (severity, verdict) = if util >= 1.0 {
+                (Severity::Error, "queues grow without bound")
+            } else {
+                (Severity::Warning, "the tier is near saturation")
+            };
+            out.push(self.diag(
+                Code::TierOverload,
+                severity,
+                ServiceId(i as u32),
+                None,
+                format!(
+                    "offered load keeps ~{busy:.1} workers of `{}` busy against a pool \
+                     of {} ({}x{}): {verdict} (service demand only; downstream waits \
+                     make the true pressure higher)",
+                    svc.name,
+                    capacity as u64,
+                    svc.initial_instances.max(1),
+                    w
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Script and graph helpers
+// ---------------------------------------------------------------------------
+
+fn resolve<'s>(spec: &'s AppSpec, t: &EndpointRef) -> Option<&'s dsb_core::ServiceSpec> {
+    let svc = spec.services.get(t.service.0 as usize)?;
+    if (t.endpoint as usize) < svc.endpoints.len() {
+        Some(svc)
+    } else {
+        None
+    }
+}
+
+/// Calls `f(target, is_parallel)` for every call site in `steps`,
+/// including both branch arms.
+fn walk_calls(steps: &[Step], f: &mut impl FnMut(&EndpointRef, bool)) {
+    for s in steps {
+        match s {
+            Step::Call { target, .. } => f(target, false),
+            Step::FanCall { target, .. } => f(target, true),
+            Step::ParCall { calls } => {
+                for (t, _) in calls {
+                    f(t, true);
+                }
+            }
+            Step::Branch { then, els, .. } => {
+                walk_calls(then, f);
+                walk_calls(els, f);
+            }
+            Step::Compute { .. } | Step::Io { .. } => {}
+        }
+    }
+}
+
+/// Calls `f(target, expected_parallel_degree)` for every fan-out site.
+/// `ParCall`s count each distinct target once per listed call.
+fn walk_fanouts(steps: &[Step], f: &mut impl FnMut(&EndpointRef, f64)) {
+    for s in steps {
+        match s {
+            Step::FanCall { target, n, .. } => f(target, n.mean()),
+            Step::Branch { then, els, .. } => {
+                walk_fanouts(then, f);
+                walk_fanouts(els, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Service-level dependency edges over *valid* call targets only.
+fn valid_edges(spec: &AppSpec) -> Vec<(ServiceId, ServiceId)> {
+    let mut edges = Vec::new();
+    for (i, svc) in spec.services.iter().enumerate() {
+        let from = ServiceId(i as u32);
+        for ep in &svc.endpoints {
+            walk_calls(&ep.script, &mut |t, _| {
+                if resolve(spec, t).is_some() && !edges.contains(&(from, t.service)) {
+                    edges.push((from, t.service));
+                }
+            });
+        }
+    }
+    edges
+}
+
+fn zone_name(z: Option<dsb_net::Zone>) -> String {
+    match z {
+        None => "datacenter".to_string(),
+        Some(z) => format!("{z:?}"),
+    }
+}
+
+/// Iterative Tarjan strongly-connected components; returns each SCC as a
+/// list of node indices (order unspecified inside an SCC).
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Expected per-endpoint arrival rates (req/s) given offered entry loads,
+/// propagated through the call graph. `None` when the graph is cyclic.
+fn endpoint_rates(spec: &AppSpec, offered: &[(EndpointRef, f64)]) -> Option<Vec<Vec<f64>>> {
+    let n = spec.services.len();
+    let edges = valid_edges(spec);
+
+    // Kahn topological order (callers before callees).
+    let mut indeg = vec![0u32; n];
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a.0 as usize].push(b.0 as usize);
+        indeg[b.0 as usize] += 1;
+    }
+    let mut order: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                order.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        return None; // cycle
+    }
+
+    let mut rates: Vec<Vec<f64>> = spec
+        .services
+        .iter()
+        .map(|s| vec![0.0; s.endpoints.len()])
+        .collect();
+    for &(entry, qps) in offered {
+        if resolve(spec, &entry).is_some() {
+            rates[entry.service.0 as usize][entry.endpoint as usize] += qps;
+        }
+    }
+    for &svc in &order {
+        for e in 0..spec.services[svc].endpoints.len() {
+            let rate = rates[svc][e];
+            if rate <= 0.0 {
+                continue;
+            }
+            let script = spec.services[svc].endpoints[e].script.clone();
+            expected_calls(&script, 1.0, &mut |t, per_invocation| {
+                if resolve(spec, t).is_some() && t.service.0 as usize != svc {
+                    rates[t.service.0 as usize][t.endpoint as usize] += rate * per_invocation;
+                }
+            });
+        }
+    }
+    Some(rates)
+}
+
+/// Calls `f(target, expected_calls_per_invocation)` for every call site,
+/// weighting by branch probability and expected fan-out degree.
+fn expected_calls(steps: &[Step], weight: f64, f: &mut impl FnMut(&EndpointRef, f64)) {
+    for s in steps {
+        match s {
+            Step::Call { target, .. } => f(target, weight),
+            Step::FanCall { target, n, .. } => f(target, weight * n.mean().max(0.0)),
+            Step::ParCall { calls } => {
+                for (t, _) in calls {
+                    f(t, weight);
+                }
+            }
+            Step::Branch { p, then, els } => {
+                expected_calls(then, weight * p, f);
+                expected_calls(els, weight * (1.0 - p), f);
+            }
+            Step::Compute { .. } | Step::Io { .. } => {}
+        }
+    }
+}
+
+/// Mean nanoseconds an invocation of `steps` holds a worker for locally
+/// (compute + I/O; downstream calls excluded).
+fn local_demand_ns(steps: &[Step]) -> f64 {
+    let mut total = 0.0;
+    for s in steps {
+        match s {
+            Step::Compute { ns, .. } | Step::Io { ns } => total += ns.mean(),
+            Step::Branch { p, then, els } => {
+                total += p * local_demand_ns(then) + (1.0 - p) * local_demand_ns(els);
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsb_net::Protocol;
+    use dsb_simcore::Dist;
+    use std::sync::Arc;
+
+    /// A minimal hand-built service with one endpoint running `script`.
+    fn svc(name: &str, script: Vec<Step>) -> dsb_core::ServiceSpec {
+        dsb_core::ServiceSpec {
+            name: name.to_string(),
+            profile: dsb_uarch::UarchProfile::microservice_default(),
+            concurrency: Concurrency::Blocking,
+            workers: WorkerPolicy::Fixed(8),
+            protocol: Protocol::ThriftRpc,
+            lb: LbPolicy::RoundRobin,
+            initial_instances: 1,
+            conn_limit: 128,
+            zone_pref: None,
+            endpoints: vec![dsb_core::EndpointSpec {
+                name: "run".to_string(),
+                resp_bytes: Dist::constant(64.0),
+                script: Arc::new(script),
+            }],
+        }
+    }
+
+    fn ep(service: u32) -> EndpointRef {
+        EndpointRef {
+            service: ServiceId(service),
+            endpoint: 0,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        let mut v: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn clean_chain_has_no_diagnostics() {
+        let spec = AppSpec {
+            name: "chain".into(),
+            services: vec![
+                svc("front", vec![Step::call(ep(1), 64.0)]),
+                svc("mid", vec![Step::call(ep(2), 64.0)]),
+                svc("leaf", vec![Step::work_us(5.0)]),
+            ],
+        };
+        assert!(analyze(&spec).is_empty(), "{:?}", analyze(&spec));
+    }
+
+    #[test]
+    fn cycle_reported_with_deadlock_note() {
+        let spec = AppSpec {
+            name: "loop".into(),
+            services: vec![
+                svc("a", vec![Step::call(ep(1), 64.0)]),
+                svc("b", vec![Step::call(ep(0), 64.0)]),
+            ],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::CallCycle]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("a, b"), "{}", d[0].message);
+        assert!(d[0].message.contains("deadlock"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let spec = AppSpec {
+            name: "self".into(),
+            services: vec![svc("a", vec![Step::call(ep(0), 64.0)])],
+        };
+        assert_eq!(codes(&analyze(&spec)), vec![Code::CallCycle]);
+    }
+
+    #[test]
+    fn blocking_backpressure_flags_small_pool() {
+        let mut callee = svc("memcached", vec![Step::work_us(5.0)]);
+        callee.protocol = Protocol::Http1;
+        callee.conn_limit = 2;
+        let mut caller = svc("nginx", vec![Step::call(ep(0), 64.0)]);
+        caller.workers = WorkerPolicy::Fixed(64);
+        let spec = AppSpec {
+            name: "twotier".into(),
+            services: vec![callee, caller],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::BlockingBackpressure]);
+        assert_eq!(d[0].service_name, "nginx");
+        assert!(d[0].message.contains("Fig. 17"), "{}", d[0].message);
+
+        // An event-driven caller releases its worker: no finding.
+        let mut spec2 = spec.clone();
+        spec2.services[1].concurrency = Concurrency::Async;
+        assert!(analyze(&spec2).is_empty());
+
+        // A pool at least as large as the worker count: no finding.
+        let mut spec3 = spec;
+        spec3.services[0].conn_limit = 64;
+        assert!(analyze(&spec3).is_empty());
+    }
+
+    #[test]
+    fn fanout_oversubscription_flags_wide_fan() {
+        let callee = svc("timeline", vec![Step::work_us(5.0)]);
+        let caller = svc(
+            "compose",
+            vec![Step::FanCall {
+                target: ep(0),
+                req_bytes: Dist::constant(64.0),
+                n: Dist::constant(100.0),
+            }],
+        );
+        let spec = AppSpec {
+            name: "fan".into(),
+            services: vec![callee, caller],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::FanoutOversubscription]);
+        assert_eq!(d[0].endpoint.as_deref(), Some("run"));
+
+        // Fan within the pool: clean.
+        let mut spec2 = spec;
+        spec2.services[0].workers = WorkerPolicy::Fixed(128);
+        assert!(analyze(&spec2).is_empty());
+    }
+
+    #[test]
+    fn unreachable_service_flagged_with_explicit_entry() {
+        let spec = AppSpec {
+            name: "island".into(),
+            services: vec![
+                svc("front", vec![Step::work_us(1.0)]),
+                svc("orphan", vec![Step::work_us(1.0)]),
+            ],
+        };
+        // Without entries both are in-degree-0 roots: clean.
+        assert!(analyze(&spec).is_empty());
+        // With an explicit front-end, the orphan is dead weight.
+        let d = Analyzer::new(&spec).entry(ServiceId(0)).run();
+        assert_eq!(codes(&d), vec![Code::UnreachableService]);
+        assert_eq!(d[0].service_name, "orphan");
+    }
+
+    #[test]
+    fn dangling_endpoint_is_an_error() {
+        let spec = AppSpec {
+            name: "dangle".into(),
+            services: vec![svc(
+                "front",
+                vec![Step::call(
+                    EndpointRef {
+                        service: ServiceId(9),
+                        endpoint: 0,
+                    },
+                    64.0,
+                )],
+            )],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::DanglingEndpoint]);
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn parallel_fanout_to_blocking_protocol_is_an_error() {
+        let mut callee = svc("php", vec![Step::work_us(5.0)]);
+        callee.protocol = Protocol::Fcgi;
+        let caller = svc(
+            "front",
+            vec![Step::ParCall {
+                calls: vec![(ep(0), Dist::constant(64.0))],
+            }],
+        );
+        let spec = AppSpec {
+            name: "par".into(),
+            services: vec![callee, caller],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::ParallelToBlocking]);
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn ipc_across_zones_flagged() {
+        let mut callee = svc("sensor", vec![Step::work_us(1.0)]);
+        callee.protocol = Protocol::Ipc;
+        callee.zone_pref = Some(dsb_net::Zone::Edge);
+        let caller = svc("planner", vec![Step::call(ep(0), 64.0)]); // datacenter
+        let spec = AppSpec {
+            name: "zones".into(),
+            services: vec![callee, caller],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::IpcCrossZone]);
+
+        // Same zone on both ends: clean.
+        let mut spec2 = spec;
+        spec2.services[1].zone_pref = Some(dsb_net::Zone::Edge);
+        assert!(analyze(&spec2).is_empty());
+    }
+
+    #[test]
+    fn partition_over_one_instance_flagged() {
+        let mut shard = svc("mongo", vec![Step::work_us(1.0)]);
+        shard.lb = LbPolicy::Partition;
+        let spec = AppSpec {
+            name: "shard".into(),
+            services: vec![shard, svc("front", vec![Step::call(ep(0), 64.0)])],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::PartitionDegenerate]);
+
+        let mut spec2 = spec;
+        spec2.services[0].initial_instances = 4;
+        assert!(analyze(&spec2).is_empty());
+    }
+
+    #[test]
+    fn unused_endpoint_flagged_only_on_called_services() {
+        let mut store = svc("store", vec![Step::work_us(1.0)]);
+        store.endpoints.push(dsb_core::EndpointSpec {
+            name: "never".to_string(),
+            resp_bytes: Dist::constant(1.0),
+            script: Arc::new(vec![]),
+        });
+        let spec = AppSpec {
+            name: "dead".into(),
+            services: vec![store, svc("front", vec![Step::call(ep(0), 64.0)])],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::UnusedEndpoint]);
+        assert_eq!(d[0].endpoint.as_deref(), Some("never"));
+    }
+
+    #[test]
+    fn overload_fires_only_with_offered_load() {
+        // 8 workers x 1 instance; 10ms of local demand per request.
+        let leaf = svc(
+            "db",
+            vec![Step::Io {
+                ns: Dist::constant(10_000_000.0),
+            }],
+        );
+        let spec = AppSpec {
+            name: "cap".into(),
+            services: vec![leaf, svc("front", vec![Step::call(ep(0), 64.0)])],
+        };
+        assert!(analyze(&spec).is_empty());
+
+        // 2000 qps x 10 ms = 20 busy workers > 8: error.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 2000.0)
+            .run();
+        assert_eq!(codes(&d), vec![Code::TierOverload]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].service_name, "db");
+
+        // 700 qps x 10 ms = 7 busy workers: near saturation, warning.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 700.0)
+            .run();
+        assert_eq!(codes(&d), vec![Code::TierOverload]);
+        assert_eq!(d[0].severity, Severity::Warning);
+
+        // 100 qps: clean.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 100.0)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn branch_weights_scale_offered_load() {
+        // Only 10% of front requests hit the db: 1000 qps -> 100 qps there.
+        let leaf = svc(
+            "db",
+            vec![Step::Io {
+                ns: Dist::constant(10_000_000.0),
+            }],
+        );
+        let front = svc(
+            "front",
+            vec![Step::Branch {
+                p: 0.1,
+                then: Arc::new(vec![Step::call(ep(0), 64.0)]),
+                els: Arc::new(vec![]),
+            }],
+        );
+        let spec = AppSpec {
+            name: "branchy".into(),
+            services: vec![leaf, front],
+        };
+        // 1000 qps x 0.1 x 10ms = 1 busy worker out of 8: clean.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 1000.0)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+        // 10x the load pushes the db over its pool.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 10_000.0)
+            .run();
+        assert_eq!(codes(&d), vec![Code::TierOverload]);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deduped() {
+        // Two defects on different services: order must be by service id.
+        let mut callee = svc("z-callee", vec![Step::work_us(1.0)]);
+        callee.protocol = Protocol::Http1;
+        callee.conn_limit = 1;
+        callee.lb = LbPolicy::Partition;
+        let mut caller = svc("a-caller", vec![Step::call(ep(0), 64.0)]);
+        caller.workers = WorkerPolicy::Fixed(16);
+        let spec = AppSpec {
+            name: "multi".into(),
+            services: vec![callee, caller],
+        };
+        let d = analyze(&spec);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].service, Some(ServiceId(0)));
+        assert_eq!(d[0].code, Code::PartitionDegenerate);
+        assert_eq!(d[1].service, Some(ServiceId(1)));
+        assert_eq!(d[1].code, Code::BlockingBackpressure);
+    }
+}

@@ -1,0 +1,328 @@
+//! Determinism source lint.
+//!
+//! The golden traces from PR 1 are only meaningful if a simulation is a
+//! pure function of `(spec, seed)`. Three things quietly break that
+//! contract: iterating hash containers (order depends on hasher state),
+//! reading wall clocks, and drawing unseeded randomness. This pass scans
+//! `crates/*/src` for those tokens and reports each occurrence unless an
+//! allowlist entry vouches for it.
+//!
+//! The scan is deliberately lexical — no parsing, no type resolution —
+//! so it over-approximates: *mentioning* `HashMap` is flagged even where
+//! only keyed access happens. That is intentional; the fix (`BTreeMap`)
+//! is cheap, and the allowlist documents the few legitimate uses (e.g.
+//! wall-clock progress reporting in a CLI) right next to the reason.
+//!
+//! Allowlist format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! crates/testkit/src/bench.rs Instant   # benchmarking needs a wall clock
+//! crates/analyzer/src/srclint.rs *      # the lint's own token table
+//! ```
+//!
+//! An entry is `path-suffix token` where `token` is one of the hazard
+//! tokens or `*` for all; entries that match nothing are themselves
+//! reported so the allowlist cannot rot.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Tokens whose presence in sim-visible source indicates a determinism
+/// hazard. Matched on identifier boundaries.
+const HAZARD_TOKENS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order depends on hasher state; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order depends on hasher state; use BTreeSet",
+    ),
+    (
+        "SystemTime",
+        "wall clock; derive time from the simulator clock",
+    ),
+    (
+        "Instant",
+        "wall clock; derive time from the simulator clock",
+    ),
+    ("thread_rng", "unseeded randomness; use the seeded sim RNG"),
+    ("RandomState", "randomized hasher state"),
+    ("DefaultHasher", "randomized hasher state"),
+];
+
+/// One hazard occurrence the lint could not excuse.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceFinding {
+    /// Path of the file, relative to the scan root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The hazard token found.
+    pub token: String,
+    /// Why the token is a hazard.
+    pub why: String,
+}
+
+impl fmt::Display for SourceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: determinism hazard `{}` ({})",
+            self.path, self.line, self.token, self.why
+        )
+    }
+}
+
+/// Parsed allowlist; tracks which entries actually matched so stale
+/// entries can be reported.
+#[derive(Debug, Clone)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    path_suffix: String,
+    token: String, // "*" allows every token
+    used: bool,
+}
+
+impl Allowlist {
+    /// An allowlist that excuses nothing.
+    pub fn empty() -> Self {
+        Allowlist {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Parses the `path-suffix token # comment` format. Unknown tokens
+    /// are accepted (they simply never match and surface as unused).
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(path_suffix), Some(token)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            entries.push(AllowEntry {
+                path_suffix: path_suffix.to_string(),
+                token: token.to_string(),
+                used: false,
+            });
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads an allowlist file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn allows(&mut self, path: &str, token: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if path.ends_with(&e.path_suffix) && (e.token == "*" || e.token == token) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding — stale excuses to delete.
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| format!("{} {}", e.path_suffix, e.token))
+            .collect()
+    }
+}
+
+/// Lints every `.rs` file under `root` (recursively), excusing findings
+/// via `allow`. Paths in findings are relative to `root`. Directories
+/// named `tests`, `benches`, or `examples` are skipped, as is everything
+/// in a file after a `#[cfg(test)]` marker — test code may use wall
+/// clocks and hash containers freely.
+pub fn lint_sources(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<SourceFinding>> {
+    let mut findings = Vec::new();
+    walk(root, root, allow, &mut findings)?;
+    findings.sort();
+    Ok(findings)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    allow: &mut Allowlist,
+    out: &mut Vec<SourceFinding>,
+) -> io::Result<()> {
+    let mut names: Vec<_> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.file_name()))
+        .collect::<io::Result<_>>()?;
+    names.sort(); // deterministic scan order regardless of readdir order
+    for name in names {
+        let path = dir.join(&name);
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.')
+                || matches!(name.as_ref(), "tests" | "benches" | "examples" | "target")
+            {
+                continue;
+            }
+            walk(root, &path, allow, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            scan_text(&rel, &text, allow, out);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file's text. Public within the crate so unit tests can lint
+/// synthetic sources without touching the filesystem.
+fn scan_text(rel_path: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<SourceFinding>) {
+    for (idx, line) in text.lines().enumerate() {
+        // Everything after the test-module marker is test code; the
+        // repo convention keeps `#[cfg(test)]` modules at end of file.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue; // comments (incl. doc comments) may name hazards
+        }
+        for &(token, why) in HAZARD_TOKENS {
+            if contains_ident(line, token) && !allow.allows(rel_path, token) {
+                out.push(SourceFinding {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    token: token.to_string(),
+                    why: why.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether `line` contains `token` as a standalone identifier (not as a
+/// substring of a longer identifier).
+fn contains_ident(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, text: &str, allow: &mut Allowlist) -> Vec<SourceFinding> {
+        let mut out = Vec::new();
+        scan_text(path, text, allow, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hazards_with_line_numbers() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+        let f = scan("crates/x/src/lib.rs", src, &mut Allowlist::empty());
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].line, f[0].token.as_str()), (1, "HashMap"));
+        assert_eq!((f[1].line, f[1].token.as_str()), (2, "Instant"));
+        assert!(f[0].to_string().contains("crates/x/src/lib.rs:1"));
+    }
+
+    #[test]
+    fn matches_identifier_boundaries_only() {
+        assert!(contains_ident("let m: HashMap<u32, u32>;", "HashMap"));
+        assert!(!contains_ident("let m = MyHashMapLike::new();", "HashMap"));
+        assert!(!contains_ident("let instant_rate = 3;", "Instant"));
+        assert!(contains_ident("foo(Instant::now())", "Instant"));
+    }
+
+    #[test]
+    fn skips_comments_and_test_modules() {
+        let src = "\
+// HashMap in a comment is fine\n\
+/// Doc: uses SystemTime conceptually\n\
+fn ok() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashSet;\n\
+}\n";
+        let f = scan("crates/x/src/lib.rs", src, &mut Allowlist::empty());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allowlist_excuses_and_tracks_usage() {
+        let mut allow = Allowlist::parse(
+            "# reasons inline\n\
+             crates/x/src/lib.rs Instant  # wall-clock progress\n\
+             crates/y/src/lib.rs *\n\
+             crates/z/src/lib.rs HashMap\n",
+        );
+        let f = scan(
+            "crates/x/src/lib.rs",
+            "let t = Instant::now();\nuse std::collections::HashMap;\n",
+            &mut allow,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "HashMap");
+        let f = scan("crates/y/src/lib.rs", "let s: HashSet<u8>;", &mut allow);
+        assert!(f.is_empty());
+        assert_eq!(allow.unused(), vec!["crates/z/src/lib.rs HashMap"]);
+    }
+
+    #[test]
+    fn findings_sort_stably() {
+        let mut v = vec![
+            SourceFinding {
+                path: "b.rs".into(),
+                line: 3,
+                token: "Instant".into(),
+                why: String::new(),
+            },
+            SourceFinding {
+                path: "a.rs".into(),
+                line: 9,
+                token: "HashMap".into(),
+                why: String::new(),
+            },
+        ];
+        v.sort();
+        assert_eq!(v[0].path, "a.rs");
+    }
+}

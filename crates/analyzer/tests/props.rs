@@ -1,0 +1,268 @@
+//! Mutation properties: take a randomized *valid* layered application,
+//! verify it analyzes clean, then inject exactly one defect class —
+//! a back-edge, a dropped edge, an undersized blocking pool, a dangling
+//! call — and assert the analyzer reports exactly that class.
+
+use std::sync::Arc;
+
+use dsb_analyzer::{Analyzer, Code};
+use dsb_core::{
+    AppSpec, Concurrency, EndpointRef, EndpointSpec, LbPolicy, ServiceId, ServiceSpec, Step,
+    WorkerPolicy,
+};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, Rng};
+use dsb_testkit::{gen, prop, Shrink};
+
+/// A layered DAG topology: `widths[0]` is always 1 (the front-end);
+/// edges between adjacent layers are a pure function of `edge_seed`.
+#[derive(Debug, Clone, PartialEq)]
+struct Topo {
+    widths: Vec<u8>,
+    edge_seed: u64,
+}
+
+impl Shrink for Topo {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.widths.len() > 2 {
+            out.push(Topo {
+                widths: self.widths[..self.widths.len() - 1].to_vec(),
+                ..self.clone()
+            });
+        }
+        for (i, &w) in self.widths.iter().enumerate().skip(1) {
+            if w > 1 {
+                let mut t = self.clone();
+                t.widths[i] = w - 1;
+                out.push(t);
+            }
+        }
+        for cand in self.edge_seed.shrink() {
+            out.push(Topo {
+                edge_seed: cand,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+fn arb_topo(rng: &mut Rng) -> Topo {
+    let mut widths = vec![1u8];
+    let layers = gen::usize_in(rng, 1, 3);
+    for _ in 0..layers {
+        widths.push(gen::u8_in(rng, 1, 3));
+    }
+    Topo {
+        widths,
+        edge_seed: gen::u64_in(rng, 0, 1 << 30),
+    }
+}
+
+/// Builds a clean spec from the topology: every service blocking with 8
+/// Thrift workers (conn limits ample), every adjacent-layer service
+/// covered by at least one edge in each direction, one endpoint each.
+fn build(topo: &Topo) -> AppSpec {
+    let mut rng = Rng::new(topo.edge_seed);
+
+    // Service index ranges per layer.
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    for &w in &topo.widths {
+        layers.push((next..next + w as usize).collect());
+        next += w as usize;
+    }
+
+    // Edges: every child gets one parent; every parent gets one child;
+    // plus a few extra random edges for fan-out variety.
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); next];
+    for pair in layers.windows(2) {
+        let (parents, children) = (&pair[0], &pair[1]);
+        for &c in children {
+            let p = *gen::choice(&mut rng, parents);
+            calls[p].push(c);
+        }
+        for &p in parents {
+            if calls[p].iter().all(|c| !children.contains(c)) {
+                calls[p].push(*gen::choice(&mut rng, children));
+            }
+            for _ in 0..gen::usize_in(&mut rng, 0, 2) {
+                let c = *gen::choice(&mut rng, children);
+                if !calls[p].contains(&c) {
+                    calls[p].push(c);
+                }
+            }
+        }
+    }
+
+    let services = (0..next)
+        .map(|i| {
+            let mut script = vec![Step::work_us(5.0)];
+            for &c in &calls[i] {
+                script.push(Step::call(
+                    EndpointRef {
+                        service: ServiceId(c as u32),
+                        endpoint: 0,
+                    },
+                    64.0,
+                ));
+            }
+            ServiceSpec {
+                name: format!("svc{i}"),
+                profile: dsb_uarch::UarchProfile::microservice_default(),
+                concurrency: Concurrency::Blocking,
+                workers: WorkerPolicy::Fixed(8),
+                protocol: Protocol::ThriftRpc,
+                lb: LbPolicy::RoundRobin,
+                initial_instances: 1,
+                conn_limit: 128,
+                zone_pref: None,
+                endpoints: vec![EndpointSpec {
+                    name: "run".to_string(),
+                    resp_bytes: Dist::constant(64.0),
+                    script: Arc::new(script),
+                }],
+            }
+        })
+        .collect();
+    AppSpec {
+        name: "prop-app".to_string(),
+        services,
+    }
+}
+
+fn codes(spec: &AppSpec) -> Vec<Code> {
+    let mut v: Vec<Code> = Analyzer::new(spec)
+        .entry(ServiceId(0))
+        .run()
+        .iter()
+        .map(|d| d.code)
+        .collect();
+    v.dedup();
+    v
+}
+
+fn append_step(spec: &mut AppSpec, service: usize, step: Step) {
+    let ep = &mut spec.services[service].endpoints[0];
+    let mut script = (*ep.script).clone();
+    script.push(step);
+    ep.script = Arc::new(script);
+}
+
+#[test]
+fn valid_layered_apps_analyze_clean() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let spec = build(t);
+        let diags = Analyzer::new(&spec).entry(ServiceId(0)).run();
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("clean app produced {diags:?}"))
+        }
+    });
+}
+
+#[test]
+fn back_edge_reports_exactly_a_cycle() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // A leaf calling the front-end closes a cycle through every
+        // layer on that path.
+        let leaf = spec.services.len() - 1;
+        append_step(
+            &mut spec,
+            leaf,
+            Step::call(
+                EndpointRef {
+                    service: ServiceId(0),
+                    endpoint: 0,
+                },
+                64.0,
+            ),
+        );
+        let got = codes(&spec);
+        if got == vec![Code::CallCycle] {
+            Ok(())
+        } else {
+            Err(format!("expected [CallCycle], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn dropped_edges_report_exactly_unreachable() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // Sever every call into the last service: it becomes an island.
+        let victim = ServiceId((spec.services.len() - 1) as u32);
+        for svc in &mut spec.services {
+            let ep = &mut svc.endpoints[0];
+            let script: Vec<Step> = ep
+                .script
+                .iter()
+                .filter(|s| !matches!(s, Step::Call { target, .. } if target.service == victim))
+                .cloned()
+                .collect();
+            ep.script = Arc::new(script);
+        }
+        let got = codes(&spec);
+        if got == vec![Code::UnreachableService] {
+            Ok(())
+        } else {
+            Err(format!("expected [UnreachableService], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn shrunk_blocking_pool_reports_exactly_backpressure() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // Turn the front-end's first callee into an HTTP tier whose
+        // connection budget is far below its callers' worker pools.
+        let target = spec.services[0].endpoints[0]
+            .script
+            .iter()
+            .find_map(|s| match s {
+                Step::Call { target, .. } => Some(target.service),
+                _ => None,
+            })
+            .expect("front-end always has a callee");
+        let callee = &mut spec.services[target.0 as usize];
+        callee.protocol = Protocol::Http1;
+        callee.conn_limit = 2;
+        let got = codes(&spec);
+        // Every blocking caller of the shrunk tier reports the shape;
+        // no other class may appear.
+        if got == vec![Code::BlockingBackpressure] {
+            Ok(())
+        } else {
+            Err(format!("expected [BlockingBackpressure], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn dangling_call_reports_exactly_dangling() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        append_step(
+            &mut spec,
+            0,
+            Step::call(
+                EndpointRef {
+                    service: ServiceId(250),
+                    endpoint: 7,
+                },
+                64.0,
+            ),
+        );
+        let got = codes(&spec);
+        if got == vec![Code::DanglingEndpoint] {
+            Ok(())
+        } else {
+            Err(format!("expected [DanglingEndpoint], got {got:?}"))
+        }
+    });
+}

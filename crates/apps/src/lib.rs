@@ -72,6 +72,27 @@ impl BuiltApp {
     }
 }
 
+/// The eight application variants pinned by the repo's golden fixtures,
+/// in fixture order: `(fixture_name, golden_qps, app)`. The qps values
+/// match `tests/goldens.rs`, so static capacity checks see the same
+/// offered load the golden traces were produced under.
+pub fn all_builtin() -> Vec<(&'static str, f64, BuiltApp)> {
+    vec![
+        ("social_network", 40.0, social::social_network()),
+        ("media_service", 40.0, media::media_service()),
+        ("ecommerce", 40.0, ecommerce::ecommerce()),
+        ("banking", 40.0, banking::banking()),
+        ("swarm_edge", 15.0, swarm::swarm(swarm::SwarmVariant::Edge)),
+        (
+            "swarm_cloud",
+            15.0,
+            swarm::swarm(swarm::SwarmVariant::Cloud),
+        ),
+        ("social_monolith", 40.0, monolith::social_monolith()),
+        ("twotier", 200.0, twotier::twotier(64, 1024)),
+    ]
+}
+
 /// Adds a memcached-style in-memory cache; returns `(id, get, set)`.
 ///
 /// Event-driven, kernel-heavy profile, reached over Thrift RPC — the

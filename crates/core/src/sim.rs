@@ -1,7 +1,7 @@
 //! The simulation runtime: machines, instances, invocations, the event
 //! interpreter, and the [`Simulation`] façade.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use dsb_net::{Fabric, FpgaOffload, Nic, Protocol, Zone};
@@ -67,7 +67,7 @@ struct Instance {
     warm_free: u32,
     busy_workers: u32,
     queue: VecDeque<PendingReq>,
-    conns: HashMap<ServiceId, ConnPool>,
+    conns: BTreeMap<ServiceId, ConnPool>,
     inflight: u32,
 }
 
@@ -376,7 +376,7 @@ impl Cluster {
             warm_free: 0,
             busy_workers: 0,
             queue: VecDeque::new(),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             inflight: 0,
         });
         self.services[service.0 as usize].instances.push(id);

@@ -101,7 +101,7 @@ pub fn critical_path_ranking(
     setup(&mut sim);
     drive(&mut sim, &mut load, 0, secs, qps);
     sim.run_until_idle();
-    let mut totals: std::collections::HashMap<u32, u64> = Default::default();
+    let mut totals: std::collections::BTreeMap<u32, u64> = Default::default();
     for (_, spans) in sim.collector().sampled_traces() {
         for a in critical_path(spans) {
             *totals.entry(a.service).or_insert(0) += a.ns;
@@ -117,7 +117,13 @@ pub fn critical_path_ranking(
             )
         })
         .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    // Descending by share; ties broken by name so equal attributions
+    // cannot reorder between runs.
+    rows.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     rows
 }
 

@@ -38,6 +38,12 @@ impl Protocol {
         matches!(self, Protocol::Http1 | Protocol::Fcgi)
     }
 
+    /// Whether the protocol only works between co-located processes
+    /// (raw IPC cannot span a network hop, let alone a zone boundary).
+    pub fn same_host_only(self) -> bool {
+        matches!(self, Protocol::Ipc)
+    }
+
     /// Per-message processing costs for a payload of `bytes`, on the
     /// reference core, in nanoseconds.
     pub fn costs(self, bytes: u64) -> MsgCosts {
@@ -197,6 +203,14 @@ mod tests {
         assert!(Protocol::Fcgi.blocking_connections());
         assert!(!Protocol::ThriftRpc.blocking_connections());
         assert!(!Protocol::Ipc.blocking_connections());
+    }
+
+    #[test]
+    fn only_ipc_is_host_local() {
+        assert!(Protocol::Ipc.same_host_only());
+        for p in [Protocol::ThriftRpc, Protocol::Http1, Protocol::Fcgi] {
+            assert!(!p.same_host_only());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The centralized trace collector.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dsb_simcore::{Histogram, Rng, SimDuration, WindowedSeries};
 
@@ -85,8 +85,8 @@ pub struct TraceCollector {
     sample_prob: f64,
     rng: Rng,
     services: Vec<ServiceTraceStats>,
-    sampled: HashMap<TraceId, Vec<Span>>,
-    sample_decisions: HashMap<TraceId, bool>,
+    sampled: BTreeMap<TraceId, Vec<Span>>,
+    sample_decisions: BTreeMap<TraceId, bool>,
     dropped: u64,
 }
 
@@ -99,8 +99,8 @@ impl TraceCollector {
             sample_prob: sample_prob.clamp(0.0, 1.0),
             rng: Rng::new(seed),
             services: Vec::new(),
-            sampled: HashMap::new(),
-            sample_decisions: HashMap::new(),
+            sampled: BTreeMap::new(),
+            sample_decisions: BTreeMap::new(),
             dropped: 0,
         }
     }

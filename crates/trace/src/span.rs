@@ -97,7 +97,7 @@ pub fn critical_path(spans: &[Span]) -> Vec<Attribution> {
     let Some(root) = spans.iter().find(|s| s.parent.is_none()) else {
         return Vec::new();
     };
-    let mut totals: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     attribute(root, spans, &mut totals);
     let mut out: Vec<Attribution> = totals
         .into_iter()
@@ -107,7 +107,7 @@ pub fn critical_path(spans: &[Span]) -> Vec<Attribution> {
     out
 }
 
-fn attribute(span: &Span, spans: &[Span], totals: &mut std::collections::HashMap<u32, u64>) {
+fn attribute(span: &Span, spans: &[Span], totals: &mut std::collections::BTreeMap<u32, u64>) {
     let mut children: Vec<&Span> = spans.iter().filter(|s| s.parent == Some(span.id)).collect();
     // Walk backwards from the span's end.
     children.sort_by_key(|s| std::cmp::Reverse(s.end));

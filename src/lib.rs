@@ -15,12 +15,14 @@
 //! * [`serverless`] — Lambda/EC2 execution + billing models
 //! * [`apps`] — the six end-to-end applications and friends
 //! * [`experiments`] — one module per paper table/figure
+//! * [`analyzer`] — static spec validation and the determinism lint
 //!
 //! See the repository README for a quickstart and `examples/` for runnable
 //! walkthroughs.
 
 #![warn(missing_docs)]
 
+pub use dsb_analyzer as analyzer;
 pub use dsb_apps as apps;
 pub use dsb_cluster as cluster;
 pub use dsb_core as core;

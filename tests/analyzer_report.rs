@@ -1,0 +1,61 @@
+//! Pins the static-analysis report of every built-in application (plus
+//! two deliberate defect demos) to a golden fixture, so any change to a
+//! diagnostic's wording, ordering, or firing conditions shows up as a
+//! reviewable line diff. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --offline --test analyzer_report
+//! ```
+
+use std::fmt::Write;
+
+use deathstarbench_sim::analyzer::Analyzer;
+use deathstarbench_sim::apps::{self, BuiltApp};
+use dsb_testkit::golden;
+
+fn report(out: &mut String, title: &str, app: &BuiltApp, qps: f64) {
+    let mut an = Analyzer::new(&app.spec).entry(app.frontend);
+    let total_weight: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
+    for e in app.mix.entries() {
+        an = an.offered(e.entry, qps * e.weight / total_weight);
+    }
+    writeln!(out, "== {title} (qps {qps}) ==").unwrap();
+    let diags = an.run();
+    if diags.is_empty() {
+        writeln!(out, "clean").unwrap();
+    }
+    for d in diags {
+        writeln!(out, "{d}").unwrap();
+    }
+    writeln!(out).unwrap();
+}
+
+#[test]
+fn golden_analyzer_report() {
+    let mut text = String::new();
+    for (name, qps, app) in apps::all_builtin() {
+        report(&mut text, name, &app, qps);
+    }
+    // Defect demos: the analyzer must call out specs built to be broken.
+    // The Fig. 17 case-B shape — 64 blocking nginx workers sharing a
+    // 2-connection pool toward memcached.
+    report(
+        &mut text,
+        "defect demo: twotier(64, 2)",
+        &apps::twotier::twotier(64, 2),
+        200.0,
+    );
+    // A single MongoDB tier offered far more load than 64 workers of
+    // ~0.55 ms requests can absorb.
+    report(
+        &mut text,
+        "defect demo: overloaded mongodb",
+        &apps::singles::mongodb(),
+        150_000.0,
+    );
+    let path = format!(
+        "{}/tests/goldens/analyzer_report.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    golden::check(&path, &text);
+}
