@@ -3,14 +3,30 @@
 # workspace has no crates-io dependencies, so `--offline` always works
 # from a clean checkout with no network and no vendored registry.
 #
-#   ./ci.sh          # build + test + format check
+#   ./ci.sh            # build + test + format check + dsb-lint
+#   ./ci.sh --bless    # regenerate all golden fixtures, then run the gate
 #
-# Golden fixtures: after an intentional change to the timing model,
-# regenerate with `UPDATE_GOLDENS=1 cargo test --offline --test goldens`
-# and commit the diff under tests/goldens/.
+# Golden fixtures live under tests/goldens/. After an intentional change
+# to the timing model or the analyzer, run `./ci.sh --bless` locally and
+# commit the diff. The gate itself must never regenerate fixtures: if
+# UPDATE_GOLDENS leaked into a CI environment, every golden test would
+# silently rewrite its own expectation and pass.
 set -eu
 
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "--bless" ]; then
+    echo "==> regenerating golden fixtures (UPDATE_GOLDENS=1)"
+    UPDATE_GOLDENS=1 cargo test -q --offline --test goldens --test analyzer_report
+    git --no-pager diff --stat -- tests/goldens/ || true
+fi
+
+if [ -n "${CI:-}" ] && [ -n "${UPDATE_GOLDENS:-}" ]; then
+    echo "ci.sh: UPDATE_GOLDENS is set in a CI environment." >&2
+    echo "Golden tests would overwrite their fixtures instead of checking" >&2
+    echo "them. Unset it; regenerate locally with ./ci.sh --bless." >&2
+    exit 1
+fi
 
 echo "==> cargo build --workspace --release --offline"
 cargo build --workspace --release --offline

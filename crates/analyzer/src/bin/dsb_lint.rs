@@ -22,62 +22,12 @@ use dsb_analyzer::{lint_sources, Allowlist, Analyzer, Severity};
 /// `(app, code, service, reason)`; `"*"` matches every service. The
 /// exact per-service list is pinned by `tests/goldens/analyzer_report.txt`,
 /// so wildcards here cannot mask new findings.
-const EXPECTED: &[(&str, &str, &str, &str)] = &[
-    // The four datacenter apps provision every sharded store (memcached /
-    // MongoDB / MySQL tiers, LbPolicy::Partition) with one instance by
-    // default; partitioning only becomes meaningful when the experiments
-    // scale shard counts. See ROADMAP "Open items".
-    (
-        "social_network",
-        "DSB008",
-        "*",
-        "single-shard stores at default provisioning",
-    ),
-    (
-        "media_service",
-        "DSB008",
-        "*",
-        "single-shard stores at default provisioning",
-    ),
-    (
-        "ecommerce",
-        "DSB008",
-        "*",
-        "single-shard stores at default provisioning",
-    ),
-    (
-        "banking",
-        "DSB008",
-        "*",
-        "single-shard stores at default provisioning",
-    ),
-    // Stores expose symmetric endpoint pairs (get/set, find/insert) but
-    // several apps only exercise one side of a pair.
-    (
-        "social_network",
-        "DSB010",
-        "*",
-        "unused half of a get/set or find/insert pair",
-    ),
-    (
-        "media_service",
-        "DSB010",
-        "*",
-        "unused half of a get/set or find/insert pair",
-    ),
-    (
-        "ecommerce",
-        "DSB010",
-        "*",
-        "unused half of a get/set or find/insert pair",
-    ),
-    (
-        "banking",
-        "DSB010",
-        "*",
-        "unused half of a get/set or find/insert pair",
-    ),
-];
+///
+/// Currently empty: the single-shard (DSB008) and one-sided endpoint
+/// pair (DSB010) defects this table used to accept were fixed for real
+/// — every sharded store now runs >= 2 shards and every cache/DB
+/// endpoint pair is exercised from both sides.
+const EXPECTED: &[(&str, &str, &str, &str)] = &[];
 
 fn main() -> ExitCode {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

@@ -443,6 +443,37 @@ impl<'a> Analyzer<'a> {
                 .sum();
             let util = busy / capacity;
             if util < 0.75 {
+                // Raw utilization under-reports queueing pressure on small
+                // pools: an M/M/k queue with few workers builds significant
+                // wait long before 75% utilization (k=1 waits its own
+                // service time at rho=1/2). Flag tiers whose expected
+                // M/M/k queueing delay exceeds half a service time.
+                if busy <= 0.0 {
+                    continue;
+                }
+                let wait_over_service = erlang_c(capacity as u64, busy) / (capacity * (1.0 - util));
+                if wait_over_service < 0.5 {
+                    continue;
+                }
+                out.push(self.diag(
+                    Code::TierOverload,
+                    Severity::Warning,
+                    ServiceId(i as u32),
+                    None,
+                    format!(
+                        "offered load keeps ~{busy:.1} workers of `{}` busy against a \
+                         pool of {} ({}x{}): only {:.0}% raw utilization, but M/M/{} \
+                         queueing delay is ~{:.1}x the service time — the pool is too \
+                         small to absorb arrival bursts",
+                        svc.name,
+                        capacity as u64,
+                        svc.initial_instances.max(1),
+                        w,
+                        util * 100.0,
+                        capacity as u64,
+                        wait_over_service,
+                    ),
+                ));
                 continue;
             }
             let (severity, verdict) = if util >= 1.0 {
@@ -467,6 +498,25 @@ impl<'a> Analyzer<'a> {
             ));
         }
     }
+}
+
+/// Erlang-C: the probability an M/M/k arrival must queue, for `k` servers
+/// offered `a` erlangs. Uses the numerically stable Erlang-B recurrence
+/// `B(n) = a·B(n-1) / (n + a·B(n-1))`, then `C = k·B / (k - a·(1 - B))`.
+/// The expected queueing delay in service-time units is
+/// `Wq/S = C / (k·(1 - a/k))`. Returns 1.0 (certain wait) at or past
+/// saturation.
+fn erlang_c(k: u64, a: f64) -> f64 {
+    if k == 0 || a >= k as f64 {
+        return 1.0;
+    }
+    let mut b = 1.0;
+    for n in 1..=k {
+        b = a * b / (n as f64 + a * b);
+    }
+    let k = k as f64;
+    let c = k * b / (k - a * (1.0 - b));
+    c.clamp(0.0, 1.0)
 }
 
 // ---------------------------------------------------------------------------
@@ -1001,6 +1051,73 @@ mod tests {
             .offered(ep(1), 10_000.0)
             .run();
         assert_eq!(codes(&d), vec![Code::TierOverload]);
+    }
+
+    #[test]
+    fn erlang_c_matches_known_values() {
+        // M/M/1: C equals the utilization.
+        assert!((erlang_c(1, 0.5) - 0.5).abs() < 1e-9);
+        // Known table value: k=2, a=1 erlang -> C = 1/3.
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-9);
+        // At or past saturation: certain wait.
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        assert_eq!(erlang_c(4, 5.0), 1.0);
+    }
+
+    #[test]
+    fn small_pool_queueing_flagged_below_raw_threshold() {
+        // A single-worker tier at 40% raw utilization: M/M/1 expected
+        // wait is rho/(1-rho) = 0.67 service times, flagged well before
+        // the 75% raw-utilization threshold.
+        let mut leaf = svc(
+            "queue",
+            vec![Step::Io {
+                ns: Dist::constant(10_000_000.0),
+            }],
+        );
+        leaf.workers = WorkerPolicy::Fixed(1);
+        let spec = AppSpec {
+            name: "mm1".into(),
+            services: vec![leaf, svc("front", vec![Step::call(ep(0), 64.0)])],
+        };
+        // 40 qps x 10 ms = 0.4 erlangs over 1 worker.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 40.0)
+            .run();
+        assert_eq!(codes(&d), vec![Code::TierOverload]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("M/M/1"), "{}", d[0].message);
+
+        // 25 qps -> rho = 0.25, wait = 1/3 of a service time: clean.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 25.0)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn large_pool_absorbs_the_same_utilization() {
+        // 70% utilization is a problem for one worker but fine across
+        // 64: the pool absorbs arrival bursts (economy of scale).
+        let mut leaf = svc(
+            "db",
+            vec![Step::Io {
+                ns: Dist::constant(10_000_000.0),
+            }],
+        );
+        leaf.workers = WorkerPolicy::Fixed(64);
+        let spec = AppSpec {
+            name: "mmk".into(),
+            services: vec![leaf, svc("front", vec![Step::call(ep(0), 64.0)])],
+        };
+        // 4480 qps x 10 ms = 44.8 erlangs over 64 workers.
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 4480.0)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -37,16 +37,18 @@ pub fn banking() -> BuiltApp {
     let mut app = AppBuilder::new("banking");
 
     // ---- storage tier ------------------------------------------------------
-    let (_mc_cust, mc_cust_get, mc_cust_set) = add_memcached(&mut app, "memcached-customers", 1);
-    let (_mg_cust, mg_cust_find, mg_cust_ins) = add_mongodb(&mut app, "mongodb-customers", 1);
-    let (_mc_acct, mc_acct_get, mc_acct_set) = add_memcached(&mut app, "memcached-accounts", 1);
+    // The customer cache sits on every authenticated path (hot, 3
+    // shards); the remaining stores run the 2-shard floor.
+    let (_mc_cust, mc_cust_get, mc_cust_set) = add_memcached(&mut app, "memcached-customers", 3);
+    let (_mg_cust, mg_cust_find, mg_cust_ins) = add_mongodb(&mut app, "mongodb-customers", 2);
+    let (_mc_acct, mc_acct_get, mc_acct_set) = add_memcached(&mut app, "memcached-accounts", 2);
     let (_mg_acct, mg_acct_find, mg_acct_ins) = add_mongodb(&mut app, "mongodb-accounts", 2);
-    let (_mc_txn, _mc_txn_get, mc_txn_set) = add_memcached(&mut app, "memcached-transactions", 1);
+    let (_mc_txn, mc_txn_get, mc_txn_set) = add_memcached(&mut app, "memcached-transactions", 2);
     let (_mg_txn, mg_txn_find, mg_txn_ins) = add_mongodb(&mut app, "mongodb-transactions", 2);
-    let (_mc_offers, mc_offers_get, mc_offers_set) = add_memcached(&mut app, "memcached-offers", 1);
-    let (_bankinfo, bankinfo_q) = add_mysql(&mut app, "bankinfo-db", 1);
-    let (_offerdb, offerdb_q) = add_mysql(&mut app, "offer-db", 1);
-    let (_wealthdb, wealthdb_q) = add_mysql(&mut app, "wealthmgmt-db", 1);
+    let (_mc_offers, mc_offers_get, mc_offers_set) = add_memcached(&mut app, "memcached-offers", 2);
+    let (_bankinfo, bankinfo_q) = add_mysql(&mut app, "bankinfo-db", 2);
+    let (_offerdb, offerdb_q) = add_mysql(&mut app, "offer-db", 2);
+    let (_wealthdb, wealthdb_q) = add_mysql(&mut app, "wealthmgmt-db", 2);
 
     let xapian = app
         .service("xapian-index")
@@ -89,7 +91,14 @@ pub fn banking() -> BuiltApp {
             // Crypto-heavy: token validation + signature check.
             Step::work_us(350.0),
             Step::call(acl_check, 128.0),
-            Step::cache_lookup(mc_cust_get, 0.85, vec![Step::call(mg_cust_find, 128.0)]),
+            Step::cache_lookup(
+                mc_cust_get,
+                0.85,
+                vec![
+                    Step::call(mg_cust_find, 128.0),
+                    Step::call(mc_cust_set, 512.0),
+                ],
+            ),
         ],
     );
 
@@ -223,7 +232,14 @@ pub fn banking() -> BuiltApp {
         Dist::constant(512.0),
         vec![
             Step::work_us(150.0),
-            Step::cache_lookup(mc_acct_get, 0.85, vec![Step::call(mg_acct_find, 128.0)]),
+            Step::cache_lookup(
+                mc_acct_get,
+                0.85,
+                vec![
+                    Step::call(mg_acct_find, 128.0),
+                    Step::call(mc_acct_set, 256.0),
+                ],
+            ),
             Step::call(post_txn, 512.0),
         ],
     );
@@ -257,7 +273,16 @@ pub fn banking() -> BuiltApp {
         vec![
             Step::work_us(300.0),
             Step::call(customer_info_get, 128.0),
-            Step::call(mg_txn_find, 256.0),
+            // Transaction history for affordability checks, served
+            // through the transaction cache.
+            Step::cache_lookup(
+                mc_txn_get,
+                0.75,
+                vec![
+                    Step::call(mg_txn_find, 256.0),
+                    Step::call(mc_txn_set, 1024.0),
+                ],
+            ),
         ],
     );
 
@@ -269,7 +294,14 @@ pub fn banking() -> BuiltApp {
         vec![
             Step::work_us(450.0),
             Step::call(customer_info_get, 128.0),
-            Step::call(mg_txn_find, 256.0),
+            Step::cache_lookup(
+                mc_txn_get,
+                0.75,
+                vec![
+                    Step::call(mg_txn_find, 256.0),
+                    Step::call(mc_txn_set, 1024.0),
+                ],
+            ),
             Step::call(bankinfo_q, 128.0),
         ],
     );

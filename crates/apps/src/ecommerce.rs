@@ -37,18 +37,20 @@ pub fn ecommerce() -> BuiltApp {
     let mut app = AppBuilder::new("e-commerce");
 
     // ---- storage tier -----------------------------------------------------
-    let (_mc_cat, mc_cat_get, mc_cat_set) = add_memcached(&mut app, "memcached-catalogue", 2);
-    let (_mg_cat, mg_cat_find, _a) = add_mongodb(&mut app, "mongodb-catalogue", 2);
-    let (_mc_cart, mc_cart_get, mc_cart_set) = add_memcached(&mut app, "memcached-cart", 1);
-    let (_mg_cart, mg_cart_find, mg_cart_ins) = add_mongodb(&mut app, "mongodb-cart", 1);
-    let (_mg_orders, _mg_orders_find, mg_orders_ins) = add_mongodb(&mut app, "mongodb-orders", 2);
-    let (_mc_sess, mc_sess_get, mc_sess_set) = add_memcached(&mut app, "memcached-session", 1);
-    let (_mg_acct, mg_acct_find, _b) = add_mongodb(&mut app, "mongodb-account", 1);
-    let (_mg_ship, _c, mg_ship_ins) = add_mongodb(&mut app, "mongodb-shipping", 1);
-    let (_mg_inv, _d, mg_inv_ins) = add_mongodb(&mut app, "mongodb-invoice", 1);
-    let (_mg_media, mg_media_find, _e) = add_mongodb(&mut app, "mongodb-media", 1);
-    let (_mc_invty, mc_invty_get, mc_invty_set) = add_memcached(&mut app, "memcached-inventory", 1);
-    let (_mg_invty, mg_invty_find, _f) = add_mongodb(&mut app, "mongodb-inventory", 1);
+    // The catalogue cache takes the browse fan-out (hot, 3 shards); the
+    // remaining stores run the 2-shard floor.
+    let (_mc_cat, mc_cat_get, mc_cat_set) = add_memcached(&mut app, "memcached-catalogue", 3);
+    let (_mg_cat, mg_cat_find, mg_cat_ins) = add_mongodb(&mut app, "mongodb-catalogue", 2);
+    let (_mc_cart, mc_cart_get, mc_cart_set) = add_memcached(&mut app, "memcached-cart", 2);
+    let (_mg_cart, mg_cart_find, mg_cart_ins) = add_mongodb(&mut app, "mongodb-cart", 2);
+    let (_mg_orders, mg_orders_find, mg_orders_ins) = add_mongodb(&mut app, "mongodb-orders", 2);
+    let (_mc_sess, mc_sess_get, mc_sess_set) = add_memcached(&mut app, "memcached-session", 2);
+    let (_mg_acct, mg_acct_find, mg_acct_ins) = add_mongodb(&mut app, "mongodb-account", 2);
+    let (_mg_ship, mg_ship_find, mg_ship_ins) = add_mongodb(&mut app, "mongodb-shipping", 2);
+    let (_mg_inv, mg_inv_find, mg_inv_ins) = add_mongodb(&mut app, "mongodb-invoice", 2);
+    let (_mg_media, mg_media_find, mg_media_ins) = add_mongodb(&mut app, "mongodb-media", 2);
+    let (_mc_invty, mc_invty_get, mc_invty_set) = add_memcached(&mut app, "memcached-inventory", 2);
+    let (_mg_invty, mg_invty_find, mg_invty_ins) = add_mongodb(&mut app, "mongodb-inventory", 2);
 
     let xapian = app
         .service("xapian-index")
@@ -168,7 +170,17 @@ pub fn ecommerce() -> BuiltApp {
         reviews,
         "get",
         Dist::log_normal(8192.0, 0.4),
-        vec![Step::work_us(45.0), Step::call(mg_media_find, 128.0)],
+        vec![
+            Step::work_us(45.0),
+            Step::call(mg_media_find, 128.0),
+            // A few fetches find a missing thumbnail and persist a
+            // regenerated one.
+            Step::Branch {
+                p: 0.05,
+                then: Arc::new(vec![Step::call(mg_media_ins, 64.0 * 1024.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
     );
 
     let search = app
@@ -217,6 +229,8 @@ pub fn ecommerce() -> BuiltApp {
                 vec![
                     Step::call(mg_acct_find, 128.0),
                     Step::call(mc_sess_set, 256.0),
+                    // Persist the fresh session / last-login on the account.
+                    Step::call(mg_acct_ins, 128.0),
                 ],
             ),
         ],
@@ -256,7 +270,14 @@ pub fn ecommerce() -> BuiltApp {
         Dist::log_normal(2048.0, 0.4),
         vec![
             Step::work_us(50.0),
-            Step::cache_lookup(mc_cart_get, 0.9, vec![Step::call(mg_cart_find, 128.0)]),
+            Step::cache_lookup(
+                mc_cart_get,
+                0.9,
+                vec![
+                    Step::call(mg_cart_find, 128.0),
+                    Step::call(mc_cart_set, 512.0),
+                ],
+            ),
         ],
     );
 
@@ -358,6 +379,8 @@ pub fn ecommerce() -> BuiltApp {
         vec![
             Step::work_us(100.0),
             Step::call(addr_run, 128.0),
+            // Look up carrier rates for the destination, then book.
+            Step::call(mg_ship_find, 128.0),
             Step::call(mg_ship_ins, 512.0),
         ],
     );
@@ -371,7 +394,12 @@ pub fn ecommerce() -> BuiltApp {
         invoicing,
         "issue",
         Dist::log_normal(4096.0, 0.3),
-        vec![Step::work_us(140.0), Step::call(mg_inv_ins, 1024.0)],
+        vec![
+            Step::work_us(140.0),
+            // Fetch the next invoice sequence number, then issue.
+            Step::call(mg_inv_find, 128.0),
+            Step::call(mg_inv_ins, 1024.0),
+        ],
     );
 
     let queue_master = app
@@ -404,6 +432,13 @@ pub fn ecommerce() -> BuiltApp {
             Step::call(shipping_run, 512.0),
             Step::call(invoicing_run, 512.0),
             Step::call(qm_commit, 1024.0),
+            // Commit side effects: decrement stock (write-through to the
+            // inventory cache), bump the item's sales rank, and read the
+            // order back for the confirmation page.
+            Step::call(mg_invty_ins, 128.0),
+            Step::call(mc_invty_set, 256.0),
+            Step::call(mg_cat_ins, 256.0),
+            Step::call(mg_orders_find, 128.0),
             Step::ParCall {
                 calls: vec![
                     (notify_run, Dist::constant(128.0)),

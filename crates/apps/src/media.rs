@@ -34,14 +34,16 @@ pub fn media_service() -> BuiltApp {
     let mut app = AppBuilder::new("media-service");
 
     // ---- storage tier ------------------------------------------------------
-    let (_mc_rev, mc_rev_get, mc_rev_set) = add_memcached(&mut app, "memcached-reviews", 2);
+    // The review tier takes the browse fan-out (hot, 3 shards); the
+    // remaining stores run the 2-shard floor.
+    let (_mc_rev, mc_rev_get, mc_rev_set) = add_memcached(&mut app, "memcached-reviews", 3);
     let (_mg_rev, mg_rev_find, mg_rev_ins) = add_mongodb(&mut app, "mongodb-reviews", 2);
-    let (_mc_user, mc_user_get, mc_user_set) = add_memcached(&mut app, "memcached-users", 1);
-    let (_mg_user, mg_user_find, _x) = add_mongodb(&mut app, "mongodb-users", 1);
-    let (_mc_plot, mc_plot_get, mc_plot_set) = add_memcached(&mut app, "memcached-plot", 1);
-    let (_mg_plot, mg_plot_find, _y) = add_mongodb(&mut app, "mongodb-plot", 1);
-    let (_mc_rent, mc_rent_get, mc_rent_set) = add_memcached(&mut app, "memcached-rentals", 1);
-    let (_mg_rent, _mg_rent_find, mg_rent_ins) = add_mongodb(&mut app, "mongodb-rentals", 1);
+    let (_mc_user, mc_user_get, mc_user_set) = add_memcached(&mut app, "memcached-users", 2);
+    let (_mg_user, mg_user_find, mg_user_ins) = add_mongodb(&mut app, "mongodb-users", 2);
+    let (_mc_plot, mc_plot_get, mc_plot_set) = add_memcached(&mut app, "memcached-plot", 2);
+    let (_mg_plot, mg_plot_find, mg_plot_ins) = add_mongodb(&mut app, "mongodb-plot", 2);
+    let (_mc_rent, mc_rent_get, mc_rent_set) = add_memcached(&mut app, "memcached-rentals", 2);
+    let (_mg_rent, mg_rent_find, mg_rent_ins) = add_mongodb(&mut app, "mongodb-rentals", 2);
     let (_mysql, mysql_query) = add_mysql(&mut app, "mysql-moviedb", 2);
 
     // NFS file store for the actual movie files (I/O only).
@@ -157,7 +159,16 @@ pub fn media_service() -> BuiltApp {
         Dist::constant(256.0),
         vec![
             Step::work_us(80.0),
-            Step::cache_lookup(mc_user_get, 0.8, vec![Step::call(mg_user_find, 128.0)]),
+            Step::cache_lookup(
+                mc_user_get,
+                0.8,
+                vec![
+                    Step::call(mg_user_find, 128.0),
+                    Step::call(mc_user_set, 512.0),
+                    // Persist the last-login timestamp on the profile.
+                    Step::call(mg_user_ins, 128.0),
+                ],
+            ),
         ],
     );
 
@@ -174,6 +185,12 @@ pub fn media_service() -> BuiltApp {
                 vec![
                     Step::call(mg_plot_find, 128.0),
                     Step::call(mc_plot_set, 4096.0),
+                    // A few misses find a stale summary and regenerate it.
+                    Step::Branch {
+                        p: 0.05,
+                        then: Arc::new(vec![Step::call(mg_plot_ins, 4096.0)]),
+                        els: Arc::new(vec![]),
+                    },
                 ],
             ),
         ],
@@ -262,7 +279,14 @@ pub fn media_service() -> BuiltApp {
         Dist::log_normal(8192.0, 0.4),
         vec![
             Step::work_us(35.0),
-            Step::cache_lookup(mc_rev_get, 0.85, vec![Step::call(mg_rev_find, 256.0)]),
+            Step::cache_lookup(
+                mc_rev_get,
+                0.85,
+                vec![
+                    Step::call(mg_rev_find, 256.0),
+                    Step::call(mc_rev_set, 4096.0),
+                ],
+            ),
         ],
     );
 
@@ -344,7 +368,16 @@ pub fn media_service() -> BuiltApp {
         Dist::log_normal(1024.0 * 1024.0, 0.3),
         vec![
             Step::work_us(45.0),
-            Step::call(mc_rent_get, 64.0),
+            // Entitlement check: rental state is cached, falling through
+            // to the rental store for cold sessions.
+            Step::cache_lookup(
+                mc_rent_get,
+                0.95,
+                vec![
+                    Step::call(mg_rent_find, 128.0),
+                    Step::call(mc_rent_set, 128.0),
+                ],
+            ),
             Step::call(subtitles_run, 64.0),
             Step::call(nfs_read, 128.0),
         ],

@@ -2,7 +2,7 @@
 //! Xapian, and the ML recommender — the "traditional cloud applications"
 //! every DeathStarBench study compares against (Figs. 3, 11, 12).
 
-use dsb_core::{AppBuilder, LbPolicy, RequestType, Step};
+use dsb_core::{AppBuilder, RequestType, Step};
 use dsb_net::Protocol;
 use dsb_simcore::{Dist, SimDuration};
 use dsb_uarch::UarchProfile;
@@ -53,7 +53,6 @@ pub fn memcached() -> BuiltApp {
         .profile(UarchProfile::memcached())
         .event_driven()
         .workers(16)
-        .lb(LbPolicy::Partition)
         .build();
     let ep = app.endpoint(
         id,
@@ -77,7 +76,6 @@ pub fn mongodb() -> BuiltApp {
         .profile(UarchProfile::mongodb())
         .blocking()
         .workers(64)
-        .lb(LbPolicy::Partition)
         .build();
     let ep = app.endpoint(
         id,

@@ -44,16 +44,18 @@ pub fn social_network() -> BuiltApp {
     let mut app = AppBuilder::new("social-network");
 
     // ---- storage tier (back-end) ----------------------------------------
-    let (_mc_posts, mc_posts_get, mc_posts_set) = add_memcached(&mut app, "memcached-posts", 2);
+    // Shard counts follow the paper's deployment: the post and timeline
+    // tiers take the read fan-out (hot), the rest run the 2-shard floor.
+    let (_mc_posts, mc_posts_get, mc_posts_set) = add_memcached(&mut app, "memcached-posts", 3);
     let (_mg_posts, mg_posts_find, mg_posts_ins) = add_mongodb(&mut app, "mongodb-posts", 2);
     let (_mc_users, mc_users_get, mc_users_set) = add_memcached(&mut app, "memcached-users", 2);
-    let (_mg_users, mg_users_find, _mg_users_ins) = add_mongodb(&mut app, "mongodb-users", 2);
-    let (_mc_tl, mc_tl_get, mc_tl_set) = add_memcached(&mut app, "memcached-timeline", 2);
+    let (_mg_users, mg_users_find, mg_users_ins) = add_mongodb(&mut app, "mongodb-users", 2);
+    let (_mc_tl, mc_tl_get, mc_tl_set) = add_memcached(&mut app, "memcached-timeline", 3);
     let (_mg_tl, mg_tl_find, mg_tl_ins) = add_mongodb(&mut app, "mongodb-timeline", 2);
-    let (_mc_sg, mc_sg_get, mc_sg_set) = add_memcached(&mut app, "memcached-social-graph", 1);
-    let (_mg_sg, mg_sg_find, mg_sg_ins) = add_mongodb(&mut app, "mongodb-social-graph", 1);
-    let (_mc_media, _mc_media_get, mc_media_set) = add_memcached(&mut app, "memcached-media", 1);
-    let (_mg_media, _mg_media_find, mg_media_ins) = add_mongodb(&mut app, "mongodb-media", 1);
+    let (_mc_sg, mc_sg_get, mc_sg_set) = add_memcached(&mut app, "memcached-social-graph", 2);
+    let (_mg_sg, mg_sg_find, mg_sg_ins) = add_mongodb(&mut app, "mongodb-social-graph", 2);
+    let (_mc_media, mc_media_get, mc_media_set) = add_memcached(&mut app, "memcached-media", 2);
+    let (_mg_media, mg_media_find, mg_media_ins) = add_mongodb(&mut app, "mongodb-media", 2);
 
     // Xapian search indices (the paper shards them as index0..indexN).
     let xapian = app
@@ -218,7 +220,14 @@ pub fn social_network() -> BuiltApp {
         Dist::constant(256.0),
         vec![
             Step::work_us(80.0),
-            Step::cache_lookup(mc_users_get, 0.8, vec![Step::call(mg_users_find, 128.0)]),
+            Step::cache_lookup(
+                mc_users_get,
+                0.8,
+                vec![
+                    Step::call(mg_users_find, 128.0),
+                    Step::call(mc_users_set, 512.0),
+                ],
+            ),
         ],
     );
 
@@ -247,7 +256,11 @@ pub fn social_network() -> BuiltApp {
         Dist::constant(64.0),
         vec![
             Step::work_us(20.0),
-            Step::cache_lookup(mc_sg_get, 0.95, vec![Step::call(mg_sg_find, 128.0)]),
+            Step::cache_lookup(
+                mc_sg_get,
+                0.95,
+                vec![Step::call(mg_sg_find, 128.0), Step::call(mc_sg_set, 256.0)],
+            ),
         ],
     );
 
@@ -256,7 +269,17 @@ pub fn social_network() -> BuiltApp {
         user_stats,
         "bump",
         Dist::constant(64.0),
-        vec![Step::work_us(20.0), Step::call(mc_users_set, 128.0)],
+        vec![
+            Step::work_us(20.0),
+            Step::call(mc_users_set, 128.0),
+            // Counters accumulate in cache; ~10% of bumps flush the
+            // batch through to the user store.
+            Step::Branch {
+                p: 0.1,
+                then: Arc::new(vec![Step::call(mg_users_ins, 128.0)]),
+                els: Arc::new(vec![]),
+            },
+        ],
     );
 
     let favorite = app.service("favorite").workers(8).build();
@@ -280,7 +303,23 @@ pub fn social_network() -> BuiltApp {
         read_post,
         "read",
         Dist::log_normal(4096.0, 0.5),
-        vec![Step::work_us(30.0), Step::call(ps_fetch, 128.0)],
+        vec![
+            Step::work_us(30.0),
+            Step::call(ps_fetch, 128.0),
+            // ~40% of posts embed media, served through the media cache.
+            Step::Branch {
+                p: 0.4,
+                then: Arc::new(vec![Step::cache_lookup(
+                    mc_media_get,
+                    0.92,
+                    vec![
+                        Step::call(mg_media_find, 256.0),
+                        Step::call(mc_media_set, 64.0 * 1024.0),
+                    ],
+                )]),
+                els: Arc::new(vec![]),
+            },
+        ],
     );
 
     let write_tl = app.service("writeTimeline").workers(16).build();
@@ -318,7 +357,11 @@ pub fn social_network() -> BuiltApp {
         Dist::log_normal(16.0 * 1024.0, 0.4),
         vec![
             Step::work_us(50.0),
-            Step::cache_lookup(mc_tl_get, 0.85, vec![Step::call(mg_tl_find, 256.0)]),
+            Step::cache_lookup(
+                mc_tl_get,
+                0.85,
+                vec![Step::call(mg_tl_find, 256.0), Step::call(mc_tl_set, 512.0)],
+            ),
             // Hydrate ~8 posts in parallel.
             Step::FanCall {
                 target: read_post_run,

@@ -69,6 +69,8 @@ struct Instance {
     queue: VecDeque<PendingReq>,
     conns: BTreeMap<ServiceId, ConnPool>,
     inflight: u32,
+    /// Completed invocations served by this instance (per-shard load).
+    served: u64,
 }
 
 #[derive(Debug)]
@@ -378,6 +380,7 @@ impl Cluster {
             queue: VecDeque::new(),
             conns: BTreeMap::new(),
             inflight: 0,
+            served: 0,
         });
         self.services[service.0 as usize].instances.push(id);
         id
@@ -1021,7 +1024,19 @@ impl Cluster {
                 .iter()
                 .min_by_key(|i| self.instances[i.0 as usize].inflight)
                 .expect("non-empty"),
-            LbPolicy::Partition => ups[(hash64(partition_key) % ups.len() as u64) as usize],
+            LbPolicy::Partition => {
+                // Shard membership must be a stable function of the key
+                // over the *total* instance list: hashing modulo the `Up`
+                // subset would remap every key the moment one shard leaves
+                // rotation. A key whose home shard is down fails over by
+                // probing forward, so only that shard's keys move.
+                let all = &rt.instances;
+                let start = (hash64(partition_key) % all.len() as u64) as usize;
+                (0..all.len())
+                    .map(|off| all[(start + off) % all.len()])
+                    .find(|i| self.instances[i.0 as usize].state == InstanceState::Up)
+                    .expect("checked above: at least one Up instance")
+            }
         }
     }
 
@@ -1090,7 +1105,14 @@ impl Cluster {
             app_time: SimDuration::from_nanos(inv.app_ns as u64),
             net_time: SimDuration::from_nanos(inv.net_ns as u64),
         });
-        self.service_stats[inv.service.0 as usize].invocations += 1;
+        let stats = &mut self.service_stats[inv.service.0 as usize];
+        stats.invocations += 1;
+        let e = inv.endpoint as usize;
+        if stats.endpoint_invocations.len() <= e {
+            stats.endpoint_invocations.resize(e + 1, 0);
+        }
+        stats.endpoint_invocations[e] += 1;
+        self.instances[inv.instance.0 as usize].served += 1;
         // Worker + inflight.
         if inv.worker_held {
             self.release_worker(inv.instance);
@@ -1409,6 +1431,12 @@ impl Simulation {
     /// The newest instance ids of a service (for targeted retirement).
     pub fn instances_of(&self, service: ServiceId) -> Vec<InstanceId> {
         self.cluster.services[service.0 as usize].instances.clone()
+    }
+
+    /// Completed invocations served by one instance — the per-shard load
+    /// split for `Partition` services.
+    pub fn instance_served(&self, inst: InstanceId) -> u64 {
+        self.cluster.instances[inst.0 as usize].served
     }
 
     /// Sets the operating frequency of one machine (RAPL / slow server).

@@ -21,6 +21,10 @@ pub struct ServiceStats {
     pub instructions: [f64; 4],
     /// Completed invocations.
     pub invocations: u64,
+    /// Completed invocations per endpoint index (grows on demand; an
+    /// endpoint that never completed may be absent). Lets tests assert
+    /// that e.g. both halves of a cache's get/set pair see traffic.
+    pub endpoint_invocations: Vec<u64>,
     /// Requests dropped at this service (admission control).
     pub dropped: u64,
     /// Per-window worker occupancy (busy worker-time), for utilization
@@ -35,6 +39,7 @@ impl ServiceStats {
             cycles: [0.0; 4],
             instructions: [0.0; 4],
             invocations: 0,
+            endpoint_invocations: Vec::new(),
             dropped: 0,
             worker_busy: WindowedSeries::new(window),
         }
@@ -53,6 +58,11 @@ impl ServiceStats {
         self.time_ns[d] += actual_ns;
         self.cycles[d] += actual_ns * freq_ghz;
         self.instructions[d] += ref_ns * ref_freq_ghz * ref_ipc;
+    }
+
+    /// Completed invocations of endpoint index `e` (0 if none completed).
+    pub fn endpoint_count(&self, e: usize) -> u64 {
+        self.endpoint_invocations.get(e).copied().unwrap_or(0)
     }
 
     /// Total core-busy nanoseconds across domains.

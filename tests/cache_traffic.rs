@@ -1,0 +1,103 @@
+//! Cache/store endpoint-pair coverage: every memcached tier must see
+//! both `get` and `set` traffic, and every mongodb tier both `find`
+//! and `insert` traffic, under each app's own query mix. Guards the
+//! behaviour-script fix that completed the cache-fill and
+//! write-through paths (DSB010: one-sided endpoint pairs).
+
+mod common;
+
+use deathstarbench_sim::apps::{self, BuiltApp};
+use deathstarbench_sim::core::ServiceId;
+
+const SEED: u64 = 42;
+const QPS: f64 = 40.0;
+/// Long enough that even the rarest path (branch-gated flushes and
+/// ~5%-miss cache fills on low-weight request types) fires at 40 qps.
+const SECS: u64 = 8;
+
+/// Asserts every endpoint of every storage tier completed at least one
+/// invocation, and that every multi-shard tier spread its load over
+/// more than one shard.
+fn assert_both_sides(app: &BuiltApp) {
+    let sim = common::run_fixed(app, QPS, SECS, SEED);
+    for i in 0..app.spec.service_count() {
+        let id = ServiceId(i as u32);
+        let svc = app.spec.service(id);
+        let is_store = svc.name.starts_with("memcached-")
+            || svc.name.starts_with("mongodb-")
+            || svc.name.starts_with("mysql-");
+        if !is_store {
+            continue;
+        }
+        let stats = sim.service_stats(id);
+        for (e, ep) in svc.endpoints.iter().enumerate() {
+            assert!(
+                stats.endpoint_count(e) > 0,
+                "{}: {}/{} saw no traffic — the {} half of the pair is \
+                 unreachable from the behaviour scripts",
+                app.spec.name,
+                svc.name,
+                ep.name,
+                ep.name,
+            );
+        }
+        let active_shards = sim
+            .instances_of(id)
+            .iter()
+            .filter(|inst| sim.instance_served(**inst) > 0)
+            .count();
+        assert!(
+            active_shards >= 2,
+            "{}: {} concentrated all {} invocations on one of its {} shards",
+            app.spec.name,
+            svc.name,
+            stats.invocations,
+            sim.instances_of(id).len(),
+        );
+    }
+}
+
+#[test]
+fn social_network_stores_see_both_halves() {
+    assert_both_sides(&apps::social::social_network());
+}
+
+#[test]
+fn media_service_stores_see_both_halves() {
+    assert_both_sides(&apps::media::media_service());
+}
+
+#[test]
+fn ecommerce_stores_see_both_halves() {
+    assert_both_sides(&apps::ecommerce::ecommerce());
+}
+
+#[test]
+fn banking_stores_see_both_halves() {
+    assert_both_sides(&apps::banking::banking());
+}
+
+/// The hit/miss structure is a property of the scripts, not of one
+/// lucky seed: a second seed must also exercise both halves.
+#[test]
+fn cache_fill_is_not_seed_luck() {
+    let app = apps::social::social_network();
+    let sim = common::run_fixed(&app, QPS, SECS, SEED + 1);
+    for i in 0..app.spec.service_count() {
+        let id = ServiceId(i as u32);
+        let svc = app.spec.service(id);
+        if !svc.name.starts_with("memcached-") {
+            continue;
+        }
+        let stats = sim.service_stats(id);
+        for (e, ep) in svc.endpoints.iter().enumerate() {
+            assert!(
+                stats.endpoint_count(e) > 0,
+                "seed {}: {}/{} silent",
+                SEED + 1,
+                svc.name,
+                ep.name,
+            );
+        }
+    }
+}

@@ -3,7 +3,9 @@
 #![allow(dead_code)] // each test binary uses a subset
 
 use deathstarbench_sim::apps::BuiltApp;
-use deathstarbench_sim::core::{ClusterSpec, MachineSpec, RequestType, ServiceId, Simulation};
+use deathstarbench_sim::core::{
+    ClusterSpec, LbPolicy, MachineSpec, RequestType, ServiceId, Simulation,
+};
 use deathstarbench_sim::simcore::SimTime;
 use deathstarbench_sim::workload::{OpenLoop, UserPopulation};
 use std::fmt::Write as _;
@@ -48,9 +50,11 @@ pub fn totals(sim: &Simulation) -> (u64, u64, u64) {
 
 /// Renders the integer-only summary that golden fixtures pin: request
 /// counts and latency percentiles per request type, plus per-service
-/// invocation counts. Every field is deterministic at a fixed seed, and
-/// the latency percentiles move on any change to per-tier service
-/// demand.
+/// invocation counts — broken down per endpoint for multi-endpoint
+/// services (both halves of a cache's get/set pair must see traffic)
+/// and per shard for `Partition` services (the load split across
+/// shards). Every field is deterministic at a fixed seed, and the
+/// latency percentiles move on any change to per-tier service demand.
 pub fn summary(app: &BuiltApp, sim: &Simulation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "app: {}", app.spec.name);
@@ -74,12 +78,27 @@ pub fn summary(app: &BuiltApp, sim: &Simulation) -> String {
     }
     for i in 0..app.spec.service_count() {
         let id = ServiceId(i as u32);
-        let _ = writeln!(
-            out,
-            "service {}: invocations={}",
-            app.spec.service(id).name,
-            sim.service_stats(id).invocations,
-        );
+        let svc = app.spec.service(id);
+        let stats = sim.service_stats(id);
+        let mut line = format!("service {}: invocations={}", svc.name, stats.invocations);
+        if svc.endpoints.len() > 1 {
+            let per_ep: Vec<String> = svc
+                .endpoints
+                .iter()
+                .enumerate()
+                .map(|(e, ep)| format!("{}={}", ep.name, stats.endpoint_count(e)))
+                .collect();
+            let _ = write!(line, " endpoints[{}]", per_ep.join(" "));
+        }
+        if svc.lb == LbPolicy::Partition {
+            let per_shard: Vec<String> = sim
+                .instances_of(id)
+                .iter()
+                .map(|inst| sim.instance_served(*inst).to_string())
+                .collect();
+            let _ = write!(line, " shards[{}]", per_shard.join("|"));
+        }
+        let _ = writeln!(out, "{line}");
     }
     out
 }
