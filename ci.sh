@@ -11,13 +11,20 @@
 # commit the diff. The gate itself must never regenerate fixtures: if
 # UPDATE_GOLDENS leaked into a CI environment, every golden test would
 # silently rewrite its own expectation and pass.
+#
+# The test pass runs in release (the simulation-heavy suites are ~10x
+# slower unoptimized) and is held to a hard wall-clock budget, guarding
+# against slow-test regressions like the 190 s end_to_end suite fixed in
+# PR 1. Per-suite times are printed so the offender is obvious.
 set -eu
 
 cd "$(dirname "$0")"
 
+TEST_BUDGET_S=120
+
 if [ "${1:-}" = "--bless" ]; then
     echo "==> regenerating golden fixtures (UPDATE_GOLDENS=1)"
-    UPDATE_GOLDENS=1 cargo test -q --offline --test goldens --test analyzer_report
+    UPDATE_GOLDENS=1 cargo test -q --release --offline --test goldens --test analyzer_report
     git --no-pager diff --stat -- tests/goldens/ || true
 fi
 
@@ -28,11 +35,44 @@ if [ -n "${CI:-}" ] && [ -n "${UPDATE_GOLDENS:-}" ]; then
     exit 1
 fi
 
-echo "==> cargo build --workspace --release --offline"
-cargo build --workspace --release --offline
+echo "==> cargo build --workspace --release --offline --all-targets"
+# --all-targets prebuilds the test harnesses too, so the timed test pass
+# below measures test runtime, not leftover compilation.
+cargo build --workspace --release --offline --all-targets
 
-echo "==> cargo test -q --workspace --offline"
-cargo test -q --workspace --offline
+echo "==> cargo test --workspace --release --offline (budget: ${TEST_BUDGET_S}s)"
+test_log=$(mktemp)
+trap 'rm -f "$test_log"' EXIT
+test_start=$(date +%s)
+if ! cargo test --workspace --release --offline >"$test_log" 2>&1; then
+    cat "$test_log"
+    echo "ci.sh: test pass FAILED" >&2
+    exit 1
+fi
+test_end=$(date +%s)
+test_wall=$((test_end - test_start))
+# Per-suite wall time, as reported by each test binary.
+awk '
+    / Running / {
+        n = $0
+        sub(/^.*\(/, "", n); sub(/\).*$/, "", n)
+        sub(/^.*\//, "", n); sub(/-[0-9a-f]+$/, "", n)
+        name = n
+    }
+    / Doc-tests / { name = "doc-tests " $2 }
+    /^test result:/ {
+        t = $0
+        sub(/^.*finished in /, "", t); sub(/s$/, "", t)
+        printf "    %-24s %7.2fs  (%s)\n", name, t + 0, $4
+    }
+' "$test_log"
+echo "    test pass total: ${test_wall}s (budget ${TEST_BUDGET_S}s)"
+if [ "$test_wall" -gt "$TEST_BUDGET_S" ]; then
+    echo "ci.sh: tier-1 test pass took ${test_wall}s, over the" >&2
+    echo "${TEST_BUDGET_S}s budget. Shrink or rescale the slow suite" >&2
+    echo "(per-suite times above) instead of raising the budget." >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -4,7 +4,9 @@
 //!
 //! 1. **Spec pass** — runs [`dsb_analyzer::Analyzer`] over the eight
 //!    built-in application variants, with each app's front-end as the
-//!    entry point and the golden-fixture load as the offered load. Every
+//!    entry point, the golden-fixture load as the offered load, and the
+//!    golden-fixture cluster as the placement target (so the DSB011
+//!    machine-budget and DSB012 calibration passes run too). Every
 //!    diagnostic must appear in the annotated [`EXPECTED`] table below;
 //!    anything unexpected (and any stale annotation) fails the gate.
 //! 2. **Source pass** — runs the determinism lint over `crates/*/src`
@@ -16,6 +18,20 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use dsb_analyzer::{lint_sources, Allowlist, Analyzer, Severity};
+use dsb_core::{ClusterSpec, MachineSpec};
+
+/// The reference cluster of `tests/common/mod.rs::fixed_cluster()`: 8
+/// Xeon servers on 2 racks plus 24 edge devices. Placement-dependent
+/// diagnostics are judged against the same machines the golden traces
+/// run on.
+fn fixture_cluster() -> ClusterSpec {
+    let mut cluster = ClusterSpec::xeon_cluster(8, 2);
+    for _ in 0..24 {
+        cluster.machines.push(MachineSpec::edge_device());
+    }
+    cluster.trace_sample_prob = 0.0;
+    cluster
+}
 
 /// Diagnostics the eight shipped apps are *expected* to produce, each
 /// with the reason it is accepted rather than fixed:
@@ -34,9 +50,13 @@ fn main() -> ExitCode {
     let mut failed = false;
 
     println!("== dsb-lint: spec pass (8 built-in apps) ==");
+    let cluster = fixture_cluster();
     let mut seen_expected = vec![false; EXPECTED.len()];
     for (name, qps, app) in dsb_apps::all_builtin() {
-        let mut an = Analyzer::new(&app.spec).entry(app.frontend);
+        let mut an = Analyzer::new(&app.spec)
+            .entry(app.frontend)
+            .cluster(&cluster)
+            .calibration(1.0);
         let total_weight: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
         for e in app.mix.entries() {
             an = an.offered(e.entry, qps * e.weight / total_weight);

@@ -1,11 +1,22 @@
 //! The spec analysis passes.
 //!
-//! Every check is purely static: it consumes an [`AppSpec`] (plus
-//! optional entry-point and offered-load context) and never runs the
-//! simulator. Diagnostics come back sorted by service id, then code, so
-//! reports are golden-testable byte for byte.
+//! Checks DSB001–DSB011 are purely static: they consume an [`AppSpec`]
+//! (plus optional entry-point, offered-load, and cluster context) and
+//! never run the simulator. DSB012 is the exception: enabling
+//! [`Analyzer::calibration`] runs a short *deterministic* calibration
+//! simulation and feeds the collected spans through
+//! [`dsb_trace::critical_path`], so it can see cross-tier queueing that
+//! per-tier queueing formulas cannot. Diagnostics come back sorted by
+//! service id, then code, so reports are golden-testable byte for byte.
 
-use dsb_core::{AppSpec, Concurrency, EndpointRef, LbPolicy, ServiceId, Step, WorkerPolicy};
+use std::collections::BTreeMap;
+
+use dsb_core::{
+    AppSpec, ClusterSpec, Concurrency, EndpointRef, LbPolicy, PlacementPlan, RequestType,
+    ServiceId, Simulation, Step, WorkerPolicy,
+};
+use dsb_net::Zone;
+use dsb_simcore::SimTime;
 
 use crate::{Code, Diagnostic, Severity};
 
@@ -43,6 +54,8 @@ pub struct Analyzer<'a> {
     spec: &'a AppSpec,
     entries: Vec<ServiceId>,
     offered: Vec<(EndpointRef, f64)>,
+    cluster: Option<&'a ClusterSpec>,
+    calibration_secs: f64,
 }
 
 impl<'a> Analyzer<'a> {
@@ -52,6 +65,8 @@ impl<'a> Analyzer<'a> {
             spec,
             entries: Vec::new(),
             offered: Vec::new(),
+            cluster: None,
+            calibration_secs: 0.0,
         }
     }
 
@@ -73,6 +88,28 @@ impl<'a> Analyzer<'a> {
         self
     }
 
+    /// Provides the cluster the app deploys on. Enables the
+    /// placement-aware passes: DSB007 then verifies actual machine-level
+    /// co-location (via the deterministic [`PlacementPlan`]) instead of
+    /// comparing zone hints, and DSB011 audits offered load against
+    /// per-machine core budgets (with offered load, acyclic graph).
+    pub fn cluster(mut self, cluster: &'a ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Enables DSB012: runs a deterministic calibration simulation of
+    /// `secs` simulated seconds at the offered load (requires
+    /// [`Analyzer::cluster`]), attributes end-to-end latency with
+    /// [`dsb_trace::critical_path`], and flags tiers on blocking fan-out
+    /// chains whose measured worker queueing far exceeds what per-tier
+    /// Erlang-C admits. The run is seeded with a fixed constant, so
+    /// reports stay byte-stable.
+    pub fn calibration(mut self, secs: f64) -> Self {
+        self.calibration_secs = secs;
+        self
+    }
+
     /// Runs every check and returns the sorted diagnostics.
     pub fn run(&self) -> Vec<Diagnostic> {
         let spec = self.spec;
@@ -89,17 +126,43 @@ impl<'a> Analyzer<'a> {
         self.check_reachability(&edges, &cycle_anchors, &mut out);
 
         // DSB002 blocking-pool backpressure, DSB003 fan-out sizing,
-        // DSB007 IPC zones, DSB008 degenerate partitioning.
-        self.check_pools(&mut out);
+        // DSB007 IPC co-location, DSB008 degenerate partitioning.
+        let plan = self.placement_plan();
+        self.check_pools(plan.as_ref(), &mut out);
 
         // DSB009 offered load vs capacity (needs an acyclic graph).
         if !self.offered.is_empty() && cycle_anchors.is_empty() {
             self.check_capacity(&mut out);
+
+            // DSB011 per-machine core budgets under the placement plan.
+            if let (Some(cluster), Some(plan)) = (self.cluster, plan.as_ref()) {
+                self.check_machine_budget(cluster, plan, &mut out);
+
+                // DSB012 trace-driven critical-path queueing.
+                if self.calibration_secs > 0.0 {
+                    self.check_critical_path(cluster, &mut out);
+                }
+            }
         }
 
         out.sort();
         out.dedup();
         out
+    }
+
+    /// The deterministic placement of the app on the provided cluster;
+    /// `None` without cluster context or when some service has no
+    /// feasible machine (the placer would panic — a deployment error
+    /// outside this analyzer's scope).
+    fn placement_plan(&self) -> Option<PlacementPlan> {
+        let cluster = self.cluster?;
+        let feasible = self.spec.services.iter().all(|s| {
+            cluster.machines.iter().any(|m| match s.zone_pref {
+                Some(z) => m.zone == z,
+                None => !matches!(m.zone, Zone::Edge),
+            })
+        });
+        feasible.then(|| PlacementPlan::compute(self.spec, cluster))
     }
 
     fn diag(
@@ -307,7 +370,7 @@ impl<'a> Analyzer<'a> {
 
     // -- DSB002 / DSB003 / DSB007 / DSB008 ----------------------------------
 
-    fn check_pools(&self, out: &mut Vec<Diagnostic>) {
+    fn check_pools(&self, plan: Option<&PlacementPlan>, out: &mut Vec<Diagnostic>) {
         let spec = self.spec;
         for (i, svc) in spec.services.iter().enumerate() {
             let from = ServiceId(i as u32);
@@ -372,22 +435,55 @@ impl<'a> Analyzer<'a> {
                     }
                 }
 
-                // DSB007: same-host IPC cannot span a network hop.
-                if callee.protocol.same_host_only() && svc.zone_pref != callee.zone_pref {
-                    out.push(self.diag(
-                        Code::IpcCrossZone,
-                        Severity::Warning,
-                        from,
-                        None,
-                        format!(
-                            "IPC edge `{}` ({}) -> `{}` ({}) crosses zones: same-host \
-                             IPC cannot span a network hop",
-                            svc.name,
-                            zone_name(svc.zone_pref),
-                            callee.name,
-                            zone_name(callee.zone_pref),
-                        ),
-                    ));
+                // DSB007: same-host IPC cannot span a network hop. With a
+                // placement plan, check the actual machine assignment;
+                // without one, fall back to comparing zone hints.
+                if callee.protocol.same_host_only() {
+                    match plan {
+                        Some(plan) => {
+                            let callee_on: Vec<u32> =
+                                plan.machines_of(callee_id).iter().map(|m| m.0).collect();
+                            let mut missing: Vec<u32> = plan
+                                .machines_of(from)
+                                .iter()
+                                .map(|m| m.0)
+                                .filter(|m| !callee_on.contains(m))
+                                .collect();
+                            missing.sort_unstable();
+                            missing.dedup();
+                            if !missing.is_empty() {
+                                out.push(self.diag(
+                                    Code::IpcCrossZone,
+                                    Severity::Warning,
+                                    from,
+                                    None,
+                                    format!(
+                                        "IPC edge `{}` -> `{}`: caller instances on \
+                                         machines {missing:?} have no co-located `{}` \
+                                         instance (same-host IPC cannot span machines)",
+                                        svc.name, callee.name, callee.name,
+                                    ),
+                                ));
+                            }
+                        }
+                        None if svc.zone_pref != callee.zone_pref => {
+                            out.push(self.diag(
+                                Code::IpcCrossZone,
+                                Severity::Warning,
+                                from,
+                                None,
+                                format!(
+                                    "IPC edge `{}` ({}) -> `{}` ({}) crosses zones: \
+                                     same-host IPC cannot span a network hop",
+                                    svc.name,
+                                    zone_name(svc.zone_pref),
+                                    callee.name,
+                                    zone_name(callee.zone_pref),
+                                ),
+                            ));
+                        }
+                        None => {}
+                    }
                 }
             }
 
@@ -498,6 +594,249 @@ impl<'a> Analyzer<'a> {
             ));
         }
     }
+
+    // -- DSB011 -------------------------------------------------------------
+
+    /// Offered load vs *per-machine core budgets*: a machine hosting
+    /// several hot tiers can be overcommitted even when every pool passes
+    /// DSB009, because worker counts say nothing about the cores the
+    /// workers share. Uses the same deterministic [`PlacementPlan`] the
+    /// simulator provisions with, compute demand only (I/O holds a
+    /// worker, not a core), rescaled by each machine's core model.
+    fn check_machine_budget(
+        &self,
+        cluster: &ClusterSpec,
+        plan: &PlacementPlan,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let spec = self.spec;
+        let Some(rates) = endpoint_rates(spec, &self.offered) else {
+            return;
+        };
+        // Per-instance compute demand in reference-core erlangs.
+        let per_instance: Vec<f64> = spec
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, svc)| {
+                let total: f64 = svc
+                    .endpoints
+                    .iter()
+                    .enumerate()
+                    .map(|(e, ep)| rates[i][e] * compute_demand_ns(&ep.script) / 1e9)
+                    .sum();
+                total / plan.machines_of(ServiceId(i as u32)).len().max(1) as f64
+            })
+            .collect();
+        // Accumulate actual-core erlangs per machine (and per service).
+        let mut busy = vec![0.0f64; cluster.machines.len()];
+        let mut by_service: Vec<BTreeMap<usize, f64>> =
+            vec![BTreeMap::new(); cluster.machines.len()];
+        for &(svc, m) in plan.instances() {
+            let mi = m.0 as usize;
+            let slowdown = cluster.machines[mi]
+                .core
+                .speed_factor(&spec.services[svc.0 as usize].profile);
+            let erlangs = per_instance[svc.0 as usize] * slowdown;
+            if erlangs <= 0.0 {
+                continue;
+            }
+            busy[mi] += erlangs;
+            *by_service[mi].entry(svc.0 as usize).or_insert(0.0) += erlangs;
+        }
+        for (mi, machine) in cluster.machines.iter().enumerate() {
+            let cores = machine.cores.max(1) as f64;
+            let util = busy[mi] / cores;
+            if util < 0.8 {
+                continue;
+            }
+            let severity = if util >= 1.0 {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            let mut top: Vec<(usize, f64)> = by_service[mi].iter().map(|(&s, &e)| (s, e)).collect();
+            top.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("erlangs are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            top.truncate(3);
+            let hot: Vec<String> = top
+                .iter()
+                .map(|&(s, e)| format!("`{}` ~{e:.1}", spec.services[s].name))
+                .collect();
+            out.push(Diagnostic {
+                code: Code::MachineOvercommit,
+                severity,
+                service: None,
+                service_name: String::new(),
+                endpoint: None,
+                message: format!(
+                    "machine {mi} ({:?}, {} cores) is overcommitted: resident tiers \
+                     demand ~{:.1} cores ({}) — each pool may pass its own capacity \
+                     check, but they share this machine's core budget",
+                    machine.zone,
+                    machine.cores,
+                    busy[mi],
+                    hot.join(", "),
+                ),
+            });
+        }
+    }
+
+    // -- DSB012 -------------------------------------------------------------
+
+    /// Trace-driven critical-path queueing: runs a short deterministic
+    /// calibration simulation, attributes end-to-end latency with
+    /// [`dsb_trace::critical_path`], and flags tiers sitting on a
+    /// blocking fan-out chain whose *measured* worker queueing exceeds
+    /// several times what per-tier Erlang-C admits at this load. That is
+    /// exactly the blind spot of DSB009: a fan-out synchronizes arrivals
+    /// downstream, so the Poisson assumption under M/M/k collapses.
+    fn check_critical_path(&self, cluster: &ClusterSpec, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let Some(rates) = endpoint_rates(spec, &self.offered) else {
+            return;
+        };
+        // Which services sit downstream (inclusive) of a parallel
+        // fan-out, and through which (fanner, fan-target) edge.
+        let fan = fan_chains(spec);
+        if fan.is_empty() {
+            return;
+        }
+
+        // Short calibration run: sample every trace, fixed seed, evenly
+        // spaced arrivals per offered entry (keys spread over shards).
+        let mut cal = cluster.clone();
+        cal.trace_sample_prob = 1.0;
+        let mut sim = Simulation::new(spec.clone(), cal, CALIBRATION_SEED);
+        for (idx, &(entry, qps)) in self.offered.iter().enumerate() {
+            if qps <= 0.0 || resolve(spec, &entry).is_none() {
+                continue;
+            }
+            let n = (qps * self.calibration_secs).ceil() as u64;
+            for j in 0..n {
+                let at = SimTime::from_nanos((j as f64 * 1e9 / qps) as u64);
+                let key = (j + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                sim.inject(at, entry, RequestType(idx as u32), 256, key);
+            }
+        }
+        sim.run_until_idle();
+
+        // Critical-path attribution share per service across all traces.
+        let n = spec.services.len();
+        let mut attr = vec![0u128; n];
+        for (_, spans) in sim.collector().sampled_traces() {
+            for a in dsb_trace::critical_path(spans) {
+                if (a.service as usize) < n {
+                    attr[a.service as usize] += a.ns as u128;
+                }
+            }
+        }
+        let total_attr: u128 = attr.iter().sum();
+        if total_attr == 0 {
+            return;
+        }
+
+        for (i, svc) in spec.services.iter().enumerate() {
+            let Some(&(fanner, target)) = fan.get(&i) else {
+                continue; // sequential queueing is DSB009's domain
+            };
+            let WorkerPolicy::Fixed(w) = svc.workers else {
+                continue; // on-demand pools spawn through bursts
+            };
+            let k = (svc.initial_instances.max(1) * w) as f64;
+            let total_rate: f64 = rates[i].iter().sum();
+            let offered_erl: f64 = svc
+                .endpoints
+                .iter()
+                .enumerate()
+                .map(|(e, ep)| rates[i][e] * local_demand_ns(&ep.script) / 1e9)
+                .sum();
+            if total_rate <= 0.0 || offered_erl <= 0.0 || offered_erl >= k {
+                continue; // idle, or saturated (DSB009 already errors)
+            }
+            let share = attr[i] as f64 / total_attr as f64;
+            if share < 0.05 {
+                continue; // not on the latency-critical path
+            }
+            let Some(st) = sim.collector().service(i as u32) else {
+                continue;
+            };
+            if st.spans < 8 {
+                continue; // too few observations to trust the mean
+            }
+            let measured_ns = st.queue_ns as f64 / st.spans as f64;
+            let mean_service_ns = offered_erl * 1e9 / total_rate;
+            let predicted_ns =
+                erlang_c(k as u64, offered_erl) / (k * (1.0 - offered_erl / k)) * mean_service_ns;
+            // Fire only on a clear multiple plus an absolute floor, so
+            // near-zero predictions don't flag microsecond noise.
+            if measured_ns <= 4.0 * predicted_ns + 500_000.0 {
+                continue;
+            }
+            out.push(self.diag(
+                Code::CriticalPathQueueing,
+                Severity::Warning,
+                ServiceId(i as u32),
+                None,
+                format!(
+                    "calibration run measured ~{:.1} ms mean worker queueing at `{}` \
+                     vs ~{:.1} ms admitted by M/M/{} at this load ({:.0}% of the \
+                     end-to-end critical path): the fan-out `{}` -> `{}` synchronizes \
+                     arrivals, which per-tier Erlang-C cannot see",
+                    measured_ns / 1e6,
+                    svc.name,
+                    predicted_ns / 1e6,
+                    k as u64,
+                    share * 100.0,
+                    spec.services[fanner].name,
+                    spec.services[target].name,
+                ),
+            ));
+        }
+    }
+}
+
+/// Seed of the DSB012 calibration simulation: arbitrary but fixed, so
+/// analyzer reports are byte-stable across runs.
+const CALIBRATION_SEED: u64 = 0x00D5_B012;
+
+/// For every service reachable (inclusive) from some parallel fan-out
+/// target, the `(fanning caller, fan target)` pair that reaches it.
+/// Lowest caller id wins, so messages are deterministic.
+fn fan_chains(spec: &AppSpec) -> BTreeMap<usize, (usize, usize)> {
+    let n = spec.services.len();
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in valid_edges(spec) {
+        adj[a.0 as usize].push(b.0 as usize);
+    }
+    let mut out = BTreeMap::new();
+    for (i, svc) in spec.services.iter().enumerate() {
+        for ep in &svc.endpoints {
+            walk_calls(&ep.script, &mut |t, parallel| {
+                if !parallel || resolve(spec, t).is_none() {
+                    return;
+                }
+                let target = t.service.0 as usize;
+                // BFS downstream of the fan target, inclusive.
+                let mut seen = vec![false; n];
+                let mut stack = vec![target];
+                seen[target] = true;
+                while let Some(s) = stack.pop() {
+                    out.entry(s).or_insert((i, target));
+                    for &w in &adj[s] {
+                        if !seen[w] {
+                            seen[w] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+            });
+        }
+    }
+    out
 }
 
 /// Erlang-C: the probability an M/M/k arrival must queue, for `k` servers
@@ -740,6 +1079,23 @@ fn local_demand_ns(steps: &[Step]) -> f64 {
     total
 }
 
+/// Mean nanoseconds of *CPU* demand per invocation (compute only — an
+/// I/O phase holds a worker, not a core), branch-weighted. This is what
+/// DSB011 charges against a machine's core budget.
+fn compute_demand_ns(steps: &[Step]) -> f64 {
+    let mut total = 0.0;
+    for s in steps {
+        match s {
+            Step::Compute { ns, .. } => total += ns.mean(),
+            Step::Branch { p, then, els } => {
+                total += p * compute_demand_ns(then) + (1.0 - p) * compute_demand_ns(els);
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +1115,7 @@ mod tests {
             initial_instances: 1,
             conn_limit: 128,
             zone_pref: None,
+            placement: dsb_core::PlacementHint::Spread,
             endpoints: vec![dsb_core::EndpointSpec {
                 name: "run".to_string(),
                 resp_bytes: Dist::constant(64.0),
@@ -1139,5 +1496,120 @@ mod tests {
         assert_eq!(d[0].code, Code::PartitionDegenerate);
         assert_eq!(d[1].service, Some(ServiceId(1)));
         assert_eq!(d[1].code, Code::BlockingBackpressure);
+    }
+
+    /// Two tiers, each ~0.6 erlangs of compute at 100 qps — comfortably
+    /// inside its own worker pool — sharing a single-core machine.
+    fn colocated_hot_tiers() -> AppSpec {
+        let leaf = svc("leaf", vec![Step::work_us(6_000.0)]);
+        let mut front = svc(
+            "front",
+            vec![Step::work_us(6_000.0), Step::call(ep(0), 64.0)],
+        );
+        front.workers = WorkerPolicy::Fixed(64);
+        AppSpec {
+            name: "hot".into(),
+            services: vec![leaf, front],
+        }
+    }
+
+    #[test]
+    fn machine_budget_flags_colocation_that_dsb009_misses() {
+        let mut cluster = ClusterSpec::xeon_cluster(1, 1);
+        cluster.machines[0].cores = 1;
+        let spec = colocated_hot_tiers();
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 100.0)
+            .cluster(&cluster)
+            .run();
+        // Each pool passes DSB009 on its own; together they demand
+        // ~1.2 cores of a 1-core machine.
+        assert_eq!(codes(&d), vec![Code::MachineOvercommit]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].service, None, "machine findings are app-wide");
+        assert!(d[0].message.contains("machine 0"), "{}", d[0].message);
+        assert!(d[0].message.contains("`front`"), "{}", d[0].message);
+
+        // Enough cores: clean again.
+        let roomy = ClusterSpec::xeon_cluster(1, 1);
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 100.0)
+            .cluster(&roomy)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn machine_budget_needs_a_cluster_and_a_feasible_placement() {
+        let mut cluster = ClusterSpec::xeon_cluster(1, 1);
+        cluster.machines[0].cores = 1;
+        // No cluster given: the pass cannot run.
+        let mut spec = colocated_hot_tiers();
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 100.0)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+        // A zone preference no machine satisfies: placement-dependent
+        // passes are skipped rather than guessing (or panicking).
+        spec.services[0].zone_pref = Some(Zone::Edge);
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .offered(ep(1), 100.0)
+            .cluster(&cluster)
+            .run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn critical_path_queueing_needs_the_calibration_window() {
+        // front --FanCall 16--> mid (16 workers) --> leaf (4 workers,
+        // 2 ms I/O). The fan-out synchronizes 16 arrivals over 4 leaf
+        // workers; at 5 qps every static check is comfortable.
+        let mut leaf = svc(
+            "leaf",
+            vec![Step::Io {
+                ns: Dist::constant(2_000_000.0),
+            }],
+        );
+        leaf.workers = WorkerPolicy::Fixed(4);
+        let mut mid = svc("mid", vec![Step::call(ep(0), 64.0)]);
+        mid.workers = WorkerPolicy::Fixed(16);
+        let front = svc(
+            "front",
+            vec![Step::FanCall {
+                target: ep(1),
+                req_bytes: Dist::constant(64.0),
+                n: Dist::constant(16.0),
+            }],
+        );
+        let spec = AppSpec {
+            name: "burst".into(),
+            services: vec![leaf, mid, front],
+        };
+        let cluster = ClusterSpec::xeon_cluster(2, 1);
+        let run = |calibration: f64| {
+            Analyzer::new(&spec)
+                .entry(ServiceId(2))
+                .offered(ep(2), 5.0)
+                .cluster(&cluster)
+                .calibration(calibration)
+                .run()
+        };
+        // Without a calibration window the queueing is invisible.
+        assert!(run(0.0).is_empty(), "{:?}", run(0.0));
+        let d = run(2.0);
+        assert_eq!(codes(&d), vec![Code::CriticalPathQueueing]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].service_name, "leaf");
+        assert!(
+            d[0].message.contains("`front` -> `mid`"),
+            "{}",
+            d[0].message
+        );
+        // Byte-identical on a re-run: the calibration seed is fixed.
+        assert_eq!(d, run(2.0));
     }
 }

@@ -19,6 +19,8 @@
 //! | DSB008 | partition load-balancing over a single instance | warning |
 //! | DSB009 | offered load vs aggregate tier capacity | warning/error |
 //! | DSB010 | endpoint never called by any script | warning |
+//! | DSB011 | placement overcommits a machine's core budget | warning/error |
+//! | DSB012 | critical-path queueing beyond per-tier Erlang-C (calibration sim) | warning |
 //!
 //! Entry points: [`analyze`] for pure spec checks, [`Analyzer`] to add
 //! entry-point and offered-load context, and [`srclint`] for the
@@ -84,6 +86,12 @@ pub enum Code {
     TierOverload,
     /// DSB010: endpoint that no behaviour script ever calls.
     UnusedEndpoint,
+    /// DSB011: resident tiers' compute demand overcommits one machine's
+    /// core budget under the deterministic placement plan.
+    MachineOvercommit,
+    /// DSB012: a calibration simulation measured queueing on a blocking
+    /// fan-out chain far beyond what per-tier Erlang-C admits.
+    CriticalPathQueueing,
 }
 
 impl Code {
@@ -100,6 +108,8 @@ impl Code {
             Code::PartitionDegenerate => "DSB008",
             Code::TierOverload => "DSB009",
             Code::UnusedEndpoint => "DSB010",
+            Code::MachineOvercommit => "DSB011",
+            Code::CriticalPathQueueing => "DSB012",
         }
     }
 }
@@ -218,6 +228,8 @@ mod tests {
             Code::PartitionDegenerate,
             Code::TierOverload,
             Code::UnusedEndpoint,
+            Code::MachineOvercommit,
+            Code::CriticalPathQueueing,
         ];
         let strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         let unique: std::collections::BTreeSet<_> = strs.iter().collect();

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use dsb_analyzer::{Analyzer, Code};
 use dsb_core::{
-    AppSpec, Concurrency, EndpointRef, EndpointSpec, LbPolicy, ServiceId, ServiceSpec, Step,
-    WorkerPolicy,
+    AppSpec, ClusterSpec, Concurrency, EndpointRef, EndpointSpec, LbPolicy, ServiceId, ServiceSpec,
+    Step, WorkerPolicy,
 };
 use dsb_net::Protocol;
 use dsb_simcore::{Dist, Rng};
@@ -118,6 +118,7 @@ fn build(topo: &Topo) -> AppSpec {
                 initial_instances: 1,
                 conn_limit: 128,
                 zone_pref: None,
+                placement: dsb_core::PlacementHint::Spread,
                 endpoints: vec![EndpointSpec {
                     name: "run".to_string(),
                     resp_bytes: Dist::constant(64.0),
@@ -148,6 +149,26 @@ fn append_step(spec: &mut AppSpec, service: usize, step: Step) {
     let mut script = (*ep.script).clone();
     script.push(step);
     ep.script = Arc::new(script);
+}
+
+/// Codes for a placement-aware run: offered load at the front-end plus a
+/// cluster (and optionally a DSB012 calibration window).
+fn placed_codes(spec: &AppSpec, cluster: &ClusterSpec, qps: f64, calibration: f64) -> Vec<Code> {
+    let front = EndpointRef {
+        service: ServiceId(0),
+        endpoint: 0,
+    };
+    let mut v: Vec<Code> = Analyzer::new(spec)
+        .entry(ServiceId(0))
+        .offered(front, qps)
+        .cluster(cluster)
+        .calibration(calibration)
+        .run()
+        .iter()
+        .map(|d| d.code)
+        .collect();
+    v.dedup();
+    v
 }
 
 #[test]
@@ -265,4 +286,107 @@ fn dangling_call_reports_exactly_dangling() {
             Err(format!("expected [DanglingEndpoint], got {got:?}"))
         }
     });
+}
+
+#[test]
+fn overcommitted_machine_reports_exactly_machine_overcommit() {
+    prop!(cases = 32, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // One single-core machine hosting every tier: clean while the
+        // handlers are microsecond-sized...
+        let mut cluster = ClusterSpec::xeon_cluster(1, 1);
+        cluster.machines[0].cores = 1;
+        let base = placed_codes(&spec, &cluster, 150.0, 0.0);
+        if !base.is_empty() {
+            return Err(format!("clean placed app produced {base:?}"));
+        }
+        // ...then the front-end grows a 10 ms compute phase: 1.5 erlangs
+        // against a 1-core budget. Its own 8-worker pool is still far
+        // from saturation, so DSB009 must stay quiet — only the machine
+        // check can see this.
+        append_step(&mut spec, 0, Step::work_us(10_000.0));
+        let got = placed_codes(&spec, &cluster, 150.0, 0.0);
+        if got == vec![Code::MachineOvercommit] {
+            Ok(())
+        } else {
+            Err(format!("expected [MachineOvercommit], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn injected_fanout_chain_reports_exactly_critical_path_queueing() {
+    prop!(cases = 16, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        let cluster = ClusterSpec::xeon_cluster(2, 1);
+        let base = placed_codes(&spec, &cluster, 5.0, 2.0);
+        if !base.is_empty() {
+            return Err(format!("clean placed app produced {base:?}"));
+        }
+        // Graft a blocking fan-out chain onto the front-end: 16 parallel
+        // calls into `burst` (16 workers — DSB003 quiet), each of which
+        // calls `slowleaf` (4 workers, 2 ms I/O — 0.16 erlangs offered,
+        // DSB009 quiet). The fan-out synchronizes 16 arrivals over 4
+        // workers, so only the calibration run can see the queueing.
+        let slowleaf = spec.services.len();
+        spec.services.push(chain_svc(
+            "slowleaf",
+            4,
+            vec![Step::Io {
+                ns: Dist::constant(2_000_000.0),
+            }],
+        ));
+        let burst = spec.services.len();
+        spec.services.push(chain_svc(
+            "burst",
+            16,
+            vec![Step::call(
+                EndpointRef {
+                    service: ServiceId(slowleaf as u32),
+                    endpoint: 0,
+                },
+                64.0,
+            )],
+        ));
+        append_step(
+            &mut spec,
+            0,
+            Step::FanCall {
+                target: EndpointRef {
+                    service: ServiceId(burst as u32),
+                    endpoint: 0,
+                },
+                req_bytes: Dist::constant(64.0),
+                n: Dist::constant(16.0),
+            },
+        );
+        let got = placed_codes(&spec, &cluster, 5.0, 2.0);
+        if got == vec![Code::CriticalPathQueueing] {
+            Ok(())
+        } else {
+            Err(format!("expected [CriticalPathQueueing], got {got:?}"))
+        }
+    });
+}
+
+/// A Thrift tier for the DSB012 chain: `workers` blocking workers, one
+/// instance, one `run` endpoint executing `script`.
+fn chain_svc(name: &str, workers: u32, script: Vec<Step>) -> ServiceSpec {
+    ServiceSpec {
+        name: name.to_string(),
+        profile: dsb_uarch::UarchProfile::microservice_default(),
+        concurrency: Concurrency::Blocking,
+        workers: WorkerPolicy::Fixed(workers),
+        protocol: Protocol::ThriftRpc,
+        lb: LbPolicy::RoundRobin,
+        initial_instances: 1,
+        conn_limit: 128,
+        zone_pref: None,
+        placement: dsb_core::PlacementHint::Spread,
+        endpoints: vec![EndpointSpec {
+            name: "run".to_string(),
+            resp_bytes: Dist::constant(64.0),
+            script: Arc::new(script),
+        }],
+    }
 }

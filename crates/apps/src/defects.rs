@@ -1,0 +1,142 @@
+//! Deliberately broken deployments for the analyzer's golden report.
+//!
+//! Each constructor here builds a *placement-level* defect the per-tier
+//! checks (DSB002/DSB003/DSB009) cannot see, pinning the DSB011/DSB012
+//! diagnostics to `tests/goldens/analyzer_report.txt` the same way
+//! `twotier(64, 2)` pins DSB002.
+
+use dsb_core::{AppBuilder, Step};
+use dsb_simcore::{Dist, SimDuration};
+use dsb_uarch::UarchProfile;
+use dsb_workload::QueryMix;
+
+use crate::{singles::REQUEST, BuiltApp};
+
+/// DSB011 demo: a gateway with four ~2 ms encode stages pinned to its
+/// machine (`CoLocate`, the sidecar/DaemonSet shape). At 5500 qps each
+/// stage keeps ~11 of its 16 workers busy — comfortably inside every
+/// per-tier check — but the four stages plus the gateway demand ~45
+/// cores of the one 40-core machine they share.
+pub fn colocated_encoders() -> BuiltApp {
+    let mut app = AppBuilder::new("colocated_encoders");
+    let gateway = app
+        .service("gateway")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(64)
+        .build();
+    let mut script = vec![Step::work_us(200.0)];
+    for i in 0..4 {
+        let stage = app
+            .service(&format!("encoder-{i}"))
+            .profile(UarchProfile::microservice_default())
+            .blocking()
+            .workers(16)
+            .colocate_with(gateway)
+            .build();
+        let ep = app.endpoint(
+            stage,
+            "encode",
+            Dist::constant(1024.0),
+            vec![Step::work_us(2000.0)],
+        );
+        script.push(Step::call(ep, 16.0 * 1024.0));
+    }
+    let entry = app.endpoint(gateway, "upload", Dist::constant(256.0), script);
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(entry, REQUEST, 16.0 * 1024.0),
+        qos_p99: SimDuration::from_millis(50),
+        order: vec![gateway],
+        frontend: gateway,
+        spec,
+    }
+}
+
+/// DSB012 demo: a timeline front-end fanning out 16 parallel writes,
+/// each of which lands on a 4-worker follower store behind 2 ms of I/O.
+/// Statically everything passes — the fan fits `fanout-worker`'s 16
+/// workers (DSB003 quiet) and the store runs at 4 % utilization (DSB009
+/// quiet) — but the fan-out synchronizes 16 arrivals over 4 workers, so
+/// the calibration run measures milliseconds of queueing where Erlang-C
+/// admits microseconds.
+pub fn burst_chain() -> BuiltApp {
+    let mut app = AppBuilder::new("burst_chain");
+    let store = app
+        .service("follower-db")
+        .profile(UarchProfile::mongodb())
+        .blocking()
+        .workers(4)
+        .build();
+    let write = app.endpoint(
+        store,
+        "write",
+        Dist::constant(64.0),
+        vec![Step::Io {
+            ns: Dist::constant(2_000_000.0),
+        }],
+    );
+    let fanout = app
+        .service("fanout-worker")
+        .profile(UarchProfile::microservice_default())
+        .blocking()
+        .workers(16)
+        .build();
+    let push = app.endpoint(
+        fanout,
+        "push",
+        Dist::constant(64.0),
+        vec![Step::call(write, 512.0)],
+    );
+    let front = app
+        .service("timeline-frontend")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(64)
+        .build();
+    let entry = app.endpoint(
+        front,
+        "post",
+        Dist::constant(256.0),
+        vec![
+            Step::work_us(100.0),
+            Step::FanCall {
+                target: push,
+                req_bytes: Dist::constant(512.0),
+                n: Dist::constant(16.0),
+            },
+        ],
+    );
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(entry, REQUEST, 256.0),
+        qos_p99: SimDuration::from_millis(50),
+        order: vec![store, fanout, front],
+        frontend: front,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsb_core::PlacementHint;
+
+    #[test]
+    fn encoders_ride_the_gateway() {
+        let app = colocated_encoders();
+        let gateway = app.service("gateway");
+        for i in 0..4 {
+            let stage = app.spec.service(app.service(&format!("encoder-{i}")));
+            assert_eq!(stage.placement, PlacementHint::CoLocate(gateway));
+        }
+    }
+
+    #[test]
+    fn burst_chain_is_statically_comfortable() {
+        // The defect must be invisible to the pure spec checks.
+        let app = burst_chain();
+        let fanout = app.spec.service(app.service("fanout-worker"));
+        assert_eq!(fanout.workers, dsb_core::WorkerPolicy::Fixed(16));
+    }
+}

@@ -30,6 +30,7 @@ use dsb_uarch::UarchProfile;
 use dsb_workload::QueryMix;
 
 pub mod banking;
+pub mod defects;
 pub mod ecommerce;
 pub mod media;
 pub mod monolith;

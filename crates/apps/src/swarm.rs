@@ -42,16 +42,23 @@ pub enum SwarmVariant {
 
 const DRONES: u32 = 24;
 
-fn sensor(app: &mut AppBuilder, name: &str) -> (ServiceId, EndpointRef) {
-    let id = app
+/// A drone-local sensor. Instance `k` of every drone-local service is
+/// the copy running on drone `k`: the paper's deployment pins one full
+/// sensor-to-controller stack per device, expressed here by co-locating
+/// everything with the `anchor` service (the first sensor declared).
+fn sensor(app: &mut AppBuilder, name: &str, anchor: Option<ServiceId>) -> (ServiceId, EndpointRef) {
+    let mut b = app
         .service(name)
         .profile(UarchProfile::tiny_service())
         .workers(2)
         .instances(DRONES)
         .lb(LbPolicy::Partition)
         .protocol(Protocol::Ipc)
-        .zone(Zone::Edge)
-        .build();
+        .zone(Zone::Edge);
+    if let Some(a) = anchor {
+        b = b.colocate_with(a);
+    }
+    let id = b.build();
     let ep = app.endpoint(id, "read", Dist::constant(256.0), vec![Step::work_us(40.0)]);
     (id, ep)
 }
@@ -134,10 +141,12 @@ fn swarm_edge() -> BuiltApp {
     );
 
     // Drone-local sensors (4) + cameras (2) + log (7 edge services so far).
-    let (_sl, loc_read) = sensor(&mut app, "sensor-location");
-    let (_ss, speed_read) = sensor(&mut app, "sensor-speed");
-    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation");
-    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity");
+    // The first sensor anchors placement; instance k of every drone-local
+    // service co-locates on drone k's machine.
+    let (drone, loc_read) = sensor(&mut app, "sensor-location", None);
+    let (_ss, speed_read) = sensor(&mut app, "sensor-speed", Some(drone));
+    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation", Some(drone));
+    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity", Some(drone));
 
     let edge_svc = |app: &mut AppBuilder, name: &str, profile, workers: u32| {
         app.service(name)
@@ -147,6 +156,7 @@ fn swarm_edge() -> BuiltApp {
             .lb(LbPolicy::Partition)
             .protocol(Protocol::Ipc)
             .zone(Zone::Edge)
+            .colocate_with(drone)
             .build()
     };
 
@@ -446,11 +456,12 @@ fn swarm_cloud() -> BuiltApp {
         vec![Step::work_us(25.0), Step::call(cc_route, 512.0)],
     );
 
-    // Drone-local services: sensors, cameras, log, local controller (8).
-    let (_sl, loc_read) = sensor(&mut app, "sensor-location");
-    let (_ss, speed_read) = sensor(&mut app, "sensor-speed");
-    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation");
-    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity");
+    // Drone-local services: sensors, cameras, log, local controller (8),
+    // all pinned per-drone via the first sensor's placement.
+    let (drone, loc_read) = sensor(&mut app, "sensor-location", None);
+    let (_ss, speed_read) = sensor(&mut app, "sensor-speed", Some(drone));
+    let (_sor, orient_read) = sensor(&mut app, "sensor-orientation", Some(drone));
+    let (_slu, lum_read) = sensor(&mut app, "sensor-luminosity", Some(drone));
 
     let edge_svc = |app: &mut AppBuilder, name: &str, profile, workers: u32| {
         app.service(name)
@@ -460,6 +471,7 @@ fn swarm_cloud() -> BuiltApp {
             .lb(LbPolicy::Partition)
             .protocol(Protocol::Ipc)
             .zone(Zone::Edge)
+            .colocate_with(drone)
             .build()
     };
     let cam_img = edge_svc(&mut app, "camera-image", UarchProfile::tiny_service(), 2);
@@ -597,6 +609,34 @@ mod tests {
         let app = swarm(SwarmVariant::Cloud);
         let rec = app.spec.service(app.service("imageRecognition"));
         assert_eq!(rec.zone_pref, None);
+    }
+
+    #[test]
+    fn drone_stacks_are_colocated_per_device() {
+        use dsb_core::PlacementHint;
+        for v in [SwarmVariant::Edge, SwarmVariant::Cloud] {
+            let app = swarm(v);
+            let anchor = app.service("sensor-location");
+            for name in [
+                "sensor-speed",
+                "camera-image",
+                "log",
+                "obstacleAvoidance",
+                "controller",
+            ] {
+                let Some(svc) = app.spec.service_by_name(name) else {
+                    continue; // not present in this variant
+                };
+                if app.spec.service(svc).zone_pref != Some(Zone::Edge) {
+                    continue; // cloud-side in this variant
+                }
+                assert_eq!(
+                    app.spec.service(svc).placement,
+                    PlacementHint::CoLocate(anchor),
+                    "{name} must ride with its drone's sensor stack"
+                );
+            }
+        }
     }
 
     #[test]

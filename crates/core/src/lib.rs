@@ -29,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+mod placement;
 mod sim;
 mod slab;
 mod spec;
 mod stats;
 
+pub use placement::{PlacementHint, PlacementPlan, PlacementPolicy, Placer};
 pub use sim::{Cluster, Ev, InstanceState, Simulation};
 pub use slab::{Slab, SlabKey};
 pub use spec::{

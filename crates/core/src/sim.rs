@@ -264,7 +264,7 @@ pub struct Cluster {
     instance_startup: SimDuration,
     cpu_quantum_ns: f64,
     admit_prob: f64,
-    placement_rr: usize,
+    placer: crate::placement::Placer,
     ref_core: CoreModel,
 }
 
@@ -312,6 +312,7 @@ impl Cluster {
                 pinned: None,
             })
             .collect();
+        let app_services = app.services.len();
         let mut c = Cluster {
             app,
             services,
@@ -329,7 +330,7 @@ impl Cluster {
             instance_startup: cluster.instance_startup,
             cpu_quantum_ns: cluster.cpu_quantum.as_nanos() as f64,
             admit_prob: 1.0,
-            placement_rr: 0,
+            placer: crate::placement::Placer::new(cluster, app_services),
             ref_core: CoreModel::xeon(),
         };
         for sid in 0..c.services.len() {
@@ -340,30 +341,10 @@ impl Cluster {
         c
     }
 
-    fn place(&mut self, service: ServiceId) -> MachineId {
-        let pref = self.services[service.0 as usize].spec.zone_pref;
-        let candidates: Vec<usize> = self
-            .machines
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| match pref {
-                Some(z) => m.zone == z,
-                None => !matches!(m.zone, Zone::Edge),
-            })
-            .map(|(i, _)| i)
-            .collect();
-        assert!(
-            !candidates.is_empty(),
-            "no machine available for service {} (zone pref {:?})",
-            self.services[service.0 as usize].spec.name,
-            pref
-        );
-        self.placement_rr += 1;
-        MachineId(candidates[self.placement_rr % candidates.len()] as u32)
-    }
-
     fn spawn_instance(&mut self, service: ServiceId, state: InstanceState) -> InstanceId {
-        let machine = self.place(service);
+        let machine = self
+            .placer
+            .place(service, &self.services[service.0 as usize].spec);
         let spec = &self.services[service.0 as usize].spec;
         let worker_limit = match &spec.workers {
             WorkerPolicy::Fixed(n) => Some(*n),
@@ -1485,6 +1466,11 @@ impl Simulation {
                 pool.limit = limit.max(1);
             }
         }
+    }
+
+    /// The machine the placement layer assigned to an instance.
+    pub fn instance_machine(&self, inst: InstanceId) -> MachineId {
+        self.cluster.instances[inst.0 as usize].machine
     }
 
     /// The zone a service's first instance runs in (placement inspection).

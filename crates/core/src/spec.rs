@@ -208,6 +208,8 @@ pub struct ServiceSpec {
     pub conn_limit: u32,
     /// Preferred placement zone (`None`: datacenter default).
     pub zone_pref: Option<Zone>,
+    /// Placement affinity within the zone (deployment-table pinning).
+    pub placement: crate::placement::PlacementHint,
     /// Exposed endpoints.
     pub endpoints: Vec<EndpointSpec>,
 }
@@ -354,6 +356,7 @@ impl AppBuilder {
                 initial_instances: 1,
                 conn_limit: 128,
                 zone_pref: None,
+                placement: crate::placement::PlacementHint::Spread,
                 endpoints: Vec::new(),
             },
         }
@@ -515,6 +518,15 @@ impl ServiceBuilder<'_> {
         self
     }
 
+    /// Pins instance `k` of this service to the machine hosting instance
+    /// `k mod n` of `anchor` (which must be declared before this service).
+    /// Models the paper's deployment tables, e.g. one full sensor stack
+    /// per drone.
+    pub fn colocate_with(mut self, anchor: ServiceId) -> Self {
+        self.spec.placement = crate::placement::PlacementHint::CoLocate(anchor);
+        self
+    }
+
     /// Registers the service and returns its id.
     pub fn build(self) -> ServiceId {
         debug_assert!(
@@ -593,6 +605,8 @@ pub struct ClusterSpec {
     /// round-robin timeslices (OS preemption). `SimDuration::MAX`
     /// disables preemption (an ablation knob).
     pub cpu_quantum: dsb_simcore::SimDuration,
+    /// Instance-to-machine placement policy.
+    pub placement: crate::placement::PlacementPolicy,
 }
 
 impl ClusterSpec {
@@ -607,6 +621,7 @@ impl ClusterSpec {
             trace_sample_prob: 0.01,
             window: dsb_simcore::SimDuration::from_secs(1),
             cpu_quantum: dsb_simcore::SimDuration::from_millis(5),
+            placement: crate::placement::PlacementPolicy::CoreBudget,
         }
     }
 }

@@ -1,0 +1,237 @@
+//! Placement-layer contracts: instance-to-machine assignment is a pure
+//! function of the cluster and provisioning order (no seed involved), it
+//! matches the analyzer's static [`PlacementPlan`] exactly, it respects
+//! per-machine core budgets whenever the cluster can fit the app, it
+//! honors `zone_pref`, and — mirroring the shard-stable partition
+//! routing — scaling out never relocates an already-placed instance.
+
+use std::collections::BTreeMap;
+
+use dsb_core::{
+    AppBuilder, AppSpec, ClusterSpec, InstanceId, MachineId, MachineSpec, PlacementPlan, ServiceId,
+    Simulation,
+};
+use dsb_net::Zone;
+use dsb_simcore::{Dist, Rng};
+use dsb_testkit::{gen, prop, prop_assert, prop_assert_eq, Shrink};
+
+/// A random app: per service a worker count, an instance count, and an
+/// optional edge pin. `uniform_demand` forces every service to the same
+/// worker count (so first-fit packing is loss-free in the budget test).
+#[derive(Debug, Clone, PartialEq)]
+struct Case {
+    machines: u32,
+    edge_devices: u32,
+    workers: Vec<u32>,
+    instances: Vec<u32>,
+    edge: Vec<bool>,
+}
+
+impl Shrink for Case {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.workers.len() > 2 {
+            let mut c = self.clone();
+            c.workers.pop();
+            c.instances.pop();
+            c.edge.pop();
+            out.push(c);
+        }
+        for (i, &n) in self.instances.iter().enumerate() {
+            if n > 1 {
+                let mut c = self.clone();
+                c.instances[i] = n - 1;
+                out.push(c);
+            }
+        }
+        for (i, &e) in self.edge.iter().enumerate() {
+            if e {
+                let mut c = self.clone();
+                c.edge[i] = false;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn arb_case(rng: &mut Rng) -> Case {
+    let services = gen::usize_in(rng, 2, 6);
+    Case {
+        machines: gen::u32_in(rng, 2, 4),
+        edge_devices: gen::u32_in(rng, 2, 4),
+        workers: (0..services)
+            .map(|_| *gen::choice(rng, &[1, 2, 4, 8]))
+            .collect(),
+        instances: (0..services).map(|_| gen::u32_in(rng, 1, 3)).collect(),
+        edge: (0..services).map(|_| gen::u64_in(rng, 0, 3) == 0).collect(),
+    }
+}
+
+fn build(case: &Case) -> (AppSpec, ClusterSpec) {
+    let mut app = AppBuilder::new("placed");
+    for (i, (&w, &n)) in case.workers.iter().zip(&case.instances).enumerate() {
+        let mut b = app.service(&format!("s{i}")).workers(w).instances(n);
+        if case.edge[i] {
+            b = b.zone(Zone::Edge);
+        }
+        let id = b.build();
+        app.endpoint(id, "run", Dist::constant(64.0), vec![]);
+    }
+    let mut cluster = ClusterSpec::xeon_cluster(case.machines, 1);
+    for m in &mut cluster.machines {
+        m.cores = 8;
+    }
+    for _ in 0..case.edge_devices {
+        cluster.machines.push(MachineSpec::edge_device());
+    }
+    cluster.trace_sample_prob = 0.0;
+    (app.build(), cluster)
+}
+
+/// `instance -> machine` as the simulator assigned it.
+fn sim_assignment(sim: &Simulation, spec: &AppSpec) -> BTreeMap<InstanceId, MachineId> {
+    let mut out = BTreeMap::new();
+    for s in 0..spec.services.len() {
+        for inst in sim.instances_of(ServiceId(s as u32)) {
+            out.insert(inst, sim.instance_machine(inst));
+        }
+    }
+    out
+}
+
+#[test]
+fn placement_is_seed_free_and_matches_the_static_plan() {
+    prop!(cases = 32, arb_case, |case: &Case| {
+        let (spec, cluster) = build(case);
+        let a = Simulation::new(spec.clone(), cluster.clone(), 1);
+        let b = Simulation::new(spec.clone(), cluster.clone(), 0xDEAD_BEEF);
+        let ma = sim_assignment(&a, &spec);
+        prop_assert_eq!(
+            &ma,
+            &sim_assignment(&b, &spec),
+            "placement depends on the seed"
+        );
+        let plan = PlacementPlan::compute(&spec, &cluster);
+        for (&inst, &machine) in &ma {
+            prop_assert_eq!(
+                plan.machine_of(inst),
+                machine,
+                "static plan disagrees with the simulator at instance {}",
+                inst.0
+            );
+        }
+        prop_assert_eq!(ma.len(), plan.instances().len());
+        Ok(())
+    });
+}
+
+#[test]
+fn zone_preferences_are_respected() {
+    prop!(cases = 32, arb_case, |case: &Case| {
+        let (spec, cluster) = build(case);
+        let plan = PlacementPlan::compute(&spec, &cluster);
+        for &(svc, m) in plan.instances() {
+            let zone = cluster.machines[m.0 as usize].zone;
+            if case.edge[svc.0 as usize] {
+                prop_assert_eq!(zone, Zone::Edge, "edge-pinned service left the edge");
+            } else {
+                prop_assert!(
+                    !matches!(zone, Zone::Edge),
+                    "datacenter service placed on an edge device"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// When every service demands the same core count and the total fits
+/// the cluster, first-fit must not overcommit any machine.
+#[test]
+fn core_budgets_hold_whenever_the_app_fits() {
+    fn arb_uniform(rng: &mut Rng) -> Case {
+        let mut case = arb_case(rng);
+        let d = *gen::choice(rng, &[1, 2, 4, 8]);
+        for w in &mut case.workers {
+            *w = d;
+        }
+        // Datacenter demand only, trimmed until it fits the cluster.
+        for e in &mut case.edge {
+            *e = false;
+        }
+        let capacity = case.machines * 8;
+        while case
+            .workers
+            .iter()
+            .zip(&case.instances)
+            .map(|(w, n)| w * n)
+            .sum::<u32>()
+            > capacity
+        {
+            let last = case.instances.len() - 1;
+            if case.instances[last] > 1 {
+                case.instances[last] -= 1;
+            } else {
+                case.workers.pop();
+                case.instances.pop();
+                case.edge.pop();
+            }
+        }
+        case
+    }
+    prop!(cases = 32, arb_uniform, |case: &Case| {
+        let (spec, cluster) = build(case);
+        let plan = PlacementPlan::compute(&spec, &cluster);
+        let mut used = vec![0u32; cluster.machines.len()];
+        for &(svc, m) in plan.instances() {
+            used[m.0 as usize] += case.workers[svc.0 as usize];
+        }
+        for (m, &u) in used.iter().enumerate() {
+            prop_assert!(
+                u <= cluster.machines[m].cores,
+                "machine {} overcommitted ({} of {} cores) though the app fits",
+                m,
+                u,
+                cluster.machines[m].cores
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Mirrors `partition.rs`: adding instances never relocates an existing
+/// one, and the newcomers still honor their zone preference.
+#[test]
+fn scale_out_never_relocates_existing_instances() {
+    prop!(cases = 24, arb_case, |case: &Case| {
+        let (spec, cluster) = build(case);
+        let mut sim = Simulation::new(spec.clone(), cluster.clone(), 7);
+        let before = sim_assignment(&sim, &spec);
+        // Scale out every service once, round-robin, twice over.
+        for round in 0..2 {
+            for s in 0..spec.services.len() {
+                let id = ServiceId(s as u32);
+                let inst = sim.add_instance_now(id);
+                let zone = cluster.machines[sim.instance_machine(inst).0 as usize].zone;
+                prop_assert_eq!(
+                    matches!(zone, Zone::Edge),
+                    case.edge[s],
+                    "scale-out round {} broke service {}'s zone preference",
+                    round,
+                    s
+                );
+            }
+        }
+        let after = sim_assignment(&sim, &spec);
+        for (inst, machine) in &before {
+            prop_assert_eq!(
+                after.get(inst),
+                Some(machine),
+                "instance {} relocated by an unrelated scale-out",
+                inst.0
+            );
+        }
+        Ok(())
+    });
+}

@@ -7,26 +7,39 @@
 
 use dsb_apps::{banking, ecommerce, media, social, swarm, BuiltApp};
 
-use crate::harness::{make_cluster, make_thunderx_cluster, max_qps_under_qos};
+use crate::harness::{make_cluster, make_thunderx_cluster};
 use crate::report::Table;
 use crate::Scale;
 
 /// Goodput per platform for one app: `(xeon, xeon@1.8, thunderx)`.
 pub fn goodput(app: &BuiltApp, scale: Scale, seed: u64) -> (f64, f64, f64) {
     let secs = scale.secs(8);
-    let app = &crate::harness::shrink(app, 4);
+    // Quick shrinks harder: the platform *ordering* survives any uniform
+    // capacity scale-down, and halved pools halve the search's event
+    // count. Full bisection depth stays — the Xeon@1.8 and ThunderX
+    // goodputs are close enough that a coarser search cannot separate
+    // them.
+    let (factor, bisections) = match scale {
+        Scale::Quick => (8, 5),
+        Scale::Full => (4, 5),
+    };
+    let app = &crate::harness::shrink(app, factor);
     let xeon_cluster = make_cluster(8);
     let tx_cluster = make_thunderx_cluster(8);
-    let xeon = max_qps_under_qos(app, &xeon_cluster, &|_| {}, app.qos_p99, secs, seed);
-    let xeon18 = max_qps_under_qos(
-        app,
-        &xeon_cluster,
-        &|sim| sim.set_all_frequencies(1.8),
-        app.qos_p99,
-        secs,
-        seed,
-    );
-    let tx = max_qps_under_qos(app, &tx_cluster, &|_| {}, app.qos_p99, secs, seed);
+    let search = |cluster: &_, setup: &dyn Fn(&mut dsb_core::Simulation)| {
+        crate::harness::max_qps_under_qos_probes(
+            app,
+            cluster,
+            setup,
+            app.qos_p99,
+            secs,
+            seed,
+            bisections,
+        )
+    };
+    let xeon = search(&xeon_cluster, &|_| {});
+    let xeon18 = search(&xeon_cluster, &|sim| sim.set_all_frequencies(1.8));
+    let tx = search(&tx_cluster, &|_| {});
     (xeon, xeon18, tx)
 }
 

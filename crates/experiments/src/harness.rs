@@ -209,6 +209,23 @@ pub fn max_qps_under_qos(
     secs: u64,
     seed: u64,
 ) -> f64 {
+    max_qps_under_qos_probes(app, cluster, setup, qos, secs, seed, 5)
+}
+
+/// [`max_qps_under_qos`] with an explicit bisection count. Each
+/// bisection probe simulates `secs + 3` seconds near saturation — the
+/// most expensive probes of the search — so quick-scale callers trade
+/// goodput precision for wall time by passing 3 instead of the
+/// default 5.
+pub fn max_qps_under_qos_probes(
+    app: &BuiltApp,
+    cluster: &ClusterSpec,
+    setup: &dyn Fn(&mut Simulation),
+    qos: SimDuration,
+    secs: u64,
+    seed: u64,
+    bisections: u32,
+) -> f64 {
     let warmup = (secs / 3).max(1);
     let ok = |p: &Probe| p.p99 <= qos && p.completion >= 0.95;
     let mut lo = 0.0f64;
@@ -231,7 +248,7 @@ pub fn max_qps_under_qos(
         // Even the smallest probe violates QoS.
         return 0.0;
     }
-    for _ in 0..5 {
+    for _ in 0..bisections {
         let mid = (lo + hi) / 2.0;
         let p = probe(app, cluster, setup, mid, secs, warmup, seed);
         if ok(&p) {

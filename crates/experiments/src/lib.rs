@@ -73,10 +73,12 @@ impl Scale {
         }
     }
 
-    /// Scales a duration-in-seconds parameter.
+    /// Scales a duration-in-seconds parameter. Quick is sized so the
+    /// whole tier-1 test pass (which replays two figures end to end)
+    /// fits the 120-second CI budget on a single core.
     pub fn secs(self, full: u64) -> u64 {
         match self {
-            Scale::Quick => (full / 4).max(2),
+            Scale::Quick => (full / 8).max(2),
             Scale::Full => full,
         }
     }

@@ -166,6 +166,7 @@ fn make_store(
         initial_instances: instances,
         conn_limit: 1024,
         zone_pref: None,
+        placement: dsb_core::PlacementHint::Spread,
         endpoints: vec![
             dsb_core::EndpointSpec {
                 name: "get".to_string(),

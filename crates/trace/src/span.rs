@@ -220,4 +220,55 @@ mod tests {
         let s = mk(1, None, 0, 10, 35);
         assert_eq!(s.duration(), SimDuration::from_micros(25));
     }
+
+    #[test]
+    fn twin_siblings_with_identical_end_pick_the_first_listed() {
+        // Two children both ending at 90: the walk must deterministically
+        // put exactly one on the critical path (the first listed — the
+        // sort is stable), never split or double-count the interval.
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 10, 90),
+            mk(3, Some(1), 2, 20, 90),
+        ];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 1), 80_000, "first-listed twin wins");
+        assert_eq!(attr_of(&attr, 2), 0, "second twin is off-path");
+        assert_eq!(attr_of(&attr, 0), 20_000);
+        let total: u64 = attr.iter().map(|a| a.ns).sum();
+        assert_eq!(total, 100_000, "attribution must conserve the root");
+        // Listing order decides, not span ids: swap the twins.
+        let swapped = vec![spans[0], spans[2], spans[1]];
+        let attr = critical_path(&swapped);
+        assert_eq!(attr_of(&attr, 2), 70_000);
+        assert_eq!(attr_of(&attr, 1), 0);
+    }
+
+    #[test]
+    fn zero_duration_child_conserves_the_root() {
+        // A zero-length child (instantaneous cache hit) contributes 0 ns
+        // but must not break the walk or leak time.
+        let spans = vec![mk(1, None, 0, 0, 100), mk(2, Some(1), 1, 50, 50)];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 1), 0);
+        assert_eq!(attr_of(&attr, 0), 100_000);
+        let total: u64 = attr.iter().map(|a| a.ns).sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn orphaned_child_is_excluded_from_the_walk() {
+        // A span whose parent id matches nothing (dropped by sampling)
+        // must be ignored: totals still equal the root's duration.
+        let spans = vec![
+            mk(1, None, 0, 0, 100),
+            mk(2, Some(1), 1, 10, 90),
+            mk(3, Some(99), 2, 30, 95),
+        ];
+        let attr = critical_path(&spans);
+        assert_eq!(attr_of(&attr, 1), 80_000);
+        assert_eq!(attr_of(&attr, 2), 0, "orphan attributed time");
+        let total: u64 = attr.iter().map(|a| a.ns).sum();
+        assert_eq!(total, 100_000);
+    }
 }

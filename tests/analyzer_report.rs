@@ -1,11 +1,15 @@
 //! Pins the static-analysis report of every built-in application (plus
-//! two deliberate defect demos) to a golden fixture, so any change to a
+//! four deliberate defect demos) to a golden fixture, so any change to a
 //! diagnostic's wording, ordering, or firing conditions shows up as a
-//! reviewable line diff. Regenerate with:
+//! reviewable line diff. Every app is analyzed against the same
+//! reference cluster the golden traces run on, with a 1-second DSB012
+//! calibration window. Regenerate with:
 //!
 //! ```text
 //! UPDATE_GOLDENS=1 cargo test --offline --test analyzer_report
 //! ```
+
+mod common;
 
 use std::fmt::Write;
 
@@ -14,7 +18,11 @@ use deathstarbench_sim::apps::{self, BuiltApp};
 use dsb_testkit::golden;
 
 fn report(out: &mut String, title: &str, app: &BuiltApp, qps: f64) {
-    let mut an = Analyzer::new(&app.spec).entry(app.frontend);
+    let cluster = common::fixed_cluster();
+    let mut an = Analyzer::new(&app.spec)
+        .entry(app.frontend)
+        .cluster(&cluster)
+        .calibration(1.0);
     let total_weight: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
     for e in app.mix.entries() {
         an = an.offered(e.entry, qps * e.weight / total_weight);
@@ -52,6 +60,22 @@ fn golden_analyzer_report() {
         "defect demo: overloaded mongodb",
         &apps::singles::mongodb(),
         150_000.0,
+    );
+    // Four co-located encode stages overcommitting one machine's cores
+    // while every per-tier check stays comfortable.
+    report(
+        &mut text,
+        "defect demo: colocated encoders",
+        &apps::defects::colocated_encoders(),
+        5500.0,
+    );
+    // A 16-wide fan-out synchronizing arrivals over a 4-worker store:
+    // only the calibration run sees the queueing.
+    report(
+        &mut text,
+        "defect demo: burst chain",
+        &apps::defects::burst_chain(),
+        5.0,
     );
     let path = format!(
         "{}/tests/goldens/analyzer_report.txt",

@@ -53,8 +53,11 @@ pub fn totals(sim: &Simulation) -> (u64, u64, u64) {
 /// invocation counts — broken down per endpoint for multi-endpoint
 /// services (both halves of a cache's get/set pair must see traffic)
 /// and per shard for `Partition` services (the load split across
-/// shards). Every field is deterministic at a fixed seed, and the
-/// latency percentiles move on any change to per-tier service demand.
+/// shards) — and each service's instance-to-machine placement (so any
+/// change to the placement policy shows up as a fixture diff, not just
+/// as a latency shift). Every field is deterministic at a fixed seed,
+/// and the latency percentiles move on any change to per-tier service
+/// demand.
 pub fn summary(app: &BuiltApp, sim: &Simulation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "app: {}", app.spec.name);
@@ -90,6 +93,12 @@ pub fn summary(app: &BuiltApp, sim: &Simulation) -> String {
                 .collect();
             let _ = write!(line, " endpoints[{}]", per_ep.join(" "));
         }
+        let machines: Vec<String> = sim
+            .instances_of(id)
+            .iter()
+            .map(|inst| sim.instance_machine(*inst).0.to_string())
+            .collect();
+        let _ = write!(line, " machines[{}]", machines.join("|"));
         if svc.lb == LbPolicy::Partition {
             let per_shard: Vec<String> = sim
                 .instances_of(id)

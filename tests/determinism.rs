@@ -68,3 +68,26 @@ fn swarm_cloud_is_deterministic() {
         15.0,
     );
 }
+
+// Whole-experiment replay: the paper figures must reproduce to the byte,
+// not just to the digest — any drift in autoscaler timing, placement, or
+// report formatting shows up here. Quick scale keeps these inside the CI
+// time budget.
+
+#[test]
+fn fig17_replays_byte_identically() {
+    use deathstarbench_sim::experiments::{fig17, Scale};
+    let a = fig17::run(Scale::Quick);
+    let b = fig17::run(Scale::Quick);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "fig17 quick-scale report drifted between runs");
+}
+
+#[test]
+fn fig22_replays_byte_identically() {
+    use deathstarbench_sim::experiments::{fig22, Scale};
+    let a = fig22::run(Scale::Quick);
+    let b = fig22::run(Scale::Quick);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "fig22 quick-scale report drifted between runs");
+}
