@@ -24,7 +24,8 @@ TEST_BUDGET_S=120
 
 if [ "${1:-}" = "--bless" ]; then
     echo "==> regenerating golden fixtures (UPDATE_GOLDENS=1)"
-    UPDATE_GOLDENS=1 cargo test -q --release --offline --test goldens --test analyzer_report
+    UPDATE_GOLDENS=1 cargo test -q --release --offline \
+        --test goldens --test analyzer_report --test dsb_report
     git --no-pager diff --stat -- tests/goldens/ || true
 fi
 
@@ -76,6 +77,11 @@ fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo doc --workspace --no-deps --offline (warn-free)"
+# rustdoc warnings (broken intra-doc links, bad code fences) regress
+# silently otherwise; docs are a first-class deliverable here.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 
 echo "==> dsb-lint (spec pass + determinism source pass)"
 cargo run -q --release --offline -p dsb-analyzer --bin dsb-lint

@@ -4,9 +4,10 @@
 //!
 //! 1. **Spec pass** — runs [`dsb_analyzer::Analyzer`] over the eight
 //!    built-in application variants, with each app's front-end as the
-//!    entry point, the golden-fixture load as the offered load, and the
-//!    golden-fixture cluster as the placement target (so the DSB011
-//!    machine-budget and DSB012 calibration passes run too). Every
+//!    entry point, the golden-fixture load as the offered load, the
+//!    golden-fixture cluster as the placement target, and each app's
+//!    p99 QoS target as the SLO (so the DSB011 machine-budget and the
+//!    DSB012/DSB013 calibration passes run too). Every
 //!    diagnostic must appear in the annotated [`EXPECTED`] table below;
 //!    anything unexpected (and any stale annotation) fails the gate.
 //! 2. **Source pass** — runs the determinism lint over `crates/*/src`
@@ -56,7 +57,8 @@ fn main() -> ExitCode {
         let mut an = Analyzer::new(&app.spec)
             .entry(app.frontend)
             .cluster(&cluster)
-            .calibration(1.0);
+            .calibration(1.0)
+            .slo(app.qos_p99);
         let total_weight: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
         for e in app.mix.entries() {
             an = an.offered(e.entry, qps * e.weight / total_weight);

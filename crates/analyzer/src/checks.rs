@@ -16,7 +16,8 @@ use dsb_core::{
     ServiceId, Simulation, Step, WorkerPolicy,
 };
 use dsb_net::Zone;
-use dsb_simcore::SimTime;
+use dsb_simcore::{SimDuration, SimTime};
+use dsb_telemetry::{evaluate, BurnRule, Scraper, Slo};
 
 use crate::{Code, Diagnostic, Severity};
 
@@ -56,6 +57,7 @@ pub struct Analyzer<'a> {
     offered: Vec<(EndpointRef, f64)>,
     cluster: Option<&'a ClusterSpec>,
     calibration_secs: f64,
+    slo: Option<SimDuration>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -67,6 +69,7 @@ impl<'a> Analyzer<'a> {
             offered: Vec::new(),
             cluster: None,
             calibration_secs: 0.0,
+            slo: None,
         }
     }
 
@@ -107,6 +110,18 @@ impl<'a> Analyzer<'a> {
     /// reports stay byte-stable.
     pub fn calibration(mut self, secs: f64) -> Self {
         self.calibration_secs = secs;
+        self
+    }
+
+    /// Enables DSB013: attaches a p99 latency objective of `latency` to
+    /// every offered request type, scrapes the calibration simulation
+    /// with a [`dsb_telemetry::Scraper`], and — when the SLO burns — runs
+    /// the runtime root-cause engine. A warning fires when the tier it
+    /// names differs from the one static capacity analysis predicts as
+    /// the bottleneck, the Fig. 17/18 blind spot where latency is billed
+    /// upstream of the tier causing it. Requires [`Analyzer::calibration`].
+    pub fn slo(mut self, latency: SimDuration) -> Self {
+        self.slo = Some(latency);
         self
     }
 
@@ -702,7 +717,7 @@ impl<'a> Analyzer<'a> {
         // Which services sit downstream (inclusive) of a parallel
         // fan-out, and through which (fanner, fan-target) edge.
         let fan = fan_chains(spec);
-        if fan.is_empty() {
+        if fan.is_empty() && self.slo.is_none() {
             return;
         }
 
@@ -722,7 +737,36 @@ impl<'a> Analyzer<'a> {
                 sim.inject(at, entry, RequestType(idx as u32), 256, key);
             }
         }
-        sim.run_until_idle();
+        // With an SLO attached, scrape the run in CALIBRATION_WINDOWS
+        // slices so burn rates and backpressure series exist afterwards.
+        // Scraping is read-only, so the event sequence — and therefore
+        // DSB012 and every golden report — is identical either way.
+        let scraper = self.slo.map(|target| {
+            let interval = SimDuration::from_nanos(
+                ((self.calibration_secs * 1e9 / CALIBRATION_WINDOWS as f64) as u64).max(1),
+            );
+            let mut scr = Scraper::new(interval);
+            for idx in 0..self.offered.len() {
+                scr = scr.with_slo(Slo::p99(RequestType(idx as u32), target));
+            }
+            for step in 1..=CALIBRATION_WINDOWS {
+                let t = SimTime::ZERO + interval * step;
+                sim.advance_to(t);
+                scr.tick(&sim, t);
+            }
+            sim.run_until_idle();
+            scr.flush(&sim);
+            scr
+        });
+        if scraper.is_none() {
+            sim.run_until_idle();
+        }
+        if let Some(scr) = &scraper {
+            self.check_qos_culprit(&sim, scr, out);
+        }
+        if fan.is_empty() {
+            return;
+        }
 
         // Critical-path attribution share per service across all traces.
         let n = spec.services.len();
@@ -797,11 +841,95 @@ impl<'a> Analyzer<'a> {
             ));
         }
     }
+
+    // -- DSB013 -------------------------------------------------------------
+
+    /// Runtime-vs-static bottleneck comparison. When a burn-rate alert
+    /// fires on the scraped calibration run, the telemetry root-cause
+    /// engine walks saturated connection pools downstream of the tier
+    /// the critical path bills the latency to. If the tier it names is
+    /// not the tier static capacity analysis ranks busiest, the spec has
+    /// a Fig. 17/18-style divergence no static pass can see: the billed
+    /// tier holds connections while an apparently idle tier causes the
+    /// wait.
+    fn check_qos_culprit(&self, sim: &Simulation, scr: &Scraper, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let Some(rates) = endpoint_rates(spec, &self.offered) else {
+            return;
+        };
+        // Static prediction: highest offered utilization across fixed
+        // worker pools (lowest service id wins ties).
+        let mut predicted: Option<(usize, f64)> = None;
+        for (i, svc) in spec.services.iter().enumerate() {
+            let WorkerPolicy::Fixed(w) = svc.workers else {
+                continue;
+            };
+            let k = (svc.initial_instances.max(1) * w) as f64;
+            let erl: f64 = svc
+                .endpoints
+                .iter()
+                .enumerate()
+                .map(|(e, ep)| rates[i][e] * local_demand_ns(&ep.script) / 1e9)
+                .sum();
+            let util = erl / k;
+            if predicted.is_none_or(|(_, u)| util > u) {
+                predicted = Some((i, util));
+            }
+        }
+        let Some((predicted, util)) = predicted else {
+            return;
+        };
+        let target = self.slo.expect("only called with an SLO attached");
+        for slo in scr.slos() {
+            // One diagnostic per request type: report the first alert.
+            let Some(alert) = evaluate(scr.registry(), slo, &BurnRule::default())
+                .into_iter()
+                .next()
+            else {
+                continue;
+            };
+            let Some(rc) = dsb_telemetry::diagnose(sim, scr.registry(), &alert) else {
+                continue;
+            };
+            if rc.culprit as usize == predicted {
+                continue;
+            }
+            let chain = rc
+                .chain
+                .iter()
+                .map(|t| format!("`{}`", spec.services[t.service as usize].name))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(self.diag(
+                Code::QosCulpritMismatch,
+                Severity::Warning,
+                ServiceId(rc.culprit),
+                None,
+                format!(
+                    "calibration run burned the {:.0} ms p99 SLO for request type {} \
+                     ({}/{} completions over target): the runtime root cause is \
+                     `{}` (backpressure chain {chain}), not `{}` which static \
+                     capacity analysis ranks busiest (~{:.0}% utilization) — \
+                     latency is billed upstream of the tier causing it",
+                    target.as_millis_f64(),
+                    alert.rtype.0,
+                    alert.violations,
+                    alert.total,
+                    spec.services[rc.culprit as usize].name,
+                    spec.services[predicted].name,
+                    util * 100.0,
+                ),
+            ));
+        }
+    }
 }
 
 /// Seed of the DSB012 calibration simulation: arbitrary but fixed, so
 /// analyzer reports are byte-stable across runs.
 const CALIBRATION_SEED: u64 = 0x00D5_B012;
+
+/// Number of scrape windows the DSB013 calibration run is sliced into.
+const CALIBRATION_WINDOWS: u64 = 8;
 
 /// For every service reachable (inclusive) from some parallel fan-out
 /// target, the `(fanning caller, fan target)` pair that reaches it.

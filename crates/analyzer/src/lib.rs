@@ -21,6 +21,7 @@
 //! | DSB010 | endpoint never called by any script | warning |
 //! | DSB011 | placement overcommits a machine's core budget | warning/error |
 //! | DSB012 | critical-path queueing beyond per-tier Erlang-C (calibration sim) | warning |
+//! | DSB013 | SLO burn's runtime culprit differs from the spec-predicted bottleneck | warning |
 //!
 //! Entry points: [`analyze`] for pure spec checks, [`Analyzer`] to add
 //! entry-point and offered-load context, and [`srclint`] for the
@@ -92,6 +93,12 @@ pub enum Code {
     /// DSB012: a calibration simulation measured queueing on a blocking
     /// fan-out chain far beyond what per-tier Erlang-C admits.
     CriticalPathQueueing,
+    /// DSB013: a calibration simulation burned the SLO and the telemetry
+    /// root-cause engine named a culprit tier *different* from the tier
+    /// static capacity analysis predicts as the bottleneck — the
+    /// Fig. 17/18 divergence between where latency is billed and what
+    /// causes it.
+    QosCulpritMismatch,
 }
 
 impl Code {
@@ -110,6 +117,7 @@ impl Code {
             Code::UnusedEndpoint => "DSB010",
             Code::MachineOvercommit => "DSB011",
             Code::CriticalPathQueueing => "DSB012",
+            Code::QosCulpritMismatch => "DSB013",
         }
     }
 }
@@ -230,6 +238,7 @@ mod tests {
             Code::UnusedEndpoint,
             Code::MachineOvercommit,
             Code::CriticalPathQueueing,
+            Code::QosCulpritMismatch,
         ];
         let strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         let unique: std::collections::BTreeSet<_> = strs.iter().collect();

@@ -71,6 +71,20 @@ impl BuiltApp {
     pub fn name_of(&self, id: ServiceId) -> &str {
         &self.spec.service(id).name
     }
+
+    /// Default SLOs: one p99 objective per request type in the query mix,
+    /// each set to the app's end-to-end [`qos_p99`](Self::qos_p99) target.
+    /// Feed them to a [`dsb_telemetry::Scraper`] to get burn-rate alerts
+    /// out of the box.
+    pub fn slos(&self) -> Vec<dsb_telemetry::Slo> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.mix
+            .entries()
+            .iter()
+            .filter(|e| seen.insert(e.rtype.0))
+            .map(|e| dsb_telemetry::Slo::p99(e.rtype, self.qos_p99))
+            .collect()
+    }
 }
 
 /// The eight application variants pinned by the repo's golden fixtures,

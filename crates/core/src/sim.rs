@@ -16,6 +16,36 @@ use crate::spec::{
 };
 use crate::stats::{RequestStats, ServiceStats};
 
+/// A read-only aggregate of the connection pools one service holds toward
+/// a downstream service, as sampled by a telemetry scrape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnPoolSnapshot {
+    /// Connections currently checked out, summed over caller instances.
+    pub in_use: u64,
+    /// Pool capacity, summed over caller instances.
+    pub limit: u64,
+    /// Invocations parked waiting for a free connection.
+    pub waiters: u64,
+}
+
+impl ConnPoolSnapshot {
+    /// Fraction of pooled connections in use, in `[0, 1]` (0 if no pool).
+    pub fn occupancy(&self) -> f64 {
+        if self.limit == 0 {
+            0.0
+        } else {
+            self.in_use as f64 / self.limit as f64
+        }
+    }
+
+    /// A pool is saturated when every connection is checked out and at
+    /// least one caller is parked waiting — the Fig. 17 backpressure
+    /// signature.
+    pub fn saturated(&self) -> bool {
+        self.limit > 0 && self.in_use >= self.limit && self.waiters > 0
+    }
+}
+
 /// Lifecycle of a service instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstanceState {
@@ -1376,6 +1406,76 @@ impl Simulation {
     /// Number of machines in the cluster.
     pub fn machine_count(&self) -> usize {
         self.cluster.machines.len()
+    }
+
+    // -- Telemetry hooks -----------------------------------------------------
+    //
+    // Read-only snapshot getters polled by `dsb-telemetry`'s scraper at a
+    // fixed sim-time interval. None of them touch the RNG or the event
+    // queue, so attaching telemetry cannot perturb a run: goldens stay
+    // byte-identical with or without a scraper.
+
+    /// Requests waiting in worker queues across a service's `Up` and
+    /// `Draining` instances — queued only, excluding the ones running.
+    pub fn service_queue_depth(&self, service: ServiceId) -> u64 {
+        self.cluster.services[service.0 as usize]
+            .instances
+            .iter()
+            .map(|i| self.cluster.instances[i.0 as usize].queue.len() as u64)
+            .sum()
+    }
+
+    /// Aggregated connection-pool state held by `from`'s instances toward
+    /// `target`, or `None` if no such pool has been opened yet.
+    pub fn conn_pool(&self, from: ServiceId, target: ServiceId) -> Option<ConnPoolSnapshot> {
+        let mut snap = ConnPoolSnapshot::default();
+        let mut any = false;
+        for id in &self.cluster.services[from.0 as usize].instances {
+            if let Some(pool) = self.cluster.instances[id.0 as usize].conns.get(&target) {
+                any = true;
+                snap.in_use += pool.in_use as u64;
+                snap.limit += pool.limit as u64;
+                snap.waiters += pool.waiters.len() as u64;
+            }
+        }
+        any.then_some(snap)
+    }
+
+    /// Downstream services toward which `service`'s instances currently
+    /// hold connection pools, in stable id order.
+    pub fn conn_pool_targets(&self, service: ServiceId) -> Vec<ServiceId> {
+        let mut targets: Vec<ServiceId> = Vec::new();
+        for id in &self.cluster.services[service.0 as usize].instances {
+            for &t in self.cluster.instances[id.0 as usize].conns.keys() {
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        targets.sort_unstable_by_key(|t| t.0);
+        targets
+    }
+
+    /// Cores of machine `m` currently executing jobs.
+    pub fn machine_busy_cores(&self, m: MachineId) -> u32 {
+        self.cluster.machines[m.0 as usize].busy
+    }
+
+    /// Total cores of machine `m`.
+    pub fn machine_cores(&self, m: MachineId) -> u32 {
+        self.cluster.machines[m.0 as usize].cores
+    }
+
+    /// Jobs waiting in machine `m`'s run queue (preempted or not yet
+    /// scheduled onto a core).
+    pub fn machine_run_queue(&self, m: MachineId) -> usize {
+        self.cluster.machines[m.0 as usize].run_queue.len()
+    }
+
+    /// Number of request-type slots with statistics so far (indexable via
+    /// [`Simulation::request_stats`]).
+    pub fn request_type_count(&self) -> usize {
+        self.cluster.request_stats.len()
     }
 
     // -- Control surface -----------------------------------------------------

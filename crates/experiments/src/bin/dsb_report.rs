@@ -1,0 +1,67 @@
+//! `dsb-report`: renders an observability report for a built-in app.
+//!
+//! ```text
+//! dsb-report [APP] [--jsonl|--top] [--qps N] [--secs N] [--seed N]
+//! ```
+//!
+//! `APP` is a fixture name from `dsb_apps::all_builtin()` (default
+//! `social_network`), or `backpressure` for the Fig. 17 case-B demo.
+//! With no format flag both renderings print, `dsb-top` table first.
+//! Output is deterministic in `(app, qps, secs, seed)`.
+
+use std::process::ExitCode;
+
+use dsb_experiments::observe;
+
+fn main() -> ExitCode {
+    let mut app_name = String::from("social_network");
+    let (mut jsonl, mut top) = (true, true);
+    let (mut qps, mut secs, mut seed) = (None::<f64>, 10u64, 7u64);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jsonl" => top = false,
+            "--top" => jsonl = false,
+            "--qps" => qps = args.next().and_then(|v| v.parse().ok()),
+            "--secs" => secs = args.next().and_then(|v| v.parse().ok()).unwrap_or(secs),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dsb-report [APP|backpressure] [--jsonl|--top] \
+                     [--qps N] [--secs N] [--seed N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            name => app_name = name.to_string(),
+        }
+    }
+
+    let obs = if app_name == "backpressure" {
+        observe::backpressure_demo(secs, seed)
+    } else {
+        let Some((name, fixture_qps, app)) = dsb_apps::all_builtin()
+            .into_iter()
+            .find(|(n, _, _)| *n == app_name)
+        else {
+            eprintln!(
+                "unknown app `{app_name}`; pick one of: backpressure, {}",
+                dsb_apps::all_builtin()
+                    .iter()
+                    .map(|(n, _, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        let qps = qps.unwrap_or(fixture_qps);
+        let title = format!("{name} @ {qps} qps");
+        observe::observe(&app, &title, qps, secs, seed)
+    };
+    if top {
+        print!("{}", obs.top);
+    }
+    if jsonl {
+        print!("{}", obs.jsonl);
+    }
+    ExitCode::SUCCESS
+}

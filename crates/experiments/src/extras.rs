@@ -19,7 +19,7 @@ use dsb_apps::{social, BuiltApp};
 use dsb_core::{AppBuilder, RequestType, ServiceId, Step};
 use dsb_net::Protocol;
 use dsb_simcore::{Dist, SimDuration, SimTime};
-use dsb_trace::critical_path;
+use dsb_telemetry::critical_path_totals;
 use dsb_workload::QueryMix;
 
 use crate::harness::{build_sim, drive, make_cluster, max_qps_under_qos, merged_latency};
@@ -101,18 +101,18 @@ pub fn critical_path_ranking(
     setup(&mut sim);
     drive(&mut sim, &mut load, 0, secs, qps);
     sim.run_until_idle();
-    let mut totals: std::collections::BTreeMap<u32, u64> = Default::default();
-    for (_, spans) in sim.collector().sampled_traces() {
-        for a in critical_path(spans) {
-            *totals.entry(a.service).or_insert(0) += a.ns;
-        }
-    }
-    let grand: u64 = totals.values().sum();
-    let mut rows: Vec<(String, f64)> = totals
-        .into_iter()
-        .map(|(svc, ns)| {
+    let (attr, _) = critical_path_totals(
+        sim.collector().sampled_traces().map(|(_, s)| s.as_slice()),
+        app.spec.service_count(),
+    );
+    let grand: u128 = attr.iter().sum();
+    let mut rows: Vec<(String, f64)> = attr
+        .iter()
+        .enumerate()
+        .filter(|&(_, &ns)| ns > 0)
+        .map(|(svc, &ns)| {
             (
-                app.name_of(ServiceId(svc)).to_string(),
+                app.name_of(ServiceId(svc as u32)).to_string(),
                 ns as f64 / grand.max(1) as f64,
             )
         })

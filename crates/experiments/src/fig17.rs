@@ -6,10 +6,17 @@
 //! blocking) makes *memcached* the bottleneck even though it is nearly
 //! idle; nginx workers busy-wait, the autoscaler scales nginx (the wrong
 //! tier), and the situation does not improve.
+//!
+//! The timeline is read from a [`dsb_telemetry::Scraper`] attached to the
+//! run (rather than ad-hoc getters), so the same registry that renders
+//! the table also drives the SLO burn-rate alert and the root-cause
+//! report printed under it: in case A the alert names nginx itself; in
+//! case B it walks the saturated connection pool and names memcached.
 
 use dsb_apps::twotier;
 use dsb_cluster::{Autoscaler, ScalePolicy};
-use dsb_simcore::SimDuration;
+use dsb_simcore::{SimDuration, SimTime};
+use dsb_telemetry::{names, report, BurnRule, Labels, Scraper};
 
 use crate::harness::{build_sim, drive_ticked, make_cluster};
 use crate::report::Table;
@@ -18,6 +25,11 @@ use crate::Scale;
 struct Timeline {
     rows: Vec<(u64, f64, f64, usize, f64, f64)>,
     scale_events: usize,
+    /// ALERT / ROOT CAUSE lines from the telemetry layer.
+    telemetry: String,
+    /// Culprit service names, one per diagnosed alert (read by tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    culprits: Vec<String>,
 }
 
 fn run_case(
@@ -39,34 +51,42 @@ fn run_case(
     });
     scaler.manage(nginx);
     scaler.manage(mc);
+    let mut scraper = Scraper::new(SimDuration::from_secs(1));
+    for slo in app.slos() {
+        scraper = scraper.with_slo(slo);
+    }
     let mut rows = Vec::new();
     {
         let scaler = &mut scaler;
+        let scraper = &mut scraper;
         let rows = &mut rows;
         drive_ticked(&mut sim, &mut load, 0, secs, |_| qps, &mut |sim, s| {
             scaler.tick(sim);
+            scraper.tick(sim, SimTime::from_secs(s + 1));
+            let reg = scraper.registry();
             let w = s as usize;
-            let nginx_p99 = sim
-                .collector()
-                .service(nginx.0)
-                .map_or(0.0, |st| st.latency_windows.quantile(w, 0.99) as f64 / 1e6);
-            let mc_p99 = sim
-                .collector()
-                .service(mc.0)
-                .map_or(0.0, |st| st.latency_windows.quantile(w, 0.99) as f64 / 1e6);
+            let ln = Labels::service(nginx.0);
+            let lm = Labels::service(mc.0);
             rows.push((
                 s,
-                nginx_p99,
-                mc_p99,
-                sim.instance_count(nginx),
-                sim.occupancy(nginx),
-                sim.occupancy(mc),
+                reg.window_mean(names::SPAN_P99_NS, &ln, w) / 1e6,
+                reg.window_mean(names::SPAN_P99_NS, &lm, w) / 1e6,
+                reg.window_mean(names::INSTANCES, &ln, w).round() as usize,
+                reg.window_mean(names::OCCUPANCY_PERMILLE, &ln, w) / 1000.0,
+                reg.window_mean(names::OCCUPANCY_PERMILLE, &lm, w) / 1000.0,
             ));
         });
     }
+    let (alerts, causes) = report::analyze(&sim, &scraper, &BurnRule::default());
+    let culprits = causes
+        .iter()
+        .map(|rc| app.name_of(dsb_core::ServiceId(rc.culprit)).to_string())
+        .collect();
     Timeline {
         rows,
         scale_events: scaler.events().len(),
+        telemetry: report::alert_lines(&sim, &alerts, &causes),
+        culprits,
     }
 }
 
@@ -92,7 +112,12 @@ fn render(title: &str, tl: &Timeline) -> String {
             format!("{mo:.2}"),
         ]);
     }
-    format!("{}(autoscaler actions: {})\n", t.render(), tl.scale_events)
+    format!(
+        "{}(autoscaler actions: {})\n{}",
+        t.render(),
+        tl.scale_events,
+        tl.telemetry
+    )
 }
 
 /// Regenerates Fig. 17.
@@ -120,7 +145,7 @@ mod tests {
 
     #[test]
     fn case_b_nginx_busy_memcached_idle() {
-        let b = run_case(64, 1, 30_000.0, 3, 20, 1);
+        let b = run_case(64, 1, 30_000.0, 3, 12, 1);
         let last = b.rows.last().unwrap();
         assert!(last.4 > 0.9, "nginx occupancy {}", last.4);
         assert!(last.5 < 0.3, "memcached occupancy {}", last.5);
@@ -131,11 +156,25 @@ mod tests {
             last.1,
             last.2
         );
+        // The SLO burn-rate alert fires, and the root-cause engine names
+        // the paper's culprit: memcached, behind the saturated pool — not
+        // nginx, where the latency is billed.
+        assert!(
+            b.telemetry.contains("ALERT"),
+            "backpressure must burn the SLO:\n{}",
+            b.telemetry
+        );
+        assert_eq!(
+            b.culprits.first().map(String::as_str),
+            Some("memcached"),
+            "{}",
+            b.telemetry
+        );
     }
 
     #[test]
     fn case_a_scaling_improves_latency() {
-        let a = run_case(4, 4096, 30_000.0, 8, 40, 2);
+        let a = run_case(4, 4096, 30_000.0, 8, 32, 2);
         assert!(a.scale_events > 0, "autoscaler must act");
         // After scaling, late-run nginx latency is below the early peak.
         let peak_early = a.rows[..15].iter().map(|r| r.1).fold(0.0, f64::max);
@@ -144,5 +183,8 @@ mod tests {
             late < peak_early,
             "late {late} must improve on early peak {peak_early}"
         );
+        // Saturation is nginx's own doing here: any diagnosis must blame
+        // nginx itself, not a downstream tier.
+        assert!(a.culprits.iter().all(|c| c == "nginx"), "{:?}", a.culprits);
     }
 }

@@ -12,7 +12,8 @@
 use dsb_apps::{monolith, social, BuiltApp};
 use dsb_cluster::slow_down_machines;
 use dsb_core::ServiceId;
-use dsb_simcore::{Rng, SimDuration};
+use dsb_simcore::{Rng, SimDuration, SimTime};
+use dsb_telemetry::{names, Labels, Scraper};
 use dsb_workload::UserPopulation;
 
 use crate::harness::{build_sim_with_users, drive_ticked, make_cluster};
@@ -43,9 +44,12 @@ pub fn run_a(scale: Scale) -> String {
     for name in ["composePost", "readPost", "php-fpm", "readTimeline"] {
         dsb_cluster::scale_to(&mut sim, app.service(name), 4);
     }
+    // The heatmap reads per-window mean span latency from a scraped
+    // telemetry registry (one gauge per service per 1 s window).
+    let mut scraper = Scraper::new(SimDuration::from_secs(1));
     {
-        let ids = &ids;
         let app = &app;
+        let scraper = &mut scraper;
         drive_ticked(&mut sim, &mut load, 0, secs, |_| 2_000.0, &mut |sim, s| {
             if s + 1 == fault_at {
                 let compose = app.service("composePost");
@@ -61,16 +65,18 @@ pub fn run_a(scale: Scale) -> String {
                 sim.pin_service(app.service("readPost"), None);
                 sim.set_admission(0.5);
             }
-            let _ = ids;
+            scraper.tick(sim, SimTime::from_secs(s + 1));
         });
     }
+    let reg = scraper.registry();
     let mut grid = Vec::new();
     for &svc in &ids {
-        let stats = sim.collector().service(svc.0).expect("spans");
+        let l = Labels::service(svc.0);
+        let mean_of = |w: usize| reg.window_mean(names::SPAN_MEAN_NS, &l, w);
         let mut base = 0.0;
         let mut n = 0.0f64;
         for w in 1..fault_at as usize {
-            let m = stats.latency_windows.mean(w);
+            let m = mean_of(w);
             if m > 0.0 {
                 base += m;
                 n += 1.0;
@@ -80,7 +86,7 @@ pub fn run_a(scale: Scale) -> String {
         grid.push(
             (0..secs as usize)
                 .map(|w| {
-                    let m = stats.latency_windows.mean(w);
+                    let m = mean_of(w);
                     if m == 0.0 {
                         1.0
                     } else {

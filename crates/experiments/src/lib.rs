@@ -25,7 +25,10 @@
 //! | `fig22` | Fig. 22 — tail at scale |
 //!
 //! The `extras` binary adds §7's in-text results (RPC vs REST,
-//! critical-path shift) and simulator ablations.
+//! critical-path shift) and simulator ablations. The `dsb-report` binary
+//! (module [`observe`]) renders a telemetry report — JSONL or a
+//! `dsb-top`-style table with SLO alerts and root-cause lines — for any
+//! built-in app.
 //!
 //! Pass `--quick` (or set `DSB_SCALE=quick`) for the scaled-down variant
 //! used by the Criterion benches.
@@ -49,6 +52,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod fig22;
 pub mod harness;
+pub mod observe;
 pub mod report;
 pub mod table01;
 

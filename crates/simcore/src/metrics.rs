@@ -171,6 +171,22 @@ impl Histogram {
         SimDuration::from_nanos(self.mean() as u64)
     }
 
+    /// Number of samples `<= value`, within the bucket precision (samples
+    /// are attributed to their bucket's upper bound, so the estimate may
+    /// undercount by up to one bucket's width). Monotone in `value` and in
+    /// recording order, which makes per-scrape deltas of it well defined —
+    /// the property the telemetry SLO layer relies on.
+    pub fn count_le(&self, value: u64) -> u64 {
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if self.bucket_upper(i) > value {
+                break;
+            }
+            acc += c;
+        }
+        acc
+    }
+
     /// Merges another histogram of the same precision into this one.
     ///
     /// # Panics
@@ -376,6 +392,54 @@ mod tests {
         h.reset();
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn count_le_tracks_cdf() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(u64::MAX), 1000);
+        let mid = h.count_le(500) as f64;
+        assert!((mid - 500.0).abs() <= 500.0 * 0.05 + 2.0, "mid {mid}");
+        // Monotone in the threshold.
+        assert!(h.count_le(250) <= h.count_le(500));
+        // Small values are exact (unit buckets below 2^precision).
+        let mut s = Histogram::default();
+        for v in [0u64, 1, 2, 3, 17] {
+            s.record(v);
+        }
+        assert_eq!(s.count_le(3), 4);
+    }
+
+    #[test]
+    fn histogram_merge_empty_into_empty() {
+        let mut a = Histogram::default();
+        let b = Histogram::default();
+        a.merge(&b);
+        assert!(a.is_empty());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+        // Still usable after the no-op merge.
+        a.record(9);
+        assert_eq!(a.min(), 9);
+        assert_eq!(a.max(), 9);
+    }
+
+    #[test]
+    fn histogram_merge_empty_into_populated_is_noop() {
+        let mut a = Histogram::default();
+        for v in 1..=100u64 {
+            a.record(v);
+        }
+        let before = (a.count(), a.quantile(0.5), a.min(), a.max());
+        a.merge(&Histogram::default());
+        assert_eq!(before, (a.count(), a.quantile(0.5), a.min(), a.max()));
     }
 
     #[test]

@@ -316,6 +316,48 @@ fn utilization_conserves_busy_time() {
     );
 }
 
+/// A sample landing exactly on a window edge is assigned to exactly one
+/// window (the one opening at that instant), and counts are conserved
+/// across the rollover: recording at `k*w - 1`, `k*w`, and `k*w + 1`
+/// yields one sample left of the edge and two in the new window.
+#[test]
+fn windowed_series_edge_samples_land_in_one_window() {
+    prop!(
+        |rng| {
+            (
+                gen::u64_in(rng, 1, 10_000),
+                gen::vec_with(rng, 1, 100, |r| gen::u64_in(r, 1, 200)),
+            )
+        },
+        |&(w, ref ks): &(u64, Vec<u64>)| {
+            let w = w.max(1);
+            let window = SimDuration::from_nanos(w);
+            for &k in ks {
+                let k = k.max(1);
+                let edge = k * w;
+                let mut s = WindowedSeries::new(window);
+                s.record(SimTime::from_nanos(edge), 1);
+                // Exactly one window holds the edge sample...
+                let holders: Vec<usize> =
+                    (0..s.window_count()).filter(|&i| s.count(i) > 0).collect();
+                prop_assert_eq!(holders.len(), 1, "edge {edge} w {w}");
+                // ...and it is the window that *opens* at the edge.
+                prop_assert_eq!(holders[0], k as usize);
+                // Rollover conserves counts: neighbors split around the edge.
+                s.record(SimTime::from_nanos(edge - 1), 2);
+                if w > 1 {
+                    prop_assert_eq!(s.count(k as usize - 1), 1);
+                    prop_assert_eq!(s.count(k as usize), 1);
+                }
+                s.record(SimTime::from_nanos(edge + 1), 3);
+                let total: u64 = (0..s.window_count()).map(|i| s.count(i)).sum();
+                prop_assert_eq!(total, 3);
+            }
+            Ok(())
+        }
+    );
+}
+
 /// Windowed series place every sample in exactly one window.
 #[test]
 fn windowed_series_conserves_counts() {

@@ -13,7 +13,7 @@
 //! * [`golden`] — checked-in text fixtures ("golden traces") with an
 //!   `UPDATE_GOLDENS=1` regeneration path, used to pin simulation
 //!   summaries (request counts, latency percentiles at fixed seeds).
-//! * [`bench`] — a no-harness microbenchmark runner (warmup + fixed
+//! * [`mod@bench`] — a no-harness microbenchmark runner (warmup + fixed
 //!   iteration count, median/MAD reporting) for `[[bench]]` targets with
 //!   `harness = false`.
 //!

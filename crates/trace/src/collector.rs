@@ -35,6 +35,13 @@ impl ServiceTraceStats {
         }
     }
 
+    /// The `q`-quantile of span latency over the whole run, as a
+    /// [`SimDuration`] — the convenience experiments kept reimplementing
+    /// on top of `latency.quantile(...)`.
+    pub fn p(&self, q: f64) -> SimDuration {
+        self.latency.quantile_duration(q)
+    }
+
     /// Fraction of processing time spent in network processing (the
     /// paper's Fig. 15 metric): `net / (net + app)`.
     pub fn net_fraction(&self) -> f64 {
@@ -94,6 +101,10 @@ impl TraceCollector {
     /// Creates a collector with the given heatmap window width, trace
     /// sampling probability, and RNG seed.
     pub fn new(window: SimDuration, sample_prob: f64, seed: u64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&sample_prob),
+            "sample_prob {sample_prob} outside [0, 1]; clamping"
+        );
         TraceCollector {
             window,
             sample_prob: sample_prob.clamp(0.0, 1.0),
@@ -230,6 +241,18 @@ mod tests {
         }
         let kept = c.sampled_traces().count();
         assert!((60..140).contains(&kept), "kept {kept} of 200");
+    }
+
+    #[test]
+    fn p_quantile_convenience_matches_histogram() {
+        let mut c = TraceCollector::new(SimDuration::from_secs(1), 0.0, 1);
+        for i in 0..100 {
+            c.record(span(i, 0, 0, 10 * (i + 1)));
+        }
+        let s = c.service(0).unwrap();
+        assert_eq!(s.p(0.5).as_nanos(), s.latency.quantile(0.5));
+        assert_eq!(s.p(0.99).as_nanos(), s.latency.quantile(0.99));
+        assert_eq!(s.p(1.0), s.latency.quantile_duration(1.0));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * [`net`] — protocols, fabric, NICs, FPGA offload
 //! * [`trace`] — distributed tracing
 //! * [`core`] — the microservice framework (apps, machines, control surface)
+//! * [`telemetry`] — metrics registry, SLO burn-rate alerts, root-cause reports
 //! * [`cluster`] — autoscaling, provisioning, QoS, fault injection
 //! * [`workload`] — open-loop generators, skew, diurnal patterns
 //! * [`serverless`] — Lambda/EC2 execution + billing models
@@ -30,6 +31,7 @@ pub use dsb_experiments as experiments;
 pub use dsb_net as net;
 pub use dsb_serverless as serverless;
 pub use dsb_simcore as simcore;
+pub use dsb_telemetry as telemetry;
 pub use dsb_trace as trace;
 pub use dsb_uarch as uarch;
 pub use dsb_workload as workload;

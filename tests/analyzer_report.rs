@@ -1,5 +1,5 @@
 //! Pins the static-analysis report of every built-in application (plus
-//! four deliberate defect demos) to a golden fixture, so any change to a
+//! five deliberate defect demos) to a golden fixture, so any change to a
 //! diagnostic's wording, ordering, or firing conditions shows up as a
 //! reviewable line diff. Every app is analyzed against the same
 //! reference cluster the golden traces run on, with a 1-second DSB012
@@ -22,7 +22,8 @@ fn report(out: &mut String, title: &str, app: &BuiltApp, qps: f64) {
     let mut an = Analyzer::new(&app.spec)
         .entry(app.frontend)
         .cluster(&cluster)
-        .calibration(1.0);
+        .calibration(1.0)
+        .slo(app.qos_p99);
     let total_weight: f64 = app.mix.entries().iter().map(|e| e.weight).sum();
     for e in app.mix.entries() {
         an = an.offered(e.entry, qps * e.weight / total_weight);
@@ -76,6 +77,15 @@ fn golden_analyzer_report() {
         "defect demo: burst chain",
         &apps::defects::burst_chain(),
         5.0,
+    );
+    // Fig. 17 case B at runtime: a 1-connection pool toward memcached
+    // burns the SLO while nginx looks busy and memcached looks idle —
+    // only the scraped calibration run (DSB013) names the real culprit.
+    report(
+        &mut text,
+        "defect demo: twotier(64, 1) saturated",
+        &apps::twotier::twotier(64, 1),
+        30_000.0,
     );
     let path = format!(
         "{}/tests/goldens/analyzer_report.txt",

@@ -1,0 +1,52 @@
+//! Pins the `dsb-report` observability output — both the JSONL export
+//! and the `dsb-top` text table — to golden fixtures, and asserts it is
+//! byte-identical across reruns at the same seed. Covers two built-in
+//! apps at their fixture load plus the Fig. 17 case-B backpressure demo,
+//! where the SLO burn-rate alert must fire and the root cause must name
+//! memcached. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --offline --test dsb_report
+//! ```
+
+use deathstarbench_sim::apps;
+use deathstarbench_sim::experiments::observe;
+use dsb_testkit::golden;
+
+const SEED: u64 = 42;
+const SECS: u64 = 4;
+
+fn check(name: &str, obs: &observe::Observed) {
+    let dir = env!("CARGO_MANIFEST_DIR");
+    golden::check(
+        format!("{dir}/tests/goldens/report_{name}.jsonl"),
+        &obs.jsonl,
+    );
+    golden::check(format!("{dir}/tests/goldens/report_{name}.txt"), &obs.top);
+}
+
+#[test]
+fn golden_report_social_network() {
+    let app = apps::social::social_network();
+    let obs = observe::observe(&app, "social_network @ 40 qps", 40.0, SECS, SEED);
+    // Byte-identical rerun: the scraper reads only deterministic state.
+    let again = observe::observe(&app, "social_network @ 40 qps", 40.0, SECS, SEED);
+    assert_eq!(obs.jsonl, again.jsonl, "JSONL report drifted between runs");
+    assert_eq!(obs.top, again.top, "dsb-top report drifted between runs");
+    check("social_network", &obs);
+}
+
+#[test]
+fn golden_report_twotier() {
+    let app = apps::twotier::twotier(64, 1024);
+    let obs = observe::observe(&app, "twotier @ 200 qps", 200.0, SECS, SEED);
+    check("twotier", &obs);
+}
+
+#[test]
+fn golden_report_backpressure() {
+    let obs = observe::backpressure_demo(SECS, SEED);
+    assert!(obs.top.contains("ALERT"), "case B must burn the SLO");
+    assert!(obs.top.contains("ROOT CAUSE"), "alert must be diagnosed");
+    check("backpressure", &obs);
+}
