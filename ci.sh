@@ -86,4 +86,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 echo "==> dsb-lint (spec pass + determinism source pass)"
 cargo run -q --release --offline -p dsb-analyzer --bin dsb-lint
 
+echo "==> dsb-bench (perf baseline: fig17 two-tier kernel)"
+# The committed BENCH_0.json is the baseline snapshot; the gate never
+# overwrites it (that would defeat its purpose as a regression anchor),
+# it re-runs the kernel and prints the fresh numbers next to it for
+# eyeballing. Regenerate deliberately with:
+#   cargo run --release -p dsb-bench --bin dsb-bench -- BENCH_0.json
+if [ -f BENCH_0.json ]; then
+    cargo run -q --release --offline -p dsb-bench --bin dsb-bench
+    echo "    committed baseline (BENCH_0.json):"
+    sed 's/^/    /' BENCH_0.json
+else
+    cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- BENCH_0.json
+fi
+
+# The tier-1 differential sweep (64 seeds) rides inside the test pass
+# above via tests/differential.rs. The extended sweep is opt-in:
+#   DIFF_SEEDS=1000 cargo run --release -p dsb-gen --bin dsb-diff
+
 echo "ci.sh: all green"

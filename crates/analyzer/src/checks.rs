@@ -13,12 +13,15 @@ use std::collections::BTreeMap;
 
 use dsb_core::{
     AppSpec, ClusterSpec, Concurrency, EndpointRef, LbPolicy, PlacementPlan, RequestType,
-    ServiceId, Simulation, Step, WorkerPolicy,
+    ServiceId, Simulation, WorkerPolicy,
 };
-use dsb_net::Zone;
 use dsb_simcore::{SimDuration, SimTime};
 use dsb_telemetry::{evaluate, BurnRule, Scraper, Slo};
 
+use crate::model::{
+    compute_demand_ns, endpoint_rates, erlang_c, feasible_plan, local_demand_ns, resolve,
+    valid_edges, walk_calls, walk_fanouts,
+};
 use crate::{Code, Diagnostic, Severity};
 
 /// Analyzes a spec with no external context: entry points are taken to
@@ -170,14 +173,7 @@ impl<'a> Analyzer<'a> {
     /// feasible machine (the placer would panic — a deployment error
     /// outside this analyzer's scope).
     fn placement_plan(&self) -> Option<PlacementPlan> {
-        let cluster = self.cluster?;
-        let feasible = self.spec.services.iter().all(|s| {
-            cluster.machines.iter().any(|m| match s.zone_pref {
-                Some(z) => m.zone == z,
-                None => !matches!(m.zone, Zone::Edge),
-            })
-        });
-        feasible.then(|| PlacementPlan::compute(self.spec, cluster))
+        feasible_plan(self.spec, self.cluster?)
     }
 
     fn diag(
@@ -967,90 +963,6 @@ fn fan_chains(spec: &AppSpec) -> BTreeMap<usize, (usize, usize)> {
     out
 }
 
-/// Erlang-C: the probability an M/M/k arrival must queue, for `k` servers
-/// offered `a` erlangs. Uses the numerically stable Erlang-B recurrence
-/// `B(n) = a·B(n-1) / (n + a·B(n-1))`, then `C = k·B / (k - a·(1 - B))`.
-/// The expected queueing delay in service-time units is
-/// `Wq/S = C / (k·(1 - a/k))`. Returns 1.0 (certain wait) at or past
-/// saturation.
-fn erlang_c(k: u64, a: f64) -> f64 {
-    if k == 0 || a >= k as f64 {
-        return 1.0;
-    }
-    let mut b = 1.0;
-    for n in 1..=k {
-        b = a * b / (n as f64 + a * b);
-    }
-    let k = k as f64;
-    let c = k * b / (k - a * (1.0 - b));
-    c.clamp(0.0, 1.0)
-}
-
-// ---------------------------------------------------------------------------
-// Script and graph helpers
-// ---------------------------------------------------------------------------
-
-fn resolve<'s>(spec: &'s AppSpec, t: &EndpointRef) -> Option<&'s dsb_core::ServiceSpec> {
-    let svc = spec.services.get(t.service.0 as usize)?;
-    if (t.endpoint as usize) < svc.endpoints.len() {
-        Some(svc)
-    } else {
-        None
-    }
-}
-
-/// Calls `f(target, is_parallel)` for every call site in `steps`,
-/// including both branch arms.
-fn walk_calls(steps: &[Step], f: &mut impl FnMut(&EndpointRef, bool)) {
-    for s in steps {
-        match s {
-            Step::Call { target, .. } => f(target, false),
-            Step::FanCall { target, .. } => f(target, true),
-            Step::ParCall { calls } => {
-                for (t, _) in calls {
-                    f(t, true);
-                }
-            }
-            Step::Branch { then, els, .. } => {
-                walk_calls(then, f);
-                walk_calls(els, f);
-            }
-            Step::Compute { .. } | Step::Io { .. } => {}
-        }
-    }
-}
-
-/// Calls `f(target, expected_parallel_degree)` for every fan-out site.
-/// `ParCall`s count each distinct target once per listed call.
-fn walk_fanouts(steps: &[Step], f: &mut impl FnMut(&EndpointRef, f64)) {
-    for s in steps {
-        match s {
-            Step::FanCall { target, n, .. } => f(target, n.mean()),
-            Step::Branch { then, els, .. } => {
-                walk_fanouts(then, f);
-                walk_fanouts(els, f);
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Service-level dependency edges over *valid* call targets only.
-fn valid_edges(spec: &AppSpec) -> Vec<(ServiceId, ServiceId)> {
-    let mut edges = Vec::new();
-    for (i, svc) in spec.services.iter().enumerate() {
-        let from = ServiceId(i as u32);
-        for ep in &svc.endpoints {
-            walk_calls(&ep.script, &mut |t, _| {
-                if resolve(spec, t).is_some() && !edges.contains(&(from, t.service)) {
-                    edges.push((from, t.service));
-                }
-            });
-        }
-    }
-    edges
-}
-
 fn zone_name(z: Option<dsb_net::Zone>) -> String {
     match z {
         None => "datacenter".to_string(),
@@ -1114,120 +1026,11 @@ fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     sccs
 }
 
-/// Expected per-endpoint arrival rates (req/s) given offered entry loads,
-/// propagated through the call graph. `None` when the graph is cyclic.
-fn endpoint_rates(spec: &AppSpec, offered: &[(EndpointRef, f64)]) -> Option<Vec<Vec<f64>>> {
-    let n = spec.services.len();
-    let edges = valid_edges(spec);
-
-    // Kahn topological order (callers before callees).
-    let mut indeg = vec![0u32; n];
-    let mut adj = vec![Vec::new(); n];
-    for &(a, b) in &edges {
-        adj[a.0 as usize].push(b.0 as usize);
-        indeg[b.0 as usize] += 1;
-    }
-    let mut order: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut head = 0;
-    while head < order.len() {
-        let v = order[head];
-        head += 1;
-        for &w in &adj[v] {
-            indeg[w] -= 1;
-            if indeg[w] == 0 {
-                order.push(w);
-            }
-        }
-    }
-    if order.len() != n {
-        return None; // cycle
-    }
-
-    let mut rates: Vec<Vec<f64>> = spec
-        .services
-        .iter()
-        .map(|s| vec![0.0; s.endpoints.len()])
-        .collect();
-    for &(entry, qps) in offered {
-        if resolve(spec, &entry).is_some() {
-            rates[entry.service.0 as usize][entry.endpoint as usize] += qps;
-        }
-    }
-    for &svc in &order {
-        for e in 0..spec.services[svc].endpoints.len() {
-            let rate = rates[svc][e];
-            if rate <= 0.0 {
-                continue;
-            }
-            let script = spec.services[svc].endpoints[e].script.clone();
-            expected_calls(&script, 1.0, &mut |t, per_invocation| {
-                if resolve(spec, t).is_some() && t.service.0 as usize != svc {
-                    rates[t.service.0 as usize][t.endpoint as usize] += rate * per_invocation;
-                }
-            });
-        }
-    }
-    Some(rates)
-}
-
-/// Calls `f(target, expected_calls_per_invocation)` for every call site,
-/// weighting by branch probability and expected fan-out degree.
-fn expected_calls(steps: &[Step], weight: f64, f: &mut impl FnMut(&EndpointRef, f64)) {
-    for s in steps {
-        match s {
-            Step::Call { target, .. } => f(target, weight),
-            Step::FanCall { target, n, .. } => f(target, weight * n.mean().max(0.0)),
-            Step::ParCall { calls } => {
-                for (t, _) in calls {
-                    f(t, weight);
-                }
-            }
-            Step::Branch { p, then, els } => {
-                expected_calls(then, weight * p, f);
-                expected_calls(els, weight * (1.0 - p), f);
-            }
-            Step::Compute { .. } | Step::Io { .. } => {}
-        }
-    }
-}
-
-/// Mean nanoseconds an invocation of `steps` holds a worker for locally
-/// (compute + I/O; downstream calls excluded).
-fn local_demand_ns(steps: &[Step]) -> f64 {
-    let mut total = 0.0;
-    for s in steps {
-        match s {
-            Step::Compute { ns, .. } | Step::Io { ns } => total += ns.mean(),
-            Step::Branch { p, then, els } => {
-                total += p * local_demand_ns(then) + (1.0 - p) * local_demand_ns(els);
-            }
-            _ => {}
-        }
-    }
-    total
-}
-
-/// Mean nanoseconds of *CPU* demand per invocation (compute only — an
-/// I/O phase holds a worker, not a core), branch-weighted. This is what
-/// DSB011 charges against a machine's core budget.
-fn compute_demand_ns(steps: &[Step]) -> f64 {
-    let mut total = 0.0;
-    for s in steps {
-        match s {
-            Step::Compute { ns, .. } => total += ns.mean(),
-            Step::Branch { p, then, els } => {
-                total += p * compute_demand_ns(then) + (1.0 - p) * compute_demand_ns(els);
-            }
-            _ => {}
-        }
-    }
-    total
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsb_net::Protocol;
+    use dsb_core::Step;
+    use dsb_net::{Protocol, Zone};
     use dsb_simcore::Dist;
     use std::sync::Arc;
 

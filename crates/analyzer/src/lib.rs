@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod model;
 pub mod srclint;
 
 pub use checks::{analyze, Analyzer};
+pub use model::CapacityModel;
 pub use srclint::{lint_sources, Allowlist, SourceFinding};
 
 use std::fmt;

@@ -157,6 +157,92 @@ mod tests {
     }
 
     #[test]
+    fn single_tier_single_service_builds_and_drains() {
+        use dsb_core::{ClusterSpec, Simulation};
+        use dsb_simcore::SimTime;
+        // The degenerate corner: one tier, one service, fan-out collapses
+        // onto the only leaf.
+        let app = layered(LayeredSpec {
+            depth: 1,
+            width: 1,
+            fanout: 3,
+            ..LayeredSpec::default()
+        });
+        assert_eq!(app.spec.service_count(), 2, "front + one leaf");
+        let mut cluster = ClusterSpec::xeon_cluster(1, 1);
+        cluster.trace_sample_prob = 0.0;
+        let mut sim = Simulation::new(app.spec.clone(), cluster, 7);
+        for i in 0..20u64 {
+            sim.inject(
+                SimTime::from_millis(i),
+                app.mix.entries()[0].entry,
+                RequestType(0),
+                128,
+                i,
+            );
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 20);
+    }
+
+    #[test]
+    fn fanout_wider_than_the_tier_wraps_around() {
+        // fanout > width: the rotation wraps, so call lists repeat leaf
+        // endpoints rather than walking off the tier.
+        let spec = LayeredSpec {
+            depth: 2,
+            width: 2,
+            fanout: 5,
+            ..LayeredSpec::default()
+        };
+        let app = layered(spec);
+        assert_eq!(app.spec.service_count() as u32, 1 + 2 * 2);
+        for svc in &app.spec.services {
+            for ep in &svc.endpoints {
+                for s in ep.script.iter() {
+                    if let Step::ParCall { calls } = s {
+                        assert!(calls.len() == spec.fanout as usize || calls.len() == 2);
+                        for (t, _) in calls {
+                            assert!((t.service.0 as usize) < app.spec.services.len());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_exceeding_the_worker_pool_still_drains() {
+        use dsb_core::{ClusterSpec, Simulation};
+        use dsb_simcore::SimTime;
+        // Each parallel call lands on a 2-worker callee tier: the classic
+        // DSB003 over-subscription shape. The sim must queue, not wedge.
+        let app = layered(LayeredSpec {
+            depth: 2,
+            width: 2,
+            fanout: 8,
+            workers: 2,
+            ..LayeredSpec::default()
+        });
+        let mut cluster = ClusterSpec::xeon_cluster(2, 1);
+        cluster.trace_sample_prob = 0.0;
+        let mut sim = Simulation::new(app.spec.clone(), cluster, 9);
+        for i in 0..30u64 {
+            sim.inject(
+                SimTime::from_millis(2 * i),
+                app.mix.entries()[0].entry,
+                RequestType(0),
+                128,
+                i,
+            );
+        }
+        sim.run_until_idle();
+        let st = sim.request_stats(RequestType(0)).unwrap();
+        assert_eq!(st.completed, 30, "oversubscribed fan-out must drain");
+    }
+
+    #[test]
     fn all_tiers_reachable() {
         let app = layered(LayeredSpec {
             depth: 3,

@@ -1,0 +1,62 @@
+//! `dsb-bench` — the committed performance baseline.
+//!
+//! Runs one fixed fig17-style kernel (the nginx→memcached two-tier app
+//! under open-loop load, the suite's canonical backpressure shape) and
+//! reports the simulator's throughput in *simulated requests completed
+//! per wall-clock second*. The run is fully deterministic in simulated
+//! terms — same seed, same injected load, same completions — so the only
+//! thing that varies between machines or commits is the wall clock,
+//! which is the point: this is the repo's perf regression canary.
+//!
+//! ```text
+//! cargo run --release -p dsb-bench --bin dsb-bench              # print JSON
+//! cargo run --release -p dsb-bench --bin dsb-bench -- BENCH_0.json
+//! ```
+//!
+//! `ci.sh` writes `BENCH_0.json` when it is absent; the committed file
+//! is the baseline snapshot for eyeballing against later runs.
+
+use std::time::Instant;
+
+/// Offered load of the kernel (req/s), chosen so the run is busy but
+/// comfortably under the two-tier app's capacity.
+const QPS: f64 = 2_000.0;
+/// Simulated seconds of open-loop load.
+const SECS: u64 = 20;
+/// Simulation seed; fixed so completions are byte-stable.
+const SEED: u64 = 17;
+/// Timed repetitions (after one untimed warm-up).
+const REPS: u32 = 3;
+
+fn main() {
+    let app = dsb_apps::twotier::twotier(64, 1024);
+    // Warm-up: touch allocator and page cache before timing.
+    let (events, completed) = dsb_bench::mini_run_completed(&app, QPS, SECS, SEED);
+    let start = Instant::now();
+    for _ in 0..REPS {
+        let again = dsb_bench::mini_run_completed(&app, QPS, SECS, SEED);
+        assert_eq!(
+            again,
+            (events, completed),
+            "bench kernel must be deterministic"
+        );
+    }
+    let wall_s = start.elapsed().as_secs_f64() / REPS as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"fig17_twotier_kernel\",\n  \"app\": \"nginx-memcached twotier(64, 1024)\",\n  \
+         \"qps\": {QPS},\n  \"simulated_seconds\": {SECS},\n  \"seed\": {SEED},\n  \"reps\": {REPS},\n  \
+         \"completed_requests\": {completed},\n  \"events\": {events},\n  \
+         \"wall_seconds\": {wall_s:.4},\n  \
+         \"requests_per_wall_second\": {:.0},\n  \"events_per_wall_second\": {:.0}\n}}\n",
+        completed as f64 / wall_s,
+        events as f64 / wall_s,
+    );
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("dsb-bench: wrote {path}");
+            print!("{json}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,45 @@
+//! `dsb-diff` — the offline differential sweep.
+//!
+//! Generates `DIFF_SEEDS` random application specs (default 256) and
+//! runs every static-vs-simulation oracle against each. On the first
+//! disagreement the spec is shrunk to a minimal reproduction and
+//! printed with the seed that replays it; the process exits non-zero.
+//!
+//! ```text
+//! DIFF_SEEDS=1000 cargo run --release --bin dsb-diff
+//! DSB_PROP_SEED=<seed> cargo run --release --bin dsb-diff   # replay one case
+//! ```
+
+use dsb_gen::{check_spec, GenSpec};
+use dsb_testkit::runner::{check, Config};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {raw:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let seeds = env_u64("DIFF_SEEDS", 256);
+    let mut cfg = Config::from_env();
+    cfg.cases = seeds.clamp(1, u32::MAX as u64) as u32;
+    let total = if cfg.replay.is_some() { 1 } else { cfg.cases };
+    println!("dsb-diff: sweeping {total} generated spec(s)");
+    match check(&cfg, |rng| GenSpec::sample(rng.next_u64()), check_spec) {
+        Ok(()) => {
+            println!("dsb-diff: {total} spec(s), zero static-vs-sim disagreements");
+        }
+        Err(ce) => {
+            eprintln!("{}", ce.report("dsb-diff"));
+            eprintln!(
+                "replay this sweep case with: DSB_PROP_SEED={} cargo run --release --bin dsb-diff",
+                ce.case_seed
+            );
+            std::process::exit(1);
+        }
+    }
+}

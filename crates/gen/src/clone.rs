@@ -1,0 +1,193 @@
+//! Ditto-style application cloning: fit a [`GenSpec`] to the per-tier
+//! signature of a measured trace.
+//!
+//! Ditto (PAPERS.md) argues a representative synthetic app only needs to
+//! match the *per-tier profile* of the original — how much work each
+//! tier does and how wide it fans out — not its exact code. Here the
+//! signature is measured from Dapper-style spans: group a trace's spans
+//! by tier depth (root = 0), record mean application-compute time and
+//! mean child-span count per depth, and [`GenSpec::fit`] builds a
+//! generator spec whose clamped knobs reproduce that shape.
+
+use std::collections::BTreeMap;
+
+use dsb_core::{RequestType, Simulation};
+use dsb_simcore::SimTime;
+use dsb_trace::{Span, SpanId};
+
+use crate::spec::GenSpec;
+
+/// Per-tier latency/fan-out profile of an application, root tier first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSignature {
+    /// Mean application-compute microseconds per span at each depth.
+    pub work_us: Vec<f64>,
+    /// Mean child-span count per span at each depth (the observed
+    /// fan-out degree; the deepest tier's entry is 0).
+    pub fanout: Vec<f64>,
+}
+
+impl TierSignature {
+    /// Measures the signature of a set of traces (one `Vec<Span>` per
+    /// end-to-end request). Traces without a root span are skipped.
+    pub fn measure<'a>(traces: impl IntoIterator<Item = &'a Vec<Span>>) -> TierSignature {
+        // Per-depth accumulators: (total app ns, spans, total children).
+        let mut acc: BTreeMap<usize, (f64, u64, u64)> = BTreeMap::new();
+        for spans in traces {
+            let by_id: BTreeMap<SpanId, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+            let mut children: BTreeMap<SpanId, u64> = BTreeMap::new();
+            for s in spans {
+                if let Some(p) = s.parent {
+                    *children.entry(p).or_insert(0) += 1;
+                }
+            }
+            for s in spans {
+                let mut depth = 0usize;
+                let mut cur = s;
+                while let Some(p) = cur.parent.and_then(|p| by_id.get(&p)) {
+                    depth += 1;
+                    cur = p;
+                    if depth > 64 {
+                        break; // defensive: malformed parent chain
+                    }
+                }
+                let e = acc.entry(depth).or_insert((0.0, 0, 0));
+                e.0 += s.app_time.as_nanos() as f64;
+                e.1 += 1;
+                e.2 += children.get(&s.id).copied().unwrap_or(0);
+            }
+        }
+        let depths = acc.keys().max().map_or(0, |&d| d + 1);
+        let mut work_us = vec![0.0; depths];
+        let mut fanout = vec![0.0; depths];
+        for (d, (ns, spans, kids)) in acc {
+            if spans > 0 {
+                work_us[d] = ns / spans as f64 / 1_000.0;
+                fanout[d] = kids as f64 / spans as f64;
+            }
+        }
+        TierSignature { work_us, fanout }
+    }
+
+    /// Number of tiers the signature observed.
+    pub fn tiers(&self) -> usize {
+        self.work_us.len()
+    }
+}
+
+impl GenSpec {
+    /// Fits a spec to a target signature (clone mode): tier count, width
+    /// (the root's fan-out), inner fan-out, and per-tier compute come
+    /// from the signature; pool/cluster knobs keep their defaults. The
+    /// clamped ranges still apply, so a signature deeper or wider than
+    /// the generator's envelope fits to the nearest expressible spec.
+    pub fn fit(sig: &TierSignature) -> GenSpec {
+        let tiers = sig.tiers().max(2);
+        let inner: Vec<f64> = sig
+            .fanout
+            .iter()
+            .skip(1)
+            .take(tiers.saturating_sub(2))
+            .copied()
+            .collect();
+        let inner_mean = if inner.is_empty() {
+            1.0
+        } else {
+            inner.iter().sum::<f64>() / inner.len() as f64
+        };
+        GenSpec {
+            depth: (tiers - 1) as u32,
+            width: sig.fanout.first().copied().unwrap_or(1.0).round() as u32,
+            fanout: inner_mean.round().max(1.0) as u32,
+            tier_work_us: sig.work_us.clone(),
+            ..GenSpec::default()
+        }
+    }
+}
+
+/// Simulates `g` with full trace sampling and measures its signature:
+/// `n` requests injected at the spec's offered rate, fixed seed.
+pub fn measure_spec(g: &GenSpec, n: u64, seed: u64) -> TierSignature {
+    let app = g.build();
+    let entry = app.mix.entries()[0].entry;
+    let mut cluster = g.cluster();
+    cluster.trace_sample_prob = 1.0;
+    let mut sim = Simulation::new(app.spec.clone(), cluster, seed);
+    let qps = g.qps();
+    for j in 0..n {
+        let at = SimTime::from_nanos((j as f64 * 1e9 / qps) as u64);
+        let key = (j + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        sim.inject(at, entry, RequestType(0), 256, key);
+    }
+    sim.run_until_idle();
+    let traces: Vec<&Vec<Span>> = sim.collector().sampled_traces().map(|(_, s)| s).collect();
+    TierSignature::measure(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Ditto acceptance check: measure a target app, fit a clone,
+    /// and the clone's signature must match the target's tier for tier.
+    #[test]
+    fn clone_reproduces_the_tier_signature() {
+        let target = GenSpec {
+            depth: 3,
+            width: 2,
+            fanout: 2,
+            work_us: 80.0,
+            tier_work_us: vec![40.0, 120.0, 60.0, 30.0],
+            qps: 50,
+            ..GenSpec::default()
+        };
+        let sig = measure_spec(&target, 60, 1);
+        assert_eq!(sig.tiers(), 4, "front + 3 logic tiers");
+
+        let mut clone = GenSpec::fit(&sig);
+        clone.qps = target.qps;
+        assert_eq!(clone.depth(), target.depth());
+        assert_eq!(clone.width(), target.width());
+        assert_eq!(clone.fanout(), target.fanout());
+
+        let clone_sig = measure_spec(&clone, 60, 2);
+        assert_eq!(clone_sig.tiers(), sig.tiers());
+        for d in 0..sig.tiers() {
+            let (a, b) = (sig.work_us[d], clone_sig.work_us[d]);
+            assert!(
+                (a - b).abs() <= 0.25 * a.max(b) + 5.0,
+                "tier {d} work diverged: target {a:.1}us clone {b:.1}us"
+            );
+            assert!(
+                (sig.fanout[d] - clone_sig.fanout[d]).abs() <= 0.5,
+                "tier {d} fanout diverged: {} vs {}",
+                sig.fanout[d],
+                clone_sig.fanout[d]
+            );
+        }
+    }
+
+    #[test]
+    fn signature_of_empty_traces_is_empty() {
+        let sig = TierSignature::measure(std::iter::empty());
+        assert_eq!(sig.tiers(), 0);
+        // Fitting a degenerate signature still yields a buildable spec.
+        GenSpec::fit(&sig).build();
+    }
+
+    #[test]
+    fn store_tiers_show_up_as_extra_depth() {
+        let g = GenSpec {
+            depth: 1,
+            width: 1,
+            cache_shards: 2,
+            db_shards: 0,
+            qps: 50,
+            ..GenSpec::default()
+        };
+        let sig = measure_spec(&g, 40, 3);
+        // front -> t1 -> cache: three observed tiers.
+        assert_eq!(sig.tiers(), 3);
+        assert!(sig.fanout[1] >= 0.99, "leaf calls the cache every time");
+    }
+}

@@ -1,0 +1,31 @@
+//! # dsb-gen — seeded app synthesis + differential static-vs-sim testing
+//!
+//! Coverage beyond the eight hand-curated applications: a seeded
+//! generator that emits arbitrary *valid* application graphs, and a
+//! differential harness that holds the static analyzer's predictions
+//! against a fixed-seed simulation of every generated spec.
+//!
+//! * [`GenSpec`] — a shrinkable, clamp-validated description of a
+//!   synthetic app (tier depth/width/fan-out, per-tier compute,
+//!   cache/DB shard counts, pool sizes) plus its cluster. Extends
+//!   `dsb_apps::synthetic::LayeredSpec` (a `From` impl maps it over)
+//!   with store tiers, cluster shape, and calibrated offered load.
+//! * [`clone`] — Ditto-style fitting: measure a [`TierSignature`]
+//!   (per-tier latency/fan-out) from spans and fit a spec to it.
+//! * [`diff`] — the differential oracles: call-rate propagation,
+//!   compute conservation, saturation verdicts, shard balance, and
+//!   analyzer-verdict consistency, each with stated tolerances.
+//!
+//! The `dsb-diff` binary sweeps seeds (default 256, `DIFF_SEEDS=N` for
+//! offline ≥1000-spec runs) and shrinks any disagreement to a minimal
+//! reproducing spec via `dsb-testkit`, reported with its replay seed.
+
+#![warn(missing_docs)]
+
+pub mod clone;
+pub mod diff;
+pub mod spec;
+
+pub use clone::TierSignature;
+pub use diff::{check_spec, run_summary};
+pub use spec::GenSpec;

@@ -1,0 +1,496 @@
+//! [`GenSpec`]: the seeded, shrinkable description of a synthetic
+//! application *and* the cluster it runs on.
+//!
+//! Every field is a plain scalar and every combination of field values
+//! builds a valid app: [`GenSpec::build`] clamps each knob into the
+//! range the paper's measurements span, so the testkit's greedy shrinker
+//! can mutate fields freely without ever producing a spec the builder
+//! rejects. [`GenSpec::sample`] draws a spec from a single `u64` seed —
+//! the seed alone replays any generated application byte for byte.
+
+use dsb_apps::BuiltApp;
+use dsb_core::{AppBuilder, ClusterSpec, EndpointRef, RequestType, ServiceId, Step};
+use dsb_net::Protocol;
+use dsb_simcore::{Dist, Rng, SimDuration};
+use dsb_testkit::{gen, Shrink};
+use dsb_uarch::{ExecDomain, UarchProfile};
+use dsb_workload::QueryMix;
+
+use dsb_apps::synthetic::LayeredSpec;
+
+/// A generated application + cluster, as plain shrinkable scalars.
+///
+/// Raw fields may hold any value; the clamped accessors (`depth()`,
+/// `width()`, …) define the value actually built. Ranges follow the
+/// paper's measured envelope: tier depth 1–4, width 1–4, per-handler
+/// compute 0.5–500 µs, worker pools 1–64, store tiers of 2–4 shards,
+/// machines of 1–8 cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Logic tiers between the front-end and the stores (clamped 1–4).
+    pub depth: u32,
+    /// Services per logic tier (clamped 1–4).
+    pub width: u32,
+    /// Parallel calls each service makes into the tier below (clamped
+    /// 1–6, tighter for deep graphs so a single request's fan-out tree
+    /// stays bounded).
+    pub fanout: u32,
+    /// Compute per handler in reference-core microseconds (clamped
+    /// 0.5–500).
+    pub work_us: f64,
+    /// Per-tier compute overrides for clone mode, indexed 0 = front-end,
+    /// 1..=depth = logic tiers; missing entries fall back to `work_us`.
+    pub tier_work_us: Vec<f64>,
+    /// Workers per logic-service instance (clamped 1–64).
+    pub workers: u32,
+    /// Cache shard count; values below 2 mean "no cache tier" (cap 4).
+    pub cache_shards: u32,
+    /// Database shard count; values below 2 mean "no DB tier" (cap 4).
+    pub db_shards: u32,
+    /// Cache hit ratio in percent (clamped 0–100).
+    pub hit_pct: u32,
+    /// Machines in the cluster (clamped 1–3).
+    pub machines: u32,
+    /// Cores per machine (clamped 1–8).
+    pub cores: u32,
+    /// Offered load in requests per second (clamped 1–5000).
+    pub qps: u32,
+}
+
+impl Default for GenSpec {
+    fn default() -> Self {
+        GenSpec {
+            depth: 2,
+            width: 2,
+            fanout: 2,
+            work_us: 50.0,
+            tier_work_us: Vec::new(),
+            workers: 16,
+            cache_shards: 0,
+            db_shards: 0,
+            hit_pct: 90,
+            machines: 2,
+            cores: 4,
+            qps: 100,
+        }
+    }
+}
+
+impl GenSpec {
+    /// Clamped tier depth.
+    pub fn depth(&self) -> u32 {
+        self.depth.clamp(1, 4)
+    }
+
+    /// Clamped tier width.
+    pub fn width(&self) -> u32 {
+        self.width.clamp(1, 4)
+    }
+
+    /// Clamped fan-out. Deep graphs multiply fan-out per tier, so the
+    /// cap shrinks with depth to bound one request's invocation tree
+    /// (≤ width × fanout^depth invocations).
+    pub fn fanout(&self) -> u32 {
+        let cap = match self.depth() {
+            1 => 6,
+            2 => 4,
+            _ => 2,
+        };
+        self.fanout.clamp(1, cap)
+    }
+
+    /// Clamped per-instance worker count.
+    pub fn workers(&self) -> u32 {
+        self.workers.clamp(1, 64)
+    }
+
+    /// Cache shard count; 0 means no cache tier.
+    pub fn cache_shards(&self) -> u32 {
+        if self.cache_shards < 2 {
+            0
+        } else {
+            self.cache_shards.min(4)
+        }
+    }
+
+    /// DB shard count; 0 means no DB tier.
+    pub fn db_shards(&self) -> u32 {
+        if self.db_shards < 2 {
+            0
+        } else {
+            self.db_shards.min(4)
+        }
+    }
+
+    /// Clamped cache hit ratio in [0, 1].
+    pub fn hit_ratio(&self) -> f64 {
+        self.hit_pct.min(100) as f64 / 100.0
+    }
+
+    /// Clamped machine count.
+    pub fn machines(&self) -> u32 {
+        self.machines.clamp(1, 3)
+    }
+
+    /// Clamped cores per machine.
+    pub fn cores(&self) -> u32 {
+        self.cores.clamp(1, 8)
+    }
+
+    /// Clamped offered load (req/s).
+    pub fn qps(&self) -> f64 {
+        self.qps.clamp(1, 5000) as f64
+    }
+
+    /// Compute for tier `t` (0 = front-end, 1..=depth = logic tiers) in
+    /// microseconds, honouring clone-mode overrides.
+    pub fn tier_work_us(&self, t: usize) -> f64 {
+        self.tier_work_us
+            .get(t)
+            .copied()
+            .unwrap_or(self.work_us)
+            .clamp(0.5, 500.0)
+    }
+
+    /// Draws a random spec from `seed`. The spec is a pure function of
+    /// the seed: the same seed always yields the same spec.
+    ///
+    /// Offered load is calibrated rather than sampled directly: a target
+    /// bottleneck utilization is drawn from [0.05, 1.6] and converted to
+    /// qps through the analyzer's [`CapacityModel`], so the sweep covers
+    /// both clearly-underloaded and clearly-saturated specs instead of
+    /// whatever a blind qps range happens to hit.
+    ///
+    /// [`CapacityModel`]: dsb_analyzer::CapacityModel
+    pub fn sample(seed: u64) -> GenSpec {
+        let mut rng = Rng::new(seed);
+        let depth = gen::u32_in(&mut rng, 1, 5);
+        let mut spec = GenSpec {
+            depth,
+            width: gen::u32_in(&mut rng, 1, 5),
+            fanout: gen::u32_in(&mut rng, 1, 7),
+            work_us: gen::f64_in(&mut rng, 5.0, 300.0),
+            tier_work_us: Vec::new(),
+            workers: *gen::choice(&mut rng, &[4, 8, 16, 32, 64]),
+            cache_shards: gen::u32_in(&mut rng, 0, 5),
+            db_shards: gen::u32_in(&mut rng, 0, 5),
+            hit_pct: gen::u32_in(&mut rng, 50, 101),
+            machines: gen::u32_in(&mut rng, 1, 4),
+            cores: gen::u32_in(&mut rng, 2, 9),
+            qps: 1,
+        };
+        let target_util = gen::f64_in(&mut rng, 0.05, 1.6);
+        spec.qps = spec.qps_for_utilization(target_util);
+        spec
+    }
+
+    /// The qps that drives the static bottleneck (worker pool —
+    /// downstream hold time included for blocking tiers — or machine
+    /// core budget — network-message processing included — whichever
+    /// saturates first) to `target` utilization, clamped to the valid
+    /// qps range. Computed at 1 qps and scaled, so the nonlinear
+    /// queue-wait share of hold time is evaluated at light load: actual
+    /// utilization lands at or slightly above `target`.
+    pub fn qps_for_utilization(&self, target: f64) -> u32 {
+        let app = self.build();
+        let offered = vec![(app.mix.entries()[0].entry, 1.0)];
+        let cluster = self.cluster();
+        let util_per_qps =
+            dsb_analyzer::CapacityModel::compute(&app.spec, &offered, Some(&cluster))
+                .map(|m| {
+                    m.max_tier_utilization_with_hold()
+                        .max(m.max_machine_utilization_with_net())
+                })
+                .unwrap_or(0.0);
+        if util_per_qps <= 0.0 {
+            return 100;
+        }
+        (target / util_per_qps).clamp(1.0, 5000.0).round() as u32
+    }
+
+    /// The cluster this spec deploys on: `machines()` homogeneous Xeon
+    /// servers trimmed to `cores()` cores each.
+    pub fn cluster(&self) -> ClusterSpec {
+        let mut cluster = ClusterSpec::xeon_cluster(self.machines(), 1);
+        for m in &mut cluster.machines {
+            m.cores = self.cores();
+        }
+        cluster
+    }
+
+    /// Builds the application graph.
+    ///
+    /// Topology: an event-driven front-end fans across the whole first
+    /// logic tier; each logic service computes and issues `fanout()`
+    /// parallel RPCs into the tier below (rotating over the tier so
+    /// every service is reached); the deepest tier talks to the store
+    /// tiers — a cache-aside lookup when both cache and DB exist, a
+    /// direct call when only one does. All RPC is multiplexed Thrift,
+    /// store tiers are partitioned by key across their shards.
+    pub fn build(&self) -> BuiltApp {
+        let mut app = AppBuilder::new("gen");
+
+        // Store tiers first so leaves can reference them.
+        let db = (self.db_shards() > 0).then(|| {
+            let id = app
+                .service("db")
+                .profile(UarchProfile::mongodb())
+                .blocking()
+                .workers(16)
+                .instances(self.db_shards())
+                .protocol(Protocol::ThriftRpc)
+                .lb(dsb_core::LbPolicy::Partition)
+                .build();
+            app.endpoint(
+                id,
+                "find",
+                Dist::constant(2048.0),
+                vec![
+                    Step::Compute {
+                        ns: Dist::constant(80_000.0),
+                        domain: ExecDomain::User,
+                    },
+                    Step::Io {
+                        ns: Dist::constant(400_000.0),
+                    },
+                ],
+            )
+        });
+        let cache = (self.cache_shards() > 0).then(|| {
+            let id = app
+                .service("cache")
+                .profile(UarchProfile::memcached())
+                .event_driven()
+                .workers(16)
+                .instances(self.cache_shards())
+                .protocol(Protocol::ThriftRpc)
+                .lb(dsb_core::LbPolicy::Partition)
+                .build();
+            app.endpoint(
+                id,
+                "get",
+                Dist::constant(1024.0),
+                vec![Step::Compute {
+                    ns: Dist::constant(8_000.0),
+                    domain: ExecDomain::User,
+                }],
+            )
+        });
+        let store_steps: Vec<Step> = match (cache, db) {
+            (Some(get), Some(find)) => vec![Step::cache_lookup(
+                get,
+                self.hit_ratio(),
+                vec![Step::call(find, 128.0)],
+            )],
+            (Some(get), None) => vec![Step::call(get, 128.0)],
+            (None, Some(find)) => vec![Step::call(find, 128.0)],
+            (None, None) => Vec::new(),
+        };
+
+        // Logic tiers, leaves up (tier index depth..1, 0 is the front).
+        let (depth, width, fanout) = (self.depth(), self.width(), self.fanout());
+        let mut below: Vec<EndpointRef> = Vec::new();
+        for tier in (1..=depth).rev() {
+            let mut this_tier = Vec::new();
+            for w in 0..width {
+                let svc = app
+                    .service(&format!("t{tier}-s{w}"))
+                    .workers(self.workers())
+                    .build();
+                let work_ns = self.tier_work_us(tier as usize) * 1_000.0;
+                let mut steps = vec![Step::Compute {
+                    ns: Dist::constant(work_ns),
+                    domain: ExecDomain::User,
+                }];
+                if below.is_empty() {
+                    steps.extend(store_steps.iter().cloned());
+                } else {
+                    let calls: Vec<(EndpointRef, Dist)> = (0..fanout)
+                        .map(|k| {
+                            let idx = ((w + k) % below.len() as u32) as usize;
+                            (below[idx], Dist::constant(256.0))
+                        })
+                        .collect();
+                    steps.push(Step::ParCall { calls });
+                }
+                this_tier.push(app.endpoint(svc, "op", Dist::constant(1024.0), steps));
+            }
+            below = this_tier;
+        }
+
+        let front = app.service("front").event_driven().workers(64).build();
+        let front_ns = self.tier_work_us(0) * 1_000.0;
+        let calls: Vec<(EndpointRef, Dist)> =
+            below.iter().map(|&e| (e, Dist::constant(256.0))).collect();
+        let entry = app.endpoint(
+            front,
+            "root",
+            Dist::constant(4096.0),
+            vec![
+                Step::Compute {
+                    ns: Dist::constant(front_ns),
+                    domain: ExecDomain::User,
+                },
+                Step::ParCall { calls },
+            ],
+        );
+
+        let spec = app.build();
+        let order: Vec<ServiceId> = (0..spec.service_count())
+            .map(|i| ServiceId(i as u32))
+            .collect();
+        BuiltApp {
+            mix: QueryMix::single(entry, RequestType(0), 256.0),
+            qos_p99: SimDuration::from_millis(50),
+            frontend: front,
+            spec,
+            order,
+        }
+    }
+}
+
+/// A [`LayeredSpec`] is the uniform-tier special case of a [`GenSpec`]:
+/// same depth/width/fanout/work/workers, no store tiers, on the default
+/// two-machine cluster.
+impl From<LayeredSpec> for GenSpec {
+    fn from(l: LayeredSpec) -> GenSpec {
+        GenSpec {
+            depth: l.depth,
+            width: l.width,
+            fanout: l.fanout,
+            work_us: l.work_us,
+            workers: l.workers,
+            cache_shards: 0,
+            db_shards: 0,
+            ..GenSpec::default()
+        }
+    }
+}
+
+/// Field-wise shrinking: every candidate flips exactly one knob toward
+/// its simplest value, so a minimized counterexample reads as "the
+/// default spec except for the fields that matter".
+impl Shrink for GenSpec {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        macro_rules! field {
+            ($f:ident) => {
+                for cand in self.$f.shrink().into_iter().take(3) {
+                    let mut g = self.clone();
+                    g.$f = cand;
+                    out.push(g);
+                }
+            };
+        }
+        field!(depth);
+        field!(width);
+        field!(fanout);
+        field!(cache_shards);
+        field!(db_shards);
+        field!(tier_work_us);
+        field!(work_us);
+        field!(workers);
+        field!(hit_pct);
+        field!(machines);
+        field!(cores);
+        field!(qps);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_builds_a_valid_app() {
+        for seed in 0..50 {
+            let g = GenSpec::sample(seed);
+            let app = g.build(); // panics on an invalid graph
+            let expected = 1
+                + g.depth() * g.width()
+                + u32::from(g.cache_shards() > 0)
+                + u32::from(g.db_shards() > 0);
+            assert_eq!(app.spec.service_count() as u32, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sample_is_a_pure_function_of_the_seed() {
+        for seed in [0, 1, 42, u64::MAX] {
+            assert_eq!(GenSpec::sample(seed), GenSpec::sample(seed));
+        }
+    }
+
+    #[test]
+    fn clamps_make_every_field_value_valid() {
+        // The all-zero and all-max corners both build.
+        let zero = GenSpec {
+            depth: 0,
+            width: 0,
+            fanout: 0,
+            work_us: 0.0,
+            tier_work_us: vec![0.0],
+            workers: 0,
+            cache_shards: 0,
+            db_shards: 0,
+            hit_pct: 0,
+            machines: 0,
+            cores: 0,
+            qps: 0,
+        };
+        assert_eq!(zero.build().spec.service_count(), 2);
+        assert_eq!(zero.qps(), 1.0);
+        let max = GenSpec {
+            depth: u32::MAX,
+            width: u32::MAX,
+            fanout: u32::MAX,
+            work_us: f64::MAX,
+            tier_work_us: vec![f64::MAX; 9],
+            workers: u32::MAX,
+            cache_shards: u32::MAX,
+            db_shards: u32::MAX,
+            hit_pct: u32::MAX,
+            machines: u32::MAX,
+            cores: u32::MAX,
+            qps: u32::MAX,
+        };
+        let app = max.build();
+        assert_eq!(app.spec.service_count() as u32, 1 + 4 * 4 + 2);
+        assert_eq!(max.cluster().machines.len(), 3);
+    }
+
+    #[test]
+    fn shrink_candidates_all_build() {
+        let g = GenSpec::sample(7);
+        for cand in g.shrink() {
+            cand.build();
+        }
+    }
+
+    #[test]
+    fn qps_calibration_hits_the_target_band() {
+        let mut g = GenSpec::sample(3);
+        g.qps = g.qps_for_utilization(0.5);
+        let app = g.build();
+        let offered = vec![(app.mix.entries()[0].entry, g.qps())];
+        let m = dsb_analyzer::CapacityModel::compute(&app.spec, &offered, Some(&g.cluster()))
+            .expect("generated graphs are acyclic");
+        let util = m
+            .max_tier_utilization_with_hold()
+            .max(m.max_machine_utilization_with_net());
+        assert!(
+            (0.3..0.7).contains(&util),
+            "calibrated util {util} should be near 0.5"
+        );
+    }
+
+    #[test]
+    fn layered_spec_round_trips() {
+        let l = LayeredSpec::default();
+        let g = GenSpec::from(l);
+        assert_eq!(g.depth(), l.depth);
+        assert_eq!(g.width(), l.width);
+        assert_eq!(g.build().spec.service_count() as u32, 1 + l.depth * l.width);
+    }
+}
