@@ -83,8 +83,22 @@ echo "==> cargo doc --workspace --no-deps --offline (warn-free)"
 # silently otherwise; docs are a first-class deliverable here.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 
-echo "==> dsb-lint (spec pass + determinism source pass)"
+echo "==> dsb-lint (spec pass + determinism source pass, budget: 5s)"
+# The lint gate must stay cheap enough to run on every commit: the
+# source pass lexes all of crates/*/src and the spec pass runs eight
+# calibration sims, so a pathological regression in either shows up
+# here as a hard failure.
+LINT_BUDGET_S=5
+lint_start=$(date +%s)
 cargo run -q --release --offline -p dsb-analyzer --bin dsb-lint
+lint_end=$(date +%s)
+lint_wall=$((lint_end - lint_start))
+echo "    dsb-lint wall time: ${lint_wall}s (budget ${LINT_BUDGET_S}s)"
+if [ "$lint_wall" -gt "$LINT_BUDGET_S" ]; then
+    echo "ci.sh: dsb-lint took ${lint_wall}s, over the ${LINT_BUDGET_S}s" >&2
+    echo "budget. Profile the lexer/spec passes instead of raising it." >&2
+    exit 1
+fi
 
 echo "==> dsb-bench (perf baseline: fig17 two-tier kernel)"
 # The committed BENCH_0.json is the baseline snapshot; the gate never
@@ -93,9 +107,28 @@ echo "==> dsb-bench (perf baseline: fig17 two-tier kernel)"
 # eyeballing. Regenerate deliberately with:
 #   cargo run --release -p dsb-bench --bin dsb-bench -- BENCH_0.json
 if [ -f BENCH_0.json ]; then
-    cargo run -q --release --offline -p dsb-bench --bin dsb-bench
+    bench_log=$(mktemp)
+    cargo run -q --release --offline -p dsb-bench --bin dsb-bench | tee "$bench_log"
     echo "    committed baseline (BENCH_0.json):"
     sed 's/^/    /' BENCH_0.json
+    # Non-fatal throughput watchdog: warn when the fresh
+    # requests-per-wall-second falls more than 10% below the committed
+    # baseline. Advisory only — shared CI machines are noisy — but it
+    # makes a real perf regression visible on every run.
+    fresh_rps=$(sed -n 's/.*"requests_per_wall_second": \([0-9]*\).*/\1/p' "$bench_log" | head -n 1)
+    base_rps=$(sed -n 's/.*"requests_per_wall_second": \([0-9]*\).*/\1/p' BENCH_0.json | head -n 1)
+    rm -f "$bench_log"
+    if [ -n "$fresh_rps" ] && [ -n "$base_rps" ] && [ "$base_rps" -gt 0 ]; then
+        floor_rps=$((base_rps * 9 / 10))
+        if [ "$fresh_rps" -lt "$floor_rps" ]; then
+            echo "ci.sh: WARNING: throughput ${fresh_rps} req/s is >10% below" >&2
+            echo "the committed baseline ${base_rps} req/s (floor ${floor_rps})." >&2
+            echo "If this reproduces on a quiet machine, find the regression" >&2
+            echo "before re-baselining BENCH_0.json." >&2
+        fi
+    else
+        echo "ci.sh: WARNING: could not parse requests_per_wall_second" >&2
+    fi
 else
     cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- BENCH_0.json
 fi

@@ -10,6 +10,8 @@
 //!    DSB012/DSB013 calibration passes run too). Every
 //!    diagnostic must appear in the annotated [`EXPECTED`] table below;
 //!    anything unexpected (and any stale annotation) fails the gate.
+//!    Each app also prints its DSB015 lookahead certificate — the
+//!    minimum safe epoch a conservative parallel engine could use.
 //! 2. **Source pass** — runs the determinism lint over `crates/*/src`
 //!    against the `determinism_allow.txt` allowlist at the repo root.
 //!    Any unallowed hazard, or any allowlist entry that no longer
@@ -18,7 +20,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use dsb_analyzer::{lint_sources, Allowlist, Analyzer, Severity};
+use dsb_analyzer::{lint_sources, lookahead_certificate, Allowlist, Analyzer, Severity};
 use dsb_core::{ClusterSpec, MachineSpec};
 
 /// The reference cluster of `tests/common/mod.rs::fixed_cluster()`: 8
@@ -90,6 +92,21 @@ fn main() -> ExitCode {
         } else {
             failed = true; // unexpected warnings also fail: annotate or fix
         }
+        // The DSB015 certificate: how far a conservative parallel
+        // engine could advance each shard between synchronizations.
+        // The exact per-app lines are pinned by tests/goldens/lookahead.txt.
+        match lookahead_certificate(&app.spec, &cluster) {
+            Some(cert) => {
+                println!(
+                    "  {name}: {}",
+                    cert.render(|s| app.spec.service(s).name.clone())
+                );
+            }
+            None => {
+                println!("  {name}: no feasible placement, lookahead certificate unavailable");
+                failed = true;
+            }
+        }
     }
     for (i, &(app, code, svc, reason)) in EXPECTED.iter().enumerate() {
         if !seen_expected[i] {
@@ -103,7 +120,7 @@ fn main() -> ExitCode {
     let mut allow = match Allowlist::load(&allow_path) {
         Ok(a) => a,
         Err(e) => {
-            println!("  cannot read {}: {e}", allow_path.display());
+            println!("  cannot load {}: {e}", allow_path.display());
             return ExitCode::FAILURE;
         }
     };

@@ -19,8 +19,8 @@ use dsb_simcore::{SimDuration, SimTime};
 use dsb_telemetry::{evaluate, BurnRule, Scraper, Slo};
 
 use crate::model::{
-    compute_demand_ns, endpoint_rates, erlang_c, feasible_plan, local_demand_ns, resolve,
-    valid_edges, walk_calls, walk_fanouts,
+    compute_demand_ns, endpoint_rates, erlang_c, feasible_plan, local_demand_ns,
+    lookahead_certificate, resolve, valid_edges, walk_calls, walk_fanouts,
 };
 use crate::{Code, Diagnostic, Severity};
 
@@ -148,6 +148,17 @@ impl<'a> Analyzer<'a> {
         let plan = self.placement_plan();
         self.check_pools(plan.as_ref(), &mut out);
 
+        // DSB014 circular waits across blocking pools (deadlock).
+        self.check_wait_cycles(&edges, &mut out);
+
+        // DSB016 cross-shard write-visibility windows (structural).
+        self.check_write_visibility(&mut out);
+
+        // DSB015 lookahead certification under the placement plan.
+        if let Some(cluster) = self.cluster {
+            self.check_lookahead(cluster, &mut out);
+        }
+
         // DSB009 offered load vs capacity (needs an acyclic graph).
         if !self.offered.is_empty() && cycle_anchors.is_empty() {
             self.check_capacity(&mut out);
@@ -267,24 +278,15 @@ impl<'a> Analyzer<'a> {
                 .iter()
                 .map(|&s| self.spec.services[s].name.as_str())
                 .collect();
-            let all_blocking = members.iter().all(|&s| {
-                let svc = &self.spec.services[s];
-                svc.concurrency == Concurrency::Blocking
-                    && matches!(svc.workers, WorkerPolicy::Fixed(_))
-            });
-            let mut message = format!("call cycle among {{{}}}", names.join(", "));
-            if all_blocking {
-                message.push_str(
-                    "; every tier holds a worker across its downstream call, \
-                     so finite pools can deadlock",
-                );
-            }
+            // Whether the loop can also *deadlock* is DSB014's job: it
+            // looks at which edges hold finite pool slots, which catches
+            // conn-pool-only cycles this all-tiers-block test missed.
             out.push(self.diag(
                 Code::CallCycle,
                 Severity::Error,
                 ServiceId(anchor as u32),
                 None,
-                message,
+                format!("call cycle among {{{}}}", names.join(", ")),
             ));
         }
         anchors
@@ -526,6 +528,203 @@ impl<'a> Analyzer<'a> {
                         ));
                     }
                 });
+            }
+        }
+    }
+
+    // -- DSB014 -------------------------------------------------------------
+
+    /// Circular-wait deadlock certification: restrict the call graph to
+    /// *wait edges* — edges that hold a finite pool slot across the
+    /// downstream call (the caller is blocking with fixed workers, or
+    /// the callee's protocol holds one connection per outstanding
+    /// request) — and report every cycle in that subgraph. Unlike the
+    /// all-tiers-block special case DSB001 used to note, this also
+    /// certifies conn-pool-only loops: event-driven tiers calling each
+    /// other over HTTP/1.1 deadlock just the same once every connection
+    /// slot is held by a request that cannot complete.
+    fn check_wait_cycles(&self, edges: &[(ServiceId, ServiceId)], out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let n = spec.services.len();
+        let held = |a: ServiceId, b: ServiceId| -> Option<&'static str> {
+            let caller = &spec.services[a.0 as usize];
+            let callee = &spec.services[b.0 as usize];
+            if caller.concurrency == Concurrency::Blocking
+                && matches!(caller.workers, WorkerPolicy::Fixed(_))
+            {
+                Some("a blocking worker")
+            } else if callee.protocol.blocking_connections() {
+                Some("a connection slot")
+            } else {
+                None
+            }
+        };
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if held(a, b).is_some() {
+                adj[a.0 as usize].push(b.0 as usize);
+            }
+        }
+        for scc in tarjan_sccs(&adj) {
+            let is_cycle = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
+            if !is_cycle {
+                continue;
+            }
+            let mut members = scc;
+            members.sort_unstable();
+            let anchor = members[0];
+            let in_scc = |s: usize| members.binary_search(&s).is_ok();
+            let mut holds: Vec<String> = Vec::new();
+            for &s in &members {
+                for &t in &adj[s] {
+                    if !in_scc(t) {
+                        continue;
+                    }
+                    let what = held(ServiceId(s as u32), ServiceId(t as u32))
+                        .expect("wait edges carry a held resource");
+                    holds.push(format!(
+                        "`{}` holds {what} across `{}` -> `{}`",
+                        spec.services[s].name, spec.services[s].name, spec.services[t].name
+                    ));
+                }
+            }
+            out.push(self.diag(
+                Code::WaitCycle,
+                Severity::Error,
+                ServiceId(anchor as u32),
+                None,
+                format!(
+                    "circular wait: {} — once the pools drain, every member waits on \
+                     the next and no request can complete (static dual of Fig. 17 \
+                     backpressure)",
+                    holds.join(", "),
+                ),
+            ));
+        }
+    }
+
+    // -- DSB015 -------------------------------------------------------------
+
+    /// Lookahead certification: computes the app's
+    /// [`LookaheadCertificate`](crate::LookaheadCertificate) under the
+    /// deterministic placement plan and flags every call edge whose
+    /// guaranteed minimum cross-machine delay is below the loopback
+    /// epoch floor — a same-host-only protocol the load balancer can
+    /// route across machines (zero bound), or co-located edge devices
+    /// whose jittered link floor undercuts loopback. A conservative
+    /// parallel engine sharded by machine could not advance even one
+    /// local delivery between synchronizations on such an edge.
+    fn check_lookahead(&self, cluster: &ClusterSpec, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let Some(cert) = lookahead_certificate(spec, cluster) else {
+            return;
+        };
+        let floor = cluster.fabric.loopback_ns;
+        let mut seen: Vec<(ServiceId, ServiceId)> = Vec::new();
+        // Hops are sorted by delay first, so the first hop of each edge
+        // is that edge's limiting pair.
+        for h in &cert.hops {
+            if h.min_delay_ns >= floor || seen.contains(&(h.caller, h.callee)) {
+                continue;
+            }
+            seen.push((h.caller, h.callee));
+            let caller = &spec.services[h.caller.0 as usize];
+            let callee = &spec.services[h.callee.0 as usize];
+            let message = if h.same_host_only {
+                format!(
+                    "zero-lookahead edge `{}` -> `{}`: the {} load balancer can route \
+                     this same-host-only call across machines (e.g. machine {} -> {}), \
+                     leaving a parallel engine no delay bound at all — shards would \
+                     run in lock-step",
+                    caller.name,
+                    callee.name,
+                    lb_name(callee.lb),
+                    h.from_machine.0,
+                    h.to_machine.0,
+                )
+            } else {
+                format!(
+                    "cross-machine hop `{}` -> `{}` (machine {} -> {}) certifies only \
+                     {} ns of lookahead, under the {floor} ns loopback epoch floor: \
+                     shards could not advance one local delivery between syncs",
+                    caller.name, callee.name, h.from_machine.0, h.to_machine.0, h.min_delay_ns,
+                )
+            };
+            out.push(self.diag(
+                Code::ZeroLookahead,
+                Severity::Warning,
+                h.caller,
+                None,
+                message,
+            ));
+        }
+    }
+
+    // -- DSB016 -------------------------------------------------------------
+
+    /// Cross-shard write-visibility windows, by abstract interpretation
+    /// of the behaviour scripts. Two facts are extracted per app:
+    ///
+    /// 1. *Cache-fill pairs* `(C, D)`: partition-routed store `C` is
+    ///    read before partition-routed store `D` on some read path — the
+    ///    cache-aside shape, where a miss on `C` is refilled from `D`.
+    /// 2. *Certain write orders*: store writes that execute
+    ///    unconditionally (not inside any probabilistic branch arm) on
+    ///    one endpoint, in script order.
+    ///
+    /// A write path that certainly writes `C` before certainly writing
+    /// `D` inverts the cache-aside protocol: between the two writes a
+    /// reader that misses `C` refills it from the *pre-write* `D`, and
+    /// under a parallel engine that window spans the certified lookahead
+    /// epoch across shards. Probabilistic flushes (write-behind caches)
+    /// and writes inside cache-miss arms are exempt — only a *certain*
+    /// inversion fires.
+    fn check_write_visibility(&self, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        // 1. Cache-fill pairs from every script's read sequences.
+        let mut pairs: Vec<(ServiceId, ServiceId)> = Vec::new();
+        for svc in &spec.services {
+            for ep in &svc.endpoints {
+                let mut reads_seen = Vec::new();
+                read_pairs(spec, &ep.script, &mut reads_seen, &mut pairs);
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        pairs.sort_unstable_by_key(|&(c, d)| (c.0, d.0));
+        // 2. Certain write order per endpoint vs the pairs.
+        for (i, svc) in spec.services.iter().enumerate() {
+            for ep in &svc.endpoints {
+                let mut writes = Vec::new();
+                certain_store_writes(spec, &ep.script, &mut writes);
+                for &(c, d) in &pairs {
+                    let Some(ci) = writes.iter().position(|&w| w == c) else {
+                        continue;
+                    };
+                    if !writes[ci + 1..].contains(&d) {
+                        continue;
+                    }
+                    out.push(self.diag(
+                        Code::WriteVisibilityRace,
+                        Severity::Warning,
+                        ServiceId(i as u32),
+                        Some(&ep.name),
+                        format!(
+                            "write path updates cache `{}` before the durable write to \
+                             `{}` (read paths consult `{}` first): a reader missing the \
+                             cache inside that window refills it from the pre-write \
+                             store and the update is lost — under a sharded engine the \
+                             window spans the certified lookahead epoch; write `{}` \
+                             first, then update or invalidate `{}`",
+                            spec.services[c.0 as usize].name,
+                            spec.services[d.0 as usize].name,
+                            spec.services[c.0 as usize].name,
+                            spec.services[d.0 as usize].name,
+                            spec.services[c.0 as usize].name,
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -970,6 +1169,123 @@ fn zone_name(z: Option<dsb_net::Zone>) -> String {
     }
 }
 
+fn lb_name(lb: LbPolicy) -> &'static str {
+    match lb {
+        LbPolicy::RoundRobin => "round-robin",
+        LbPolicy::LeastOutstanding => "least-outstanding",
+        LbPolicy::Partition => "partition",
+    }
+}
+
+/// Endpoint names that read a record from a store.
+const READ_ENDPOINTS: &[&str] = &["get", "find", "read", "query", "lookup", "fetch", "load"];
+/// Endpoint names that mutate a record in a store.
+const WRITE_ENDPOINTS: &[&str] = &[
+    "set",
+    "insert",
+    "update",
+    "write",
+    "put",
+    "delete",
+    "invalidate",
+    "store",
+    "push",
+    "append",
+];
+
+/// Classifies a call target as a store operation: the callee must be
+/// partition-routed (a sharded store) and the endpoint name must be a
+/// known read or write verb. Returns `(store service, is_write)`.
+fn store_op(spec: &AppSpec, t: &dsb_core::EndpointRef) -> Option<(ServiceId, bool)> {
+    let callee = resolve(spec, t)?;
+    if callee.lb != LbPolicy::Partition {
+        return None;
+    }
+    let name = callee.endpoints[t.endpoint as usize].name.as_str();
+    if READ_ENDPOINTS.contains(&name) {
+        Some((t.service, false))
+    } else if WRITE_ENDPOINTS.contains(&name) {
+        Some((t.service, true))
+    } else {
+        None
+    }
+}
+
+/// Collects `(C, D)` pairs where store `C` is read before store `D` in
+/// script order (both branch arms walked — an over-approximation that
+/// only ever *adds* scrutiny, never misses a real pair). The first
+/// orientation observed wins: once `C` is known to be consulted before
+/// `D`, a later re-read of `C` (a fan-out over cache keys, say) must
+/// not also record the reverse pair, or every cache-aside read path
+/// would accuse both orders.
+fn read_pairs(
+    spec: &AppSpec,
+    steps: &[dsb_core::Step],
+    reads_seen: &mut Vec<ServiceId>,
+    pairs: &mut Vec<(ServiceId, ServiceId)>,
+) {
+    use dsb_core::Step;
+    for s in steps {
+        match s {
+            Step::Call { target, .. } | Step::FanCall { target, .. } => {
+                if let Some((store, false)) = store_op(spec, target) {
+                    for &c in reads_seen.iter() {
+                        if c != store
+                            && !pairs.contains(&(c, store))
+                            && !pairs.contains(&(store, c))
+                        {
+                            pairs.push((c, store));
+                        }
+                    }
+                    if !reads_seen.contains(&store) {
+                        reads_seen.push(store);
+                    }
+                }
+            }
+            Step::ParCall { calls } => {
+                for (t, _) in calls {
+                    if let Some((store, false)) = store_op(spec, t) {
+                        if !reads_seen.contains(&store) {
+                            reads_seen.push(store);
+                        }
+                    }
+                }
+            }
+            Step::Branch { then, els, .. } => {
+                read_pairs(spec, then, reads_seen, pairs);
+                read_pairs(spec, els, reads_seen, pairs);
+            }
+            Step::Compute { .. } | Step::Io { .. } => {}
+        }
+    }
+}
+
+/// Collects the stores *certainly* written by one invocation, in script
+/// order: `Call`/`FanCall` write targets at cumulative branch
+/// probability 1.0. Branch arms with `0 < p < 1` are skipped (their
+/// writes may not happen — the write-behind exemption), as are `ParCall`
+/// members (no defined order between them).
+fn certain_store_writes(spec: &AppSpec, steps: &[dsb_core::Step], writes: &mut Vec<ServiceId>) {
+    use dsb_core::Step;
+    for s in steps {
+        match s {
+            Step::Call { target, .. } | Step::FanCall { target, .. } => {
+                if let Some((store, true)) = store_op(spec, target) {
+                    writes.push(store);
+                }
+            }
+            Step::Branch { p, then, els } => {
+                if *p >= 1.0 {
+                    certain_store_writes(spec, then, writes);
+                } else if *p <= 0.0 {
+                    certain_store_writes(spec, els, writes);
+                }
+            }
+            Step::ParCall { .. } | Step::Compute { .. } | Step::Io { .. } => {}
+        }
+    }
+}
+
 /// Iterative Tarjan strongly-connected components; returns each SCC as a
 /// list of node indices (order unspecified inside an SCC).
 fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
@@ -1082,7 +1398,7 @@ mod tests {
     }
 
     #[test]
-    fn cycle_reported_with_deadlock_note() {
+    fn cycle_of_blocking_tiers_reports_cycle_and_wait_cycle() {
         let spec = AppSpec {
             name: "loop".into(),
             services: vec![
@@ -1091,10 +1407,55 @@ mod tests {
             ],
         };
         let d = analyze(&spec);
-        assert_eq!(codes(&d), vec![Code::CallCycle]);
+        assert_eq!(codes(&d), vec![Code::CallCycle, Code::WaitCycle]);
         assert_eq!(d[0].severity, Severity::Error);
         assert!(d[0].message.contains("a, b"), "{}", d[0].message);
-        assert!(d[0].message.contains("deadlock"), "{}", d[0].message);
+        assert_eq!(d[1].severity, Severity::Error);
+        assert!(
+            d[1].message.contains("holds a blocking worker"),
+            "{}",
+            d[1].message
+        );
+    }
+
+    #[test]
+    fn async_thrift_cycle_is_a_cycle_but_not_a_wait_cycle() {
+        // Event-driven tiers over a multiplexing protocol hold nothing
+        // across the call: the loop is a design smell (DSB001) but it
+        // cannot deadlock — exactly the DSB001/DSB014 delta.
+        let mut a = svc("a", vec![Step::call(ep(1), 64.0)]);
+        let mut b = svc("b", vec![Step::call(ep(0), 64.0)]);
+        a.concurrency = Concurrency::Async;
+        b.concurrency = Concurrency::Async;
+        let spec = AppSpec {
+            name: "loop".into(),
+            services: vec![a, b],
+        };
+        assert_eq!(codes(&analyze(&spec)), vec![Code::CallCycle]);
+    }
+
+    #[test]
+    fn conn_pool_only_cycle_still_deadlocks() {
+        // The case the old all-tiers-block note missed: event-driven
+        // tiers whose *protocol* holds one connection per outstanding
+        // request form a circular wait through the connection pools.
+        let mut a = svc("a", vec![Step::call(ep(1), 64.0)]);
+        let mut b = svc("b", vec![Step::call(ep(0), 64.0)]);
+        for s in [&mut a, &mut b] {
+            s.concurrency = Concurrency::Async;
+            s.protocol = Protocol::Http1;
+        }
+        let spec = AppSpec {
+            name: "loop".into(),
+            services: vec![a, b],
+        };
+        let d = analyze(&spec);
+        assert_eq!(codes(&d), vec![Code::CallCycle, Code::WaitCycle]);
+        assert!(
+            d[1].message.contains("holds a connection slot"),
+            "{}",
+            d[1].message
+        );
     }
 
     #[test]
@@ -1103,7 +1464,10 @@ mod tests {
             name: "self".into(),
             services: vec![svc("a", vec![Step::call(ep(0), 64.0)])],
         };
-        assert_eq!(codes(&analyze(&spec)), vec![Code::CallCycle]);
+        assert_eq!(
+            codes(&analyze(&spec)),
+            vec![Code::CallCycle, Code::WaitCycle]
+        );
     }
 
     #[test]
@@ -1491,6 +1855,182 @@ mod tests {
             .offered(ep(1), 100.0)
             .cluster(&cluster)
             .run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// One Xeon plus `edge` edge devices, for lookahead tests.
+    fn edge_cluster(edge: usize) -> ClusterSpec {
+        let mut cluster = ClusterSpec::xeon_cluster(1, 1);
+        for _ in 0..edge {
+            cluster.machines.push(dsb_core::MachineSpec::edge_device());
+        }
+        cluster
+    }
+
+    #[test]
+    fn edge_to_edge_gossip_certifies_sub_loopback_lookahead() {
+        // Two edge-zone services, two instances each, spread over edge
+        // devices: the Edge<->Edge link floor (0.2 x 2 us = 400 ns) is
+        // below the 2 us loopback epoch floor.
+        let mut b = svc("gossip-peer", vec![Step::work_us(5.0)]);
+        let mut a = svc("gossip", vec![Step::call(ep(0), 64.0)]);
+        for s in [&mut a, &mut b] {
+            s.zone_pref = Some(Zone::Edge);
+            s.workers = WorkerPolicy::Fixed(1);
+            s.initial_instances = 2;
+        }
+        let spec = AppSpec {
+            name: "gossip".into(),
+            services: vec![b, a],
+        };
+        // Without cluster context the pass cannot run.
+        assert!(analyze(&spec).is_empty(), "{:?}", analyze(&spec));
+        let cluster = edge_cluster(4);
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .cluster(&cluster)
+            .run();
+        assert_eq!(codes(&d), vec![Code::ZeroLookahead]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].service_name, "gossip");
+        assert!(d[0].message.contains("400 ns"), "{}", d[0].message);
+
+        // The same app on datacenter machines clears the floor: the
+        // intra-rack minimum (5 us) exceeds loopback (2 us).
+        let mut dc = spec.clone();
+        for s in &mut dc.services {
+            s.zone_pref = None;
+        }
+        let racks = ClusterSpec::xeon_cluster(2, 1);
+        let d = Analyzer::new(&dc).entry(ServiceId(1)).cluster(&racks).run();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn ipc_spanning_machines_has_zero_lookahead() {
+        // An IPC callee the round-robin balancer spreads over two
+        // machines: no zone preference conflict (so no DSB007), but the
+        // delay bound a parallel engine could certify is zero.
+        let mut callee = svc("sidecar", vec![Step::work_us(1.0)]);
+        callee.protocol = Protocol::Ipc;
+        callee.initial_instances = 2;
+        callee.workers = WorkerPolicy::Fixed(1);
+        let mut caller = svc("app", vec![Step::call(ep(0), 64.0)]);
+        caller.initial_instances = 2;
+        caller.workers = WorkerPolicy::Fixed(1);
+        let spec = AppSpec {
+            name: "ipc".into(),
+            services: vec![callee, caller],
+        };
+        let cluster = ClusterSpec::xeon_cluster(2, 1);
+        let d = Analyzer::new(&spec)
+            .entry(ServiceId(1))
+            .cluster(&cluster)
+            .run();
+        assert_eq!(codes(&d), vec![Code::ZeroLookahead]);
+        let zl = &d[0];
+        assert!(zl.message.contains("zero-lookahead"), "{}", zl.message);
+        assert!(zl.message.contains("round-robin"), "{}", zl.message);
+    }
+
+    /// A cache-aside pair: partition-routed `cache` (get/set) over
+    /// partition-routed `db` (find/insert), with a read endpoint that
+    /// consults the cache first and a write endpoint whose store order
+    /// is given by `write_script`.
+    fn cache_aside(write_first_cache: bool) -> AppSpec {
+        let mk_store = |name: &str, eps: [&str; 2]| {
+            let mut s = svc(name, vec![Step::work_us(2.0)]);
+            s.lb = LbPolicy::Partition;
+            s.initial_instances = 2;
+            s.concurrency = Concurrency::Async;
+            s.endpoints[0].name = eps[0].to_string();
+            s.endpoints.push(dsb_core::EndpointSpec {
+                name: eps[1].to_string(),
+                resp_bytes: Dist::constant(16.0),
+                script: Arc::new(vec![Step::work_us(2.0)]),
+            });
+            s
+        };
+        let cache = mk_store("cache", ["get", "set"]);
+        let db = mk_store("db", ["find", "insert"]);
+        let cache_get = ep(0);
+        let cache_set = EndpointRef {
+            service: ServiceId(0),
+            endpoint: 1,
+        };
+        let db_find = ep(1);
+        let db_insert = EndpointRef {
+            service: ServiceId(1),
+            endpoint: 1,
+        };
+        let read = Step::Branch {
+            p: 0.9,
+            then: Arc::new(vec![Step::call(cache_get, 16.0)]),
+            els: Arc::new(vec![
+                Step::call(cache_get, 16.0),
+                Step::call(db_find, 16.0),
+                Step::call(cache_set, 64.0),
+            ]),
+        };
+        let write = if write_first_cache {
+            vec![Step::call(cache_set, 64.0), Step::call(db_insert, 64.0)]
+        } else {
+            vec![Step::call(db_insert, 64.0), Step::call(cache_set, 64.0)]
+        };
+        let mut front = svc("front", vec![read]);
+        front.concurrency = Concurrency::Async;
+        front.endpoints.push(dsb_core::EndpointSpec {
+            name: "write".to_string(),
+            resp_bytes: Dist::constant(16.0),
+            script: Arc::new(write),
+        });
+        AppSpec {
+            name: "aside".into(),
+            services: vec![cache, db, front],
+        }
+    }
+
+    #[test]
+    fn write_visibility_race_fires_only_on_certain_inversion() {
+        // Durable-store-first ordering: clean.
+        let good = cache_aside(false);
+        let d = Analyzer::new(&good).entry(ServiceId(2)).run();
+        assert!(d.is_empty(), "{d:?}");
+
+        // Cache-first ordering inverts the cache-aside protocol.
+        let bad = cache_aside(true);
+        let d = Analyzer::new(&bad).entry(ServiceId(2)).run();
+        assert_eq!(codes(&d), vec![Code::WriteVisibilityRace]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].service_name, "front");
+        assert_eq!(d[0].endpoint.as_deref(), Some("write"));
+        assert!(d[0].message.contains("`cache`"), "{}", d[0].message);
+
+        // A probabilistic flush (write-behind) is exempt: the durable
+        // write is not *certain*, so the order proves nothing.
+        let mut behind = cache_aside(true);
+        let write = vec![
+            Step::call(
+                EndpointRef {
+                    service: ServiceId(0),
+                    endpoint: 1,
+                },
+                64.0,
+            ),
+            Step::Branch {
+                p: 0.1,
+                then: Arc::new(vec![Step::call(
+                    EndpointRef {
+                        service: ServiceId(1),
+                        endpoint: 1,
+                    },
+                    64.0,
+                )]),
+                els: Arc::new(vec![]),
+            },
+        ];
+        behind.services[2].endpoints[1].script = Arc::new(write);
+        let d = Analyzer::new(&behind).entry(ServiceId(2)).run();
         assert!(d.is_empty(), "{d:?}");
     }
 

@@ -9,7 +9,7 @@
 //!
 //! | Code | Check | Severity |
 //! |---|---|---|
-//! | DSB001 | call-graph cycle (deadlock-capable when all tiers block) | error |
+//! | DSB001 | call-graph cycle | error |
 //! | DSB002 | blocking pool backpressure potential (Fig. 17 case B) | warning |
 //! | DSB003 | fan-out degree oversubscribes the callee's worker pool | warning |
 //! | DSB004 | service unreachable from any entry point | warning |
@@ -22,13 +22,18 @@
 //! | DSB011 | placement overcommits a machine's core budget | warning/error |
 //! | DSB012 | critical-path queueing beyond per-tier Erlang-C (calibration sim) | warning |
 //! | DSB013 | SLO burn's runtime culprit differs from the spec-predicted bottleneck | warning |
+//! | DSB014 | circular wait across blocking worker/connection pools (deadlock) | error |
+//! | DSB015 | zero/sub-loopback lookahead edge blocks parallel sharding | warning |
+//! | DSB016 | cross-shard write-visibility window (cache set before durable write) | warning |
 //!
 //! Entry points: [`analyze`] for pure spec checks, [`Analyzer`] to add
-//! entry-point and offered-load context, and [`srclint`] for the
-//! determinism source lint that protects the golden-trace contract
-//! (no `HashMap` iteration, wall clocks, or unseeded randomness in
-//! sim-visible code). The `dsb-lint` binary runs both passes over the
-//! eight built-in applications and `crates/*/src`.
+//! entry-point and offered-load context, [`model::lookahead_certificate`]
+//! for the per-app parallel-lookahead certificate DSB015 is built on,
+//! and [`srclint`] for the determinism source lint that protects the
+//! golden-trace contract (no `HashMap` iteration, wall clocks, unseeded
+//! randomness, interior mutability, or stray threads in sim-visible
+//! code). The `dsb-lint` binary runs both passes over the eight built-in
+//! applications and `crates/*/src`.
 
 #![warn(missing_docs)]
 
@@ -37,8 +42,8 @@ pub mod model;
 pub mod srclint;
 
 pub use checks::{analyze, Analyzer};
-pub use model::CapacityModel;
-pub use srclint::{lint_sources, Allowlist, SourceFinding};
+pub use model::{lookahead_certificate, CapacityModel, LookaheadCertificate};
+pub use srclint::{lint_sources, Allowlist, AllowlistError, SourceFinding};
 
 use std::fmt;
 
@@ -101,6 +106,21 @@ pub enum Code {
     /// Fig. 17/18 divergence between where latency is billed and what
     /// causes it.
     QosCulpritMismatch,
+    /// DSB014: a cycle in the *resource-holding* call graph — every edge
+    /// on it holds a finite pool slot (blocking worker or blocking
+    /// connection) across its downstream call, so the loop can deadlock
+    /// once all pools drain. The static dual of Fig. 17 backpressure.
+    WaitCycle,
+    /// DSB015: a cross-machine edge whose guaranteed minimum network
+    /// delay is zero (same-host-only protocol spanning shards) or below
+    /// the loopback epoch floor — it would force a conservative parallel
+    /// engine into lock-step.
+    ZeroLookahead,
+    /// DSB016: a write path that updates a cache shard before the
+    /// durable store backing it (established by read paths that consult
+    /// the cache first), opening a window in which a remote reader can
+    /// refill the cache from pre-write state.
+    WriteVisibilityRace,
 }
 
 impl Code {
@@ -120,6 +140,9 @@ impl Code {
             Code::MachineOvercommit => "DSB011",
             Code::CriticalPathQueueing => "DSB012",
             Code::QosCulpritMismatch => "DSB013",
+            Code::WaitCycle => "DSB014",
+            Code::ZeroLookahead => "DSB015",
+            Code::WriteVisibilityRace => "DSB016",
         }
     }
 }
@@ -241,6 +264,9 @@ mod tests {
             Code::MachineOvercommit,
             Code::CriticalPathQueueing,
             Code::QosCulpritMismatch,
+            Code::WaitCycle,
+            Code::ZeroLookahead,
+            Code::WriteVisibilityRace,
         ];
         let strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         let unique: std::collections::BTreeSet<_> = strs.iter().collect();

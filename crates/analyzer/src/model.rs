@@ -10,8 +10,13 @@
 //! diagnostics are built on against a fixed-seed simulation.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use dsb_core::{AppSpec, ClusterSpec, EndpointRef, PlacementPlan, ServiceId, Step, WorkerPolicy};
+use dsb_core::{
+    AppSpec, ClusterSpec, EndpointRef, LbPolicy, MachineId, PlacementPlan, ServiceId, Step,
+    WorkerPolicy,
+};
+use dsb_net::Fabric;
 
 /// Erlang-C: the probability an M/M/k arrival must queue, for `k` servers
 /// offered `a` erlangs. Uses the numerically stable Erlang-B recurrence
@@ -688,6 +693,160 @@ pub(crate) fn feasible_plan(spec: &AppSpec, cluster: &ClusterSpec) -> Option<Pla
         })
     });
     feasible.then(|| PlacementPlan::compute(spec, cluster))
+}
+
+/// One cross-machine communicating hop discovered by the lookahead walk:
+/// a call edge plus one `(caller machine, callee machine)` pair its load
+/// balancing can route across.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CrossHop {
+    /// Guaranteed minimum one-way delay of this hop, ns. Zero for a
+    /// same-host-only protocol spanning machines (the impossible hop a
+    /// parallel engine cannot bound at all).
+    pub min_delay_ns: u64,
+    /// Calling service.
+    pub caller: ServiceId,
+    /// Called service.
+    pub callee: ServiceId,
+    /// A machine hosting a caller instance.
+    pub from_machine: MachineId,
+    /// A machine hosting a callee instance the LB can route to.
+    pub to_machine: MachineId,
+    /// Whether the callee's protocol is same-host-only (IPC).
+    pub same_host_only: bool,
+}
+
+/// The per-app parallel-lookahead certificate: the minimum guaranteed
+/// cross-machine network delay under the deterministic placement plan.
+/// A conservative parallel engine sharded by machine may advance each
+/// shard's clock by this epoch between synchronizations without ever
+/// observing an event out of order — this is the bound the planned
+/// parallel engine (ROADMAP) will run behind.
+#[derive(Debug, Clone)]
+pub struct LookaheadCertificate {
+    /// Every cross-machine hop, sorted by `(min delay, caller, callee,
+    /// machines)` — the first entry is the limiting hop.
+    pub hops: Vec<CrossHop>,
+    /// Number of distinct machines the app's instances occupy.
+    pub machines_used: usize,
+}
+
+impl LookaheadCertificate {
+    /// The certified minimum safe epoch in sim-time ns; `None` when no
+    /// call edge can cross machines (single shard — embarrassingly
+    /// parallel over seeds instead).
+    pub fn min_epoch_ns(&self) -> Option<u64> {
+        self.hops.first().map(|h| h.min_delay_ns)
+    }
+
+    /// The hop that limits the epoch, if any.
+    pub fn limiting(&self) -> Option<&CrossHop> {
+        self.hops.first()
+    }
+
+    /// Renders the one-line certificate for service-name context
+    /// supplied by the caller (the certificate itself stores ids).
+    pub fn render(&self, name_of: impl Fn(ServiceId) -> String) -> String {
+        match self.limiting() {
+            None => format!(
+                "lookahead: no cross-machine call edges across {} machine(s); \
+                 shards synchronize only at the horizon",
+                self.machines_used
+            ),
+            Some(h) => format!(
+                "lookahead: min safe epoch {} ns over {} cross-machine hop(s); \
+                 limiting hop {} -> {} (machine {} -> {})",
+                h.min_delay_ns,
+                self.hops.len(),
+                name_of(h.caller),
+                name_of(h.callee),
+                h.from_machine.0,
+                h.to_machine.0,
+            ),
+        }
+    }
+}
+
+impl fmt::Display for LookaheadCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(|s| format!("svc{}", s.0)))
+    }
+}
+
+/// Whether `caller -> callee` is a *partition-aligned* pair: both ends
+/// route by partition key over the same instance count, and instance `k`
+/// of each lands on the same machine. The simulator hashes the request's
+/// partition key modulo the instance count on both sides, so such an
+/// edge provably never crosses machines (this is how the drone swarm's
+/// per-drone IPC stacks stay single-machine).
+fn partition_aligned(spec: &AppSpec, plan: &PlacementPlan, c: ServiceId, d: ServiceId) -> bool {
+    let (cs, ds) = (&spec.services[c.0 as usize], &spec.services[d.0 as usize]);
+    if cs.lb != LbPolicy::Partition || ds.lb != LbPolicy::Partition {
+        return false;
+    }
+    let (cm, dm) = (plan.machines_of(c), plan.machines_of(d));
+    cm.len() == dm.len() && cm.iter().zip(dm).all(|(a, b)| a == b)
+}
+
+/// Computes the app's [`LookaheadCertificate`] under the deterministic
+/// placement plan; `None` when no feasible plan exists. Every valid call
+/// edge contributes the `(caller machine, callee machine)` pairs its
+/// load balancing can produce — all distinct cross-machine pairs of the
+/// two ends' machine sets, except partition-aligned edges, which are
+/// proven same-machine. Hops of a same-host-only protocol that can
+/// nevertheless span machines carry a zero bound.
+pub fn lookahead_certificate(
+    spec: &AppSpec,
+    cluster: &ClusterSpec,
+) -> Option<LookaheadCertificate> {
+    let plan = feasible_plan(spec, cluster)?;
+    let fabric = Fabric::new(cluster.fabric);
+    let mut hops = Vec::new();
+    for (c, d) in valid_edges(spec) {
+        if c == d || partition_aligned(spec, &plan, c, d) {
+            continue;
+        }
+        let same_host_only = spec.services[d.0 as usize].protocol.same_host_only();
+        let mut from: Vec<MachineId> = plan.machines_of(c).to_vec();
+        let mut to: Vec<MachineId> = plan.machines_of(d).to_vec();
+        from.sort_unstable_by_key(|m| m.0);
+        from.dedup();
+        to.sort_unstable_by_key(|m| m.0);
+        to.dedup();
+        for &fm in &from {
+            for &tm in &to {
+                if fm == tm {
+                    continue;
+                }
+                let min_delay_ns = if same_host_only {
+                    0
+                } else {
+                    let (fz, tz) = (
+                        cluster.machines[fm.0 as usize].zone,
+                        cluster.machines[tm.0 as usize].zone,
+                    );
+                    fabric.min_delay(fz, tz).as_nanos()
+                };
+                hops.push(CrossHop {
+                    min_delay_ns,
+                    caller: c,
+                    callee: d,
+                    from_machine: fm,
+                    to_machine: tm,
+                    same_host_only,
+                });
+            }
+        }
+    }
+    hops.sort();
+    hops.dedup();
+    let mut used: Vec<u32> = plan.instances().iter().map(|&(_, m)| m.0).collect();
+    used.sort_unstable();
+    used.dedup();
+    Some(LookaheadCertificate {
+        hops,
+        machines_used: used.len(),
+    })
 }
 
 #[cfg(test)]

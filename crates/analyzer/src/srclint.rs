@@ -1,38 +1,57 @@
-//! Determinism source lint.
+//! Determinism + parallel-safety source lint (v2, lexer-based).
 //!
 //! The golden traces from PR 1 are only meaningful if a simulation is a
-//! pure function of `(spec, seed)`. Three things quietly break that
-//! contract: iterating hash containers (order depends on hasher state),
-//! reading wall clocks, and drawing unseeded randomness. This pass scans
-//! `crates/*/src` for those tokens and reports each occurrence unless an
-//! allowlist entry vouches for it.
+//! pure function of `(spec, seed)`, and the planned parallel engine
+//! (ROADMAP) additionally requires that no source construct smuggles
+//! scheduler- or thread-order dependence into sim state. This pass scans
+//! `crates/*/src` for such constructs and reports each occurrence unless
+//! an allowlist entry vouches for it.
 //!
-//! The scan is deliberately lexical — no parsing, no type resolution —
-//! so it over-approximates: *mentioning* `HashMap` is flagged even where
-//! only keyed access happens. That is intentional; the fix (`BTreeMap`)
-//! is cheap, and the allowlist documents the few legitimate uses (e.g.
-//! wall-clock progress reporting in a CLI) right next to the reason.
+//! Unlike the v1 token-grep, the scan runs a real (lightweight) Rust
+//! lexer: line comments, nested block comments, string literals, raw and
+//! byte strings, and char literals are tokenized and *skipped*, so a
+//! `HashMap` mentioned in a doc comment or error message is never a
+//! finding. `#[cfg(test)]` items are skipped with balanced-brace
+//! tracking (only the annotated item, not the rest of the file) — test
+//! code may use wall clocks, hash containers, and threads freely.
+//!
+//! Hazard classes:
+//!
+//! - **hash-order**: `HashMap`/`HashSet`/`RandomState`/`DefaultHasher` —
+//!   iteration order depends on hasher state.
+//! - **wall-clock**: `SystemTime`/`Instant` — real time leaking into
+//!   simulated state.
+//! - **unseeded-rng**: `thread_rng`.
+//! - **interior-mutability**: `RefCell`/`Cell`/`UnsafeCell`/`static mut`
+//!   — writes the borrow checker cannot see; sim state must be
+//!   single-owner so shard hand-off is explicit.
+//! - **threading**: `thread::spawn` / `mpsc` — unmanaged threads and
+//!   channels have scheduler-dependent orderings; the parallel engine
+//!   must own all spawn/join order.
+//! - **float-accum**: `+=` of a float quantity inside a `for` loop over
+//!   `.keys()`/`.values()` — rounding accumulates in iteration order,
+//!   and a sharded engine merges partial sums in a different order.
 //!
 //! Allowlist format, one entry per line:
 //!
 //! ```text
 //! # comment
 //! crates/testkit/src/bench.rs Instant   # benchmarking needs a wall clock
-//! crates/analyzer/src/srclint.rs *      # the lint's own token table
 //! ```
 //!
 //! An entry is `path-suffix token` where `token` is one of the hazard
-//! tokens or `*` for all; entries that match nothing are themselves
-//! reported so the allowlist cannot rot.
+//! tokens or `*` for all. Entries that match nothing are reported so the
+//! allowlist cannot rot; duplicate entries and entries shadowed by a
+//! same-path `*` wildcard are hard parse errors.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Tokens whose presence in sim-visible source indicates a determinism
-/// hazard. Matched on identifier boundaries.
-const HAZARD_TOKENS: &[(&str, &str)] = &[
+/// Identifier tokens whose presence in sim-visible source indicates a
+/// hazard. Matched on lexed identifiers, never inside comments/strings.
+const HAZARD_IDENTS: &[(&str, &str)] = &[
     (
         "HashMap",
         "iteration order depends on hasher state; use BTreeMap",
@@ -52,7 +71,32 @@ const HAZARD_TOKENS: &[(&str, &str)] = &[
     ("thread_rng", "unseeded randomness; use the seeded sim RNG"),
     ("RandomState", "randomized hasher state"),
     ("DefaultHasher", "randomized hasher state"),
+    (
+        "RefCell",
+        "interior mutability; sim state must be single-owner for shard hand-off",
+    ),
+    (
+        "Cell",
+        "interior mutability; sim state must be single-owner for shard hand-off",
+    ),
+    (
+        "UnsafeCell",
+        "interior mutability; sim state must be single-owner for shard hand-off",
+    ),
+    (
+        "mpsc",
+        "channel recv order across threads is scheduler-dependent",
+    ),
 ];
+
+/// Why for the `static mut` two-token hazard.
+const WHY_STATIC_MUT: &str = "mutable global state; racy and replay-hostile";
+/// Why for the `thread::spawn` sequence hazard.
+const WHY_THREAD_SPAWN: &str =
+    "unmanaged thread; the parallel engine must own all spawn/join order";
+/// Why for float accumulation in keyed-iteration loops.
+const WHY_FLOAT_ACCUM: &str = "float `+=` over keyed iteration accumulates rounding in \
+     iteration order; a sharded engine merges in a different order";
 
 /// One hazard occurrence the lint could not excuse.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -61,7 +105,7 @@ pub struct SourceFinding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// The hazard token found.
+    /// The hazard token found (e.g. `HashMap`, `static mut`, `float-accum`).
     pub token: String,
     /// Why the token is a hazard.
     pub why: String,
@@ -76,6 +120,53 @@ impl fmt::Display for SourceFinding {
         )
     }
 }
+
+/// Error from [`Allowlist::parse`] / [`Allowlist::load`]. The allowlist
+/// is itself policed: duplicate entries and entries made dead by a
+/// same-path `*` wildcard are configuration rot and fail hard.
+#[derive(Debug)]
+pub enum AllowlistError {
+    /// Underlying file read failed.
+    Io(io::Error),
+    /// The same `path token` pair appears twice (lines are 1-based).
+    Duplicate {
+        /// 1-based line of the second occurrence.
+        line: usize,
+        /// The repeated `path token` entry.
+        entry: String,
+    },
+    /// A specific-token entry is shadowed by a `*` wildcard on the same
+    /// path suffix, so it can never be the excusing entry.
+    Shadowed {
+        /// 1-based line of the shadowed (specific) entry.
+        line: usize,
+        /// The specific `path token` entry that can never match first.
+        entry: String,
+        /// The `path *` wildcard that swallows it.
+        wildcard: String,
+    },
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllowlistError::Io(e) => write!(f, "allowlist read failed: {e}"),
+            AllowlistError::Duplicate { line, entry } => {
+                write!(f, "allowlist line {line}: duplicate entry `{entry}`")
+            }
+            AllowlistError::Shadowed {
+                line,
+                entry,
+                wildcard,
+            } => write!(
+                f,
+                "allowlist line {line}: entry `{entry}` is shadowed by wildcard `{wildcard}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllowlistError {}
 
 /// Parsed allowlist; tracks which entries actually matched so stale
 /// entries can be reported.
@@ -100,10 +191,12 @@ impl Allowlist {
     }
 
     /// Parses the `path-suffix token # comment` format. Unknown tokens
-    /// are accepted (they simply never match and surface as unused).
-    pub fn parse(text: &str) -> Self {
-        let mut entries = Vec::new();
-        for line in text.lines() {
+    /// are accepted (they simply never match and surface as unused), but
+    /// duplicate entries and specific entries shadowed by a same-path
+    /// `*` wildcard are hard errors.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries: Vec<(usize, AllowEntry)> = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
             let line = line.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
@@ -112,21 +205,53 @@ impl Allowlist {
             let (Some(path_suffix), Some(token)) = (parts.next(), parts.next()) else {
                 continue;
             };
-            entries.push(AllowEntry {
-                path_suffix: path_suffix.to_string(),
-                token: token.to_string(),
-                used: false,
-            });
+            if let Some((_, prev)) = entries
+                .iter()
+                .find(|(_, e)| e.path_suffix == path_suffix && e.token == token)
+            {
+                let _ = prev;
+                return Err(AllowlistError::Duplicate {
+                    line: idx + 1,
+                    entry: format!("{path_suffix} {token}"),
+                });
+            }
+            entries.push((
+                idx + 1,
+                AllowEntry {
+                    path_suffix: path_suffix.to_string(),
+                    token: token.to_string(),
+                    used: false,
+                },
+            ));
         }
-        Allowlist { entries }
+        // A `path *` wildcard makes every same-path specific entry dead
+        // weight, regardless of which line came first.
+        for (line, e) in &entries {
+            if e.token == "*" {
+                continue;
+            }
+            if let Some((_, w)) = entries
+                .iter()
+                .find(|(_, w)| w.token == "*" && w.path_suffix == e.path_suffix)
+            {
+                return Err(AllowlistError::Shadowed {
+                    line: *line,
+                    entry: format!("{} {}", e.path_suffix, e.token),
+                    wildcard: format!("{} *", w.path_suffix),
+                });
+            }
+        }
+        Ok(Allowlist {
+            entries: entries.into_iter().map(|(_, e)| e).collect(),
+        })
     }
 
     /// Loads an allowlist file; a missing file is an empty allowlist.
-    pub fn load(path: &Path) -> io::Result<Self> {
+    pub fn load(path: &Path) -> Result<Self, AllowlistError> {
         match fs::read_to_string(path) {
-            Ok(text) => Ok(Self::parse(&text)),
+            Ok(text) => Self::parse(&text),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::empty()),
-            Err(e) => Err(e),
+            Err(e) => Err(AllowlistError::Io(e)),
         }
     }
 
@@ -153,9 +278,8 @@ impl Allowlist {
 
 /// Lints every `.rs` file under `root` (recursively), excusing findings
 /// via `allow`. Paths in findings are relative to `root`. Directories
-/// named `tests`, `benches`, or `examples` are skipped, as is everything
-/// in a file after a `#[cfg(test)]` marker — test code may use wall
-/// clocks and hash containers freely.
+/// named `tests`, `benches`, or `examples` are skipped, as is every
+/// `#[cfg(test)]`-annotated item.
 pub fn lint_sources(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<SourceFinding>> {
     let mut findings = Vec::new();
     walk(root, root, allow, &mut findings)?;
@@ -196,52 +320,446 @@ fn walk(
     Ok(())
 }
 
-/// Scans one file's text. Public within the crate so unit tests can lint
-/// synthetic sources without touching the filesystem.
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/// One lexed token. Comments, whitespace, string/char literal *contents*
+/// and lifetimes produce no tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok<'a> {
+    /// Identifier or keyword.
+    Ident(&'a str, usize),
+    /// Single punctuation character.
+    Punct(char, usize),
+    /// Compound `+=` operator.
+    PlusEq(usize),
+    /// Numeric literal; `float` when it lexes as f32/f64.
+    Num { float: bool, line: usize },
+    /// A string/char/byte literal (contents dropped).
+    Lit(usize),
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `text` into a token stream, skipping everything that cannot
+/// carry a hazard: whitespace, comments (line + nested block), string
+/// and char literal contents (plain, raw, byte), and lifetimes.
+fn lex(text: &str) -> Vec<Tok<'_>> {
+    let b = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                toks.push(Tok::Lit(start_line));
+            }
+            b'\'' => {
+                let start_line = line;
+                i += 1;
+                if i < b.len() && b[i] == b'\\' {
+                    // Escaped char literal: skip escape + closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok::Lit(start_line));
+                } else if i < b.len() && is_ident_start(b[i]) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'\'') {
+                        i = j + 1; // char literal like 'a'
+                        toks.push(Tok::Lit(start_line));
+                    } else {
+                        i = j; // lifetime like 'a — no token
+                    }
+                } else {
+                    // Non-ident char literal like '%' or '\n' raw byte.
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok::Lit(start_line));
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut float = false;
+                if c == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b')) {
+                    i += 2;
+                    while i < b.len() && (is_ident_continue(b[i])) {
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        float = true;
+                        i += 1;
+                        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                    if matches!(b.get(i), Some(b'e' | b'E'))
+                        && b.get(i + 1)
+                            .is_some_and(|d| d.is_ascii_digit() || *d == b'+' || *d == b'-')
+                    {
+                        float = true;
+                        i += 2;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    // Type suffix (1f64, 3u32, …).
+                    let sfx = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    if text[sfx..i].starts_with('f') {
+                        float = true;
+                    }
+                }
+                let _ = start;
+                toks.push(Tok::Num { float, line });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident = &text[start..i];
+                // Raw strings / byte strings / raw identifiers.
+                match ident {
+                    "r" | "br" | "b" if matches!(b.get(i), Some(b'"' | b'#')) => {
+                        if ident == "b" && b.get(i) == Some(&b'"') {
+                            let start_line = line;
+                            i = skip_string(b, i + 1, &mut line);
+                            toks.push(Tok::Lit(start_line));
+                        } else {
+                            // Count hashes, then a quote starts a raw string.
+                            let mut hashes = 0;
+                            let mut j = i;
+                            while b.get(j) == Some(&b'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            if b.get(j) == Some(&b'"') {
+                                let start_line = line;
+                                i = skip_raw_string(b, j + 1, hashes, &mut line);
+                                toks.push(Tok::Lit(start_line));
+                            } else if ident == "r"
+                                && hashes == 1
+                                && b.get(j).is_some_and(|d| is_ident_start(*d))
+                            {
+                                // Raw identifier r#foo.
+                                let rs = j;
+                                let mut k = j + 1;
+                                while k < b.len() && is_ident_continue(b[k]) {
+                                    k += 1;
+                                }
+                                toks.push(Tok::Ident(&text[rs..k], line));
+                                i = k;
+                            } else {
+                                toks.push(Tok::Ident(ident, line));
+                            }
+                        }
+                    }
+                    _ => toks.push(Tok::Ident(ident, line)),
+                }
+            }
+            b'+' if b.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::PlusEq(line));
+                i += 2;
+            }
+            _ => {
+                if c.is_ascii() {
+                    toks.push(Tok::Punct(c as char, line));
+                }
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Skips a plain (escape-aware) string body starting just after the
+/// opening quote; returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body (`hashes` trailing `#`s close it); returns
+/// the index just past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, hashes: usize, line: &mut usize) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Removes every `#[cfg(test)]`-annotated item from the token stream:
+/// the attribute, any further attributes, and the item through its
+/// balanced `{…}` body (or trailing `;`, whichever comes first).
+fn strip_cfg_test<'a>(toks: &[Tok<'a>]) -> Vec<Tok<'a>> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_at(toks, i) {
+            i += 7; // consume `# [ cfg ( test ) ]`
+                    // Skip any further attributes on the same item.
+            while matches!(toks.get(i), Some(Tok::Punct('#', _)))
+                && matches!(toks.get(i + 1), Some(Tok::Punct('[', _)))
+            {
+                let mut depth = 0;
+                i += 1;
+                loop {
+                    match toks.get(i) {
+                        Some(Tok::Punct('[', _)) => depth += 1,
+                        Some(Tok::Punct(']', _)) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        None => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Skip the item: to a `;` before any brace, or through the
+            // balanced `{…}` body.
+            let mut depth = 0usize;
+            while i < toks.len() {
+                match toks[i] {
+                    Tok::Punct(';', _) if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    Tok::Punct('{', _) => depth += 1,
+                    Tok::Punct('}', _) => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_at(toks: &[Tok<'_>], i: usize) -> bool {
+    matches!(toks.get(i), Some(Tok::Punct('#', _)))
+        && matches!(toks.get(i + 1), Some(Tok::Punct('[', _)))
+        && matches!(toks.get(i + 2), Some(Tok::Ident("cfg", _)))
+        && matches!(toks.get(i + 3), Some(Tok::Punct('(', _)))
+        && matches!(toks.get(i + 4), Some(Tok::Ident("test", _)))
+        && matches!(toks.get(i + 5), Some(Tok::Punct(')', _)))
+        && matches!(toks.get(i + 6), Some(Tok::Punct(']', _)))
+}
+
+/// Scans one file's text. Crate-visible so unit tests can lint synthetic
+/// sources without touching the filesystem.
 fn scan_text(rel_path: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<SourceFinding>) {
-    for (idx, line) in text.lines().enumerate() {
-        // Everything after the test-module marker is test code; the
-        // repo convention keeps `#[cfg(test)]` modules at end of file.
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break;
+    let toks = lex(text);
+    let toks = strip_cfg_test(&toks);
+    let mut push = |line: usize, token: &str, why: &str, allow: &mut Allowlist| {
+        if !allow.allows(rel_path, token) {
+            out.push(SourceFinding {
+                path: rel_path.to_string(),
+                line,
+                token: token.to_string(),
+                why: why.to_string(),
+            });
         }
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // comments (incl. doc comments) may name hazards
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Ident(name, line) = *t {
+            // `static mut` two-token hazard.
+            if name == "static" && matches!(toks.get(i + 1), Some(Tok::Ident("mut", _))) {
+                push(line, "static mut", WHY_STATIC_MUT, allow);
+                continue;
+            }
+            // `thread::spawn` call path.
+            if name == "thread"
+                && matches!(toks.get(i + 1), Some(Tok::Punct(':', _)))
+                && matches!(toks.get(i + 2), Some(Tok::Punct(':', _)))
+                && matches!(toks.get(i + 3), Some(Tok::Ident("spawn", _)))
+            {
+                push(line, "thread::spawn", WHY_THREAD_SPAWN, allow);
+                continue;
+            }
+            for &(token, why) in HAZARD_IDENTS {
+                if name == token {
+                    push(line, token, why, allow);
+                }
+            }
         }
-        for &(token, why) in HAZARD_TOKENS {
-            if contains_ident(line, token) && !allow.allows(rel_path, token) {
+    }
+    scan_float_accum(&toks, rel_path, allow, out);
+}
+
+/// Flags `+=` of a float quantity inside a `for` loop whose iterator
+/// expression contains `.keys()` or `.values()`. The float quantity is
+/// recognized lexically: the `+=` statement contains a float literal or
+/// an `f32`/`f64` token.
+fn scan_float_accum(
+    toks: &[Tok<'_>],
+    rel_path: &str,
+    allow: &mut Allowlist,
+    out: &mut Vec<SourceFinding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident("for", _) = t else { continue };
+        // Loop header runs to the first `{` outside parens/brackets.
+        let mut j = i + 1;
+        let mut nest = 0i32;
+        let mut keyed = false;
+        while j < toks.len() {
+            match &toks[j] {
+                Tok::Punct('(' | '[', _) => nest += 1,
+                Tok::Punct(')' | ']', _) => nest -= 1,
+                Tok::Punct('{', _) if nest == 0 => break,
+                Tok::Punct('.', _) => {
+                    if let Some(Tok::Ident(m, _)) = toks.get(j + 1) {
+                        if (*m == "keys" || *m == "values")
+                            && matches!(toks.get(j + 2), Some(Tok::Punct('(', _)))
+                        {
+                            keyed = true;
+                        }
+                    }
+                }
+                Tok::Punct(';', _) if nest == 0 => break, // not a loop header
+                _ => {}
+            }
+            j += 1;
+        }
+        if !keyed || j >= toks.len() {
+            continue;
+        }
+        // Body: balanced braces from `j`.
+        let body_start = j;
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < toks.len() {
+            match &toks[end] {
+                Tok::Punct('{', _) => depth += 1,
+                Tok::Punct('}', _) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        // Each `+=` in the body: examine its statement for a float token.
+        for k in body_start..end {
+            let Tok::PlusEq(line) = toks[k] else { continue };
+            let stmt_start = (body_start..k)
+                .rev()
+                .find(|&s| matches!(toks[s], Tok::Punct(';' | '{' | '}', _)))
+                .map_or(body_start, |s| s + 1);
+            let stmt_end = (k..end)
+                .find(|&s| matches!(toks[s], Tok::Punct(';', _)))
+                .unwrap_or(end);
+            let floaty = toks[stmt_start..stmt_end].iter().any(|t| {
+                matches!(t, Tok::Num { float: true, .. })
+                    || matches!(t, Tok::Ident("f32" | "f64", _))
+            });
+            if floaty && !allow.allows(rel_path, "float-accum") {
                 out.push(SourceFinding {
                     path: rel_path.to_string(),
-                    line: idx + 1,
-                    token: token.to_string(),
-                    why: why.to_string(),
+                    line,
+                    token: "float-accum".to_string(),
+                    why: WHY_FLOAT_ACCUM.to_string(),
                 });
             }
         }
     }
-}
-
-/// Whether `line` contains `token` as a standalone identifier (not as a
-/// substring of a longer identifier).
-fn contains_ident(line: &str, token: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(token) {
-        let start = from + pos;
-        let end = start + token.len();
-        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
-        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        from = start + 1;
-    }
-    false
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
 }
 
 #[cfg(test)]
@@ -251,7 +769,15 @@ mod tests {
     fn scan(path: &str, text: &str, allow: &mut Allowlist) -> Vec<SourceFinding> {
         let mut out = Vec::new();
         scan_text(path, text, allow, &mut out);
+        out.sort();
         out
+    }
+
+    fn tokens(src: &str) -> Vec<String> {
+        scan("crates/x/src/lib.rs", src, &mut Allowlist::empty())
+            .into_iter()
+            .map(|f| f.token)
+            .collect()
     }
 
     #[test]
@@ -266,24 +792,130 @@ mod tests {
 
     #[test]
     fn matches_identifier_boundaries_only() {
-        assert!(contains_ident("let m: HashMap<u32, u32>;", "HashMap"));
-        assert!(!contains_ident("let m = MyHashMapLike::new();", "HashMap"));
-        assert!(!contains_ident("let instant_rate = 3;", "Instant"));
-        assert!(contains_ident("foo(Instant::now())", "Instant"));
+        assert!(tokens("let m: HashMap<u32, u32> = x;").contains(&"HashMap".to_string()));
+        assert!(tokens("let m = MyHashMapLike::new();").is_empty());
+        assert!(tokens("let instant_rate = 3;").is_empty());
+        assert!(tokens("foo(Instant::now())") == vec!["Instant"]);
     }
 
     #[test]
-    fn skips_comments_and_test_modules() {
+    fn skips_line_and_block_comments() {
         let src = "\
-// HashMap in a comment is fine\n\
+// HashMap in a line comment is fine\n\
 /// Doc: uses SystemTime conceptually\n\
-fn ok() {}\n\
+/* block Instant comment /* nested thread_rng */ still RefCell comment */\n\
+fn ok() {}\n";
+        assert!(tokens(src).is_empty());
+    }
+
+    #[test]
+    fn skips_string_and_char_literals() {
+        let src = r#"
+fn ok() {
+    let a = "HashMap inside a string";
+    let b = "escaped \" quote then Instant";
+    let c = 'I';
+    let d = b"byte SystemTime string";
+    println!("uses {} DefaultHasher", a);
+}
+"#;
+        assert!(tokens(src).is_empty(), "{:?}", tokens(src));
+    }
+
+    #[test]
+    fn skips_raw_string_literals() {
+        let src = "\
+fn ok() {\n\
+    let a = r\"raw HashMap\";\n\
+    let b = r#\"hash # RefCell \"quoted\" thread_rng\"#;\n\
+    let c = br##\"byte raw Cell\"##;\n\
+    let lt: &'static str = a;\n\
+}\n";
+        assert!(tokens(src).is_empty(), "{:?}", tokens(src));
+    }
+
+    #[test]
+    fn hazard_after_string_on_same_line_is_still_found() {
+        let src = "let x = (\"label\", Instant::now());\n";
+        assert_eq!(tokens(src), vec!["Instant"]);
+    }
+
+    #[test]
+    fn cfg_test_skips_only_the_annotated_item() {
+        let src = "\
 #[cfg(test)]\n\
 mod tests {\n\
     use std::collections::HashSet;\n\
+    fn t() { let _ = Instant::now(); }\n\
+}\n\
+fn after_tests() { let m: HashMap<u8, u8> = make(); }\n";
+        // v1 skipped the rest of the file; v2 resumes after the item.
+        assert_eq!(tokens(src), vec!["HashMap"]);
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_and_semicolon_items() {
+        let src = "\
+#[cfg(test)]\n\
+#[allow(dead_code)]\n\
+fn helper() { thread_rng(); }\n\
+#[cfg(test)]\n\
+mod tests;\n\
+fn live() { let c = RefCell::new(0); }\n";
+        assert_eq!(tokens(src), vec!["RefCell"]);
+    }
+
+    #[test]
+    fn flags_interior_mutability_and_threading() {
+        assert_eq!(tokens("let c = RefCell::new(0);"), vec!["RefCell"]);
+        assert_eq!(tokens("let c = Cell::new(0);"), vec!["Cell"]);
+        assert_eq!(tokens("struct S(UnsafeCell<u32>);"), vec!["UnsafeCell"]);
+        assert_eq!(tokens("static mut COUNTER: u32 = 0;"), vec!["static mut"]);
+        assert_eq!(
+            tokens("let h = thread::spawn(move || {});"),
+            vec!["thread::spawn"]
+        );
+        assert_eq!(tokens("use std::sync::mpsc;"), vec!["mpsc"]);
+        // `static` without `mut` is fine; `spawn` without `thread::` too.
+        assert!(tokens("static OK: u32 = 0;").is_empty());
+        assert!(tokens("pool.spawn(job);").is_empty());
+    }
+
+    #[test]
+    fn flags_float_accumulation_in_keyed_loops() {
+        let bad = "\
+fn sum(m: &BTreeMap<u32, f64>) -> f64 {\n\
+    let mut total = 0.0;\n\
+    for v in m.values() {\n\
+        total += v * 2.0;\n\
+    }\n\
+    total\n\
 }\n";
-        let f = scan("crates/x/src/lib.rs", src, &mut Allowlist::empty());
-        assert!(f.is_empty(), "{f:?}");
+        let f = scan("crates/x/src/lib.rs", bad, &mut Allowlist::empty());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].token.as_str(), f[0].line), ("float-accum", 4));
+
+        // Integer accumulation over values() is fine.
+        let ok_int = "\
+fn sum(m: &BTreeMap<u32, u64>) -> u64 {\n\
+    let mut total = 0;\n\
+    for v in m.values() {\n\
+        total += v + 1;\n\
+    }\n\
+    total\n\
+}\n";
+        assert!(tokens(ok_int).is_empty());
+
+        // Float accumulation over a Vec (positional order) is fine.
+        let ok_vec = "\
+fn sum(v: &[f64]) -> f64 {\n\
+    let mut total = 0.0;\n\
+    for x in v.iter() {\n\
+        total += x * 2.0;\n\
+    }\n\
+    total\n\
+}\n";
+        assert!(tokens(ok_vec).is_empty());
     }
 
     #[test]
@@ -293,7 +925,8 @@ mod tests {\n\
              crates/x/src/lib.rs Instant  # wall-clock progress\n\
              crates/y/src/lib.rs *\n\
              crates/z/src/lib.rs HashMap\n",
-        );
+        )
+        .unwrap();
         let f = scan(
             "crates/x/src/lib.rs",
             "let t = Instant::now();\nuse std::collections::HashMap;\n",
@@ -301,9 +934,46 @@ mod tests {\n\
         );
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].token, "HashMap");
-        let f = scan("crates/y/src/lib.rs", "let s: HashSet<u8>;", &mut allow);
+        let f = scan("crates/y/src/lib.rs", "let s: HashSet<u8> = x;", &mut allow);
         assert!(f.is_empty());
         assert_eq!(allow.unused(), vec!["crates/z/src/lib.rs HashMap"]);
+    }
+
+    #[test]
+    fn allowlist_rejects_duplicates_and_shadowed_entries() {
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs Instant\n\
+             crates/x/src/lib.rs Instant\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AllowlistError::Duplicate { line: 2, .. }),
+            "{err}"
+        );
+
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs *\n\
+             crates/x/src/lib.rs HashMap\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AllowlistError::Shadowed { line: 2, .. }),
+            "{err}"
+        );
+        // Shadowing is order-independent.
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs HashMap\n\
+             crates/x/src/lib.rs *\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, AllowlistError::Shadowed { line: 1, .. }));
+
+        // Distinct paths do not shadow each other.
+        assert!(Allowlist::parse(
+            "crates/x/src/lib.rs *\n\
+             crates/y/src/lib.rs HashMap\n",
+        )
+        .is_ok());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use dsb_core::{
     AppSpec, ClusterSpec, Concurrency, EndpointRef, EndpointSpec, LbPolicy, ServiceId, ServiceSpec,
     Step, WorkerPolicy,
 };
-use dsb_net::Protocol;
+use dsb_net::{Protocol, Zone};
 use dsb_simcore::{Dist, Rng};
 use dsb_testkit::{gen, prop, Shrink};
 
@@ -203,6 +203,41 @@ fn back_edge_reports_exactly_a_cycle() {
             ),
         );
         let got = codes(&spec);
+        // Every tier is blocking Thrift with a fixed pool, so the same
+        // back-edge also closes a resource-holding loop: DSB001 names
+        // the cycle, DSB014 certifies it can deadlock.
+        if got == vec![Code::CallCycle, Code::WaitCycle] {
+            Ok(())
+        } else {
+            Err(format!("expected [CallCycle, WaitCycle], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn async_back_edge_is_a_cycle_but_never_a_wait_cycle() {
+    prop!(cases = 64, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // Same back-edge, but no tier holds a pool slot across its
+        // calls: async workers, non-blocking Thrift connections. The
+        // cycle is still a spec error; the deadlock certificate must
+        // NOT fire — that one-bit delta is exactly what DSB014 adds.
+        for svc in &mut spec.services {
+            svc.concurrency = Concurrency::Async;
+        }
+        let leaf = spec.services.len() - 1;
+        append_step(
+            &mut spec,
+            leaf,
+            Step::call(
+                EndpointRef {
+                    service: ServiceId(0),
+                    endpoint: 0,
+                },
+                64.0,
+            ),
+        );
+        let got = codes(&spec);
         if got == vec![Code::CallCycle] {
             Ok(())
         } else {
@@ -367,6 +402,121 @@ fn injected_fanout_chain_reports_exactly_critical_path_queueing() {
             Err(format!("expected [CriticalPathQueueing], got {got:?}"))
         }
     });
+}
+
+#[test]
+fn edge_gossip_pair_reports_exactly_zero_lookahead() {
+    prop!(cases = 32, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        let mut cluster = ClusterSpec::xeon_cluster(2, 1);
+        for _ in 0..4 {
+            cluster.machines.push(dsb_core::MachineSpec::edge_device());
+        }
+        let base = placed_codes(&spec, &cluster, 5.0, 0.0);
+        if !base.is_empty() {
+            return Err(format!("clean placed app produced {base:?}"));
+        }
+        // Graft a two-service edge-zone gossip pair under the
+        // front-end: two instances each, spread over the drones. The
+        // Edge<->Edge link floor (400 ns) is below the loopback epoch
+        // floor (2 us), so only the lookahead certificate complains.
+        let peer = spec.services.len();
+        let mut svc = chain_svc("gossip-peer", 1, vec![Step::work_us(5.0)]);
+        svc.zone_pref = Some(Zone::Edge);
+        svc.initial_instances = 2;
+        spec.services.push(svc);
+        let gossip = spec.services.len();
+        let mut svc = chain_svc(
+            "gossip",
+            1,
+            vec![Step::call(
+                EndpointRef {
+                    service: ServiceId(peer as u32),
+                    endpoint: 0,
+                },
+                64.0,
+            )],
+        );
+        svc.zone_pref = Some(Zone::Edge);
+        svc.initial_instances = 2;
+        spec.services.push(svc);
+        append_step(
+            &mut spec,
+            0,
+            Step::call(
+                EndpointRef {
+                    service: ServiceId(gossip as u32),
+                    endpoint: 0,
+                },
+                64.0,
+            ),
+        );
+        let got = placed_codes(&spec, &cluster, 5.0, 0.0);
+        if got == vec![Code::ZeroLookahead] {
+            Ok(())
+        } else {
+            Err(format!("expected [ZeroLookahead], got {got:?}"))
+        }
+    });
+}
+
+#[test]
+fn inverted_cache_write_reports_exactly_write_visibility_race() {
+    prop!(cases = 32, arb_topo, |t: &Topo| {
+        let mut spec = build(t);
+        // Graft a partition-routed cache-aside pair: a read path on the
+        // front-end that consults the cache before the durable store,
+        // and a write path ordered store-first — clean.
+        let cache = spec.services.len();
+        spec.services.push(store_svc("cache", ["get", "set"]));
+        let db = spec.services.len();
+        spec.services.push(store_svc("db", ["find", "insert"]));
+        let eref = |s: usize, e: usize| EndpointRef {
+            service: ServiceId(s as u32),
+            endpoint: e as u32,
+        };
+        append_step(&mut spec, 0, Step::call(eref(cache, 0), 16.0));
+        append_step(&mut spec, 0, Step::call(eref(db, 0), 16.0));
+        let write_ep = |steps: Vec<Step>| EndpointSpec {
+            name: "write".to_string(),
+            resp_bytes: Dist::constant(16.0),
+            script: Arc::new(steps),
+        };
+        spec.services[0].endpoints.push(write_ep(vec![
+            Step::call(eref(db, 1), 64.0),
+            Step::call(eref(cache, 1), 64.0),
+        ]));
+        let base = codes(&spec);
+        if !base.is_empty() {
+            return Err(format!("clean cache-aside app produced {base:?}"));
+        }
+        // Swap the two writes: cache updated before the durable store.
+        spec.services[0].endpoints[1] = write_ep(vec![
+            Step::call(eref(cache, 1), 64.0),
+            Step::call(eref(db, 1), 64.0),
+        ]);
+        let got = codes(&spec);
+        if got == vec![Code::WriteVisibilityRace] {
+            Ok(())
+        } else {
+            Err(format!("expected [WriteVisibilityRace], got {got:?}"))
+        }
+    });
+}
+
+/// A partition-routed async store tier with two endpoints (read, write).
+fn store_svc(name: &str, eps: [&str; 2]) -> ServiceSpec {
+    let mut svc = chain_svc(name, 8, vec![Step::work_us(2.0)]);
+    svc.concurrency = Concurrency::Async;
+    svc.lb = LbPolicy::Partition;
+    svc.initial_instances = 2;
+    svc.endpoints[0].name = eps[0].to_string();
+    svc.endpoints.push(EndpointSpec {
+        name: eps[1].to_string(),
+        resp_bytes: Dist::constant(16.0),
+        script: Arc::new(vec![Step::work_us(2.0)]),
+    });
+    svc
 }
 
 /// A Thrift tier for the DSB012 chain: `workers` blocking workers, one

@@ -1,16 +1,20 @@
 //! Deliberately broken deployments for the analyzer's golden report.
 //!
-//! Each constructor here builds a *placement-level* defect the per-tier
-//! checks (DSB002/DSB003/DSB009) cannot see, pinning the DSB011/DSB012
-//! diagnostics to `tests/goldens/analyzer_report.txt` the same way
-//! `twotier(64, 2)` pins DSB002.
+//! Each constructor here builds a defect the per-tier checks
+//! (DSB002/DSB003/DSB009) cannot see — placement-level shapes for
+//! DSB011/DSB012 ([`colocated_encoders`], [`burst_chain`]) and
+//! parallel-safety shapes for DSB014/DSB015/DSB016 ([`wait_loop`],
+//! [`edge_gossip`], [`stale_refill`]) — pinning those diagnostics to
+//! `tests/goldens/analyzer_report.txt` the same way `twotier(64, 2)`
+//! pins DSB002.
 
-use dsb_core::{AppBuilder, Step};
+use dsb_core::{AppBuilder, RequestType, Step};
+use dsb_net::Zone;
 use dsb_simcore::{Dist, SimDuration};
 use dsb_uarch::UarchProfile;
 use dsb_workload::QueryMix;
 
-use crate::{singles::REQUEST, BuiltApp};
+use crate::{add_memcached, add_mongodb, singles::REQUEST, BuiltApp};
 
 /// DSB011 demo: a gateway with four ~2 ms encode stages pinned to its
 /// machine (`CoLocate`, the sidecar/DaemonSet shape). At 5500 qps each
@@ -117,6 +121,152 @@ pub fn burst_chain() -> BuiltApp {
     }
 }
 
+/// DSB014 demo: an order tier and a payment tier, both blocking Thrift
+/// with fixed pools, calling each other — charging an order calls back
+/// into the order tier to mark it paid. Every edge of the loop holds a
+/// worker across its downstream call, so once both pools fill with
+/// requests awaiting each other nothing can complete: DSB001 names the
+/// cycle, DSB014 certifies the deadlock.
+pub fn wait_loop() -> BuiltApp {
+    let mut app = AppBuilder::new("wait_loop");
+    let order = app
+        .service("order-svc")
+        .profile(UarchProfile::microservice_default())
+        .blocking()
+        .workers(8)
+        .build();
+    let payment = app
+        .service("payment-svc")
+        .profile(UarchProfile::microservice_default())
+        .blocking()
+        .workers(8)
+        .build();
+    let mark_paid = app.endpoint(
+        order,
+        "markPaid",
+        Dist::constant(64.0),
+        vec![Step::work_us(40.0)],
+    );
+    let charge = app.endpoint(
+        payment,
+        "charge",
+        Dist::constant(128.0),
+        vec![Step::work_us(120.0), Step::call(mark_paid, 256.0)],
+    );
+    let place = app.endpoint(
+        order,
+        "place",
+        Dist::constant(256.0),
+        vec![Step::work_us(80.0), Step::call(charge, 512.0)],
+    );
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(place, REQUEST, 512.0),
+        qos_p99: SimDuration::from_millis(50),
+        order: vec![order, payment],
+        frontend: order,
+        spec,
+    }
+}
+
+/// DSB015 demo: a two-tier gossip pair pinned to the edge zone, two
+/// instances each spread across drones. The Edge↔Edge link floor
+/// (0.2 × 2 µs = 400 ns) is below the 2 µs loopback epoch a parallel
+/// engine needs per sync, so the relay→peer hop certifies almost no
+/// lookahead — every per-tier check stays comfortable.
+pub fn edge_gossip() -> BuiltApp {
+    let mut app = AppBuilder::new("edge_gossip");
+    let peer = app
+        .service("swarm-peer")
+        .profile(UarchProfile::microservice_default())
+        .blocking()
+        .workers(2)
+        .instances(2)
+        .zone(Zone::Edge)
+        .build();
+    let share = app.endpoint(
+        peer,
+        "share",
+        Dist::constant(256.0),
+        vec![Step::work_us(30.0)],
+    );
+    let relay = app
+        .service("telemetry-relay")
+        .profile(UarchProfile::microservice_default())
+        .blocking()
+        .workers(2)
+        .instances(2)
+        .zone(Zone::Edge)
+        .build();
+    let entry = app.endpoint(
+        relay,
+        "gossip",
+        Dist::constant(128.0),
+        vec![Step::work_us(25.0), Step::call(share, 512.0)],
+    );
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(entry, REQUEST, 256.0),
+        qos_p99: SimDuration::from_millis(100),
+        order: vec![peer, relay],
+        frontend: relay,
+        spec,
+    }
+}
+
+/// DSB016 demo: a profile front-end whose read path consults the cache
+/// shards before the durable store (refilling on a miss), while the
+/// write path updates the cache *before* the durable insert. Between
+/// those two writes a reader that misses the cache refills it from
+/// pre-write state and the update is lost — the window a sharded engine
+/// stretches to a full lookahead epoch.
+pub fn stale_refill() -> BuiltApp {
+    let mut app = AppBuilder::new("stale_refill");
+    let (mc, mc_get, mc_set) = add_memcached(&mut app, "memcached-profile", 2);
+    let (mg, mg_find, mg_ins) = add_mongodb(&mut app, "mongodb-profile", 2);
+    let front = app
+        .service("profile-frontend")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(64)
+        .build();
+    let read = app.endpoint(
+        front,
+        "view",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(60.0),
+            Step::cache_lookup(
+                mc_get,
+                0.9,
+                vec![Step::call(mg_find, 256.0), Step::call(mc_set, 2048.0)],
+            ),
+        ],
+    );
+    let write = app.endpoint(
+        front,
+        "update",
+        Dist::constant(128.0),
+        // The defect: cache set first, durable insert second.
+        vec![
+            Step::work_us(90.0),
+            Step::call(mc_set, 1024.0),
+            Step::call(mg_ins, 1024.0),
+        ],
+    );
+    let spec = app.build();
+    let mut mix = QueryMix::new();
+    mix.add(read, REQUEST, 9.0, Dist::constant(256.0));
+    mix.add(write, RequestType(1), 1.0, Dist::constant(512.0));
+    BuiltApp {
+        mix,
+        qos_p99: SimDuration::from_millis(50),
+        order: vec![mc, mg, front],
+        frontend: front,
+        spec,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +288,40 @@ mod tests {
         let app = burst_chain();
         let fanout = app.spec.service(app.service("fanout-worker"));
         assert_eq!(fanout.workers, dsb_core::WorkerPolicy::Fixed(16));
+    }
+
+    #[test]
+    fn wait_loop_holds_pools_on_every_edge() {
+        let app = wait_loop();
+        for name in ["order-svc", "payment-svc"] {
+            let svc = app.spec.service(app.service(name));
+            assert_eq!(svc.concurrency, dsb_core::Concurrency::Blocking);
+            assert!(matches!(svc.workers, dsb_core::WorkerPolicy::Fixed(_)));
+        }
+    }
+
+    #[test]
+    fn edge_gossip_spans_the_swarm() {
+        let app = edge_gossip();
+        for name in ["telemetry-relay", "swarm-peer"] {
+            let svc = app.spec.service(app.service(name));
+            assert_eq!(svc.zone_pref, Some(Zone::Edge));
+            assert_eq!(svc.initial_instances, 2);
+        }
+    }
+
+    #[test]
+    fn stale_refill_writes_the_cache_first() {
+        let app = stale_refill();
+        let front = app.spec.service(app.service("profile-frontend"));
+        let script = &front.endpoints[1].script;
+        let calls: Vec<_> = script
+            .iter()
+            .filter_map(|s| match s {
+                Step::Call { target, .. } => Some(app.spec.service(target.service).name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, ["memcached-profile", "mongodb-profile"]);
     }
 }

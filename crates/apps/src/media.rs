@@ -297,8 +297,10 @@ pub fn media_service() -> BuiltApp {
         Dist::constant(128.0),
         vec![
             Step::work_us(35.0),
-            Step::call(mc_rev_set, 2048.0),
+            // Durable write first, then the cache update: the reverse
+            // order opens a write-visibility window (DSB016).
             Step::call(mg_rev_ins, 2048.0),
+            Step::call(mc_rev_set, 2048.0),
         ],
     );
 

@@ -44,8 +44,10 @@ pub fn social_monolith() -> BuiltApp {
     let compose_body = |extra_us: f64| {
         vec![
             Step::work_us(300.0 + extra_us),
-            Step::call(mc_set, 1024.0),
+            // Durable insert before the cache set: the reverse order is
+            // the DSB016 write-visibility window.
             Step::call(mg_ins, 1024.0),
+            Step::call(mc_set, 1024.0),
             Step::FanCall {
                 target: mc_set,
                 req_bytes: Dist::constant(512.0),
@@ -104,8 +106,8 @@ pub fn social_monolith() -> BuiltApp {
             Step::work_us(180.0),
             Step::cache_lookup(mc_get, 0.9, vec![Step::call(mg_find, 256.0)]),
             Step::work_us(300.0),
-            Step::call(mc_set, 1024.0),
             Step::call(mg_ins, 1024.0),
+            Step::call(mc_set, 1024.0),
             Step::FanCall {
                 target: mc_set,
                 req_bytes: Dist::constant(512.0),

@@ -80,8 +80,10 @@ pub fn social_network() -> BuiltApp {
         Dist::constant(128.0),
         vec![
             Step::work_us(40.0),
-            Step::call(mc_posts_set, 1024.0),
+            // Durable insert first, then the cache: the reverse order
+            // is the DSB016 write-visibility window.
             Step::call(mg_posts_ins, 1024.0),
+            Step::call(mc_posts_set, 1024.0),
         ],
     );
     let ps_fetch = app.endpoint(
@@ -154,8 +156,8 @@ pub fn social_network() -> BuiltApp {
         Dist::constant(256.0),
         vec![
             Step::work_us(300.0),
-            Step::call(mc_media_set, 64.0 * 1024.0),
             Step::call(mg_media_ins, 256.0 * 1024.0),
+            Step::call(mc_media_set, 64.0 * 1024.0),
         ],
     );
     let video = app
@@ -170,8 +172,8 @@ pub fn social_network() -> BuiltApp {
         Dist::constant(256.0),
         vec![
             Step::work_us(1200.0),
-            Step::call(mc_media_set, 128.0 * 1024.0),
             Step::call(mg_media_ins, 2.0 * 1024.0 * 1024.0),
+            Step::call(mc_media_set, 128.0 * 1024.0),
         ],
     );
 

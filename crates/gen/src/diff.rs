@@ -299,6 +299,19 @@ fn check_verdicts(g: &GenSpec, r: &DiffRun) -> Result<(), String> {
             r.model.max_machine_utilization()
         ));
     }
+    // Parallel-safety oracles: a generated spec must never carry a
+    // circular wait (DSB014), a sub-loopback lookahead edge (DSB015),
+    // or an inverted cache-aside write order (DSB016) — the generator
+    // only emits layered DAGs, single-rack clusters, and read-only
+    // load, so any hit means a check (or the generator) regressed.
+    for d in &diags {
+        if matches!(
+            d.code,
+            Code::WaitCycle | Code::ZeroLookahead | Code::WriteVisibilityRace
+        ) {
+            return Err(format!("verdict: generated spec tripped {d} (spec {g:?})"));
+        }
+    }
     Ok(())
 }
 

@@ -16,6 +16,9 @@ const STRUCTURAL: &[Code] = &[
     Code::IpcCrossZone,
     Code::PartitionDegenerate,
     Code::UnusedEndpoint,
+    Code::WaitCycle,
+    Code::ZeroLookahead,
+    Code::WriteVisibilityRace,
 ];
 
 /// Every sampled spec builds (the builder's internal assertions run in

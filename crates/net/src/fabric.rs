@@ -111,6 +111,24 @@ impl Fabric {
         let jittered = base * (1.0 + self.config.jitter_frac * rng.normal()).max(0.2);
         SimDuration::from_nanos(jittered as u64)
     }
+
+    /// Guaranteed *minimum* one-way latency between two zones: the
+    /// smallest value [`Fabric::delay`] can ever return for this pair.
+    ///
+    /// The jitter multiplier is truncated at 0.2, so with jitter the
+    /// floor is `0.2 × base`; without jitter it is the base itself. This
+    /// is the lookahead bound a conservative parallel engine may rely on
+    /// — a shard can safely advance its local clock by this amount
+    /// before synchronizing with a peer shard in the other zone.
+    pub fn min_delay(&self, from: Zone, to: Zone) -> SimDuration {
+        let base = self.base_delay(from, to).as_nanos() as f64;
+        let floor = if self.config.jitter_frac > 0.0 {
+            base * 0.2
+        } else {
+            base
+        };
+        SimDuration::from_nanos(floor as u64)
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +166,36 @@ mod tests {
         assert_eq!(
             f.base_delay(Zone::Edge, Zone::Rack(1)),
             f.base_delay(Zone::Rack(1), Zone::Edge)
+        );
+    }
+
+    #[test]
+    fn min_delay_is_a_true_floor() {
+        let f = Fabric::default();
+        let pairs = [
+            (Zone::Rack(0), Zone::Rack(0)),
+            (Zone::Rack(0), Zone::Rack(1)),
+            (Zone::Edge, Zone::Edge),
+            (Zone::Rack(0), Zone::Edge),
+            (Zone::Client, Zone::Rack(0)),
+        ];
+        let mut rng = Rng::new(9);
+        for (a, bz) in pairs {
+            let floor = f.min_delay(a, bz);
+            let base = f.base_delay(a, bz);
+            assert_eq!(floor.as_nanos() * 5, base.as_nanos(), "0.2 x base");
+            for _ in 0..5_000 {
+                assert!(f.delay(a, bz, &mut rng) >= floor);
+            }
+        }
+        // Without jitter the floor is the base latency itself.
+        let crisp = Fabric::new(FabricConfig {
+            jitter_frac: 0.0,
+            ..FabricConfig::default()
+        });
+        assert_eq!(
+            crisp.min_delay(Zone::Rack(0), Zone::Rack(1)),
+            crisp.base_delay(Zone::Rack(0), Zone::Rack(1))
         );
     }
 

@@ -1,5 +1,5 @@
 //! Pins the static-analysis report of every built-in application (plus
-//! five deliberate defect demos) to a golden fixture, so any change to a
+//! eight deliberate defect demos) to a golden fixture, so any change to a
 //! diagnostic's wording, ordering, or firing conditions shows up as a
 //! reviewable line diff. Every app is analyzed against the same
 //! reference cluster the golden traces run on, with a 1-second DSB012
@@ -87,9 +87,51 @@ fn golden_analyzer_report() {
         &apps::twotier::twotier(64, 1),
         30_000.0,
     );
+    // Two blocking tiers calling each other: the call cycle (DSB001)
+    // doubles as a circular wait across both worker pools (DSB014).
+    report(
+        &mut text,
+        "defect demo: wait loop",
+        &apps::defects::wait_loop(),
+        50.0,
+    );
+    // An edge-zone gossip pair whose cross-drone hop certifies less
+    // lookahead than one loopback epoch (DSB015).
+    report(
+        &mut text,
+        "defect demo: edge gossip",
+        &apps::defects::edge_gossip(),
+        20.0,
+    );
+    // A cache-aside write path ordered cache-first: a reader refilling
+    // inside the window resurrects pre-write state (DSB016).
+    report(
+        &mut text,
+        "defect demo: stale refill",
+        &apps::defects::stale_refill(),
+        100.0,
+    );
     let path = format!(
         "{}/tests/goldens/analyzer_report.txt",
         env!("CARGO_MANIFEST_DIR")
     );
+    golden::check(&path, &text);
+}
+
+/// Pins every built-in application's parallel-lookahead certificate —
+/// the minimum safe epoch (in sim-time nanoseconds) a conservative
+/// sharded engine could advance between synchronizations on the
+/// reference cluster, and the hop that limits it.
+#[test]
+fn golden_lookahead_certificates() {
+    let mut text = String::new();
+    let cluster = common::fixed_cluster();
+    for (name, _qps, app) in apps::all_builtin() {
+        let cert = deathstarbench_sim::analyzer::lookahead_certificate(&app.spec, &cluster)
+            .expect("every builtin has a feasible placement");
+        let line = cert.render(|s| app.spec.service(s).name.clone());
+        writeln!(text, "{name}: {line}").unwrap();
+    }
+    let path = format!("{}/tests/goldens/lookahead.txt", env!("CARGO_MANIFEST_DIR"));
     golden::check(&path, &text);
 }
