@@ -111,24 +111,37 @@ if [ -f BENCH_0.json ]; then
     cargo run -q --release --offline -p dsb-bench --bin dsb-bench | tee "$bench_log"
     echo "    committed baseline (BENCH_0.json):"
     sed 's/^/    /' BENCH_0.json
-    # Non-fatal throughput watchdog: warn when the fresh
-    # requests-per-wall-second falls more than 10% below the committed
-    # baseline. Advisory only — shared CI machines are noisy — but it
-    # makes a real perf regression visible on every run.
-    fresh_rps=$(sed -n 's/.*"requests_per_wall_second": \([0-9]*\).*/\1/p' "$bench_log" | head -n 1)
-    base_rps=$(sed -n 's/.*"requests_per_wall_second": \([0-9]*\).*/\1/p' BENCH_0.json | head -n 1)
-    rm -f "$bench_log"
-    if [ -n "$fresh_rps" ] && [ -n "$base_rps" ] && [ "$base_rps" -gt 0 ]; then
-        floor_rps=$((base_rps * 9 / 10))
-        if [ "$fresh_rps" -lt "$floor_rps" ]; then
-            echo "ci.sh: WARNING: throughput ${fresh_rps} req/s is >10% below" >&2
-            echo "the committed baseline ${base_rps} req/s (floor ${floor_rps})." >&2
-            echo "If this reproduces on a quiet machine, find the regression" >&2
-            echo "before re-baselining BENCH_0.json." >&2
+    # Throughput watchdog over both bench metrics. A fresh value more
+    # than 10% below the committed baseline prints a warning (shared CI
+    # machines are noisy); more than 25% below is treated as a real
+    # regression and fails the run. An *unparseable* metric is always a
+    # hard failure — a silent parse miss would turn the whole gate into
+    # a no-op, which is exactly how the old requests-only check rotted.
+    for metric in requests_per_wall_second events_per_wall_second; do
+        fresh=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" "$bench_log" | head -n 1)
+        base=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" BENCH_0.json | head -n 1)
+        if [ -z "$fresh" ] || [ -z "$base" ] || [ "$base" -le 0 ]; then
+            echo "ci.sh: could not parse ${metric} from the fresh bench" >&2
+            echo "output and/or BENCH_0.json; the perf gate cannot run." >&2
+            rm -f "$bench_log"
+            exit 1
         fi
-    else
-        echo "ci.sh: WARNING: could not parse requests_per_wall_second" >&2
-    fi
+        floor_warn=$((base * 9 / 10))
+        floor_fail=$((base * 3 / 4))
+        if [ "$fresh" -lt "$floor_fail" ]; then
+            echo "ci.sh: ${metric} ${fresh} is >25% below the committed" >&2
+            echo "baseline ${base} (hard floor ${floor_fail}). Find the" >&2
+            echo "regression before re-baselining BENCH_0.json." >&2
+            rm -f "$bench_log"
+            exit 1
+        elif [ "$fresh" -lt "$floor_warn" ]; then
+            echo "ci.sh: WARNING: ${metric} ${fresh} is >10% below the" >&2
+            echo "committed baseline ${base} (floor ${floor_warn})." >&2
+            echo "If this reproduces on a quiet machine, find the" >&2
+            echo "regression before re-baselining BENCH_0.json." >&2
+        fi
+    done
+    rm -f "$bench_log"
 else
     cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- BENCH_0.json
 fi

@@ -69,7 +69,8 @@ struct Machine {
     nic: Nic,
     offload: FpgaOffload,
     busy: u32,
-    run_queue: VecDeque<CoreJob>,
+    /// Pool tickets of queued [`CoreJob`]s awaiting a free core.
+    run_queue: VecDeque<u32>,
     util: UtilizationTracker,
 }
 
@@ -224,30 +225,75 @@ enum JobCont {
     RecvResponse(SlabKey),
 }
 
+/// A pending client request (opaque; carried by [`Ev::Inject`]).
+#[derive(Debug)]
+pub struct InjectReq {
+    entry: EndpointRef,
+    rtype: RequestType,
+    bytes: u64,
+    partition_key: u64,
+    origin: Zone,
+}
+
+/// A free-list arena for hot event payloads.
+///
+/// The scheduler copies every queued event through its timing-wheel
+/// slots (pushes, cascades, drains), so events must stay small; bulky
+/// payloads ([`CoreJob`], [`Message`], [`InjectReq`]) park here and the
+/// event carries a `u32` ticket. Ids are minted and retired in event
+/// order, which is deterministic, and never leak into simulation
+/// observables — pooling cannot perturb results.
+#[derive(Debug)]
+struct Pool<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Pool<T> {
+    fn with_capacity(cap: usize) -> Self {
+        Pool {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+        }
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, id: u32) -> T {
+        let v = self.slots[id as usize].take().expect("live pooled entry");
+        self.free.push(id);
+        v
+    }
+
+    fn get(&self, id: u32) -> &T {
+        self.slots[id as usize].as_ref().expect("live pooled entry")
+    }
+}
+
 /// The event alphabet of the microservice simulation.
 #[derive(Debug)]
 pub enum Ev {
-    /// A client (or sensor) issues a request.
-    Inject {
-        /// Entry endpoint (typically the front-end load balancer).
-        entry: EndpointRef,
-        /// Request-type tag for per-type statistics.
-        rtype: RequestType,
-        /// Request payload bytes.
-        bytes: u64,
-        /// Sharding key (user id); drives partitioned load balancing.
-        partition_key: u64,
-        /// Where the request originates.
-        origin: Zone,
-    },
-    /// A message finished its network flight.
-    MsgArrive(Message),
-    /// A core finished executing a job.
+    /// A client (or sensor) issues a request (pooled `InjectReq`).
+    Inject(u32),
+    /// A message finished its network flight (pooled `Message`).
+    MsgArrive(u32),
+    /// A core finished executing a job (pooled `CoreJob`).
     CoreJobDone {
         /// The machine whose core completed.
         machine: MachineId,
-        /// The completed job.
-        job: CoreJob,
+        /// Pool ticket of the completed job.
+        job: u32,
     },
     /// An I/O wait completed.
     IoDone {
@@ -287,6 +333,11 @@ pub struct Cluster {
     service_stats: Vec<ServiceStats>,
     request_stats: Vec<RequestStats>,
     invocations: Slab<Invocation>,
+    /// Recycled `Invocation::frames` vectors. Every invocation needs a
+    /// frame stack and finishes with it empty; pooling the backing
+    /// storage removes one allocation/free pair per invocation from the
+    /// hot path.
+    frame_pool: Vec<Vec<Frame>>,
     rng: Rng,
     next_req: u64,
     next_span: u64,
@@ -296,6 +347,17 @@ pub struct Cluster {
     admit_prob: f64,
     placer: crate::placement::Placer,
     ref_core: CoreModel,
+    /// Memoized `speed_factor(service, machine)`, `services × machines`
+    /// row-major; see [`Cluster::rebuild_core_caches`].
+    sf_cache: Vec<f64>,
+    /// Memoized reference-core IPC per service.
+    ref_ipc_cache: Vec<f64>,
+    /// Parked [`CoreJob`] payloads for in-flight [`Ev::CoreJobDone`]s.
+    job_pool: Pool<CoreJob>,
+    /// Parked [`Message`] payloads for in-flight [`Ev::MsgArrive`]s.
+    msg_pool: Pool<Message>,
+    /// Parked [`InjectReq`] payloads for scheduled [`Ev::Inject`]s.
+    inject_pool: Pool<InjectReq>,
 }
 
 const REF_FREQ_GHZ: f64 = 2.4;
@@ -320,7 +382,7 @@ impl Cluster {
                 nic: Nic::new(m.nic_gbps),
                 offload: FpgaOffload::disabled(),
                 busy: 0,
-                run_queue: VecDeque::new(),
+                run_queue: VecDeque::with_capacity(16),
                 util: UtilizationTracker::new(cluster.window, m.cores),
             })
             .collect();
@@ -352,7 +414,8 @@ impl Cluster {
             collector,
             service_stats,
             request_stats: Vec::new(),
-            invocations: Slab::new(),
+            invocations: Slab::with_capacity(256),
+            frame_pool: Vec::new(),
             rng,
             next_req: 0,
             next_span: 0,
@@ -362,13 +425,39 @@ impl Cluster {
             admit_prob: 1.0,
             placer: crate::placement::Placer::new(cluster, app_services),
             ref_core: CoreModel::xeon(),
+            sf_cache: Vec::new(),
+            ref_ipc_cache: Vec::new(),
+            job_pool: Pool::with_capacity(256),
+            msg_pool: Pool::with_capacity(256),
+            inject_pool: Pool::with_capacity(256),
         };
+        c.rebuild_core_caches();
         for sid in 0..c.services.len() {
             for _ in 0..c.services[sid].spec.initial_instances {
                 c.spawn_instance(ServiceId(sid as u32), InstanceState::Up);
             }
         }
         c
+    }
+
+    /// Recomputes the memoized per-(service, machine) speed factors and
+    /// per-service reference-core IPC. `CoreModel::speed_factor` walks
+    /// the full uarch breakdown twice per call, which is far too slow
+    /// for once-per-hop use; both inputs (service profiles, machine
+    /// cores) are fixed except across [`Simulation::set_frequency`],
+    /// which rebuilds this table.
+    fn rebuild_core_caches(&mut self) {
+        let nm = self.machines.len();
+        self.sf_cache.clear();
+        self.ref_ipc_cache.clear();
+        for rt in &self.services {
+            let p = &rt.spec.profile;
+            self.ref_ipc_cache.push(self.ref_core.ipc(p));
+            for m in &self.machines {
+                self.sf_cache.push(m.core.speed_factor(p));
+            }
+        }
+        debug_assert_eq!(self.sf_cache.len(), self.services.len() * nm);
     }
 
     fn spawn_instance(&mut self, service: ServiceId, state: InstanceState) -> InstanceId {
@@ -388,7 +477,7 @@ impl Cluster {
             worker_limit,
             warm_free: 0,
             busy_workers: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(16),
             conns: BTreeMap::new(),
             inflight: 0,
             served: 0,
@@ -398,37 +487,39 @@ impl Cluster {
     }
 
     fn speed_factor(&self, service: ServiceId, machine: MachineId) -> f64 {
-        let profile = &self.services[service.0 as usize].spec.profile;
-        self.machines[machine.0 as usize].core.speed_factor(profile)
+        self.sf_cache[service.0 as usize * self.machines.len() + machine.0 as usize]
     }
 
     fn ref_ipc(&self, service: ServiceId) -> f64 {
-        self.ref_core
-            .ipc(&self.services[service.0 as usize].spec.profile)
+        self.ref_ipc_cache[service.0 as usize]
     }
 
     // -- CPU ---------------------------------------------------------------
 
     fn submit_job(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: CoreJob) {
+        let dur = job.dur;
+        let id = self.job_pool.alloc(job);
         let m = &mut self.machines[machine.0 as usize];
         if m.busy < m.cores {
             m.busy += 1;
             let now = sched.now();
-            m.util.add_busy(now, now + job.dur);
-            sched.schedule_in(job.dur, Ev::CoreJobDone { machine, job });
+            m.util.add_busy(now, now + dur);
+            sched.schedule_in(dur, Ev::CoreJobDone { machine, job: id });
         } else {
-            m.run_queue.push_back(job);
+            m.run_queue.push_back(id);
         }
     }
 
-    fn on_job_done(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: CoreJob) {
+    fn on_job_done(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: u32) {
+        let job = self.job_pool.take(job);
         // Start the next queued job (or free the core).
         {
             let now = sched.now();
             let m = &mut self.machines[machine.0 as usize];
             if let Some(next) = m.run_queue.pop_front() {
-                m.util.add_busy(now, now + next.dur);
-                sched.schedule_in(next.dur, Ev::CoreJobDone { machine, job: next });
+                let dur = self.job_pool.get(next).dur;
+                m.util.add_busy(now, now + dur);
+                sched.schedule_in(dur, Ev::CoreJobDone { machine, job: next });
             } else {
                 m.busy -= 1;
             }
@@ -596,7 +687,7 @@ impl Cluster {
                 self.fabric.delay(from_zone, Zone::Client, &mut self.rng)
             }
         };
-        sched.schedule_in(tx + prop + extra, Ev::MsgArrive(msg));
+        sched.schedule_in(tx + prop + extra, Ev::MsgArrive(self.msg_pool.alloc(msg)));
         tx
     }
 
@@ -726,6 +817,11 @@ impl Cluster {
             .script
             .clone();
         self.next_span += 1;
+        let mut frames = self.frame_pool.pop().unwrap_or_default();
+        frames.push(Frame {
+            block: script,
+            pc: 0,
+        });
         let inv = Invocation {
             service,
             instance: inst_id,
@@ -739,10 +835,7 @@ impl Cluster {
             caller: p.msg.caller,
             parent_span: p.msg.parent_span,
             span: self.next_span,
-            frames: vec![Frame {
-                block: script,
-                pc: 0,
-            }],
+            frames,
             outstanding: 0,
             worker_held: true,
             conn_to: None,
@@ -949,11 +1042,14 @@ impl Cluster {
         let limit = self.services[target.service.0 as usize].spec.conn_limit;
         let granted = {
             let inst = &mut self.instances[inst_id.0 as usize];
-            let pool = inst.conns.entry(target.service).or_insert(ConnPool {
-                limit,
-                in_use: 0,
-                waiters: VecDeque::new(),
-            });
+            let pool = inst
+                .conns
+                .entry(target.service)
+                .or_insert_with(|| ConnPool {
+                    limit,
+                    in_use: 0,
+                    waiters: VecDeque::with_capacity(8),
+                });
             if pool.in_use < pool.limit {
                 pool.in_use += 1;
                 true
@@ -1014,25 +1110,40 @@ impl Cluster {
         if let Some(pin) = rt.pinned {
             return pin;
         }
-        let ups: Vec<InstanceId> = rt
+        // Runs once per hop on the hot path: scan the Up subset in place
+        // instead of collecting it. The selection for every policy is
+        // identical to indexing into the collected Up vector (same
+        // instance order, first minimum on ties).
+        let up_count = rt
             .instances
             .iter()
-            .copied()
             .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
-            .collect();
+            .count();
         assert!(
-            !ups.is_empty(),
+            up_count > 0,
             "service {} has no live instances",
             rt.spec.name
         );
         match rt.spec.lb {
             LbPolicy::RoundRobin => {
-                let rt = &mut self.services[service.0 as usize];
-                rt.rr = rt.rr.wrapping_add(1);
-                ups[rt.rr % ups.len()]
+                let idx = {
+                    let rt = &mut self.services[service.0 as usize];
+                    rt.rr = rt.rr.wrapping_add(1);
+                    rt.rr % up_count
+                };
+                let rt = &self.services[service.0 as usize];
+                rt.instances
+                    .iter()
+                    .copied()
+                    .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
+                    .nth(idx)
+                    .expect("idx < up_count")
             }
-            LbPolicy::LeastOutstanding => *ups
+            LbPolicy::LeastOutstanding => rt
+                .instances
                 .iter()
+                .copied()
+                .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
                 .min_by_key(|i| self.instances[i.0 as usize].inflight)
                 .expect("non-empty"),
             LbPolicy::Partition => {
@@ -1102,7 +1213,14 @@ impl Cluster {
 
     fn finish_invocation(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
         let now = sched.now();
-        let inv = self.invocations.remove(key).expect("finishing live inv");
+        let mut inv = self.invocations.remove(key).expect("finishing live inv");
+        // The frame stack is empty by now (the script ran to completion);
+        // recycle its backing storage for the next invocation.
+        let mut frames = std::mem::take(&mut inv.frames);
+        frames.clear();
+        if self.frame_pool.len() < 1024 {
+            self.frame_pool.push(frames);
+        }
         // Span.
         self.collector.record(Span {
             trace: TraceId(inv.req),
@@ -1190,21 +1308,19 @@ impl Cluster {
         let dst_zone = self.machines[self.instances[dst.0 as usize].machine.0 as usize].zone;
         let delay = self.fabric.delay(origin, dst_zone, &mut self.rng);
         let now = sched.now();
-        sched.schedule_in(
-            delay,
-            Ev::MsgArrive(Message::Request(RequestMsg {
-                req,
-                rtype,
-                origin,
-                dst,
-                endpoint: entry.endpoint,
-                caller: None,
-                parent_span: None,
-                bytes,
-                partition_key,
-                spawn: now,
-            })),
-        );
+        let msg = Message::Request(RequestMsg {
+            req,
+            rtype,
+            origin,
+            dst,
+            endpoint: entry.endpoint,
+            caller: None,
+            parent_span: None,
+            bytes,
+            partition_key,
+            spawn: now,
+        });
+        sched.schedule_in(delay, Ev::MsgArrive(self.msg_pool.alloc(msg)));
     }
 }
 
@@ -1213,14 +1329,14 @@ impl Model for Cluster {
 
     fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
         match ev {
-            Ev::Inject {
-                entry,
-                rtype,
-                bytes,
-                partition_key,
-                origin,
-            } => self.on_inject(sched, entry, rtype, bytes, partition_key, origin),
-            Ev::MsgArrive(msg) => self.deliver(sched, msg),
+            Ev::Inject(id) => {
+                let r = self.inject_pool.take(id);
+                self.on_inject(sched, r.entry, r.rtype, r.bytes, r.partition_key, r.origin);
+            }
+            Ev::MsgArrive(id) => {
+                let msg = self.msg_pool.take(id);
+                self.deliver(sched, msg);
+            }
             Ev::CoreJobDone { machine, job } => self.on_job_done(sched, machine, job),
             Ev::IoDone { inv } => self.advance(sched, inv),
             Ev::ConnGranted { inv, to } => self.on_conn_granted(sched, inv, to),
@@ -1322,16 +1438,14 @@ impl Simulation {
         partition_key: u64,
         origin: Zone,
     ) {
-        self.sched.schedule_at(
-            at,
-            Ev::Inject {
-                entry,
-                rtype,
-                bytes,
-                partition_key,
-                origin,
-            },
-        );
+        let id = self.cluster.inject_pool.alloc(InjectReq {
+            entry,
+            rtype,
+            bytes,
+            partition_key,
+            origin,
+        });
+        self.sched.schedule_at(at, Ev::Inject(id));
     }
 
     /// The application being simulated.
@@ -1524,6 +1638,7 @@ impl Simulation {
     pub fn set_frequency(&mut self, m: MachineId, ghz: f64) {
         let core = self.cluster.machines[m.0 as usize].core;
         self.cluster.machines[m.0 as usize].core = core.at_frequency(ghz);
+        self.cluster.rebuild_core_caches();
     }
 
     /// Sets the operating frequency of every machine.

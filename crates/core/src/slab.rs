@@ -60,6 +60,17 @@ impl<T> Slab<T> {
         }
     }
 
+    /// Creates an empty slab with room for `cap` entries before any
+    /// reallocation (hot simulation state preallocates its steady-state
+    /// population once instead of growing mid-run).
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            len: 0,
+        }
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.len
@@ -111,14 +122,25 @@ impl<T> Slab<T> {
 
     /// Removes and returns the entry for `key`, if live. The slot's
     /// generation advances so stale keys cannot observe a new tenant.
+    ///
+    /// A slot whose generation counter reaches `u32::MAX` is *retired*
+    /// instead of returned to the free list: reusing it would wrap the
+    /// counter back to a previously-issued generation, and a key from
+    /// 2³² removals ago would silently alias the new tenant.
     pub fn remove(&mut self, key: SlabKey) -> Option<T> {
         let slot = self.slots.get_mut(key.index as usize)?;
         if slot.generation != key.generation || slot.value.is_none() {
             return None;
         }
         let value = slot.value.take();
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(key.index);
+        debug_assert!(
+            slot.generation < u32::MAX,
+            "a retired slot can never hold a live value"
+        );
+        slot.generation += 1;
+        if slot.generation < u32::MAX {
+            self.free.push(key.index);
+        }
         self.len -= 1;
         value
     }
@@ -191,5 +213,66 @@ mod tests {
         s.remove(a);
         let b = s.insert(());
         assert_ne!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut s: Slab<u64> = Slab::with_capacity(64);
+        let base = s.slots.capacity();
+        assert!(base >= 64);
+        let keys: Vec<SlabKey> = (0..64).map(|i| s.insert(i)).collect();
+        assert_eq!(s.slots.capacity(), base, "no growth within capacity");
+        for k in keys {
+            s.remove(k);
+        }
+        assert!(s.free.capacity() >= 64);
+    }
+
+    /// Stale keys must miss across forced generation wraparound: a slot
+    /// whose generation counter is exhausted is retired, never reused, so
+    /// no insert can ever mint a key equal to an already-issued one.
+    #[test]
+    fn stale_keys_miss_across_generation_wraparound() {
+        use dsb_testkit::{gen, prop, prop_assert, prop_assert_eq};
+        prop!(
+            cases = 64,
+            |rng| (gen::u32_in(rng, 0, 4), gen::u32_in(rng, 2, 12)),
+            |&(offset, cycles): &(u32, u32)| {
+                let mut s: Slab<u32> = Slab::new();
+                let k0 = s.insert(0);
+                s.remove(k0);
+                // Jump the recycled slot to the edge of its generation
+                // space so a handful of reuse cycles crosses u32::MAX.
+                s.slots[0].generation = u32::MAX - offset.min(4) - 1;
+                let mut minted: Vec<SlabKey> = vec![k0];
+                for i in 1..=cycles {
+                    let k = s.insert(i);
+                    // Every key ever issued is unique, even after the
+                    // counter would have wrapped under the old scheme.
+                    for old in &minted {
+                        prop_assert!(*old != k, "key reissued: {old:?} after {i} cycles");
+                        prop_assert_eq!(s.get(*old), None, "stale key resurrected");
+                    }
+                    prop_assert_eq!(s.get(k), Some(&i));
+                    prop_assert_eq!(s.remove(k), Some(i));
+                    prop_assert_eq!(s.get(k), None);
+                    minted.push(k);
+                }
+                // The exhausted slot must be retired, not recycled: once
+                // its generation hits u32::MAX it leaves the free list,
+                // and later inserts draw fresh slots.
+                for slot in &s.slots {
+                    prop_assert!(slot.value.is_none());
+                    for idx in &s.free {
+                        prop_assert!(
+                            s.slots[*idx as usize].generation < u32::MAX,
+                            "retired slot back on the free list"
+                        );
+                    }
+                }
+                prop_assert_eq!(s.len(), 0);
+                Ok(())
+            }
+        );
     }
 }

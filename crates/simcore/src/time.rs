@@ -7,9 +7,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// An instant of virtual simulation time, in nanoseconds since the start of
 /// the run.
 ///
-/// `SimTime` is a newtype over `u64`; arithmetic with [`SimDuration`] is
-/// saturating on underflow and panics on overflow in debug builds, which in
-/// practice never occurs (2^64 ns ≈ 584 years of simulated time).
+/// `SimTime` is a newtype over `u64`; arithmetic with [`SimDuration`]
+/// saturates in both directions: underflow clamps to [`SimTime::ZERO`] and
+/// overflow clamps to [`SimTime::MAX`]. `MAX` doubles as the event queue's
+/// far-future sentinel, so an oversized delay schedules an event at the end
+/// of time instead of wrapping into the past and corrupting event order.
 ///
 /// # Example
 ///
@@ -150,13 +152,17 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        // Saturating: `SimTime::MAX` is the scheduler's overflow sentinel
+        // (delivered last, at the end of time). A wrapping add here would
+        // send the event into the past; a panicking one would make huge
+        // timeouts (e.g. `SimDuration::MAX` as "never") unusable.
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -258,6 +264,24 @@ mod tests {
         assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
         assert_eq!((d * 3).as_millis_f64(), 1500.0);
         assert_eq!((d / 2).as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        // Overflow clamps to the MAX sentinel instead of wrapping/panicking.
+        assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimDuration::MAX, SimTime::MAX);
+        assert_eq!(SimTime::from_nanos(1) + SimDuration::MAX, SimTime::MAX);
+        // The exact boundary is still representable without saturating.
+        assert_eq!(
+            SimTime::from_nanos(u64::MAX - 1) + SimDuration::from_nanos(1),
+            SimTime::MAX
+        );
+        let mut t = SimTime::from_nanos(u64::MAX - 5);
+        t += SimDuration::from_nanos(3);
+        assert_eq!(t.as_nanos(), u64::MAX - 2);
+        t += SimDuration::from_nanos(100);
+        assert_eq!(t, SimTime::MAX);
     }
 
     #[test]

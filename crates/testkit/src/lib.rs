@@ -56,3 +56,10 @@ pub mod shrink;
 pub use bench::{Bench, BenchConfig};
 pub use runner::{Config, Counterexample, PropResult};
 pub use shrink::Shrink;
+
+/// The RNG all generators take, re-exported so test code can name the
+/// type in helper-generator signatures. This matters inside crates that
+/// `dsb-testkit` itself depends on (e.g. `dsb-simcore`'s unit tests):
+/// there, `crate::Rng` and the `Rng` testkit links against are distinct
+/// types, and this re-export is the only spellable name for the latter.
+pub use dsb_simcore::Rng;

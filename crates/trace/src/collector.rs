@@ -133,6 +133,14 @@ impl TraceCollector {
         s.net_ns += span.net_time.as_nanos() as u128;
         s.spans += 1;
 
+        // Fast path when sampling is off (the common configuration for
+        // perf kernels): no trace ever qualifies, so skip the per-trace
+        // decision map and the RNG draw entirely. The RNG is private to
+        // the collector, so the skipped draws are unobservable.
+        if self.sample_prob == 0.0 {
+            self.dropped += 1;
+            return;
+        }
         let keep = *self
             .sample_decisions
             .entry(span.trace)
