@@ -42,6 +42,13 @@ echo "==> cargo build --workspace --release --offline --all-targets"
 cargo build --workspace --release --offline --all-targets
 
 echo "==> cargo test --workspace --release --offline (budget: ${TEST_BUDGET_S}s)"
+# The parallel-conformance suite (tests/parallel_conformance.rs) rides
+# inside this pass: any byte divergence between the serial and sharded
+# engines fails its assertions, which fails the pass — that IS the
+# hard-fail gate. It appends per-run timings to this file, aggregated
+# and printed after the pass; clear stale samples first.
+conf_times="target/conformance_times.txt"
+rm -f "$conf_times"
 test_log=$(mktemp)
 trap 'rm -f "$test_log"' EXIT
 test_start=$(date +%s)
@@ -67,6 +74,16 @@ awk '
         printf "    %-24s %7.2fs  (%s)\n", name, t + 0, $4
     }
 ' "$test_log"
+if [ -f "$conf_times" ]; then
+    echo "    parallel-conformance wall time by worker count:"
+    sort "$conf_times" | awk '
+        { w = $1; sub(/^workers=/, "", w)
+          t = $2; sub(/^secs=/, "", t)
+          secs[w] += t; runs[w] += 1 }
+        END { for (w in secs)
+                  printf "        workers=%s %7.2fs  (%d runs)\n", w, secs[w], runs[w] }
+    ' | sort -t= -k2 -n
+fi
 echo "    test pass total: ${test_wall}s (budget ${TEST_BUDGET_S}s)"
 if [ "$test_wall" -gt "$TEST_BUDGET_S" ]; then
     echo "ci.sh: tier-1 test pass took ${test_wall}s, over the" >&2
@@ -100,6 +117,45 @@ if [ "$lint_wall" -gt "$LINT_BUDGET_S" ]; then
     exit 1
 fi
 
+# Throughput watchdog over both bench metrics, against a committed
+# baseline file. A fresh value more than 10% below the baseline prints
+# a warning (shared CI machines are noisy); more than 25% below is
+# treated as a real regression and fails the run. An *unparseable*
+# metric is always a hard failure — a silent parse miss would turn the
+# whole gate into a no-op, which is exactly how the old requests-only
+# check rotted.
+bench_gate() {
+    bench_log=$1
+    baseline=$2
+    echo "    committed baseline (${baseline}):"
+    sed 's/^/    /' "$baseline"
+    for metric in requests_per_wall_second events_per_wall_second; do
+        fresh=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" "$bench_log" | head -n 1)
+        base=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" "$baseline" | head -n 1)
+        if [ -z "$fresh" ] || [ -z "$base" ] || [ "$base" -le 0 ]; then
+            echo "ci.sh: could not parse ${metric} from the fresh bench" >&2
+            echo "output and/or ${baseline}; the perf gate cannot run." >&2
+            rm -f "$bench_log"
+            exit 1
+        fi
+        floor_warn=$((base * 9 / 10))
+        floor_fail=$((base * 3 / 4))
+        if [ "$fresh" -lt "$floor_fail" ]; then
+            echo "ci.sh: ${metric} ${fresh} is >25% below the committed" >&2
+            echo "baseline ${base} (hard floor ${floor_fail}). Find the" >&2
+            echo "regression before re-baselining ${baseline}." >&2
+            rm -f "$bench_log"
+            exit 1
+        elif [ "$fresh" -lt "$floor_warn" ]; then
+            echo "ci.sh: WARNING: ${metric} ${fresh} is >10% below the" >&2
+            echo "committed baseline ${base} (floor ${floor_warn})." >&2
+            echo "If this reproduces on a quiet machine, find the" >&2
+            echo "regression before re-baselining ${baseline}." >&2
+        fi
+    done
+    rm -f "$bench_log"
+}
+
 echo "==> dsb-bench (perf baseline: fig17 two-tier kernel)"
 # The committed BENCH_0.json is the baseline snapshot; the gate never
 # overwrites it (that would defeat its purpose as a regression anchor),
@@ -109,41 +165,24 @@ echo "==> dsb-bench (perf baseline: fig17 two-tier kernel)"
 if [ -f BENCH_0.json ]; then
     bench_log=$(mktemp)
     cargo run -q --release --offline -p dsb-bench --bin dsb-bench | tee "$bench_log"
-    echo "    committed baseline (BENCH_0.json):"
-    sed 's/^/    /' BENCH_0.json
-    # Throughput watchdog over both bench metrics. A fresh value more
-    # than 10% below the committed baseline prints a warning (shared CI
-    # machines are noisy); more than 25% below is treated as a real
-    # regression and fails the run. An *unparseable* metric is always a
-    # hard failure — a silent parse miss would turn the whole gate into
-    # a no-op, which is exactly how the old requests-only check rotted.
-    for metric in requests_per_wall_second events_per_wall_second; do
-        fresh=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" "$bench_log" | head -n 1)
-        base=$(sed -n "s/.*\"${metric}\": \([0-9]*\).*/\1/p" BENCH_0.json | head -n 1)
-        if [ -z "$fresh" ] || [ -z "$base" ] || [ "$base" -le 0 ]; then
-            echo "ci.sh: could not parse ${metric} from the fresh bench" >&2
-            echo "output and/or BENCH_0.json; the perf gate cannot run." >&2
-            rm -f "$bench_log"
-            exit 1
-        fi
-        floor_warn=$((base * 9 / 10))
-        floor_fail=$((base * 3 / 4))
-        if [ "$fresh" -lt "$floor_fail" ]; then
-            echo "ci.sh: ${metric} ${fresh} is >25% below the committed" >&2
-            echo "baseline ${base} (hard floor ${floor_fail}). Find the" >&2
-            echo "regression before re-baselining BENCH_0.json." >&2
-            rm -f "$bench_log"
-            exit 1
-        elif [ "$fresh" -lt "$floor_warn" ]; then
-            echo "ci.sh: WARNING: ${metric} ${fresh} is >10% below the" >&2
-            echo "committed baseline ${base} (floor ${floor_warn})." >&2
-            echo "If this reproduces on a quiet machine, find the" >&2
-            echo "regression before re-baselining BENCH_0.json." >&2
-        fi
-    done
-    rm -f "$bench_log"
+    bench_gate "$bench_log" BENCH_0.json
 else
     cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- BENCH_0.json
+fi
+
+echo "==> dsb-bench --workers 4 (parallel baseline: fig22 sharded kernel)"
+# BENCH_1 is the sharded engine's anchor: the event-dense fig22 kernel
+# at workers=4, with the serial reference re-run in-process (the binary
+# asserts identical events and completions, so a conformance break here
+# fails before any number is printed). parallel_speedup is honest about
+# host_cpus: on a 1-CPU CI box it reads < 1x, and the regression signal
+# is events_per_wall_second.
+if [ -f BENCH_1.json ]; then
+    bench_log=$(mktemp)
+    cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- --workers 4 | tee "$bench_log"
+    bench_gate "$bench_log" BENCH_1.json
+else
+    cargo run -q --release --offline -p dsb-bench --bin dsb-bench -- --workers 4 BENCH_1.json
 fi
 
 # The tier-1 differential sweep (64 seeds) rides inside the test pass

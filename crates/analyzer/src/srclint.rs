@@ -25,9 +25,10 @@
 //! - **interior-mutability**: `RefCell`/`Cell`/`UnsafeCell`/`static mut`
 //!   — writes the borrow checker cannot see; sim state must be
 //!   single-owner so shard hand-off is explicit.
-//! - **threading**: `thread::spawn` / `mpsc` — unmanaged threads and
-//!   channels have scheduler-dependent orderings; the parallel engine
-//!   must own all spawn/join order.
+//! - **threading**: `thread::spawn` / `thread::scope` / `mpsc` —
+//!   threads and channels have scheduler-dependent orderings; only the
+//!   certified epoch driver may own thread spawn/join order, and it must
+//!   say so in the allowlist.
 //! - **float-accum**: `+=` of a float quantity inside a `for` loop over
 //!   `.keys()`/`.values()` — rounding accumulates in iteration order,
 //!   and a sharded engine merges partial sums in a different order.
@@ -40,8 +41,17 @@
 //! ```
 //!
 //! An entry is `path-suffix token` where `token` is one of the hazard
-//! tokens or `*` for all. Entries that match nothing are reported so the
-//! allowlist cannot rot; duplicate entries and entries shadowed by a
+//! tokens or `*` for all. The path may be *module-granular*: a suffix of
+//! the form `file.rs::mod::path` excuses the token only inside that
+//! `mod` (and its nested modules) of that file —
+//!
+//! ```text
+//! crates/simcore/src/epoch.rs::pool thread::scope  # the certified epoch driver
+//! ```
+//!
+//! so an exemption granted to one certified module cannot silently leak
+//! to the rest of the file. Entries that match nothing are reported so
+//! the allowlist cannot rot; duplicate entries and entries shadowed by a
 //! same-path `*` wildcard are hard parse errors.
 
 use std::fmt;
@@ -94,6 +104,9 @@ const WHY_STATIC_MUT: &str = "mutable global state; racy and replay-hostile";
 /// Why for the `thread::spawn` sequence hazard.
 const WHY_THREAD_SPAWN: &str =
     "unmanaged thread; the parallel engine must own all spawn/join order";
+/// Why for the `thread::scope` sequence hazard.
+const WHY_THREAD_SCOPE: &str = "scoped threads interleave nondeterministically; only the \
+     certified epoch driver may use them (allowlist its module)";
 /// Why for float accumulation in keyed-iteration loops.
 const WHY_FLOAT_ACCUM: &str = "float `+=` over keyed iteration accumulates rounding in \
      iteration order; a sharded engine merges in a different order";
@@ -177,9 +190,41 @@ pub struct Allowlist {
 
 #[derive(Debug, Clone)]
 struct AllowEntry {
+    /// File-path suffix (the part before any `::`-module qualifier).
     path_suffix: String,
+    /// `Some("a::b")` restricts the entry to module `a::b` (and its
+    /// nested modules) of the file; `None` covers the whole file.
+    mod_path: Option<String>,
     token: String, // "*" allows every token
     used: bool,
+}
+
+impl AllowEntry {
+    /// The entry as written: `file.rs[::mod::path]`.
+    fn display_path(&self) -> String {
+        match &self.mod_path {
+            Some(m) => format!("{}::{m}", self.path_suffix),
+            None => self.path_suffix.clone(),
+        }
+    }
+
+    /// Whether this entry covers a finding of `token` in module
+    /// `mod_path` of file `path`. Module entries match the named module
+    /// and everything nested inside it.
+    fn covers(&self, path: &str, mod_path: &str, token: &str) -> bool {
+        if !path.ends_with(&self.path_suffix) || (self.token != "*" && self.token != token) {
+            return false;
+        }
+        match &self.mod_path {
+            None => true,
+            Some(m) => {
+                mod_path == m
+                    || mod_path
+                        .strip_prefix(m.as_str())
+                        .is_some_and(|r| r.starts_with("::"))
+            }
+        }
+    }
 }
 
 impl Allowlist {
@@ -202,42 +247,59 @@ impl Allowlist {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let (Some(path_suffix), Some(token)) = (parts.next(), parts.next()) else {
+            let (Some(path_field), Some(token)) = (parts.next(), parts.next()) else {
                 continue;
             };
-            if let Some((_, prev)) = entries
-                .iter()
-                .find(|(_, e)| e.path_suffix == path_suffix && e.token == token)
-            {
-                let _ = prev;
+            // `file.rs::mod::path` → module-granular entry. Split on the
+            // first `.rs::` so module names containing `.rs` cannot
+            // confuse the parse.
+            let (path_suffix, mod_path) = match path_field.split_once(".rs::") {
+                Some((file, m)) if !m.is_empty() => (format!("{file}.rs"), Some(m.to_string())),
+                _ => (path_field.to_string(), None),
+            };
+            if entries.iter().any(|(_, e)| {
+                e.path_suffix == path_suffix && e.mod_path == mod_path && e.token == token
+            }) {
                 return Err(AllowlistError::Duplicate {
                     line: idx + 1,
-                    entry: format!("{path_suffix} {token}"),
+                    entry: format!("{path_field} {token}"),
                 });
             }
             entries.push((
                 idx + 1,
                 AllowEntry {
-                    path_suffix: path_suffix.to_string(),
+                    path_suffix,
+                    mod_path,
                     token: token.to_string(),
                     used: false,
                 },
             ));
         }
-        // A `path *` wildcard makes every same-path specific entry dead
-        // weight, regardless of which line came first.
+        // A `path *` wildcard makes every specific entry it covers dead
+        // weight, regardless of which line came first: a whole-file
+        // wildcard swallows that file's module-granular entries too.
         for (line, e) in &entries {
             if e.token == "*" {
                 continue;
             }
+            let covered_mod = |w: &AllowEntry| match (&w.mod_path, &e.mod_path) {
+                (None, _) => true,
+                (Some(wm), Some(em)) => {
+                    em == wm
+                        || em
+                            .strip_prefix(wm.as_str())
+                            .is_some_and(|r| r.starts_with("::"))
+                }
+                (Some(_), None) => false,
+            };
             if let Some((_, w)) = entries
                 .iter()
-                .find(|(_, w)| w.token == "*" && w.path_suffix == e.path_suffix)
+                .find(|(_, w)| w.token == "*" && w.path_suffix == e.path_suffix && covered_mod(w))
             {
                 return Err(AllowlistError::Shadowed {
                     line: *line,
-                    entry: format!("{} {}", e.path_suffix, e.token),
-                    wildcard: format!("{} *", w.path_suffix),
+                    entry: format!("{} {}", e.display_path(), e.token),
+                    wildcard: format!("{} *", w.display_path()),
                 });
             }
         }
@@ -255,10 +317,10 @@ impl Allowlist {
         }
     }
 
-    fn allows(&mut self, path: &str, token: &str) -> bool {
+    fn allows(&mut self, path: &str, mod_path: &str, token: &str) -> bool {
         let mut hit = false;
         for e in &mut self.entries {
-            if path.ends_with(&e.path_suffix) && (e.token == "*" || e.token == token) {
+            if e.covers(path, mod_path, token) {
                 e.used = true;
                 hit = true;
             }
@@ -267,11 +329,14 @@ impl Allowlist {
     }
 
     /// Entries that never matched a finding — stale excuses to delete.
+    /// A module-granular entry goes stale both when the hazard
+    /// disappears and when the code moves to a different module, so
+    /// exemptions track the code they were granted for.
     pub fn unused(&self) -> Vec<String> {
         self.entries
             .iter()
             .filter(|e| !e.used)
-            .map(|e| format!("{} {}", e.path_suffix, e.token))
+            .map(|e| format!("{} {}", e.display_path(), e.token))
             .collect()
     }
 }
@@ -640,13 +705,66 @@ fn is_cfg_test_at(toks: &[Tok<'_>], i: usize) -> bool {
         && matches!(toks.get(i + 6), Some(Tok::Punct(']', _)))
 }
 
+/// For each token, the `::`-joined path of inline `mod` items enclosing
+/// it (`""` at file root). Tracks `mod name { … }` via balanced braces;
+/// `mod name;` declarations contribute nothing. Returns the interned
+/// path table plus a per-token index into it.
+fn module_paths(toks: &[Tok<'_>]) -> (Vec<String>, Vec<usize>) {
+    let mut paths: Vec<String> = vec![String::new()];
+    let mut per_tok = Vec::with_capacity(toks.len());
+    // (index into `paths`, brace depth the module body opened at).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut cur = 0usize;
+    let mut depth = 0usize;
+    let mut pending_mod: Option<&str> = None;
+    for (i, t) in toks.iter().enumerate() {
+        per_tok.push(cur);
+        match t {
+            Tok::Ident("mod", _) => {
+                if let Some(Tok::Ident(name, _)) = toks.get(i + 1) {
+                    pending_mod = Some(name);
+                }
+            }
+            Tok::Punct('{', _) => {
+                depth += 1;
+                if let Some(name) = pending_mod.take() {
+                    let p = if paths[cur].is_empty() {
+                        name.to_string()
+                    } else {
+                        format!("{}::{name}", paths[cur])
+                    };
+                    cur = match paths.iter().position(|x| *x == p) {
+                        Some(i) => i,
+                        None => {
+                            paths.push(p);
+                            paths.len() - 1
+                        }
+                    };
+                    stack.push((cur, depth));
+                }
+            }
+            Tok::Punct(';', _) => pending_mod = None,
+            Tok::Punct('}', _) => {
+                if stack.last().is_some_and(|&(_, d)| d == depth) {
+                    stack.pop();
+                    cur = stack.last().map_or(0, |&(p, _)| p);
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    (paths, per_tok)
+}
+
 /// Scans one file's text. Crate-visible so unit tests can lint synthetic
 /// sources without touching the filesystem.
 fn scan_text(rel_path: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<SourceFinding>) {
     let toks = lex(text);
     let toks = strip_cfg_test(&toks);
-    let mut push = |line: usize, token: &str, why: &str, allow: &mut Allowlist| {
-        if !allow.allows(rel_path, token) {
+    let (mod_paths, mods) = module_paths(&toks);
+    let mut push = |i: usize, line: usize, token: &str, why: &str, allow: &mut Allowlist| {
+        if !allow.allows(rel_path, &mod_paths[mods[i]], token) {
             out.push(SourceFinding {
                 path: rel_path.to_string(),
                 line,
@@ -659,26 +777,34 @@ fn scan_text(rel_path: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<So
         if let Tok::Ident(name, line) = *t {
             // `static mut` two-token hazard.
             if name == "static" && matches!(toks.get(i + 1), Some(Tok::Ident("mut", _))) {
-                push(line, "static mut", WHY_STATIC_MUT, allow);
+                push(i, line, "static mut", WHY_STATIC_MUT, allow);
                 continue;
             }
-            // `thread::spawn` call path.
+            // `thread::spawn` / `thread::scope` call paths.
             if name == "thread"
                 && matches!(toks.get(i + 1), Some(Tok::Punct(':', _)))
                 && matches!(toks.get(i + 2), Some(Tok::Punct(':', _)))
-                && matches!(toks.get(i + 3), Some(Tok::Ident("spawn", _)))
             {
-                push(line, "thread::spawn", WHY_THREAD_SPAWN, allow);
-                continue;
+                match toks.get(i + 3) {
+                    Some(Tok::Ident("spawn", _)) => {
+                        push(i, line, "thread::spawn", WHY_THREAD_SPAWN, allow);
+                        continue;
+                    }
+                    Some(Tok::Ident("scope", _)) => {
+                        push(i, line, "thread::scope", WHY_THREAD_SCOPE, allow);
+                        continue;
+                    }
+                    _ => {}
+                }
             }
             for &(token, why) in HAZARD_IDENTS {
                 if name == token {
-                    push(line, token, why, allow);
+                    push(i, line, token, why, allow);
                 }
             }
         }
     }
-    scan_float_accum(&toks, rel_path, allow, out);
+    scan_float_accum(&toks, &mod_paths, &mods, rel_path, allow, out);
 }
 
 /// Flags `+=` of a float quantity inside a `for` loop whose iterator
@@ -687,6 +813,8 @@ fn scan_text(rel_path: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<So
 /// an `f32`/`f64` token.
 fn scan_float_accum(
     toks: &[Tok<'_>],
+    mod_paths: &[String],
+    mods: &[usize],
     rel_path: &str,
     allow: &mut Allowlist,
     out: &mut Vec<SourceFinding>,
@@ -750,7 +878,7 @@ fn scan_float_accum(
                 matches!(t, Tok::Num { float: true, .. })
                     || matches!(t, Tok::Ident("f32" | "f64", _))
             });
-            if floaty && !allow.allows(rel_path, "float-accum") {
+            if floaty && !allow.allows(rel_path, &mod_paths[mods[k]], "float-accum") {
                 out.push(SourceFinding {
                     path: rel_path.to_string(),
                     line,
@@ -994,5 +1122,124 @@ fn sum(v: &[f64]) -> f64 {\n\
         ];
         v.sort();
         assert_eq!(v[0].path, "a.rs");
+    }
+
+    #[test]
+    fn flags_thread_scope() {
+        assert_eq!(
+            tokens("std::thread::scope(|s| { s.spawn(|| {}); });"),
+            vec!["thread::scope"]
+        );
+        // `scope` alone (e.g. a rayon scope variable) is not the hazard.
+        assert!(tokens("let scope = tracker.scope();").is_empty());
+    }
+
+    #[test]
+    fn module_entry_excuses_only_its_module() {
+        let src = "\
+fn outer() { thread::scope(|s| {}); }\n\
+mod pool {\n\
+    fn run() { thread::scope(|s| {}); }\n\
+    mod inner {\n\
+        fn deep() { thread::scope(|s| {}); }\n\
+    }\n\
+}\n\
+mod other {\n\
+    fn run() { thread::scope(|s| {}); }\n\
+}\n";
+        let mut allow =
+            Allowlist::parse("crates/x/src/lib.rs::pool thread::scope  # certified driver\n")
+                .unwrap();
+        let f = scan("crates/x/src/lib.rs", src, &mut allow);
+        // The file-root use and `mod other` are flagged; `mod pool` and
+        // its nested `mod inner` are excused.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!((f[0].line, f[0].token.as_str()), (1, "thread::scope"));
+        assert_eq!((f[1].line, f[1].token.as_str()), (9, "thread::scope"));
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn module_entry_does_not_match_prefix_named_sibling() {
+        // `mod pooling` must not be covered by an entry for `pool`.
+        let src = "mod pooling { fn run() { thread::scope(|s| {}); } }\n";
+        let mut allow = Allowlist::parse("crates/x/src/lib.rs::pool thread::scope\n").unwrap();
+        let f = scan("crates/x/src/lib.rs", src, &mut allow);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            allow.unused(),
+            vec!["crates/x/src/lib.rs::pool thread::scope"]
+        );
+    }
+
+    #[test]
+    fn stale_module_entry_surfaces_as_unused() {
+        // The hazard moved out of the named module: the entry no longer
+        // covers anything and must be reported so it gets deleted.
+        let src = "mod elsewhere { fn run() { thread::scope(|s| {}); } }\n";
+        let mut allow = Allowlist::parse("crates/x/src/lib.rs::pool thread::scope\n").unwrap();
+        let f = scan("crates/x/src/lib.rs", src, &mut allow);
+        assert_eq!(f.len(), 1);
+        assert_eq!(
+            allow.unused(),
+            vec!["crates/x/src/lib.rs::pool thread::scope"]
+        );
+    }
+
+    #[test]
+    fn module_entries_duplicate_and_shadow_rules() {
+        // Same file+module+token twice is a duplicate.
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs::pool thread::scope\n\
+             crates/x/src/lib.rs::pool thread::scope\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, AllowlistError::Duplicate { line: 2, .. }));
+
+        // A whole-file wildcard shadows a module-scoped entry.
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs *\n\
+             crates/x/src/lib.rs::pool thread::scope\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AllowlistError::Shadowed { line: 2, .. }),
+            "{err}"
+        );
+
+        // A parent-module wildcard shadows a child-module entry.
+        let err = Allowlist::parse(
+            "crates/x/src/lib.rs::pool *\n\
+             crates/x/src/lib.rs::pool::inner thread::scope\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AllowlistError::Shadowed { line: 2, .. }),
+            "{err}"
+        );
+
+        // Sibling modules coexist; a module wildcard does not shadow a
+        // whole-file entry for a different token.
+        assert!(Allowlist::parse(
+            "crates/x/src/lib.rs::pool thread::scope\n\
+                 crates/x/src/lib.rs::metrics thread::scope\n\
+                 crates/x/src/lib.rs Instant\n",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn module_tracking_handles_mod_declarations_and_braces() {
+        // `mod name;` opens nothing; unrelated braces do not end a module.
+        let src = "\
+mod decl_only;\n\
+mod pool {\n\
+    fn a() { if x { y(); } thread::scope(|s| {}); }\n\
+}\n\
+fn after() { thread::scope(|s| {}); }\n";
+        let mut allow = Allowlist::parse("crates/x/src/lib.rs::pool thread::scope\n").unwrap();
+        let f = scan("crates/x/src/lib.rs", src, &mut allow);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
     }
 }

@@ -36,7 +36,7 @@ mod spec;
 mod stats;
 
 pub use placement::{PlacementHint, PlacementPlan, PlacementPolicy, Placer};
-pub use sim::{Cluster, ConnPoolSnapshot, Ev, InstanceState, Simulation};
+pub use sim::{ConnPoolSnapshot, InstanceState, Simulation};
 pub use slab::{Slab, SlabKey};
 pub use spec::{
     AppBuilder, AppSpec, ClusterSpec, Concurrency, EndpointRef, EndpointSpec, InstanceId, LbPolicy,

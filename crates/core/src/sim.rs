@@ -1,11 +1,43 @@
 //! The simulation runtime: machines, instances, invocations, the event
 //! interpreter, and the [`Simulation`] façade.
+//!
+//! # Sharded architecture
+//!
+//! The cluster state is partitioned into *shards*: one per machine, plus
+//! one *client shard* that owns injections and end-to-end request
+//! statistics. Every event belongs to exactly one shard, and a handler
+//! only ever mutates its own shard's state (plus the read-only
+//! [`SharedState`]); anything destined for another shard travels as a
+//! [`Message`] with a pre-minted `(time, key)` identity.
+//!
+//! Two drivers execute the same sharded state:
+//!
+//! * **workers = 1** — a single monolithic timing wheel holds every
+//!   shard's events as `(shard, Ev)` pairs and pops them in global
+//!   `(time, key)` order. No barriers, no threads: this is the fast
+//!   serial path benchmarked by `dsb-bench`.
+//! * **workers ≥ 2** — each shard gets its own timing wheel, driven by
+//!   [`dsb_simcore::run_epochs`]: conservative lookahead windows of
+//!   `lookahead_ns` (the minimum cross-shard fabric latency), with
+//!   cross-shard messages exchanged as `(time, key)`-sorted batches at
+//!   epoch barriers.
+//!
+//! Determinism across the two drivers (and any worker count) rests on
+//! one invariant: **every** event's tie-break key is minted from its
+//! shard's own counter — `(shard << 48) | ctr` — never from a wheel's
+//! internal sequence. Per shard, events pop in ascending `(time, key)`
+//! order under both drivers, so each shard sees the identical event
+//! sequence, draws the identical RNG stream, and emits byte-identical
+//! traces and statistics. `tests/parallel_conformance.rs` pins this.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use dsb_net::{Fabric, FpgaOffload, Nic, Protocol, Zone};
-use dsb_simcore::{Model, Rng, Scheduler, SimDuration, SimTime, UtilizationTracker};
+use dsb_simcore::{
+    mix64, run_epochs, EpochShard, Outbox, Rng, Scheduler, SimDuration, SimTime, Transfer,
+    UtilizationTracker,
+};
 use dsb_trace::{Span, SpanId, TraceCollector, TraceId};
 use dsb_uarch::{CoreModel, ExecDomain};
 
@@ -57,17 +89,153 @@ pub enum InstanceState {
     Draining,
 }
 
+const REF_FREQ_GHZ: f64 = 2.4;
+
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 // ---------------------------------------------------------------------------
-// Runtime state
+// Shared (read-only during event runs) state
+// ---------------------------------------------------------------------------
+
+/// Immutable-per-run facts about a machine. The mutable parts (NIC
+/// queue, core occupancy) live in the owning shard's [`MachineRt`].
+#[derive(Debug, Clone, Copy)]
+struct MachineMeta {
+    zone: Zone,
+    core: CoreModel,
+    offload: FpgaOffload,
+}
+
+/// Immutable-per-run facts about an instance; the queue/worker state
+/// lives in the owning machine shard's [`InstRt`].
+#[derive(Debug, Clone, Copy)]
+struct InstMeta {
+    service: ServiceId,
+    machine: MachineId,
+    state: InstanceState,
+    /// `None` means on-demand (serverless) workers.
+    worker_limit: Option<u32>,
+}
+
+#[derive(Debug)]
+struct SharedServiceRt {
+    spec: crate::spec::ServiceSpec,
+    instances: Vec<InstanceId>,
+    pinned: Option<InstanceId>,
+}
+
+/// Everything handlers read but never write during an event run. Shared
+/// by reference across worker threads (`&SharedState` is the epoch
+/// driver's context); mutated only between runs by the control surface.
+#[derive(Debug)]
+struct SharedState {
+    app: AppSpec,
+    services: Vec<SharedServiceRt>,
+    insts: Vec<InstMeta>,
+    machines: Vec<MachineMeta>,
+    fabric: Fabric,
+    window: SimDuration,
+    cpu_quantum_ns: f64,
+    admit_prob: f64,
+    ref_core: CoreModel,
+    /// Memoized `speed_factor(service, machine)`, `services × machines`
+    /// row-major; see [`SharedState::rebuild_core_caches`].
+    sf_cache: Vec<f64>,
+    /// Memoized reference-core IPC per service.
+    ref_ipc_cache: Vec<f64>,
+    /// Conservative lookahead: no cross-shard message can arrive sooner
+    /// than this many ns after it is sent. See [`cluster_lookahead`].
+    lookahead_ns: u64,
+}
+
+impl SharedState {
+    fn speed_factor(&self, service: ServiceId, machine: MachineId) -> f64 {
+        self.sf_cache[service.0 as usize * self.machines.len() + machine.0 as usize]
+    }
+
+    fn ref_ipc(&self, service: ServiceId) -> f64 {
+        self.ref_ipc_cache[service.0 as usize]
+    }
+
+    /// Recomputes the memoized per-(service, machine) speed factors and
+    /// per-service reference-core IPC. `CoreModel::speed_factor` walks
+    /// the full uarch breakdown twice per call, which is far too slow
+    /// for once-per-hop use; both inputs (service profiles, machine
+    /// cores) are fixed except across [`Simulation::set_frequency`],
+    /// which rebuilds this table.
+    fn rebuild_core_caches(&mut self) {
+        let nm = self.machines.len();
+        self.sf_cache.clear();
+        self.ref_ipc_cache.clear();
+        for rt in &self.services {
+            let p = &rt.spec.profile;
+            self.ref_ipc_cache.push(self.ref_core.ipc(p));
+            for m in &self.machines {
+                self.sf_cache.push(m.core.speed_factor(p));
+            }
+        }
+        debug_assert_eq!(self.sf_cache.len(), self.services.len() * nm);
+    }
+
+    /// Index of the client shard (one past the machine shards).
+    fn client_shard(&self) -> u16 {
+        self.machines.len() as u16
+    }
+}
+
+/// The conservative lookahead bound for a cluster: the smallest latency
+/// any cross-shard message (machine↔machine, machine↔client shard, or
+/// injection) can experience. Derived from [`Fabric::min_delay`] over
+/// every zone pair that can actually occur between *distinct* machines,
+/// plus the Client/Edge origins traffic is injected from.
+fn cluster_lookahead(fabric: &Fabric, machines: &[MachineMeta]) -> u64 {
+    // Count machines per zone (Zone is not Ord; a tiny Vec scan is fine
+    // for construction-time work).
+    let mut zones: Vec<(Zone, u32)> = Vec::new();
+    for m in machines {
+        match zones.iter_mut().find(|(z, _)| *z == m.zone) {
+            Some((_, c)) => *c += 1,
+            None => zones.push((m.zone, 1)),
+        }
+    }
+    if zones.is_empty() {
+        return 1_000_000;
+    }
+    let mut l = u64::MAX;
+    for (i, &(za, ca)) in zones.iter().enumerate() {
+        // Two machines in the same zone talk at the same-zone fabric
+        // latency (same-machine delivery is shard-local and exempt).
+        if ca >= 2 {
+            l = l.min(fabric.min_delay(za, za).as_nanos());
+        }
+        for &(zb, _) in &zones[i + 1..] {
+            l = l.min(fabric.min_delay(za, zb).as_nanos());
+            l = l.min(fabric.min_delay(zb, za).as_nanos());
+        }
+        // Injections and client replies cross between the client shard
+        // and machine shards; `Simulation::inject_from` clamps exotic
+        // origins to the lookahead, so only the standard ones bound it.
+        for origin in [Zone::Client, Zone::Edge] {
+            l = l.min(fabric.min_delay(origin, za).as_nanos());
+            l = l.min(fabric.min_delay(za, origin).as_nanos());
+        }
+    }
+    l.max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard runtime state
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct Machine {
+struct MachineRt {
     cores: u32,
-    core: CoreModel,
-    zone: Zone,
     nic: Nic,
-    offload: FpgaOffload,
     busy: u32,
     /// Pool tickets of queued [`CoreJob`]s awaiting a free core.
     run_queue: VecDeque<u32>,
@@ -88,13 +256,11 @@ struct PendingReq {
     recv_net_ns: f64,
 }
 
-#[derive(Debug)]
-struct Instance {
-    service: ServiceId,
-    machine: MachineId,
-    state: InstanceState,
-    /// `None` means on-demand (serverless) workers.
-    worker_limit: Option<u32>,
+/// Mutable per-instance state, owned by the instance's machine shard.
+/// (Every shard allocates a slot per instance so indexing stays global;
+/// only the owner's slot is ever touched.)
+#[derive(Debug, Default)]
+struct InstRt {
     warm_free: u32,
     busy_workers: u32,
     queue: VecDeque<PendingReq>,
@@ -102,14 +268,6 @@ struct Instance {
     inflight: u32,
     /// Completed invocations served by this instance (per-shard load).
     served: u64,
-}
-
-#[derive(Debug)]
-struct ServiceRt {
-    spec: crate::spec::ServiceSpec,
-    instances: Vec<InstanceId>,
-    rr: usize,
-    pinned: Option<InstanceId>,
 }
 
 #[derive(Debug, Clone)]
@@ -124,18 +282,26 @@ struct BlockedCall {
     bytes: u64,
 }
 
+/// Return address of a cross-service call: the waiting invocation and
+/// the machine (= shard) it lives on, so the callee can route its
+/// response without a cross-shard lookup.
+#[derive(Debug, Clone, Copy)]
+struct Caller {
+    inv: SlabKey,
+    machine: MachineId,
+}
+
 #[derive(Debug)]
 struct Invocation {
     service: ServiceId,
     instance: InstanceId,
-    machine: MachineId,
     endpoint: u32,
     req: u64,
     rtype: RequestType,
     origin: Zone,
     partition_key: u64,
     spawn: SimTime,
-    caller: Option<SlabKey>,
+    caller: Option<Caller>,
     parent_span: Option<SpanId>,
     span: u64,
     frames: Vec<Frame>,
@@ -149,42 +315,53 @@ struct Invocation {
     net_ns: f64,
 }
 
-/// A request in flight between services (opaque; exposed only through
-/// [`Ev`]).
+/// A request in flight between services.
 #[derive(Debug)]
-pub struct RequestMsg {
+struct RequestMsg {
     req: u64,
     rtype: RequestType,
     origin: Zone,
     dst: InstanceId,
     endpoint: u32,
-    caller: Option<SlabKey>,
+    caller: Option<Caller>,
     parent_span: Option<SpanId>,
     bytes: u64,
     partition_key: u64,
     spawn: SimTime,
 }
 
-/// A response in flight back to a caller (opaque).
+/// A response in flight back to a caller. Carries its destination
+/// machine and the serving instance so both the send-side cost model
+/// and the caller-side load-balancer accounting need no cross-shard
+/// reads.
 #[derive(Debug)]
-pub struct ResponseMsg {
+struct ResponseMsg {
     to_inv: SlabKey,
+    to_machine: MachineId,
+    from_inst: InstanceId,
     bytes: u64,
     protocol: Protocol,
 }
 
-/// A message in flight (opaque; carried by [`Ev::MsgArrive`]).
+/// A message in flight (carried by [`Ev::MsgArrive`], possibly across
+/// shards).
 #[derive(Debug)]
-pub enum Message {
+enum Message {
     Request(RequestMsg),
     Response(ResponseMsg),
-    ClientReply { rtype: RequestType, spawn: SimTime },
+    ClientReply {
+        rtype: RequestType,
+        spawn: SimTime,
+        /// Serving instance, for the client shard's outstanding-count
+        /// bookkeeping.
+        inst: InstanceId,
+    },
 }
 
-/// A unit of CPU work scheduled on a machine core (opaque; carried by
+/// A unit of CPU work scheduled on a machine core (carried by
 /// [`Ev::CoreJobDone`]).
 #[derive(Debug)]
-pub struct CoreJob {
+struct CoreJob {
     dur: SimDuration,
     service: ServiceId,
     /// (domain, reference-core ns, actual ns) — up to two components.
@@ -200,19 +377,14 @@ enum JobCont {
     /// remainder (models preemptive round-robin scheduling, so a long
     /// vision job cannot monopolize a weak core for seconds).
     StepChunk {
-        /// The invocation whose step is executing.
         inv: SlabKey,
-        /// Accounting domain of the step.
         domain: ExecDomain,
-        /// Remaining reference-core nanoseconds.
         remaining_ref: f64,
-        /// Remaining actual nanoseconds.
         remaining_actual: f64,
     },
     /// Send-side processing finished; push the message into the network.
     SendDone {
         msg: Message,
-        from_machine: MachineId,
         bytes: u64,
         /// FPGA pipeline delay (send + recv side), added to flight time.
         extra: SimDuration,
@@ -225,9 +397,9 @@ enum JobCont {
     RecvResponse(SlabKey),
 }
 
-/// A pending client request (opaque; carried by [`Ev::Inject`]).
+/// A pending client request (carried by [`Ev::Inject`]).
 #[derive(Debug)]
-pub struct InjectReq {
+struct InjectReq {
     entry: EndpointRef,
     rtype: RequestType,
     bytes: u64,
@@ -241,8 +413,8 @@ pub struct InjectReq {
 /// slots (pushes, cascades, drains), so events must stay small; bulky
 /// payloads ([`CoreJob`], [`Message`], [`InjectReq`]) park here and the
 /// event carries a `u32` ticket. Ids are minted and retired in event
-/// order, which is deterministic, and never leak into simulation
-/// observables — pooling cannot perturb results.
+/// order, which is deterministic per shard, and never leak into
+/// simulation observables — pooling cannot perturb results.
 #[derive(Debug)]
 struct Pool<T> {
     slots: Vec<Option<T>>,
@@ -281,57 +453,81 @@ impl<T> Pool<T> {
     }
 }
 
-/// The event alphabet of the microservice simulation.
+/// The event alphabet of one shard. Machine shards see everything but
+/// `Inject`; the client shard sees `Inject` and `MsgArrive` (replies).
 #[derive(Debug)]
-pub enum Ev {
+enum Ev {
     /// A client (or sensor) issues a request (pooled `InjectReq`).
     Inject(u32),
     /// A message finished its network flight (pooled `Message`).
     MsgArrive(u32),
-    /// A core finished executing a job (pooled `CoreJob`).
-    CoreJobDone {
-        /// The machine whose core completed.
-        machine: MachineId,
-        /// Pool ticket of the completed job.
-        job: u32,
-    },
+    /// This shard's machine finished executing a job (pooled `CoreJob`).
+    CoreJobDone { job: u32 },
     /// An I/O wait completed.
-    IoDone {
-        /// The waiting invocation.
-        inv: SlabKey,
-    },
+    IoDone { inv: SlabKey },
     /// A blocked caller was granted a downstream connection.
-    ConnGranted {
-        /// The unblocked invocation.
-        inv: SlabKey,
-        /// The service whose pool granted the connection.
-        to: ServiceId,
-    },
-    /// A starting instance became ready.
-    InstanceUp {
-        /// The instance.
-        inst: InstanceId,
-    },
+    ConnGranted { inv: SlabKey, to: ServiceId },
     /// A serverless cold start finished; a warm worker is available.
-    WorkerSpawned {
-        /// The instance that spawned the worker.
-        inst: InstanceId,
+    WorkerSpawned { inst: InstanceId },
+}
+
+// ---------------------------------------------------------------------------
+// Event sink: one handler body, two drivers
+// ---------------------------------------------------------------------------
+
+/// Where a handler's outputs go. `Mono` targets the single global wheel
+/// (cross-shard messages are staged and drained into it immediately
+/// after the handler returns); `Par` targets the shard's own wheel plus
+/// the epoch outbox. Handlers are generic over this, so the two drivers
+/// execute literally the same code.
+enum Sink<'a> {
+    Mono {
+        shard: u16,
+        wheel: &'a mut Scheduler<(u16, Ev)>,
+        out: &'a mut Vec<(u16, u64, u64, Message)>,
+    },
+    Par {
+        wheel: &'a mut Scheduler<Ev>,
+        out: &'a mut Outbox<Message>,
     },
 }
 
-/// All mutable world state; implements [`Model`] over [`Ev`].
-///
-/// Use through [`Simulation`], which pairs it with a scheduler.
+impl Sink<'_> {
+    /// Schedules a shard-local event under a shard-minted key.
+    fn local(&mut self, at: SimTime, key: u64, ev: Ev) {
+        match self {
+            Sink::Mono { shard, wheel, .. } => wheel.schedule_keyed(at, key, (*shard, ev)),
+            Sink::Par { wheel, .. } => wheel.schedule_keyed(at, key, ev),
+        }
+    }
+
+    /// Ships a message to another shard, arriving at absolute `at_ns`
+    /// under the sender-minted `key`.
+    fn cross(&mut self, dst: u16, at_ns: u64, key: u64, msg: Message) {
+        match self {
+            Sink::Mono { out, .. } => out.push((dst, at_ns, key, msg)),
+            Sink::Par { out, .. } => out.send(dst as usize, at_ns, key, msg),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard state + handlers
+// ---------------------------------------------------------------------------
+
+/// All mutable state owned by one shard. Shards `0..M` each own machine
+/// `i`; shard `M` is the client shard (injections, request stats).
 #[derive(Debug)]
-pub struct Cluster {
-    app: AppSpec,
-    services: Vec<ServiceRt>,
-    instances: Vec<Instance>,
-    machines: Vec<Machine>,
-    fabric: Fabric,
-    collector: TraceCollector,
-    service_stats: Vec<ServiceStats>,
-    request_stats: Vec<RequestStats>,
+struct ShardState {
+    shard: u16,
+    /// `Some` on machine shards, `None` on the client shard.
+    machine: Option<MachineRt>,
+    insts: Vec<InstRt>,
+    /// Requests this shard has outstanding toward each instance — the
+    /// `LeastOutstanding` balancer's (shard-local) signal.
+    outstanding: Vec<u32>,
+    /// Per-service round-robin cursors for picks made by this shard.
+    rr: Vec<usize>,
     invocations: Slab<Invocation>,
     /// Recycled `Invocation::frames` vectors. Every invocation needs a
     /// frame stack and finishes with it empty; pooling the backing
@@ -339,208 +535,97 @@ pub struct Cluster {
     /// hot path.
     frame_pool: Vec<Vec<Frame>>,
     rng: Rng,
+    /// Tie-break key counter; see [`ShardState::mint`].
+    key_ctr: u64,
+    /// Span-id counter (shard-tagged like keys, so ids are globally
+    /// unique without coordination).
+    span_ctr: u64,
+    stats: Vec<ServiceStats>,
+    collector: TraceCollector,
+    /// Client shard only: end-to-end stats per request type.
+    request_stats: Vec<RequestStats>,
+    /// Client shard only: request-id counter.
     next_req: u64,
-    next_span: u64,
-    window: SimDuration,
-    instance_startup: SimDuration,
-    cpu_quantum_ns: f64,
-    admit_prob: f64,
-    placer: crate::placement::Placer,
-    ref_core: CoreModel,
-    /// Memoized `speed_factor(service, machine)`, `services × machines`
-    /// row-major; see [`Cluster::rebuild_core_caches`].
-    sf_cache: Vec<f64>,
-    /// Memoized reference-core IPC per service.
-    ref_ipc_cache: Vec<f64>,
-    /// Parked [`CoreJob`] payloads for in-flight [`Ev::CoreJobDone`]s.
     job_pool: Pool<CoreJob>,
-    /// Parked [`Message`] payloads for in-flight [`Ev::MsgArrive`]s.
     msg_pool: Pool<Message>,
-    /// Parked [`InjectReq`] payloads for scheduled [`Ev::Inject`]s.
     inject_pool: Pool<InjectReq>,
 }
 
-const REF_FREQ_GHZ: f64 = 2.4;
-
-fn hash64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl Cluster {
-    fn new(app: AppSpec, cluster: &ClusterSpec, seed: u64) -> Self {
-        let mut rng = Rng::new(seed);
-        let machines = cluster
-            .machines
-            .iter()
-            .map(|m| Machine {
-                cores: m.cores,
-                core: m.core,
-                zone: m.zone,
-                nic: Nic::new(m.nic_gbps),
-                offload: FpgaOffload::disabled(),
-                busy: 0,
-                run_queue: VecDeque::with_capacity(16),
-                util: UtilizationTracker::new(cluster.window, m.cores),
-            })
-            .collect();
-        let collector =
-            TraceCollector::new(cluster.window, cluster.trace_sample_prob, rng.next_u64());
-        let service_stats = app
-            .services
-            .iter()
-            .map(|_| ServiceStats::new(cluster.window))
-            .collect();
-        let services = app
-            .services
-            .iter()
-            .cloned()
-            .map(|spec| ServiceRt {
-                spec,
-                instances: Vec::new(),
-                rr: 0,
-                pinned: None,
-            })
-            .collect();
-        let app_services = app.services.len();
-        let mut c = Cluster {
-            app,
-            services,
-            instances: Vec::new(),
-            machines,
-            fabric: Fabric::new(cluster.fabric),
-            collector,
-            service_stats,
-            request_stats: Vec::new(),
-            invocations: Slab::with_capacity(256),
-            frame_pool: Vec::new(),
-            rng,
-            next_req: 0,
-            next_span: 0,
-            window: cluster.window,
-            instance_startup: cluster.instance_startup,
-            cpu_quantum_ns: cluster.cpu_quantum.as_nanos() as f64,
-            admit_prob: 1.0,
-            placer: crate::placement::Placer::new(cluster, app_services),
-            ref_core: CoreModel::xeon(),
-            sf_cache: Vec::new(),
-            ref_ipc_cache: Vec::new(),
-            job_pool: Pool::with_capacity(256),
-            msg_pool: Pool::with_capacity(256),
-            inject_pool: Pool::with_capacity(256),
-        };
-        c.rebuild_core_caches();
-        for sid in 0..c.services.len() {
-            for _ in 0..c.services[sid].spec.initial_instances {
-                c.spawn_instance(ServiceId(sid as u32), InstanceState::Up);
-            }
-        }
-        c
+impl ShardState {
+    /// Mints the next globally-unique tie-break key: `(shard << 48) | ctr`.
+    ///
+    /// Both drivers order same-instant events by this key, so the pop
+    /// sequence of a shard is identical whether its events sit in the
+    /// monolithic wheel or its private one — the cornerstone of the
+    /// serial/parallel conformance guarantee.
+    fn mint(&mut self) -> u64 {
+        self.key_ctr += 1;
+        (self.shard as u64) << 48 | self.key_ctr
     }
 
-    /// Recomputes the memoized per-(service, machine) speed factors and
-    /// per-service reference-core IPC. `CoreModel::speed_factor` walks
-    /// the full uarch breakdown twice per call, which is far too slow
-    /// for once-per-hop use; both inputs (service profiles, machine
-    /// cores) are fixed except across [`Simulation::set_frequency`],
-    /// which rebuilds this table.
-    fn rebuild_core_caches(&mut self) {
-        let nm = self.machines.len();
-        self.sf_cache.clear();
-        self.ref_ipc_cache.clear();
-        for rt in &self.services {
-            let p = &rt.spec.profile;
-            self.ref_ipc_cache.push(self.ref_core.ipc(p));
-            for m in &self.machines {
-                self.sf_cache.push(m.core.speed_factor(p));
-            }
-        }
-        debug_assert_eq!(self.sf_cache.len(), self.services.len() * nm);
+    fn mint_span(&mut self) -> u64 {
+        self.span_ctr += 1;
+        (self.shard as u64) << 48 | self.span_ctr
     }
 
-    fn spawn_instance(&mut self, service: ServiceId, state: InstanceState) -> InstanceId {
-        let machine = self
-            .placer
-            .place(service, &self.services[service.0 as usize].spec);
-        let spec = &self.services[service.0 as usize].spec;
-        let worker_limit = match &spec.workers {
-            WorkerPolicy::Fixed(n) => Some(*n),
-            WorkerPolicy::OnDemand { .. } => None,
-        };
-        let id = InstanceId(self.instances.len() as u32);
-        self.instances.push(Instance {
-            service,
-            machine,
-            state,
-            worker_limit,
-            warm_free: 0,
-            busy_workers: 0,
-            queue: VecDeque::with_capacity(16),
-            conns: BTreeMap::new(),
-            inflight: 0,
-            served: 0,
-        });
-        self.services[service.0 as usize].instances.push(id);
-        id
-    }
-
-    fn speed_factor(&self, service: ServiceId, machine: MachineId) -> f64 {
-        self.sf_cache[service.0 as usize * self.machines.len() + machine.0 as usize]
-    }
-
-    fn ref_ipc(&self, service: ServiceId) -> f64 {
-        self.ref_ipc_cache[service.0 as usize]
+    /// This shard's machine id. Only valid on machine shards.
+    fn machine_id(&self) -> MachineId {
+        debug_assert!(self.machine.is_some(), "not a machine shard");
+        MachineId(self.shard as u32)
     }
 
     // -- CPU ---------------------------------------------------------------
 
-    fn submit_job(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: CoreJob) {
+    fn submit_job(&mut self, sink: &mut Sink, now: SimTime, job: CoreJob) {
         let dur = job.dur;
         let id = self.job_pool.alloc(job);
-        let m = &mut self.machines[machine.0 as usize];
+        let key = self.mint();
+        let m = self.machine.as_mut().expect("compute on a machine shard");
         if m.busy < m.cores {
             m.busy += 1;
-            let now = sched.now();
             m.util.add_busy(now, now + dur);
-            sched.schedule_in(dur, Ev::CoreJobDone { machine, job: id });
+            sink.local(now + dur, key, Ev::CoreJobDone { job: id });
         } else {
             m.run_queue.push_back(id);
         }
     }
 
-    fn on_job_done(&mut self, sched: &mut Scheduler<Ev>, machine: MachineId, job: u32) {
+    fn on_job_done(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, job: u32) {
         let job = self.job_pool.take(job);
         // Start the next queued job (or free the core).
-        {
-            let now = sched.now();
-            let m = &mut self.machines[machine.0 as usize];
-            if let Some(next) = m.run_queue.pop_front() {
-                let dur = self.job_pool.get(next).dur;
+        let next = self
+            .machine
+            .as_mut()
+            .expect("machine shard")
+            .run_queue
+            .pop_front();
+        match next {
+            Some(n) => {
+                let dur = self.job_pool.get(n).dur;
+                let key = self.mint();
+                let m = self.machine.as_mut().expect("machine shard");
                 m.util.add_busy(now, now + dur);
-                sched.schedule_in(dur, Ev::CoreJobDone { machine, job: next });
-            } else {
-                m.busy -= 1;
+                sink.local(now + dur, key, Ev::CoreJobDone { job: n });
             }
+            None => self.machine.as_mut().expect("machine shard").busy -= 1,
         }
         // Account the finished job.
-        let freq = self.machines[machine.0 as usize].core.freq_ghz;
-        let ipc = self.ref_ipc(job.service);
-        let stats = &mut self.service_stats[job.service.0 as usize];
+        let freq = sh.machines[self.shard as usize].core.freq_ghz;
+        let ipc = sh.ref_ipc(job.service);
+        let stats = &mut self.stats[job.service.0 as usize];
         for (domain, ref_ns, actual_ns) in job.splits {
             if actual_ns > 0.0 || ref_ns > 0.0 {
                 stats.charge(domain, actual_ns, freq, ref_ns, ipc, REF_FREQ_GHZ);
             }
         }
+        let actual: f64 = job.splits.iter().map(|s| s.2).sum();
         // Continuation.
         match job.cont {
             JobCont::StepDone(inv) => {
-                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
                 if let Some(i) = self.invocations.get_mut(inv) {
                     i.app_ns += actual;
                 }
-                self.advance(sched, inv);
+                self.advance(sh, sink, now, inv);
             }
             JobCont::StepChunk {
                 inv,
@@ -548,24 +633,20 @@ impl Cluster {
                 remaining_ref,
                 remaining_actual,
             } => {
-                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
                 if let Some(i) = self.invocations.get_mut(inv) {
                     i.app_ns += actual;
                 } else {
                     return;
                 }
-                let machine = self.invocations.get(inv).expect("live inv").machine;
-                self.submit_compute(sched, inv, machine, domain, remaining_ref, remaining_actual);
+                self.submit_compute(sh, sink, now, inv, domain, remaining_ref, remaining_actual);
             }
             JobCont::SendDone {
                 msg,
-                from_machine,
                 bytes,
                 extra,
                 charge,
             } => {
-                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
-                let tx = self.transmit(sched, from_machine, bytes, extra, msg);
+                let tx = self.transmit(sh, sink, now, bytes, extra, msg);
                 if let Some(k) = charge {
                     if let Some(i) = self.invocations.get_mut(k) {
                         // Processing plus NIC queueing/serialization both
@@ -575,28 +656,27 @@ impl Cluster {
                 }
             }
             JobCont::RecvRequest(msg) => {
-                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
-                self.enqueue_request(sched, msg, actual);
+                self.enqueue_request(sh, sink, now, msg, actual);
             }
             JobCont::RecvResponse(inv) => {
-                let actual: f64 = job.splits.iter().map(|s| s.2).sum();
                 if let Some(i) = self.invocations.get_mut(inv) {
                     i.net_ns += actual;
                 }
-                self.on_response(sched, inv);
+                self.on_response(sh, sink, now, inv);
             }
         }
     }
 
     // -- Network -----------------------------------------------------------
 
-    /// Queues send-side processing for `msg` on `from`'s cores, then (via
-    /// `SendDone`) pushes it through the NIC and fabric.
+    /// Queues send-side processing for `msg` on this shard's cores, then
+    /// (via `SendDone`) pushes it through the NIC and fabric.
     #[allow(clippy::too_many_arguments)]
     fn begin_send(
         &mut self,
-        sched: &mut Scheduler<Ev>,
-        from: MachineId,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
         acct: ServiceId,
         protocol: Protocol,
         bytes: u64,
@@ -604,30 +684,29 @@ impl Cluster {
         charge: Option<SlabKey>,
     ) {
         let costs = protocol.costs(bytes);
-        let m = &self.machines[from.0 as usize];
-        let (host_kernel, pipe_send) = m.offload.apply(costs.send_kernel_ns);
+        let from = self.machine_id();
+        let (host_kernel, pipe_send) = sh.machines[from.0 as usize]
+            .offload
+            .apply(costs.send_kernel_ns);
         // Receiver-side FPGA pipeline delay is added here too (we know the
         // destination), so delivery happens in a single hop.
         let pipe_recv = match &msg {
             Message::Request(rm) => {
-                let mach = self.instances[rm.dst.0 as usize].machine;
-                self.machines[mach.0 as usize]
+                let mach = sh.insts[rm.dst.0 as usize].machine;
+                sh.machines[mach.0 as usize]
                     .offload
                     .apply(costs.recv_kernel_ns)
                     .1
             }
-            Message::Response(resp) => match self.invocations.get(resp.to_inv) {
-                Some(i) => {
-                    self.machines[i.machine.0 as usize]
-                        .offload
-                        .apply(costs.recv_kernel_ns)
-                        .1
-                }
-                None => 0.0,
-            },
+            Message::Response(resp) => {
+                sh.machines[resp.to_machine.0 as usize]
+                    .offload
+                    .apply(costs.recv_kernel_ns)
+                    .1
+            }
             Message::ClientReply { .. } => 0.0,
         };
-        let sf = self.speed_factor(acct, from);
+        let sf = sh.speed_factor(acct, from);
         let kernel_act = host_kernel * sf;
         let libs_act = costs.send_libs_ns * sf;
         let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
@@ -640,69 +719,86 @@ impl Cluster {
             ],
             cont: JobCont::SendDone {
                 msg,
-                from_machine: from,
                 bytes,
                 extra: SimDuration::from_nanos((pipe_send + pipe_recv) as u64),
                 charge,
             },
         };
-        self.submit_job(sched, from, job);
+        self.submit_job(sink, now, job);
     }
 
     fn transmit(
         &mut self,
-        sched: &mut Scheduler<Ev>,
-        from: MachineId,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
         bytes: u64,
         extra: SimDuration,
         msg: Message,
     ) -> SimDuration {
-        let now = sched.now();
-        let tx = self.machines[from.0 as usize].nic.transmit(now, bytes);
-        let from_zone = self.machines[from.0 as usize].zone;
-        let prop = match &msg {
-            Message::Request(rm) => {
-                let mach = self.instances[rm.dst.0 as usize].machine;
-                if mach == from {
-                    self.fabric.loopback()
-                } else {
-                    let z = self.machines[mach.0 as usize].zone;
-                    self.fabric.delay(from_zone, z, &mut self.rng)
-                }
-            }
-            Message::Response(resp) => match self.invocations.get(resp.to_inv) {
-                Some(i) => {
-                    let mach = i.machine;
-                    if mach == from {
-                        self.fabric.loopback()
-                    } else {
-                        let z = self.machines[mach.0 as usize].zone;
-                        self.fabric.delay(from_zone, z, &mut self.rng)
-                    }
-                }
-                None => self.fabric.loopback(),
-            },
-            Message::ClientReply { .. } => {
-                // Reply to the request's origin zone.
-                self.fabric.delay(from_zone, Zone::Client, &mut self.rng)
-            }
+        let tx = self
+            .machine
+            .as_mut()
+            .expect("send from a machine shard")
+            .nic
+            .transmit(now, bytes);
+        let from_zone = sh.machines[self.shard as usize].zone;
+        let dst_mach = match &msg {
+            Message::Request(rm) => Some(sh.insts[rm.dst.0 as usize].machine),
+            Message::Response(resp) => Some(resp.to_machine),
+            Message::ClientReply { .. } => None,
         };
-        sched.schedule_in(tx + prop + extra, Ev::MsgArrive(self.msg_pool.alloc(msg)));
+        match dst_mach {
+            // Same machine: shard-local delivery, loopback latency.
+            Some(dm) if dm.0 as u16 == self.shard => {
+                let prop = sh.fabric.loopback();
+                let key = self.mint();
+                let idx = self.msg_pool.alloc(msg);
+                sink.local(now + tx + prop + extra, key, Ev::MsgArrive(idx));
+            }
+            // Another machine's shard: fabric hop, cross-shard transfer.
+            Some(dm) => {
+                let z = sh.machines[dm.0 as usize].zone;
+                let prop = sh.fabric.delay(from_zone, z, &mut self.rng);
+                debug_assert!(
+                    prop.as_nanos() >= sh.lookahead_ns,
+                    "cross-shard hop {} below lookahead {}",
+                    prop.as_nanos(),
+                    sh.lookahead_ns
+                );
+                let key = self.mint();
+                let at = (now + tx + prop + extra).as_nanos();
+                sink.cross(dm.0 as u16, at, key, msg);
+            }
+            // Reply to the request's origin: the client shard owns it.
+            None => {
+                let prop = sh.fabric.delay(from_zone, Zone::Client, &mut self.rng);
+                debug_assert!(
+                    prop.as_nanos() >= sh.lookahead_ns,
+                    "client hop {} below lookahead {}",
+                    prop.as_nanos(),
+                    sh.lookahead_ns
+                );
+                let key = self.mint();
+                let at = (now + tx + prop + extra).as_nanos();
+                sink.cross(sh.client_shard(), at, key, msg);
+            }
+        }
         tx
     }
 
-    fn deliver(&mut self, sched: &mut Scheduler<Ev>, msg: Message) {
+    fn deliver(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, msg: Message) {
         match msg {
             Message::Request(rm) => {
-                let inst = &self.instances[rm.dst.0 as usize];
-                let machine = inst.machine;
-                let service = inst.service;
-                let protocol = self.services[service.0 as usize].spec.protocol;
+                let meta = sh.insts[rm.dst.0 as usize];
+                debug_assert_eq!(meta.machine.0 as u16, self.shard, "request routed wrong");
+                let service = meta.service;
+                let protocol = sh.services[service.0 as usize].spec.protocol;
                 let costs = protocol.costs(rm.bytes);
-                let (host_kernel, _pipe) = self.machines[machine.0 as usize]
+                let (host_kernel, _pipe) = sh.machines[self.shard as usize]
                     .offload
                     .apply(costs.recv_kernel_ns);
-                let sf = self.speed_factor(service, machine);
+                let sf = sh.speed_factor(service, meta.machine);
                 let kernel_act = host_kernel * sf;
                 let libs_act = costs.recv_libs_ns * sf;
                 let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
@@ -715,19 +811,22 @@ impl Cluster {
                     ],
                     cont: JobCont::RecvRequest(rm),
                 };
-                self.submit_job(sched, machine, job);
+                self.submit_job(sink, now, job);
             }
             Message::Response(resp) => {
+                // The pick that sent this request was made on this shard;
+                // settle its outstanding count even if the caller is gone.
+                let o = &mut self.outstanding[resp.from_inst.0 as usize];
+                *o = o.saturating_sub(1);
                 let Some(inv) = self.invocations.get(resp.to_inv) else {
                     return;
                 };
-                let machine = inv.machine;
                 let service = inv.service;
                 let costs = resp.protocol.costs(resp.bytes);
-                let (host_kernel, _pipe) = self.machines[machine.0 as usize]
+                let (host_kernel, _pipe) = sh.machines[self.shard as usize]
                     .offload
                     .apply(costs.recv_kernel_ns);
-                let sf = self.speed_factor(service, machine);
+                let sf = sh.speed_factor(service, self.machine_id());
                 let kernel_act = host_kernel * sf;
                 let libs_act = costs.recv_libs_ns * sf;
                 let dur = SimDuration::from_nanos((kernel_act + libs_act) as u64);
@@ -740,83 +839,100 @@ impl Cluster {
                     ],
                     cont: JobCont::RecvResponse(resp.to_inv),
                 };
-                self.submit_job(sched, machine, job);
+                self.submit_job(sink, now, job);
             }
-            Message::ClientReply { rtype, spawn } => {
-                let now = sched.now();
-                self.request_stats_mut(rtype).complete(now, now - spawn);
+            Message::ClientReply { rtype, spawn, inst } => {
+                let o = &mut self.outstanding[inst.0 as usize];
+                *o = o.saturating_sub(1);
+                self.request_stats_mut(sh, rtype).complete(now, now - spawn);
             }
         }
     }
 
     // -- Instance dispatch ---------------------------------------------------
 
-    fn enqueue_request(&mut self, sched: &mut Scheduler<Ev>, msg: RequestMsg, recv_net_ns: f64) {
-        let now = sched.now();
+    fn enqueue_request(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        msg: RequestMsg,
+        recv_net_ns: f64,
+    ) {
         let inst_id = msg.dst;
-        let service = self.instances[inst_id.0 as usize].service;
-        let on_demand = self.instances[inst_id.0 as usize].worker_limit.is_none();
+        let meta = sh.insts[inst_id.0 as usize];
+        let on_demand = meta.worker_limit.is_none();
         let needs_spawn = {
-            let inst = &mut self.instances[inst_id.0 as usize];
-            inst.inflight += 1;
-            inst.queue.push_back(PendingReq {
+            let rt = &mut self.insts[inst_id.0 as usize];
+            rt.inflight += 1;
+            rt.queue.push_back(PendingReq {
                 msg,
                 arrived: now,
                 recv_net_ns,
             });
-            on_demand && inst.warm_free == 0
+            on_demand && rt.warm_free == 0
         };
         if needs_spawn {
-            let cold = match &self.services[service.0 as usize].spec.workers {
+            let cold = match &sh.services[meta.service.0 as usize].spec.workers {
                 WorkerPolicy::OnDemand { cold_start_ns } => cold_start_ns.sample(&mut self.rng),
                 WorkerPolicy::Fixed(_) => 0.0,
             };
-            sched.schedule_in(
-                SimDuration::from_nanos(cold as u64),
+            let key = self.mint();
+            sink.local(
+                now + SimDuration::from_nanos(cold as u64),
+                key,
                 Ev::WorkerSpawned { inst: inst_id },
             );
         }
-        self.try_dispatch(sched, inst_id);
+        self.try_dispatch(sh, sink, now, inst_id);
     }
 
-    fn worker_available(&self, inst: &Instance) -> bool {
-        match inst.worker_limit {
-            Some(limit) => inst.busy_workers < limit,
-            None => inst.warm_free > 0,
+    fn worker_available(&self, sh: &SharedState, inst_id: InstanceId) -> bool {
+        let rt = &self.insts[inst_id.0 as usize];
+        match sh.insts[inst_id.0 as usize].worker_limit {
+            Some(limit) => rt.busy_workers < limit,
+            None => rt.warm_free > 0,
         }
     }
 
-    fn try_dispatch(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId) {
+    fn try_dispatch(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        inst_id: InstanceId,
+    ) {
         loop {
+            if self.insts[inst_id.0 as usize].queue.is_empty()
+                || !self.worker_available(sh, inst_id)
+            {
+                return;
+            }
             let pending = {
-                let inst = &mut self.instances[inst_id.0 as usize];
-                if inst.queue.is_empty() || !self.worker_available_idx(inst_id) {
-                    return;
+                let rt = &mut self.insts[inst_id.0 as usize];
+                if sh.insts[inst_id.0 as usize].worker_limit.is_none() {
+                    rt.warm_free -= 1;
                 }
-                let inst = &mut self.instances[inst_id.0 as usize];
-                if inst.worker_limit.is_none() {
-                    inst.warm_free -= 1;
-                }
-                inst.busy_workers += 1;
-                inst.queue.pop_front().expect("checked non-empty")
+                rt.busy_workers += 1;
+                rt.queue.pop_front().expect("checked non-empty")
             };
-            self.start_invocation(sched, inst_id, pending);
+            self.start_invocation(sh, sink, now, inst_id, pending);
         }
     }
 
-    fn worker_available_idx(&self, inst_id: InstanceId) -> bool {
-        self.worker_available(&self.instances[inst_id.0 as usize])
-    }
-
-    fn start_invocation(&mut self, sched: &mut Scheduler<Ev>, inst_id: InstanceId, p: PendingReq) {
-        let now = sched.now();
-        let inst = &self.instances[inst_id.0 as usize];
-        let service = inst.service;
-        let machine = inst.machine;
-        let script = self.services[service.0 as usize].spec.endpoints[p.msg.endpoint as usize]
+    fn start_invocation(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        inst_id: InstanceId,
+        p: PendingReq,
+    ) {
+        let service = sh.insts[inst_id.0 as usize].service;
+        let script = sh.services[service.0 as usize].spec.endpoints[p.msg.endpoint as usize]
             .script
             .clone();
-        self.next_span += 1;
+        let span = self.mint_span();
         let mut frames = self.frame_pool.pop().unwrap_or_default();
         frames.push(Frame {
             block: script,
@@ -825,7 +941,6 @@ impl Cluster {
         let inv = Invocation {
             service,
             instance: inst_id,
-            machine,
             endpoint: p.msg.endpoint,
             req: p.msg.req,
             rtype: p.msg.rtype,
@@ -834,7 +949,7 @@ impl Cluster {
             spawn: p.msg.spawn,
             caller: p.msg.caller,
             parent_span: p.msg.parent_span,
-            span: self.next_span,
+            span,
             frames,
             outstanding: 0,
             worker_held: true,
@@ -846,7 +961,7 @@ impl Cluster {
             net_ns: p.recv_net_ns,
         };
         let key = self.invocations.insert(inv);
-        self.advance(sched, key);
+        self.advance(sh, sink, now, key);
     }
 
     // -- Script interpreter --------------------------------------------------
@@ -868,50 +983,50 @@ impl Cluster {
         }
     }
 
-    fn advance(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+    fn advance(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, key: SlabKey) {
         loop {
             let Some(step) = self.next_step(key) else {
                 return;
             };
             let Some(step) = step else {
-                self.finish_invocation(sched, key);
+                self.finish_invocation(sh, sink, now, key);
                 return;
             };
             match step {
                 Step::Compute { ns, domain } => {
                     let ref_ns = ns.sample(&mut self.rng);
-                    let (service, machine) = {
-                        let inv = self.invocations.get(key).expect("advancing live inv");
-                        (inv.service, inv.machine)
-                    };
-                    let sf = self.speed_factor(service, machine);
+                    let service = self
+                        .invocations
+                        .get(key)
+                        .expect("advancing live inv")
+                        .service;
+                    let sf = sh.speed_factor(service, self.machine_id());
                     let actual = ref_ns * sf;
-                    self.submit_compute(sched, key, machine, domain, ref_ns, actual);
+                    self.submit_compute(sh, sink, now, key, domain, ref_ns, actual);
                     return;
                 }
                 Step::Io { ns } => {
                     let wait = ns.sample(&mut self.rng);
-                    sched.schedule_in(
-                        SimDuration::from_nanos(wait as u64),
+                    let k = self.mint();
+                    sink.local(
+                        now + SimDuration::from_nanos(wait as u64),
+                        k,
                         Ev::IoDone { inv: key },
                     );
                     return;
                 }
                 Step::Call { target, req_bytes } => {
                     let bytes = req_bytes.sample(&mut self.rng).max(1.0) as u64;
-                    {
-                        let inv = self.invocations.get_mut(key).expect("live inv");
-                        inv.outstanding = 1;
-                    }
-                    self.maybe_release_worker(sched, key);
-                    let blocking = self.services[target.service.0 as usize]
+                    self.invocations.get_mut(key).expect("live inv").outstanding = 1;
+                    self.maybe_release_worker(sh, sink, now, key);
+                    let blocking = sh.services[target.service.0 as usize]
                         .spec
                         .protocol
                         .blocking_connections();
                     if blocking {
-                        self.call_with_connection(sched, key, target, bytes);
+                        self.call_with_connection(sh, sink, now, key, target, bytes);
                     } else {
-                        self.send_call(sched, key, target, bytes);
+                        self.send_call(sh, sink, now, key, target, bytes);
                     }
                     return;
                 }
@@ -923,13 +1038,11 @@ impl Cluster {
                         .iter()
                         .map(|(t, d)| (*t, d.sample(&mut self.rng).max(1.0) as u64))
                         .collect();
-                    {
-                        let inv = self.invocations.get_mut(key).expect("live inv");
-                        inv.outstanding = sampled.len() as u32;
-                    }
-                    self.maybe_release_worker(sched, key);
+                    self.invocations.get_mut(key).expect("live inv").outstanding =
+                        sampled.len() as u32;
+                    self.maybe_release_worker(sh, sink, now, key);
                     for (t, b) in sampled {
-                        self.send_call(sched, key, t, b);
+                        self.send_call(sh, sink, now, key, t, b);
                     }
                     return;
                 }
@@ -945,13 +1058,10 @@ impl Cluster {
                     let bytes: Vec<u64> = (0..count)
                         .map(|_| req_bytes.sample(&mut self.rng).max(1.0) as u64)
                         .collect();
-                    {
-                        let inv = self.invocations.get_mut(key).expect("live inv");
-                        inv.outstanding = count;
-                    }
-                    self.maybe_release_worker(sched, key);
+                    self.invocations.get_mut(key).expect("live inv").outstanding = count;
+                    self.maybe_release_worker(sh, sink, now, key);
                     for b in bytes {
-                        self.send_call(sched, key, target, b);
+                        self.send_call(sh, sink, now, key, target, b);
                     }
                     return;
                 }
@@ -967,19 +1077,21 @@ impl Cluster {
         }
     }
 
-    /// Submits a compute step as one core job, or as 5 ms timeslices if
-    /// it is long (round-robin preemption).
+    /// Submits a compute step as one core job, or as timeslices if it is
+    /// long (round-robin preemption).
+    #[allow(clippy::too_many_arguments)]
     fn submit_compute(
         &mut self,
-        sched: &mut Scheduler<Ev>,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
         key: SlabKey,
-        machine: MachineId,
         domain: ExecDomain,
         ref_ns: f64,
         actual_ns: f64,
     ) {
         let service = self.invocations.get(key).expect("live inv").service;
-        let quantum = self.cpu_quantum_ns;
+        let quantum = sh.cpu_quantum_ns;
         if actual_ns <= quantum {
             let job = CoreJob {
                 dur: SimDuration::from_nanos(actual_ns as u64),
@@ -987,7 +1099,7 @@ impl Cluster {
                 splits: [(domain, ref_ns, actual_ns), (ExecDomain::Other, 0.0, 0.0)],
                 cont: JobCont::StepDone(key),
             };
-            self.submit_job(sched, machine, job);
+            self.submit_job(sink, now, job);
         } else {
             let frac = quantum / actual_ns;
             let chunk_ref = ref_ns * frac;
@@ -1002,54 +1114,55 @@ impl Cluster {
                     remaining_actual: actual_ns - quantum,
                 },
             };
-            self.submit_job(sched, machine, job);
+            self.submit_job(sink, now, job);
         }
     }
 
     /// Event-driven services release their worker at the first await point.
-    fn maybe_release_worker(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
-        let (service, held) = {
+    fn maybe_release_worker(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        key: SlabKey,
+    ) {
+        let (service, held, inst_id) = {
             let inv = self.invocations.get(key).expect("live inv");
-            (inv.service, inv.worker_held)
+            (inv.service, inv.worker_held, inv.instance)
         };
-        if held && self.services[service.0 as usize].spec.concurrency == Concurrency::Async {
-            let inst_id = self.invocations.get(key).expect("live").instance;
-            {
-                let inv = self.invocations.get_mut(key).expect("live");
-                inv.worker_held = false;
-            }
-            self.release_worker(inst_id);
-            self.try_dispatch(sched, inst_id);
+        if held && sh.services[service.0 as usize].spec.concurrency == Concurrency::Async {
+            self.invocations.get_mut(key).expect("live").worker_held = false;
+            self.release_worker(sh, inst_id);
+            self.try_dispatch(sh, sink, now, inst_id);
         }
     }
 
-    fn release_worker(&mut self, inst_id: InstanceId) {
-        let inst = &mut self.instances[inst_id.0 as usize];
-        inst.busy_workers -= 1;
-        if inst.worker_limit.is_none() {
-            inst.warm_free += 1;
+    fn release_worker(&mut self, sh: &SharedState, inst_id: InstanceId) {
+        let rt = &mut self.insts[inst_id.0 as usize];
+        rt.busy_workers -= 1;
+        if sh.insts[inst_id.0 as usize].worker_limit.is_none() {
+            rt.warm_free += 1;
         }
     }
 
     fn call_with_connection(
         &mut self,
-        sched: &mut Scheduler<Ev>,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
         key: SlabKey,
         target: EndpointRef,
         bytes: u64,
     ) {
         let inst_id = self.invocations.get(key).expect("live inv").instance;
-        let limit = self.services[target.service.0 as usize].spec.conn_limit;
+        let limit = sh.services[target.service.0 as usize].spec.conn_limit;
         let granted = {
-            let inst = &mut self.instances[inst_id.0 as usize];
-            let pool = inst
-                .conns
-                .entry(target.service)
-                .or_insert_with(|| ConnPool {
-                    limit,
-                    in_use: 0,
-                    waiters: VecDeque::with_capacity(8),
-                });
+            let rt = &mut self.insts[inst_id.0 as usize];
+            let pool = rt.conns.entry(target.service).or_insert_with(|| ConnPool {
+                limit,
+                in_use: 0,
+                waiters: VecDeque::with_capacity(8),
+            });
             if pool.in_use < pool.limit {
                 pool.in_use += 1;
                 true
@@ -1059,26 +1172,26 @@ impl Cluster {
             }
         };
         if granted {
-            let inv = self.invocations.get_mut(key).expect("live inv");
-            inv.conn_to = Some(target.service);
-            self.send_call(sched, key, target, bytes);
+            self.invocations.get_mut(key).expect("live inv").conn_to = Some(target.service);
+            self.send_call(sh, sink, now, key, target, bytes);
         } else {
-            let inv = self.invocations.get_mut(key).expect("live inv");
-            inv.blocked = Some(BlockedCall { target, bytes });
+            self.invocations.get_mut(key).expect("live inv").blocked =
+                Some(BlockedCall { target, bytes });
         }
     }
 
     fn send_call(
         &mut self,
-        sched: &mut Scheduler<Ev>,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
         key: SlabKey,
         target: EndpointRef,
         bytes: u64,
     ) {
-        let (machine, service, req, rtype, origin, pk, spawn, span) = {
+        let (service, req, rtype, origin, pk, spawn, span) = {
             let inv = self.invocations.get(key).expect("live inv");
             (
-                inv.machine,
                 inv.service,
                 inv.req,
                 inv.rtype,
@@ -1088,81 +1201,91 @@ impl Cluster {
                 inv.span,
             )
         };
-        let dst = self.pick_instance(target.service, pk);
-        let protocol = self.services[target.service.0 as usize].spec.protocol;
+        let dst = self.pick_instance(sh, target.service, pk);
+        let protocol = sh.services[target.service.0 as usize].spec.protocol;
         let msg = Message::Request(RequestMsg {
             req,
             rtype,
             origin,
             dst,
             endpoint: target.endpoint,
-            caller: Some(key),
+            caller: Some(Caller {
+                inv: key,
+                machine: self.machine_id(),
+            }),
             parent_span: Some(SpanId(span)),
             bytes,
             partition_key: pk,
             spawn,
         });
-        self.begin_send(sched, machine, service, protocol, bytes, msg, Some(key));
+        self.begin_send(sh, sink, now, service, protocol, bytes, msg, Some(key));
     }
 
-    fn pick_instance(&mut self, service: ServiceId, partition_key: u64) -> InstanceId {
-        let rt = &self.services[service.0 as usize];
-        if let Some(pin) = rt.pinned {
-            return pin;
-        }
-        // Runs once per hop on the hot path: scan the Up subset in place
-        // instead of collecting it. The selection for every policy is
-        // identical to indexing into the collected Up vector (same
-        // instance order, first minimum on ties).
-        let up_count = rt
-            .instances
-            .iter()
-            .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
-            .count();
-        assert!(
-            up_count > 0,
-            "service {} has no live instances",
-            rt.spec.name
-        );
-        match rt.spec.lb {
-            LbPolicy::RoundRobin => {
-                let idx = {
-                    let rt = &mut self.services[service.0 as usize];
-                    rt.rr = rt.rr.wrapping_add(1);
-                    rt.rr % up_count
-                };
-                let rt = &self.services[service.0 as usize];
-                rt.instances
-                    .iter()
-                    .copied()
-                    .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
-                    .nth(idx)
-                    .expect("idx < up_count")
-            }
-            LbPolicy::LeastOutstanding => rt
+    /// Picks a destination instance for a call from this shard. Every
+    /// policy bumps the shard-local outstanding count of its pick (so
+    /// switching policies mid-run never sees stale counters); the count
+    /// settles when the response (or client reply) arrives back here.
+    fn pick_instance(
+        &mut self,
+        sh: &SharedState,
+        service: ServiceId,
+        partition_key: u64,
+    ) -> InstanceId {
+        let rt = &sh.services[service.0 as usize];
+        let pick = if let Some(pin) = rt.pinned {
+            pin
+        } else {
+            // Runs once per hop on the hot path: scan the Up subset in
+            // place instead of collecting it.
+            let up_count = rt
                 .instances
                 .iter()
-                .copied()
-                .filter(|i| self.instances[i.0 as usize].state == InstanceState::Up)
-                .min_by_key(|i| self.instances[i.0 as usize].inflight)
-                .expect("non-empty"),
-            LbPolicy::Partition => {
-                // Shard membership must be a stable function of the key
-                // over the *total* instance list: hashing modulo the `Up`
-                // subset would remap every key the moment one shard leaves
-                // rotation. A key whose home shard is down fails over by
-                // probing forward, so only that shard's keys move.
-                let all = &rt.instances;
-                let start = (hash64(partition_key) % all.len() as u64) as usize;
-                (0..all.len())
-                    .map(|off| all[(start + off) % all.len()])
-                    .find(|i| self.instances[i.0 as usize].state == InstanceState::Up)
-                    .expect("checked above: at least one Up instance")
+                .filter(|i| sh.insts[i.0 as usize].state == InstanceState::Up)
+                .count();
+            assert!(
+                up_count > 0,
+                "service {} has no live instances",
+                rt.spec.name
+            );
+            match rt.spec.lb {
+                LbPolicy::RoundRobin => {
+                    let r = &mut self.rr[service.0 as usize];
+                    *r = r.wrapping_add(1);
+                    let idx = *r % up_count;
+                    rt.instances
+                        .iter()
+                        .copied()
+                        .filter(|i| sh.insts[i.0 as usize].state == InstanceState::Up)
+                        .nth(idx)
+                        .expect("idx < up_count")
+                }
+                LbPolicy::LeastOutstanding => rt
+                    .instances
+                    .iter()
+                    .copied()
+                    .filter(|i| sh.insts[i.0 as usize].state == InstanceState::Up)
+                    .min_by_key(|i| self.outstanding[i.0 as usize])
+                    .expect("non-empty"),
+                LbPolicy::Partition => {
+                    // Shard membership must be a stable function of the key
+                    // over the *total* instance list: hashing modulo the `Up`
+                    // subset would remap every key the moment one shard leaves
+                    // rotation. A key whose home shard is down fails over by
+                    // probing forward, so only that shard's keys move.
+                    let all = &rt.instances;
+                    let start = (hash64(partition_key) % all.len() as u64) as usize;
+                    (0..all.len())
+                        .map(|off| all[(start + off) % all.len()])
+                        .find(|i| sh.insts[i.0 as usize].state == InstanceState::Up)
+                        .expect("checked above: at least one Up instance")
+                }
             }
-        }
+        };
+        self.outstanding[pick.0 as usize] += 1;
+        pick
     }
 
-    fn on_response(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
+    fn on_response(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, key: SlabKey) {
         let Some(inv) = self.invocations.get_mut(key) else {
             return;
         };
@@ -1171,22 +1294,23 @@ impl Cluster {
         inv.outstanding = inv.outstanding.saturating_sub(1);
         let done_waiting = inv.outstanding == 0;
         if let Some(to) = conn_release {
-            self.release_connection(sched, inst_id, to);
+            self.release_connection(sink, now, inst_id, to);
         }
         if done_waiting {
-            self.advance(sched, key);
+            self.advance(sh, sink, now, key);
         }
     }
 
     fn release_connection(
         &mut self,
-        sched: &mut Scheduler<Ev>,
+        sink: &mut Sink,
+        now: SimTime,
         inst_id: InstanceId,
         to: ServiceId,
     ) {
         let waiter = {
-            let inst = &mut self.instances[inst_id.0 as usize];
-            let pool = inst.conns.get_mut(&to).expect("pool exists on release");
+            let rt = &mut self.insts[inst_id.0 as usize];
+            let pool = rt.conns.get_mut(&to).expect("pool exists on release");
             match pool.waiters.pop_front() {
                 Some(w) => Some(w), // token transfers to the waiter
                 None => {
@@ -1196,11 +1320,19 @@ impl Cluster {
             }
         };
         if let Some(w) = waiter {
-            sched.schedule_now(Ev::ConnGranted { inv: w, to });
+            let key = self.mint();
+            sink.local(now, key, Ev::ConnGranted { inv: w, to });
         }
     }
 
-    fn on_conn_granted(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey, to: ServiceId) {
+    fn on_conn_granted(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        key: SlabKey,
+        to: ServiceId,
+    ) {
         let Some(inv) = self.invocations.get_mut(key) else {
             // Waiter vanished (should not happen for blocked callers);
             // return the token.
@@ -1208,11 +1340,10 @@ impl Cluster {
         };
         let blocked = inv.blocked.take().expect("granted inv was blocked");
         inv.conn_to = Some(to);
-        self.send_call(sched, key, blocked.target, blocked.bytes);
+        self.send_call(sh, sink, now, key, blocked.target, blocked.bytes);
     }
 
-    fn finish_invocation(&mut self, sched: &mut Scheduler<Ev>, key: SlabKey) {
-        let now = sched.now();
+    fn finish_invocation(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, key: SlabKey) {
         let mut inv = self.invocations.remove(key).expect("finishing live inv");
         // The frame stack is empty by now (the script ran to completion);
         // recycle its backing storage for the next invocation.
@@ -1234,69 +1365,57 @@ impl Cluster {
             app_time: SimDuration::from_nanos(inv.app_ns as u64),
             net_time: SimDuration::from_nanos(inv.net_ns as u64),
         });
-        let stats = &mut self.service_stats[inv.service.0 as usize];
+        let stats = &mut self.stats[inv.service.0 as usize];
         stats.invocations += 1;
         let e = inv.endpoint as usize;
         if stats.endpoint_invocations.len() <= e {
             stats.endpoint_invocations.resize(e + 1, 0);
         }
         stats.endpoint_invocations[e] += 1;
-        self.instances[inv.instance.0 as usize].served += 1;
+        self.insts[inv.instance.0 as usize].served += 1;
         // Worker + inflight.
         if inv.worker_held {
-            self.release_worker(inv.instance);
+            self.release_worker(sh, inv.instance);
         }
-        self.instances[inv.instance.0 as usize].inflight -= 1;
-        self.try_dispatch(sched, inv.instance);
+        self.insts[inv.instance.0 as usize].inflight -= 1;
+        self.try_dispatch(sh, sink, now, inv.instance);
         // Reply.
-        let resp_bytes = self.services[inv.service.0 as usize].spec.endpoints[inv.endpoint as usize]
+        let spec = &sh.services[inv.service.0 as usize].spec;
+        let resp_bytes = spec.endpoints[inv.endpoint as usize]
             .resp_bytes
             .sample(&mut self.rng)
             .max(1.0) as u64;
-        let protocol = self.services[inv.service.0 as usize].spec.protocol;
+        let protocol = spec.protocol;
         let msg = match inv.caller {
-            Some(caller) => Message::Response(ResponseMsg {
-                to_inv: caller,
+            Some(c) => Message::Response(ResponseMsg {
+                to_inv: c.inv,
+                to_machine: c.machine,
+                from_inst: inv.instance,
                 bytes: resp_bytes,
                 protocol,
             }),
             None => Message::ClientReply {
                 rtype: inv.rtype,
                 spawn: inv.spawn,
+                inst: inv.instance,
             },
         };
-        self.begin_send(
-            sched,
-            inv.machine,
-            inv.service,
-            protocol,
-            resp_bytes,
-            msg,
-            None,
-        );
+        self.begin_send(sh, sink, now, inv.service, protocol, resp_bytes, msg, None);
     }
 
-    fn request_stats_mut(&mut self, rtype: RequestType) -> &mut RequestStats {
+    fn request_stats_mut(&mut self, sh: &SharedState, rtype: RequestType) -> &mut RequestStats {
         let idx = rtype.0 as usize;
         if idx >= self.request_stats.len() {
-            let w = self.window;
+            let w = sh.window;
             self.request_stats
                 .resize_with(idx + 1, || RequestStats::new(w));
         }
         &mut self.request_stats[idx]
     }
 
-    fn on_inject(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        entry: EndpointRef,
-        rtype: RequestType,
-        bytes: u64,
-        partition_key: u64,
-        origin: Zone,
-    ) {
-        let admit = self.admit_prob >= 1.0 || self.rng.chance(self.admit_prob);
-        let stats = self.request_stats_mut(rtype);
+    fn on_inject(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, r: InjectReq) {
+        let admit = sh.admit_prob >= 1.0 || self.rng.chance(sh.admit_prob);
+        let stats = self.request_stats_mut(sh, r.rtype);
         stats.issued += 1;
         if !admit {
             stats.rejected += 1;
@@ -1304,52 +1423,87 @@ impl Cluster {
         }
         self.next_req += 1;
         let req = self.next_req;
-        let dst = self.pick_instance(entry.service, partition_key);
-        let dst_zone = self.machines[self.instances[dst.0 as usize].machine.0 as usize].zone;
-        let delay = self.fabric.delay(origin, dst_zone, &mut self.rng);
-        let now = sched.now();
+        let dst = self.pick_instance(sh, r.entry.service, r.partition_key);
+        let dst_mach = sh.insts[dst.0 as usize].machine;
+        let dst_zone = sh.machines[dst_mach.0 as usize].zone;
+        let delay = sh.fabric.delay(r.origin, dst_zone, &mut self.rng);
+        // Exotic origins (e.g. a Rack zone) could undercut the lookahead
+        // bound; clamp the arrival. Identical in both drivers, and a
+        // no-op for the standard Client/Edge origins.
+        let at = (now + delay).max(now + SimDuration::from_nanos(sh.lookahead_ns));
+        let key = self.mint();
         let msg = Message::Request(RequestMsg {
             req,
-            rtype,
-            origin,
+            rtype: r.rtype,
+            origin: r.origin,
             dst,
-            endpoint: entry.endpoint,
+            endpoint: r.entry.endpoint,
             caller: None,
             parent_span: None,
-            bytes,
-            partition_key,
+            bytes: r.bytes,
+            partition_key: r.partition_key,
             spawn: now,
         });
-        sched.schedule_in(delay, Ev::MsgArrive(self.msg_pool.alloc(msg)));
+        sink.cross(dst_mach.0 as u16, at.as_nanos(), key, msg);
     }
 }
 
-impl Model for Cluster {
-    type Event = Ev;
+/// Interprets one event against its shard. Shared verbatim by both
+/// drivers; `sink` decides where outputs land.
+fn dispatch(st: &mut ShardState, sh: &SharedState, sink: &mut Sink, now: SimTime, ev: Ev) {
+    match ev {
+        Ev::Inject(id) => {
+            let r = st.inject_pool.take(id);
+            st.on_inject(sh, sink, now, r);
+        }
+        Ev::MsgArrive(id) => {
+            let msg = st.msg_pool.take(id);
+            st.deliver(sh, sink, now, msg);
+        }
+        Ev::CoreJobDone { job } => st.on_job_done(sh, sink, now, job),
+        Ev::IoDone { inv } => st.advance(sh, sink, now, inv),
+        Ev::ConnGranted { inv, to } => st.on_conn_granted(sh, sink, now, inv, to),
+        Ev::WorkerSpawned { inst } => {
+            st.insts[inst.0 as usize].warm_free += 1;
+            st.try_dispatch(sh, sink, now, inst);
+        }
+    }
+}
 
-    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
-        match ev {
-            Ev::Inject(id) => {
-                let r = self.inject_pool.take(id);
-                self.on_inject(sched, r.entry, r.rtype, r.bytes, r.partition_key, r.origin);
-            }
-            Ev::MsgArrive(id) => {
-                let msg = self.msg_pool.take(id);
-                self.deliver(sched, msg);
-            }
-            Ev::CoreJobDone { machine, job } => self.on_job_done(sched, machine, job),
-            Ev::IoDone { inv } => self.advance(sched, inv),
-            Ev::ConnGranted { inv, to } => self.on_conn_granted(sched, inv, to),
-            Ev::InstanceUp { inst } => {
-                let i = &mut self.instances[inst.0 as usize];
-                if i.state == InstanceState::Starting {
-                    i.state = InstanceState::Up;
-                }
-            }
-            Ev::WorkerSpawned { inst } => {
-                self.instances[inst.0 as usize].warm_free += 1;
-                self.try_dispatch(sched, inst);
-            }
+// ---------------------------------------------------------------------------
+// The parallel shard: a wheel + state pair driven by the epoch engine
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Shard {
+    sched: Scheduler<Ev>,
+    st: ShardState,
+}
+
+impl EpochShard<SharedState> for Shard {
+    type Transfer = Message;
+
+    fn next_event_at(&mut self) -> Option<u64> {
+        self.sched.next_event_at()
+    }
+
+    fn run_window(&mut self, sh: &SharedState, last: u64, out: &mut Outbox<Message>) {
+        let until = SimTime::from_nanos(last);
+        while let Some(ev) = self.sched.pop_due(until) {
+            let now = self.sched.now();
+            let mut sink = Sink::Par {
+                wheel: &mut self.sched,
+                out: &mut *out,
+            };
+            dispatch(&mut self.st, sh, &mut sink, now, ev);
+        }
+    }
+
+    fn absorb(&mut self, batch: Vec<Transfer<Message>>) {
+        for (at, key, msg) in batch {
+            let idx = self.st.msg_pool.alloc(msg);
+            self.sched
+                .schedule_keyed(SimTime::from_nanos(at), key, Ev::MsgArrive(idx));
         }
     }
 }
@@ -1358,8 +1512,8 @@ impl Model for Cluster {
 // Façade
 // ---------------------------------------------------------------------------
 
-/// A complete simulation: scheduler plus cluster state, with the control
-/// surface the paper's experiments drive.
+/// A complete simulation: sharded cluster state plus the control surface
+/// the paper's experiments drive.
 ///
 /// # Example
 ///
@@ -1382,37 +1536,307 @@ impl Model for Cluster {
 /// ```
 #[derive(Debug)]
 pub struct Simulation {
-    sched: Scheduler<Ev>,
-    cluster: Cluster,
+    shared: SharedState,
+    shards: Vec<Shard>,
+    /// The workers=1 driver: one wheel over `(shard, event)` pairs.
+    mono: Scheduler<(u16, Ev)>,
+    /// Cross-shard messages staged by the current mono handler,
+    /// drained into `mono` right after it returns.
+    staged: Vec<(u16, u64, u64, Message)>,
+    workers: usize,
+    /// Pending instance-up transitions: activation time → instances.
+    /// Applied between event runs, so shard handlers see instance
+    /// states change only at run boundaries (identically under both
+    /// drivers).
+    control: BTreeMap<u64, Vec<InstanceId>>,
+    last_control: u64,
+    placer: crate::placement::Placer,
+    instance_startup: SimDuration,
+    /// Cluster-wide stats/trace views, rebuilt (shard 0, 1, 2, … merge
+    /// order, so floating-point sums are bit-stable) after every run.
+    merged_stats: Vec<ServiceStats>,
+    merged_collector: TraceCollector,
+    /// Event count at the last merge — skips rebuilds when nothing ran.
+    merged_events: u64,
 }
 
 impl Simulation {
     /// Builds a simulation of `app` on `cluster`, seeded deterministically.
     pub fn new(app: AppSpec, cluster: ClusterSpec, seed: u64) -> Self {
-        let sched = Scheduler::new(seed ^ 0xD5B);
-        let c = Cluster::new(app, &cluster, seed);
-        Simulation { sched, cluster: c }
+        let mut root = Rng::new(seed);
+        // All shard collectors share one sampling seed so they reach the
+        // same keep/drop verdict for a trace without coordinating.
+        let cseed = root.next_u64();
+        let machines: Vec<MachineMeta> = cluster
+            .machines
+            .iter()
+            .map(|m| MachineMeta {
+                zone: m.zone,
+                core: m.core,
+                offload: FpgaOffload::disabled(),
+            })
+            .collect();
+        let fabric = Fabric::new(cluster.fabric);
+        let lookahead_ns = cluster_lookahead(&fabric, &machines);
+        let services: Vec<SharedServiceRt> = app
+            .services
+            .iter()
+            .cloned()
+            .map(|spec| SharedServiceRt {
+                spec,
+                instances: Vec::new(),
+                pinned: None,
+            })
+            .collect();
+        let nsvc = services.len();
+        let mut shared = SharedState {
+            app,
+            services,
+            insts: Vec::new(),
+            machines,
+            fabric,
+            window: cluster.window,
+            cpu_quantum_ns: cluster.cpu_quantum.as_nanos() as f64,
+            admit_prob: 1.0,
+            ref_core: CoreModel::xeon(),
+            sf_cache: Vec::new(),
+            ref_ipc_cache: Vec::new(),
+            lookahead_ns,
+        };
+        shared.rebuild_core_caches();
+        let shard_count = cluster.machines.len() + 1;
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|i| {
+                let machine = cluster.machines.get(i).map(|m| MachineRt {
+                    cores: m.cores,
+                    nic: Nic::new(m.nic_gbps),
+                    busy: 0,
+                    run_queue: VecDeque::with_capacity(16),
+                    util: UtilizationTracker::new(cluster.window, m.cores),
+                });
+                Shard {
+                    sched: Scheduler::new(mix64(seed ^ 0xD5B ^ i as u64)),
+                    st: ShardState {
+                        shard: i as u16,
+                        machine,
+                        insts: Vec::new(),
+                        outstanding: Vec::new(),
+                        rr: vec![0; nsvc],
+                        invocations: Slab::with_capacity(64),
+                        frame_pool: Vec::new(),
+                        rng: Rng::new(mix64(seed ^ mix64(0x5EED ^ i as u64))),
+                        key_ctr: 0,
+                        span_ctr: 0,
+                        stats: (0..nsvc)
+                            .map(|_| ServiceStats::new(cluster.window))
+                            .collect(),
+                        collector: TraceCollector::new(
+                            cluster.window,
+                            cluster.trace_sample_prob,
+                            cseed,
+                        ),
+                        request_stats: Vec::new(),
+                        next_req: 0,
+                        job_pool: Pool::with_capacity(64),
+                        msg_pool: Pool::with_capacity(64),
+                        inject_pool: Pool::with_capacity(64),
+                    },
+                }
+            })
+            .collect();
+        let placer = crate::placement::Placer::new(&cluster, nsvc);
+        let mut sim = Simulation {
+            shared,
+            shards,
+            mono: Scheduler::new(seed ^ 0xD5B),
+            staged: Vec::new(),
+            workers: 1,
+            control: BTreeMap::new(),
+            last_control: 0,
+            placer,
+            instance_startup: cluster.instance_startup,
+            merged_stats: (0..nsvc)
+                .map(|_| ServiceStats::new(cluster.window))
+                .collect(),
+            merged_collector: TraceCollector::new(cluster.window, cluster.trace_sample_prob, cseed),
+            merged_events: 0,
+        };
+        for sid in 0..nsvc {
+            for _ in 0..sim.shared.services[sid].spec.initial_instances {
+                sim.spawn_instance(ServiceId(sid as u32), InstanceState::Up);
+            }
+        }
+        sim
     }
+
+    fn spawn_instance(&mut self, service: ServiceId, state: InstanceState) -> InstanceId {
+        let machine = self
+            .placer
+            .place(service, &self.shared.services[service.0 as usize].spec);
+        let worker_limit = match &self.shared.services[service.0 as usize].spec.workers {
+            WorkerPolicy::Fixed(n) => Some(*n),
+            WorkerPolicy::OnDemand { .. } => None,
+        };
+        let id = InstanceId(self.shared.insts.len() as u32);
+        self.shared.insts.push(InstMeta {
+            service,
+            machine,
+            state,
+            worker_limit,
+        });
+        self.shared.services[service.0 as usize].instances.push(id);
+        for shard in &mut self.shards {
+            shard.st.insts.push(InstRt::default());
+            shard.st.outstanding.push(0);
+        }
+        id
+    }
+
+    // -- Drivers -------------------------------------------------------------
+
+    fn run_events(&mut self, until_ns: u64) {
+        if self.workers <= 1 {
+            self.run_mono(until_ns);
+        } else {
+            run_epochs(
+                &self.shared,
+                &mut self.shards,
+                self.shared.lookahead_ns,
+                until_ns,
+                self.workers,
+            );
+        }
+    }
+
+    fn run_mono(&mut self, until_ns: u64) {
+        let until = SimTime::from_nanos(until_ns);
+        while let Some((shard, ev)) = self.mono.pop_due(until) {
+            let now = self.mono.now();
+            {
+                let st = &mut self.shards[shard as usize].st;
+                let mut sink = Sink::Mono {
+                    shard,
+                    wheel: &mut self.mono,
+                    out: &mut self.staged,
+                };
+                dispatch(st, &self.shared, &mut sink, now, ev);
+            }
+            if !self.staged.is_empty() {
+                self.drain_staged();
+            }
+        }
+    }
+
+    /// Files staged cross-shard messages into the destination shards'
+    /// payload pools and the global wheel. The wheel orders by
+    /// `(time, key)` regardless of insertion order, so draining right
+    /// after each handler matches the parallel driver's barrier-time
+    /// absorption exactly.
+    fn drain_staged(&mut self) {
+        let mut staged = std::mem::take(&mut self.staged);
+        for (dst, at, key, msg) in staged.drain(..) {
+            let idx = self.shards[dst as usize].st.msg_pool.alloc(msg);
+            self.mono
+                .schedule_keyed(SimTime::from_nanos(at), key, (dst, Ev::MsgArrive(idx)));
+        }
+        self.staged = staged;
+    }
+
+    fn apply_control(&mut self, tc: u64) {
+        if let Some(insts) = self.control.remove(&tc) {
+            for id in insts {
+                let m = &mut self.shared.insts[id.0 as usize];
+                if m.state == InstanceState::Starting {
+                    m.state = InstanceState::Up;
+                }
+            }
+            self.last_control = self.last_control.max(tc);
+        }
+    }
+
+    // -- Run control ---------------------------------------------------------
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.sched.now()
+        let mut t = self.mono.now().as_nanos().max(self.last_control);
+        for s in &self.shards {
+            t = t.max(s.sched.now().as_nanos());
+        }
+        SimTime::from_nanos(t)
     }
 
-    /// Total events processed.
+    /// Total events processed (summed across shards).
     pub fn events_processed(&self) -> u64 {
-        self.sched.events_processed()
+        self.mono.events_processed()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.sched.events_processed())
+                .sum::<u64>()
+    }
+
+    /// Events still pending across all shards.
+    pub fn pending(&self) -> usize {
+        self.mono.pending() + self.shards.iter().map(|s| s.sched.pending()).sum::<usize>()
     }
 
     /// Runs until all pending events (including in-flight requests) drain.
     pub fn run_until_idle(&mut self) {
-        self.sched.run(&mut self.cluster);
+        loop {
+            let Some((&tc, _)) = self.control.iter().next() else {
+                break;
+            };
+            self.run_events(tc.saturating_sub(1));
+            self.apply_control(tc);
+        }
+        self.run_events(u64::MAX);
+        self.refresh_merged();
     }
 
     /// Runs the simulation up to the given virtual time, then returns so a
     /// controller (autoscaler, workload generator) can act.
     pub fn advance_to(&mut self, t: SimTime) {
-        self.sched.run_until(&mut self.cluster, t);
+        let t_ns = t.as_nanos();
+        loop {
+            let Some((&tc, _)) = self.control.iter().next() else {
+                break;
+            };
+            if tc > t_ns {
+                break;
+            }
+            self.run_events(tc.saturating_sub(1));
+            self.apply_control(tc);
+        }
+        self.run_events(t_ns);
+        self.refresh_merged();
+    }
+
+    /// Sets the number of worker threads used by subsequent runs. `1`
+    /// (the default) selects the serial driver; higher counts run the
+    /// epoch-synchronized parallel driver — with byte-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending: the two drivers keep their queues
+    /// in different wheels, so the switch must happen at a quiescent
+    /// point (construction time, or after `run_until_idle`).
+    pub fn set_workers(&mut self, n: usize) {
+        assert!(
+            self.pending() == 0,
+            "set_workers requires a drained event queue"
+        );
+        self.workers = n.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The conservative cross-shard lookahead bound, in nanoseconds:
+    /// the parallel driver's epoch window width.
+    pub fn lookahead_ns(&self) -> u64 {
+        self.shared.lookahead_ns
     }
 
     /// Schedules one client request at `at` from the default client zone.
@@ -1438,43 +1862,92 @@ impl Simulation {
         partition_key: u64,
         origin: Zone,
     ) {
-        let id = self.cluster.inject_pool.alloc(InjectReq {
-            entry,
-            rtype,
-            bytes,
-            partition_key,
-            origin,
-        });
-        self.sched.schedule_at(at, Ev::Inject(id));
+        // Clamp into the present so both drivers see the same arrival
+        // (each wheel would otherwise clamp against its own clock).
+        let at = at.max(self.now());
+        let cs = self.shards.len() - 1;
+        let (id, key) = {
+            let st = &mut self.shards[cs].st;
+            let id = st.inject_pool.alloc(InjectReq {
+                entry,
+                rtype,
+                bytes,
+                partition_key,
+                origin,
+            });
+            (id, st.mint())
+        };
+        if self.workers <= 1 {
+            self.mono
+                .schedule_keyed(at, key, (cs as u16, Ev::Inject(id)));
+        } else {
+            self.shards[cs]
+                .sched
+                .schedule_keyed(at, key, Ev::Inject(id));
+        }
+    }
+
+    // -- Merged views --------------------------------------------------------
+
+    fn refresh_merged(&mut self) {
+        let ev = self.events_processed();
+        if ev == self.merged_events {
+            return;
+        }
+        self.merged_events = ev;
+        let nsvc = self.shared.services.len();
+        self.merged_stats.clear();
+        for sid in 0..nsvc {
+            let mut s = self.shards[0].st.stats[sid].clone();
+            for shard in &self.shards[1..] {
+                s.merge(&shard.st.stats[sid]);
+            }
+            self.merged_stats.push(s);
+        }
+        let mut col = self.shards[0].st.collector.clone();
+        for shard in &self.shards[1..] {
+            col.merge_from(&shard.st.collector);
+        }
+        self.merged_collector = col;
     }
 
     /// The application being simulated.
     pub fn app(&self) -> &AppSpec {
-        &self.cluster.app
+        &self.shared.app
     }
 
     /// End-to-end statistics for a request type (None if never injected).
     pub fn request_stats(&self, rtype: RequestType) -> Option<&RequestStats> {
-        self.cluster.request_stats.get(rtype.0 as usize)
+        self.shards
+            .last()
+            .expect("client shard always exists")
+            .st
+            .request_stats
+            .get(rtype.0 as usize)
     }
 
-    /// Execution statistics for a service.
+    /// Execution statistics for a service, merged across shards.
     pub fn service_stats(&self, service: ServiceId) -> &ServiceStats {
-        &self.cluster.service_stats[service.0 as usize]
+        &self.merged_stats[service.0 as usize]
     }
 
-    /// The distributed-tracing collector.
+    /// The distributed-tracing collector (merged across shards).
     pub fn collector(&self) -> &TraceCollector {
-        &self.cluster.collector
+        &self.merged_collector
     }
 
     /// Number of `Up` instances of a service.
     pub fn instance_count(&self, service: ServiceId) -> usize {
-        self.cluster.services[service.0 as usize]
+        self.shared.services[service.0 as usize]
             .instances
             .iter()
-            .filter(|i| self.cluster.instances[i.0 as usize].state == InstanceState::Up)
+            .filter(|i| self.shared.insts[i.0 as usize].state == InstanceState::Up)
             .count()
+    }
+
+    fn inst_rt(&self, id: InstanceId) -> &InstRt {
+        let owner = self.shared.insts[id.0 as usize].machine.0 as usize;
+        &self.shards[owner].st.insts[id.0 as usize]
     }
 
     /// Instantaneous worker occupancy of a service in `[0, 1]`: busy
@@ -1486,13 +1959,13 @@ impl Simulation {
     pub fn occupancy(&self, service: ServiceId) -> f64 {
         let mut busy = 0u64;
         let mut cap = 0u64;
-        for id in &self.cluster.services[service.0 as usize].instances {
-            let inst = &self.cluster.instances[id.0 as usize];
-            if inst.state != InstanceState::Up {
+        for id in &self.shared.services[service.0 as usize].instances {
+            let meta = &self.shared.insts[id.0 as usize];
+            if meta.state != InstanceState::Up {
                 continue;
             }
-            if let Some(limit) = inst.worker_limit {
-                busy += inst.busy_workers as u64;
+            if let Some(limit) = meta.worker_limit {
+                busy += self.inst_rt(*id).busy_workers as u64;
                 cap += limit as u64;
             }
         }
@@ -1505,21 +1978,27 @@ impl Simulation {
 
     /// Total queued + running invocations across a service's instances.
     pub fn service_inflight(&self, service: ServiceId) -> u64 {
-        self.cluster.services[service.0 as usize]
+        self.shared.services[service.0 as usize]
             .instances
             .iter()
-            .map(|i| self.cluster.instances[i.0 as usize].inflight as u64)
+            .map(|i| self.inst_rt(*i).inflight as u64)
             .sum()
     }
 
     /// Mean core utilization of machine `m` in window `w`.
     pub fn machine_utilization(&self, m: MachineId, w: usize) -> f64 {
-        self.cluster.machines[m.0 as usize].util.utilization(w)
+        self.shards[m.0 as usize]
+            .st
+            .machine
+            .as_ref()
+            .expect("machine shard")
+            .util
+            .utilization(w)
     }
 
     /// Number of machines in the cluster.
     pub fn machine_count(&self) -> usize {
-        self.cluster.machines.len()
+        self.shared.machines.len()
     }
 
     // -- Telemetry hooks -----------------------------------------------------
@@ -1532,10 +2011,10 @@ impl Simulation {
     /// Requests waiting in worker queues across a service's `Up` and
     /// `Draining` instances — queued only, excluding the ones running.
     pub fn service_queue_depth(&self, service: ServiceId) -> u64 {
-        self.cluster.services[service.0 as usize]
+        self.shared.services[service.0 as usize]
             .instances
             .iter()
-            .map(|i| self.cluster.instances[i.0 as usize].queue.len() as u64)
+            .map(|i| self.inst_rt(*i).queue.len() as u64)
             .sum()
     }
 
@@ -1544,8 +2023,8 @@ impl Simulation {
     pub fn conn_pool(&self, from: ServiceId, target: ServiceId) -> Option<ConnPoolSnapshot> {
         let mut snap = ConnPoolSnapshot::default();
         let mut any = false;
-        for id in &self.cluster.services[from.0 as usize].instances {
-            if let Some(pool) = self.cluster.instances[id.0 as usize].conns.get(&target) {
+        for id in &self.shared.services[from.0 as usize].instances {
+            if let Some(pool) = self.inst_rt(*id).conns.get(&target) {
                 any = true;
                 snap.in_use += pool.in_use as u64;
                 snap.limit += pool.limit as u64;
@@ -1559,8 +2038,8 @@ impl Simulation {
     /// hold connection pools, in stable id order.
     pub fn conn_pool_targets(&self, service: ServiceId) -> Vec<ServiceId> {
         let mut targets: Vec<ServiceId> = Vec::new();
-        for id in &self.cluster.services[service.0 as usize].instances {
-            for &t in self.cluster.instances[id.0 as usize].conns.keys() {
+        for id in &self.shared.services[service.0 as usize].instances {
+            for &t in self.inst_rt(*id).conns.keys() {
                 if !targets.contains(&t) {
                     targets.push(t);
                 }
@@ -1572,24 +2051,45 @@ impl Simulation {
 
     /// Cores of machine `m` currently executing jobs.
     pub fn machine_busy_cores(&self, m: MachineId) -> u32 {
-        self.cluster.machines[m.0 as usize].busy
+        self.shards[m.0 as usize]
+            .st
+            .machine
+            .as_ref()
+            .expect("machine shard")
+            .busy
     }
 
     /// Total cores of machine `m`.
     pub fn machine_cores(&self, m: MachineId) -> u32 {
-        self.cluster.machines[m.0 as usize].cores
+        self.shards[m.0 as usize]
+            .st
+            .machine
+            .as_ref()
+            .expect("machine shard")
+            .cores
     }
 
     /// Jobs waiting in machine `m`'s run queue (preempted or not yet
     /// scheduled onto a core).
     pub fn machine_run_queue(&self, m: MachineId) -> usize {
-        self.cluster.machines[m.0 as usize].run_queue.len()
+        self.shards[m.0 as usize]
+            .st
+            .machine
+            .as_ref()
+            .expect("machine shard")
+            .run_queue
+            .len()
     }
 
     /// Number of request-type slots with statistics so far (indexable via
     /// [`Simulation::request_stats`]).
     pub fn request_type_count(&self) -> usize {
-        self.cluster.request_stats.len()
+        self.shards
+            .last()
+            .expect("client shard always exists")
+            .st
+            .request_stats
+            .len()
     }
 
     // -- Control surface -----------------------------------------------------
@@ -1597,18 +2097,19 @@ impl Simulation {
     /// Starts a new instance; it joins rotation after the configured
     /// startup delay. Returns its id.
     pub fn add_instance(&mut self, service: ServiceId) -> InstanceId {
-        let id = self
-            .cluster
-            .spawn_instance(service, InstanceState::Starting);
-        let delay = self.cluster.instance_startup;
-        self.sched.schedule_in(delay, Ev::InstanceUp { inst: id });
+        let id = self.spawn_instance(service, InstanceState::Starting);
+        let at = self
+            .now()
+            .as_nanos()
+            .saturating_add(self.instance_startup.as_nanos());
+        self.control.entry(at).or_default().push(id);
         id
     }
 
     /// Starts a new instance that is immediately up (for initial
     /// provisioning before the run).
     pub fn add_instance_now(&mut self, service: ServiceId) -> InstanceId {
-        self.cluster.spawn_instance(service, InstanceState::Up)
+        self.spawn_instance(service, InstanceState::Up)
     }
 
     /// Removes an instance from rotation (it drains its queue).
@@ -1617,40 +2118,40 @@ impl Simulation {
     ///
     /// Panics if this would leave the service with no `Up` instance.
     pub fn retire_instance(&mut self, inst: InstanceId) {
-        let service = self.cluster.instances[inst.0 as usize].service;
+        let service = self.shared.insts[inst.0 as usize].service;
         let ups = self.instance_count(service);
         assert!(ups > 1, "cannot retire the last instance");
-        self.cluster.instances[inst.0 as usize].state = InstanceState::Draining;
+        self.shared.insts[inst.0 as usize].state = InstanceState::Draining;
     }
 
-    /// The newest instance ids of a service (for targeted retirement).
+    /// The instance ids of a service (for targeted retirement).
     pub fn instances_of(&self, service: ServiceId) -> Vec<InstanceId> {
-        self.cluster.services[service.0 as usize].instances.clone()
+        self.shared.services[service.0 as usize].instances.clone()
     }
 
     /// Completed invocations served by one instance — the per-shard load
     /// split for `Partition` services.
     pub fn instance_served(&self, inst: InstanceId) -> u64 {
-        self.cluster.instances[inst.0 as usize].served
+        self.inst_rt(inst).served
     }
 
     /// Sets the operating frequency of one machine (RAPL / slow server).
     pub fn set_frequency(&mut self, m: MachineId, ghz: f64) {
-        let core = self.cluster.machines[m.0 as usize].core;
-        self.cluster.machines[m.0 as usize].core = core.at_frequency(ghz);
-        self.cluster.rebuild_core_caches();
+        let core = self.shared.machines[m.0 as usize].core;
+        self.shared.machines[m.0 as usize].core = core.at_frequency(ghz);
+        self.shared.rebuild_core_caches();
     }
 
     /// Sets the operating frequency of every machine.
     pub fn set_all_frequencies(&mut self, ghz: f64) {
-        for i in 0..self.cluster.machines.len() {
+        for i in 0..self.shared.machines.len() {
             self.set_frequency(MachineId(i as u32), ghz);
         }
     }
 
     /// Installs (or removes) the FPGA RPC accelerator on every machine.
     pub fn set_offload(&mut self, offload: FpgaOffload) {
-        for m in &mut self.cluster.machines {
+        for m in &mut self.shared.machines {
             m.offload = offload;
         }
     }
@@ -1658,48 +2159,49 @@ impl Simulation {
     /// Routes *all* traffic for a service to one instance (models the
     /// Fig. 22a switch misconfiguration). `None` restores load balancing.
     pub fn pin_service(&mut self, service: ServiceId, to: Option<InstanceId>) {
-        self.cluster.services[service.0 as usize].pinned = to;
+        self.shared.services[service.0 as usize].pinned = to;
     }
 
     /// Admission probability for new requests (rate limiting; 1.0 = all).
     pub fn set_admission(&mut self, prob: f64) {
-        self.cluster.admit_prob = prob.clamp(0.0, 1.0);
+        self.shared.admit_prob = prob.clamp(0.0, 1.0);
     }
 
     /// Changes the load-balancing policy of a service at runtime (e.g.
     /// to model sticky sessions / per-user data affinity).
     pub fn set_lb_policy(&mut self, service: ServiceId, lb: LbPolicy) {
-        self.cluster.services[service.0 as usize].spec.lb = lb;
+        self.shared.services[service.0 as usize].spec.lb = lb;
     }
 
     /// Changes the connection limit callers enforce toward `service`
     /// (applies to existing pools too).
     pub fn set_conn_limit(&mut self, service: ServiceId, limit: u32) {
-        self.cluster.services[service.0 as usize].spec.conn_limit = limit.max(1);
-        for inst in &mut self.cluster.instances {
-            if let Some(pool) = inst.conns.get_mut(&service) {
-                pool.limit = limit.max(1);
+        self.shared.services[service.0 as usize].spec.conn_limit = limit.max(1);
+        for shard in &mut self.shards {
+            for inst in &mut shard.st.insts {
+                if let Some(pool) = inst.conns.get_mut(&service) {
+                    pool.limit = limit.max(1);
+                }
             }
         }
     }
 
     /// The machine the placement layer assigned to an instance.
     pub fn instance_machine(&self, inst: InstanceId) -> MachineId {
-        self.cluster.instances[inst.0 as usize].machine
+        self.shared.insts[inst.0 as usize].machine
     }
 
     /// The zone a service's first instance runs in (placement inspection).
     pub fn service_zone(&self, service: ServiceId) -> Option<Zone> {
-        self.cluster.services[service.0 as usize]
+        self.shared.services[service.0 as usize]
             .instances
             .first()
             .map(|i| {
-                let m = self.cluster.instances[i.0 as usize].machine;
-                self.cluster.machines[m.0 as usize].zone
+                let m = self.shared.insts[i.0 as usize].machine;
+                self.shared.machines[m.0 as usize].zone
             })
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2280,5 +2782,63 @@ mod tests {
             slow / fast < 1.3,
             "io-bound should tolerate slow cores: {slow} vs {fast}"
         );
+    }
+
+    /// The cornerstone smoke test: the serial and parallel drivers must
+    /// produce identical observables. (The full matrix lives in
+    /// `tests/parallel_conformance.rs`.)
+    #[test]
+    fn workers_equivalent_to_serial() {
+        let build = || {
+            let mut app = AppBuilder::new("par");
+            let back = app.service("back").workers(8).build();
+            let get = app.endpoint(
+                back,
+                "get",
+                Dist::constant(512.0),
+                vec![Step::work_us(20.0)],
+            );
+            let front = app.service("front").workers(8).build();
+            let root = app.endpoint(
+                front,
+                "root",
+                Dist::constant(1024.0),
+                vec![Step::work_us(10.0), Step::call(get, 128.0)],
+            );
+            (app.build(), root)
+        };
+        let run = |workers: usize| {
+            let (app, ep) = build();
+            let mut cluster = ClusterSpec::xeon_cluster(4, 2);
+            cluster.trace_sample_prob = 1.0;
+            let mut sim = Simulation::new(app, cluster, 99);
+            sim.set_workers(workers);
+            for i in 0..200u64 {
+                sim.inject(SimTime::from_micros(i * 40), ep, RequestType(0), 128, i);
+            }
+            sim.run_until_idle();
+            let st = sim.request_stats(RequestType(0)).unwrap();
+            let spans: Vec<_> = sim
+                .collector()
+                .sampled_traces()
+                .flat_map(|(t, spans)| {
+                    spans
+                        .iter()
+                        .map(move |s| (t.0, s.id.0, s.start.as_nanos(), s.end.as_nanos()))
+                })
+                .collect();
+            (
+                sim.events_processed(),
+                st.completed,
+                st.latency.quantile(0.5),
+                st.latency.quantile(0.99),
+                spans,
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.1, 200);
+        for w in [2, 4] {
+            assert_eq!(run(w), serial, "workers={w} diverged from serial");
+        }
     }
 }

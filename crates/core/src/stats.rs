@@ -60,6 +60,32 @@ impl ServiceStats {
         self.instructions[d] += ref_ns * ref_freq_ghz * ref_ipc;
     }
 
+    /// Folds another shard's accounting for the same service into this
+    /// one. Summation order is the caller's responsibility: merging
+    /// shards in a fixed order (0, 1, 2, …) keeps the floating-point
+    /// sums bit-identical across runs and worker counts.
+    pub(crate) fn merge(&mut self, other: &ServiceStats) {
+        for d in 0..4 {
+            self.time_ns[d] += other.time_ns[d];
+            self.cycles[d] += other.cycles[d];
+            self.instructions[d] += other.instructions[d];
+        }
+        self.invocations += other.invocations;
+        if other.endpoint_invocations.len() > self.endpoint_invocations.len() {
+            self.endpoint_invocations
+                .resize(other.endpoint_invocations.len(), 0);
+        }
+        for (a, &b) in self
+            .endpoint_invocations
+            .iter_mut()
+            .zip(&other.endpoint_invocations)
+        {
+            *a += b;
+        }
+        self.dropped += other.dropped;
+        self.worker_busy.merge(&other.worker_busy);
+    }
+
     /// Completed invocations of endpoint index `e` (0 if none completed).
     pub fn endpoint_count(&self, e: usize) -> u64 {
         self.endpoint_invocations.get(e).copied().unwrap_or(0)

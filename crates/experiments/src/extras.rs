@@ -406,7 +406,17 @@ mod tests {
 
     #[test]
     fn quantum_protects_latency_critical_work() {
-        let (with_q, without_q) = quantum_effect(Scale::Quick, 1);
+        // A single quick-scale run measures the p99 of ~16 obstacle
+        // requests: whether one collides with a multi-second recognition
+        // job on its drone is a coin flip per seed. Aggregate a few seeds
+        // so the test measures the scheduling policy, not one coin.
+        let mut with_q = 0.0;
+        let mut without_q = 0.0;
+        for seed in [1, 2, 3] {
+            let (w, wo) = quantum_effect(Scale::Quick, seed);
+            with_q += w;
+            without_q += wo;
+        }
         assert!(with_q > 0.0);
         assert!(
             without_q > 3.0 * with_q,

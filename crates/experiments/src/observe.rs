@@ -27,9 +27,24 @@ pub struct Observed {
 /// scrape interval and the app's default SLOs, then renders both report
 /// formats.
 pub fn observe(app: &BuiltApp, title: &str, qps: f64, secs: u64, seed: u64) -> Observed {
+    observe_workers(app, title, qps, secs, seed, 1)
+}
+
+/// [`observe`] on the sharded engine with `workers` threads. The
+/// parallel-conformance suite byte-compares this against `workers = 1`;
+/// the reports must not be able to tell the engines apart.
+pub fn observe_workers(
+    app: &BuiltApp,
+    title: &str,
+    qps: f64,
+    secs: u64,
+    seed: u64,
+    workers: usize,
+) -> Observed {
     let mut cluster = make_cluster(8);
     cluster.trace_sample_prob = 0.05;
     let (mut sim, mut load) = build_sim(app, cluster, seed);
+    sim.set_workers(workers);
     let mut scraper = Scraper::new(SimDuration::from_secs(1));
     for slo in app.slos() {
         scraper = scraper.with_slo(slo);

@@ -1,0 +1,672 @@
+//! Conservative epoch-synchronized parallel driver for sharded models.
+//!
+//! A parallel run partitions the simulated world into *shards* that
+//! share no mutable state. Each shard owns its own event queue (a
+//! [`Scheduler`](crate::Scheduler)) and advances through bounded
+//! *windows*: if the earliest pending event anywhere in the cluster is
+//! at `m`, every shard may safely process events up to and including
+//! `m + L - 1`, where `L` — the *lookahead* — is a lower bound on the
+//! latency of any cross-shard interaction. A message sent by a shard at
+//! time `t` arrives no earlier than `t + L`, i.e. never inside the
+//! window that produced it, so shards cannot observe each other
+//! mid-window and any execution order within a window yields the same
+//! per-shard state. This is the classic conservative (CMB-style)
+//! synchronization protocol; the static analyzer's DSB015 lookahead
+//! certificates prove per-app `L` bounds ahead of time.
+//!
+//! # Determinism
+//!
+//! Cross-shard transfers carry a `(time, key)` pair minted on the
+//! *sender* (see [`Scheduler::mint_key`](crate::Scheduler::mint_key)):
+//! the receiver inserts them verbatim, so its pop order — ascending
+//! `(time, key)` — is independent of worker count, barrier timing, and
+//! mailbox arrival order. Batches are sorted before absorption, and
+//! keys are globally unique (each shard's key space carries its shard
+//! index in the upper bits), making the sort a total order. The result:
+//! a run with 8 workers is byte-identical to the same run with 1.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cross-shard message batch entry: `(arrival_ns, tie_break_key, payload)`.
+pub type Transfer<T> = (u64, u64, T);
+
+/// Per-destination staging buffers a shard fills while running a window.
+///
+/// One bin per destination shard; the driver deposits non-empty bins
+/// into the epoch mailbox at the window boundary. Bins keep their
+/// capacity across epochs, so steady-state sends do not allocate.
+pub struct Outbox<T> {
+    bins: Vec<Vec<Transfer<T>>>,
+}
+
+impl<T> Outbox<T> {
+    /// Creates an outbox with one bin per destination shard.
+    pub fn new(shards: usize) -> Self {
+        Outbox {
+            bins: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Stages `payload` for arrival at `at` on shard `dst`, under the
+    /// sender-minted tie-break `key`.
+    #[inline]
+    pub fn send(&mut self, dst: usize, at: u64, key: u64, payload: T) {
+        self.bins[dst].push((at, key, payload));
+    }
+
+    /// True if no transfer is staged.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(Vec::is_empty)
+    }
+}
+
+/// One partition of a sharded model, drivable by [`run_epochs`].
+///
+/// `C` is the read-only context shared by all shards during a run
+/// (specs, caches, network topology — anything no shard mutates).
+pub trait EpochShard<C: ?Sized>: Send {
+    /// Payload type of cross-shard transfers.
+    type Transfer: Send;
+
+    /// Timestamp (ns) of this shard's earliest pending event, or `None`
+    /// if its queue is empty. `&mut` because peeking a timing wheel may
+    /// cascade levels.
+    fn next_event_at(&mut self) -> Option<u64>;
+
+    /// Processes every pending event with timestamp `<= last`
+    /// (inclusive), staging cross-shard sends in `out`. Events
+    /// scheduled during the window that still fall inside it must also
+    /// be processed — i.e. drain until the queue head is past `last`.
+    fn run_window(&mut self, ctx: &C, last: u64, out: &mut Outbox<Self::Transfer>);
+
+    /// Accepts a batch of inbound transfers, sorted ascending by
+    /// `(time, key)`. Every arrival time is beyond the window the batch
+    /// was produced in, so scheduling them cannot move this shard's
+    /// clock backwards.
+    fn absorb(&mut self, batch: Vec<Transfer<Self::Transfer>>);
+}
+
+/// A sense-reversing spin barrier for a fixed set of worker threads.
+///
+/// Spins briefly, then falls back to [`std::thread::yield_now`]: epoch
+/// workers are frequently co-scheduled on fewer cores than threads
+/// (CI machines, laptops), where pure spinning would burn whole
+/// scheduler quanta waiting for a thread that cannot run.
+struct SpinBarrier {
+    count: AtomicU32,
+    sense: AtomicU32,
+    n: u32,
+}
+
+impl SpinBarrier {
+    fn new(n: u32) -> Self {
+        SpinBarrier {
+            count: AtomicU32::new(0),
+            sense: AtomicU32::new(0),
+            n,
+        }
+    }
+
+    /// Blocks until all `n` workers have arrived. `local_sense` is the
+    /// caller's thread-local phase bit, flipped on every crossing.
+    fn wait(&self, local_sense: &mut u32) {
+        *local_sense ^= 1;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            // Last arrival: reset the counter for the next crossing,
+            // then release everyone. The counter reset is safe before
+            // the sense flip because no thread re-enters `wait` until
+            // it has observed the flip.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(*local_sense, Ordering::Release);
+        } else {
+            let mut spins: u32 = 0;
+            while self.sense.load(Ordering::Acquire) != *local_sense {
+                spins = spins.wrapping_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Shared per-epoch coordination state. Window minima and the
+/// any-events flags are double-buffered by epoch parity so workers can
+/// publish epoch `e + 1` values while stragglers still read epoch `e`.
+struct EpochSync {
+    barrier: SpinBarrier,
+    /// Global minimum event time, one slot per epoch parity.
+    mins: [AtomicU64; 2],
+    /// Whether any shard has pending events, one per epoch parity
+    /// (`u64::MAX` is a valid event time — the far-future saturation
+    /// sentinel — so emptiness needs its own flag).
+    any: [AtomicU32; 2],
+}
+
+/// The epoch mailbox: one cell per destination shard. Senders append
+/// under the lock during the run phase; the owner drains after the
+/// epoch barrier. Append order is scheduling-irrelevant because the
+/// batch is sorted by `(time, key)` before absorption and keys are
+/// globally unique.
+type Mailbox<T> = Vec<Mutex<Vec<Transfer<T>>>>;
+
+/// Drives `shards` forward until every queue is empty or the earliest
+/// pending event is past `until_ns` (inclusive bound), exchanging
+/// cross-shard transfers at epoch boundaries.
+///
+/// `lookahead_ns` must be a positive lower bound on every cross-shard
+/// latency: a transfer staged at time `t` must arrive at `t +
+/// lookahead_ns` or later. `workers <= 1` runs the same epoch protocol
+/// inline on the calling thread; `workers >= 2` fans the shards out
+/// round-robin (shard `i` to worker `i % workers`) over that many OS
+/// threads. The per-shard event sequence — and therefore every
+/// observable result — is identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if `lookahead_ns` is zero.
+pub fn run_epochs<C, S>(ctx: &C, shards: &mut [S], lookahead_ns: u64, until_ns: u64, workers: usize)
+where
+    C: Sync + ?Sized,
+    S: EpochShard<C>,
+{
+    assert!(lookahead_ns > 0, "lookahead must be positive");
+    if shards.is_empty() {
+        return;
+    }
+    let workers = workers.clamp(1, shards.len());
+    if workers <= 1 {
+        run_epochs_inline(ctx, shards, lookahead_ns, until_ns);
+    } else {
+        pool::run_epochs_threaded(ctx, shards, lookahead_ns, until_ns, workers);
+    }
+}
+
+/// The window end (inclusive) every shard may run to when the global
+/// minimum pending event is at `start`.
+#[inline]
+fn window_last(start: u64, lookahead_ns: u64, until_ns: u64) -> u64 {
+    start.saturating_add(lookahead_ns - 1).min(until_ns)
+}
+
+/// Single-threaded epoch loop: same protocol, no barriers. This is the
+/// `workers <= 1` path of [`run_epochs`], and it lets the property
+/// suite differentially test the epoch protocol itself (not just its
+/// threaded execution) against a flat single-queue reference.
+fn run_epochs_inline<C, S>(ctx: &C, shards: &mut [S], lookahead_ns: u64, until_ns: u64)
+where
+    C: ?Sized,
+    S: EpochShard<C>,
+{
+    let n = shards.len();
+    let mut out = Outbox::new(n);
+    let mut staged: Vec<Vec<Transfer<S::Transfer>>> = (0..n).map(|_| Vec::new()).collect();
+    loop {
+        let mut start = u64::MAX;
+        let mut any = false;
+        for s in shards.iter_mut() {
+            if let Some(at) = s.next_event_at() {
+                any = true;
+                start = start.min(at);
+            }
+        }
+        if !any || start > until_ns {
+            return;
+        }
+        let last = window_last(start, lookahead_ns, until_ns);
+        for (i, s) in shards.iter_mut().enumerate() {
+            s.run_window(ctx, last, &mut out);
+            for (dst, bin) in out.bins.iter_mut().enumerate() {
+                debug_assert!(
+                    dst != i || bin.is_empty(),
+                    "shard staged a transfer to itself"
+                );
+                staged[dst].append(bin);
+            }
+        }
+        for (dst, batch) in staged.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut batch = std::mem::take(batch);
+            batch.sort_unstable_by_key(|&(at, key, _)| (at, key));
+            debug_assert!(batch.iter().all(|&(at, _, _)| at > last));
+            shards[dst].absorb(batch);
+        }
+    }
+}
+
+/// The threaded epoch driver. Kept in its own module so the
+/// workspace's sanctioned-concurrency allowlist (`dsb-lint` DSB014)
+/// can scope its thread-pool exemption to exactly this code.
+mod pool {
+    use super::*;
+
+    pub(super) fn run_epochs_threaded<C, S>(
+        ctx: &C,
+        shards: &mut [S],
+        lookahead_ns: u64,
+        until_ns: u64,
+        workers: usize,
+    ) where
+        C: Sync + ?Sized,
+        S: EpochShard<C>,
+    {
+        let n = shards.len();
+        let sync = EpochSync {
+            barrier: SpinBarrier::new(workers as u32),
+            mins: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            any: [AtomicU32::new(0), AtomicU32::new(0)],
+        };
+        let mailbox: Mailbox<S::Transfer> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+        // Deal the shards round-robin: worker w owns shards w, w + W,
+        // w + 2W, … Ownership is exclusive, so each worker takes `&mut`
+        // to its own subset.
+        let mut lanes: Vec<Vec<(usize, &mut S)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, s) in shards.iter_mut().enumerate() {
+            lanes[i % workers].push((i, s));
+        }
+
+        std::thread::scope(|scope| {
+            for (w, lane) in lanes.into_iter().enumerate() {
+                let sync = &sync;
+                let mailbox = &mailbox;
+                scope.spawn(move || {
+                    worker_loop(ctx, sync, mailbox, lane, w == 0, lookahead_ns, until_ns)
+                });
+            }
+        });
+    }
+
+    fn worker_loop<C, S>(
+        ctx: &C,
+        sync: &EpochSync,
+        mailbox: &Mailbox<S::Transfer>,
+        mut lane: Vec<(usize, &mut S)>,
+        leader: bool,
+        lookahead_ns: u64,
+        until_ns: u64,
+    ) where
+        C: ?Sized,
+        S: EpochShard<C>,
+    {
+        let n = mailbox.len();
+        let mut out = Outbox::new(n);
+        let mut sense: u32 = 0;
+        let mut epoch: usize = 0;
+        loop {
+            // Phase 1: publish the minimum over owned shards into this
+            // epoch's parity slot.
+            let slot = epoch & 1;
+            let mut local_min = u64::MAX;
+            let mut local_any = false;
+            for (_, s) in lane.iter_mut() {
+                if let Some(at) = s.next_event_at() {
+                    local_any = true;
+                    local_min = local_min.min(at);
+                }
+            }
+            sync.mins[slot].fetch_min(local_min, Ordering::AcqRel);
+            if local_any {
+                sync.any[slot].store(1, Ordering::Release);
+            }
+            sync.barrier.wait(&mut sense);
+
+            // Phase 2: everyone reads the same window, so termination
+            // is unanimous. The leader resets the *other* parity slot
+            // for the epoch after next — safe here because every worker
+            // finished reading that slot before arriving at the phase-1
+            // barrier above.
+            let start = sync.mins[slot].load(Ordering::Acquire);
+            let any = sync.any[slot].load(Ordering::Acquire) != 0;
+            if leader {
+                sync.mins[slot ^ 1].store(u64::MAX, Ordering::Release);
+                sync.any[slot ^ 1].store(0, Ordering::Release);
+            }
+            if !any || start > until_ns {
+                return;
+            }
+            let last = window_last(start, lookahead_ns, until_ns);
+            for (i, s) in lane.iter_mut() {
+                s.run_window(ctx, last, &mut out);
+                for (dst, bin) in out.bins.iter_mut().enumerate() {
+                    if bin.is_empty() {
+                        continue;
+                    }
+                    debug_assert!(*i != dst, "shard staged a transfer to itself");
+                    mailbox[dst].lock().unwrap().append(bin);
+                }
+            }
+            sync.barrier.wait(&mut sense);
+
+            // Phase 3: drain inbound batches for owned shards. No
+            // barrier needed after this — each worker only touches its
+            // own cells, and the phase-1 barrier of the next epoch
+            // orders every drain before anyone's next window.
+            for (i, s) in lane.iter_mut() {
+                let mut batch = std::mem::take(&mut *mailbox[*i].lock().unwrap());
+                if batch.is_empty() {
+                    continue;
+                }
+                batch.sort_unstable_by_key(|&(at, key, _)| (at, key));
+                debug_assert!(batch.iter().all(|&(at, _, _)| at > last));
+                s.absorb(batch);
+            }
+            epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Scheduler;
+    use crate::rng::mix64;
+    use crate::time::SimTime;
+    use dsb_testkit::{gen, prop, prop_assert, prop_assert_eq};
+    use std::collections::BTreeMap;
+
+    /// Toy sharded model: a hop chain that walks the cluster. Handling
+    /// a hop logs `(time, salt)`, then deterministically derives the
+    /// next destination and delay from the salt alone — so the exact
+    /// same chain unfolds under every driver.
+    #[derive(Clone, Copy, Debug)]
+    struct Hop {
+        remaining: u32,
+        salt: u64,
+    }
+
+    enum Action {
+        Done,
+        Local(u64, Hop),
+        Cross(usize, u64, Hop),
+    }
+
+    struct ToyShard {
+        id: usize,
+        n: usize,
+        lookahead: u64,
+        sched: Scheduler<Hop>,
+        log: Vec<(u64, u64)>,
+        last_at: u64,
+    }
+
+    impl ToyShard {
+        fn new(id: usize, n: usize, lookahead: u64, seed: u64) -> Self {
+            ToyShard {
+                id,
+                n,
+                lookahead,
+                sched: Scheduler::with_seq_base(seed ^ id as u64, id as u16),
+                log: Vec::new(),
+                last_at: 0,
+            }
+        }
+
+        /// Deterministic in `(self.id, now, hop)` only — shared by the
+        /// epoch drivers and the flat oracle.
+        fn handle(&mut self, now: u64, hop: Hop) -> Action {
+            assert!(now >= self.last_at, "shard clock went backwards");
+            self.last_at = now;
+            self.log.push((now, hop.salt));
+            if hop.remaining == 0 {
+                return Action::Done;
+            }
+            let h = mix64(hop.salt);
+            let next = Hop {
+                remaining: hop.remaining - 1,
+                salt: h,
+            };
+            let dst = (h % self.n as u64) as usize;
+            if dst == self.id {
+                // Local hop: any delay, including zero (same-instant
+                // chains exercise the near-buffer path).
+                Action::Local(now + (h >> 32) % (2 * self.lookahead), next)
+            } else {
+                // Cross-shard hop: delay at least L — the contract the
+                // epoch protocol relies on.
+                Action::Cross(
+                    dst,
+                    now + self.lookahead + (h >> 32) % (3 * self.lookahead),
+                    next,
+                )
+            }
+        }
+    }
+
+    impl EpochShard<()> for ToyShard {
+        type Transfer = Hop;
+
+        fn next_event_at(&mut self) -> Option<u64> {
+            self.sched.next_event_at()
+        }
+
+        fn run_window(&mut self, _ctx: &(), last: u64, out: &mut Outbox<Hop>) {
+            while let Some(hop) = self.sched.pop_due(SimTime::from_nanos(last)) {
+                let now = self.sched.now().as_nanos();
+                // Tentpole property: the driver never releases an event
+                // past the window it announced.
+                assert!(
+                    now <= last,
+                    "event at {now} released past window end {last}"
+                );
+                match self.handle(now, hop) {
+                    Action::Done => {}
+                    Action::Local(at, h) => {
+                        let k = self.sched.mint_key();
+                        self.sched.schedule_keyed(SimTime::from_nanos(at), k, h);
+                    }
+                    Action::Cross(dst, at, h) => {
+                        let k = self.sched.mint_key();
+                        out.send(dst, at, k, h);
+                    }
+                }
+            }
+        }
+
+        fn absorb(&mut self, batch: Vec<Transfer<Hop>>) {
+            let mut prev: Option<(u64, u64)> = None;
+            for (at, key, hop) in batch {
+                // Satellite property: batches merge in (time, key) order.
+                assert!(
+                    prev.is_none_or(|p| (at, key) > p),
+                    "batch not sorted by (time, key)"
+                );
+                prev = Some((at, key));
+                self.sched.schedule_keyed(SimTime::from_nanos(at), key, hop);
+            }
+        }
+    }
+
+    /// Flat single-queue oracle: the same shards driven by one global
+    /// `(at, key)`-ordered queue with no windows at all — mirroring how
+    /// `wheel_matches_heap_reference` pits the wheel against a plain
+    /// heap. Key-mint order per shard is identical to the epoch
+    /// drivers' because each shard handles the same events in the same
+    /// order and mints exactly one key per spawned hop.
+    fn run_flat(shards: &mut [ToyShard], inits: &[(usize, u64, Hop)], until: u64) {
+        let mut queue: BTreeMap<(u64, u64), (usize, Hop)> = BTreeMap::new();
+        for &(i, at, hop) in inits {
+            let key = shards[i].sched.mint_key();
+            queue.insert((at, key), (i, hop));
+        }
+        while let Some((&(at, key), _)) = queue.first_key_value() {
+            if at > until {
+                break;
+            }
+            let (i, hop) = queue.remove(&(at, key)).unwrap();
+            match shards[i].handle(at, hop) {
+                Action::Done => {}
+                Action::Local(a, h) => {
+                    let k = shards[i].sched.mint_key();
+                    queue.insert((a, k), (i, h));
+                }
+                Action::Cross(dst, a, h) => {
+                    let k = shards[i].sched.mint_key();
+                    queue.insert((a, k), (dst, h));
+                }
+            }
+        }
+    }
+
+    fn build_shards(case: &Case) -> (Vec<ToyShard>, Vec<(usize, u64, Hop)>) {
+        let n = case.shards as usize;
+        let shards: Vec<ToyShard> = (0..n)
+            .map(|i| ToyShard::new(i, n, case.lookahead, case.seed))
+            .collect();
+        let inits: Vec<(usize, u64, Hop)> = (0..n)
+            .map(|i| {
+                let h = mix64(case.seed ^ ((i as u64) << 7 | 1));
+                (
+                    i,
+                    h % (4 * case.lookahead),
+                    Hop {
+                        remaining: case.hops,
+                        salt: h,
+                    },
+                )
+            })
+            .collect();
+        (shards, inits)
+    }
+
+    fn schedule_inits(shards: &mut [ToyShard], inits: &[(usize, u64, Hop)]) {
+        for &(i, at, hop) in inits {
+            let k = shards[i].sched.mint_key();
+            shards[i]
+                .sched
+                .schedule_keyed(SimTime::from_nanos(at), k, hop);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    struct Case {
+        shards: u8,
+        hops: u32,
+        lookahead: u64,
+        seed: u64,
+    }
+
+    impl dsb_testkit::Shrink for Case {
+        fn shrink(&self) -> Vec<Self> {
+            let mut out = Vec::new();
+            if self.shards > 1 {
+                out.push(Case {
+                    shards: self.shards - 1,
+                    ..self.clone()
+                });
+            }
+            if self.hops > 0 {
+                out.push(Case {
+                    hops: self.hops / 2,
+                    ..self.clone()
+                });
+            }
+            if self.lookahead > 1 {
+                out.push(Case {
+                    lookahead: self.lookahead / 2,
+                    ..self.clone()
+                });
+            }
+            out
+        }
+    }
+
+    /// The tentpole conformance property: for random hop topologies,
+    /// the epoch protocol (inline and threaded, several worker counts)
+    /// produces per-shard event logs byte-identical to the flat
+    /// single-queue oracle, and stopping at a horizon then resuming
+    /// changes nothing.
+    #[test]
+    fn epoch_drivers_match_flat_oracle() {
+        prop!(
+            cases = 60,
+            |rng| Case {
+                shards: gen::u8_in(rng, 1, 6),
+                hops: gen::u32_in(rng, 0, 40),
+                lookahead: gen::u64_in(rng, 1, 10_000),
+                seed: gen::u64_in(rng, 0, u64::MAX),
+            },
+            |case: &Case| {
+                let (mut oracle, inits) = build_shards(case);
+                run_flat(&mut oracle, &inits, u64::MAX);
+                let want: Vec<&[(u64, u64)]> = oracle.iter().map(|s| s.log.as_slice()).collect();
+
+                for workers in [1usize, 2, 3] {
+                    let (mut shards, inits) = build_shards(case);
+                    schedule_inits(&mut shards, &inits);
+                    // Split the run at an arbitrary horizon: epoch runs
+                    // must be resumable (Simulation::advance_to relies
+                    // on this).
+                    let mid = case.lookahead * 2;
+                    run_epochs(&(), &mut shards, case.lookahead, mid, workers);
+                    run_epochs(&(), &mut shards, case.lookahead, u64::MAX, workers);
+                    for (s, want_log) in shards.iter().zip(&want) {
+                        prop_assert_eq!(
+                            &s.log.as_slice(),
+                            want_log,
+                            "shard {} diverged at workers={}",
+                            s.id,
+                            workers
+                        );
+                    }
+                    let total: usize = shards.iter().map(|s| s.log.len()).sum();
+                    prop_assert!(total > 0 || case.hops == 0 || case.shards == 0);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// A horizon strictly inside the run must stop every shard at or
+    /// before it, with unprocessed events intact.
+    #[test]
+    fn horizon_bounds_every_shard() {
+        let case = Case {
+            shards: 4,
+            hops: 25,
+            lookahead: 500,
+            seed: 0x5EED,
+        };
+        for workers in [1usize, 2, 4] {
+            let (mut shards, inits) = build_shards(&case);
+            schedule_inits(&mut shards, &inits);
+            let horizon = 4 * case.lookahead;
+            run_epochs(&(), &mut shards, case.lookahead, horizon, workers);
+            for s in &shards {
+                assert!(
+                    s.log.iter().all(|&(at, _)| at <= horizon),
+                    "worker count {workers}: event past the horizon"
+                );
+            }
+            // Something must remain pending (25-hop chains at ~L-scale
+            // delays run far past 4L).
+            let pending: usize = shards.iter().map(|s| s.sched.pending()).sum();
+            assert!(pending > 0, "expected unfinished work past the horizon");
+        }
+    }
+
+    /// Same seed, same worker count, run twice: identical logs — the
+    /// threaded driver introduces no scheduling nondeterminism.
+    #[test]
+    fn threaded_driver_is_deterministic() {
+        let case = Case {
+            shards: 5,
+            hops: 30,
+            lookahead: 900,
+            seed: 0xABCD,
+        };
+        let mut logs = Vec::new();
+        for _ in 0..2 {
+            let (mut shards, inits) = build_shards(&case);
+            schedule_inits(&mut shards, &inits);
+            run_epochs(&(), &mut shards, case.lookahead, u64::MAX, 3);
+            logs.push(shards.iter().map(|s| s.log.clone()).collect::<Vec<_>>());
+        }
+        assert_eq!(logs[0], logs[1]);
+    }
+}

@@ -54,6 +54,7 @@
 
 mod dist;
 mod engine;
+pub mod epoch;
 mod metrics;
 mod rng;
 mod series;
@@ -61,7 +62,8 @@ mod time;
 
 pub use dist::{Dist, Zipf};
 pub use engine::{Model, Scheduler};
+pub use epoch::{run_epochs, EpochShard, Outbox, Transfer};
 pub use metrics::{Counter, Histogram, MeanVar};
-pub use rng::Rng;
+pub use rng::{mix64, Rng};
 pub use series::{UtilizationTracker, WindowedSeries};
 pub use time::{SimDuration, SimTime};

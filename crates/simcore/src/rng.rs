@@ -32,7 +32,20 @@ pub struct Rng {
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+    mix64(*state)
+}
+
+/// The SplitMix64 output mixer: a stateless, bijective 64-bit hash.
+///
+/// This is exactly the finalizer the seeding path has always used, so
+/// exposing it changes no existing stream. Components that need a
+/// deterministic *keyed* decision without consuming generator state
+/// share it — per-shard stream derivation (`mix64(seed ^ mix64(shard))`)
+/// and hash-based trace sampling, where every shard must reach the same
+/// verdict for a trace id without coordinating RNG draws.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

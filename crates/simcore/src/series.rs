@@ -86,6 +86,27 @@ impl WindowedSeries {
         self.merged_range(0, usize::MAX)
     }
 
+    /// Merges another series of the same window width into this one,
+    /// window by window — used to combine per-shard series from a
+    /// parallel run into the cluster-wide view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &WindowedSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge series of different window widths"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize_with(other.windows.len(), Histogram::compact);
+        }
+        for (a, b) in self.windows.iter_mut().zip(&other.windows) {
+            a.merge(b);
+        }
+    }
+
     /// Merges windows `[from, to)` into one histogram (out-of-range
     /// indices are ignored) — used to drop warm-up windows from reported
     /// quantiles.

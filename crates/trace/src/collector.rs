@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dsb_simcore::{Histogram, Rng, SimDuration, WindowedSeries};
+use dsb_simcore::{mix64, Histogram, SimDuration, WindowedSeries};
 
 use crate::span::{Span, TraceId};
 
@@ -52,6 +52,16 @@ impl ServiceTraceStats {
             self.net_ns as f64 / denom
         }
     }
+
+    /// Adds another service's aggregates into this one (shard merge).
+    fn merge(&mut self, other: &ServiceTraceStats) {
+        self.latency.merge(&other.latency);
+        self.latency_windows.merge(&other.latency_windows);
+        self.queue_ns += other.queue_ns;
+        self.app_ns += other.app_ns;
+        self.net_ns += other.net_ns;
+        self.spans += other.spans;
+    }
 }
 
 /// The centralized collector: per-service aggregates plus a sample of
@@ -86,20 +96,25 @@ impl ServiceTraceStats {
 /// assert!((stats.net_fraction() - 1.0 / 3.0).abs() < 1e-9);
 /// assert_eq!(col.sampled_traces().count(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceCollector {
     window: SimDuration,
     sample_prob: f64,
-    rng: Rng,
+    seed: u64,
     services: Vec<ServiceTraceStats>,
     sampled: BTreeMap<TraceId, Vec<Span>>,
-    sample_decisions: BTreeMap<TraceId, bool>,
     dropped: u64,
 }
 
 impl TraceCollector {
     /// Creates a collector with the given heatmap window width, trace
-    /// sampling probability, and RNG seed.
+    /// sampling probability, and sampling seed.
+    ///
+    /// The per-trace keep/drop decision is a pure hash of `(seed,
+    /// trace id)` rather than a stateful RNG draw: in a sharded run
+    /// every shard owns its own collector, and all of them must reach
+    /// the same verdict for a trace without coordinating — give them
+    /// all the same seed and they do.
     pub fn new(window: SimDuration, sample_prob: f64, seed: u64) -> Self {
         debug_assert!(
             (0.0..=1.0).contains(&sample_prob),
@@ -108,12 +123,20 @@ impl TraceCollector {
         TraceCollector {
             window,
             sample_prob: sample_prob.clamp(0.0, 1.0),
-            rng: Rng::new(seed),
+            seed,
             services: Vec::new(),
             sampled: BTreeMap::new(),
-            sample_decisions: BTreeMap::new(),
             dropped: 0,
         }
+    }
+
+    /// The keyed sampling verdict for a trace: stateless, so identical
+    /// on every shard and independent of record order.
+    #[inline]
+    fn keeps(&self, trace: TraceId) -> bool {
+        // Top 53 bits of the mix as a uniform in [0, 1).
+        let u = (mix64(self.seed ^ mix64(trace.0)) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.sample_prob
     }
 
     /// Records one completed span.
@@ -134,22 +157,53 @@ impl TraceCollector {
         s.spans += 1;
 
         // Fast path when sampling is off (the common configuration for
-        // perf kernels): no trace ever qualifies, so skip the per-trace
-        // decision map and the RNG draw entirely. The RNG is private to
-        // the collector, so the skipped draws are unobservable.
+        // perf kernels): no trace ever qualifies, so skip the hash.
         if self.sample_prob == 0.0 {
             self.dropped += 1;
             return;
         }
-        let keep = *self
-            .sample_decisions
-            .entry(span.trace)
-            .or_insert_with(|| self.rng.chance(self.sample_prob));
-        if keep {
+        if self.keeps(span.trace) {
             self.sampled.entry(span.trace).or_default().push(span);
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Folds another collector (a shard's) into this one: per-service
+    /// aggregates merge, sampled spans append per trace in call order,
+    /// dropped counts add.
+    ///
+    /// Callers merging several shards must do so in a fixed order
+    /// (shard 0, 1, 2, …) so the within-trace span order — and
+    /// therefore any serialized trace output — is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collectors disagree on window width, sampling
+    /// probability, or sampling seed — merged verdicts would be
+    /// inconsistent otherwise.
+    pub fn merge_from(&mut self, other: &TraceCollector) {
+        assert!(
+            self.window == other.window
+                && self.sample_prob == other.sample_prob
+                && self.seed == other.seed,
+            "cannot merge collectors with different configurations"
+        );
+        if other.services.len() > self.services.len() {
+            let w = self.window;
+            self.services
+                .resize_with(other.services.len(), || ServiceTraceStats::new(w));
+        }
+        for (mine, theirs) in self.services.iter_mut().zip(&other.services) {
+            mine.merge(theirs);
+        }
+        for (trace, spans) in &other.sampled {
+            self.sampled
+                .entry(*trace)
+                .or_default()
+                .extend(spans.iter().cloned());
+        }
+        self.dropped += other.dropped;
     }
 
     /// Aggregates for service `id`, if any span was recorded for it.
