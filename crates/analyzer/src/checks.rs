@@ -154,6 +154,9 @@ impl<'a> Analyzer<'a> {
         // DSB016 cross-shard write-visibility windows (structural).
         self.check_write_visibility(&mut out);
 
+        // DSB017 sole cache tier without replication.
+        self.check_cache_replication(&mut out);
+
         // DSB015 lookahead certification under the placement plan.
         if let Some(cluster) = self.cluster {
             self.check_lookahead(cluster, &mut out);
@@ -729,6 +732,53 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    // -- DSB017 -------------------------------------------------------------
+
+    /// Sole-cache replication: collects every service targeted by a
+    /// `CacheLookup` step. When the app has exactly one such cache tier
+    /// and it runs a single instance, a `ChaosPlan` cache-loss or
+    /// machine crash takes the whole cached key space down at once —
+    /// every lookup app-wide falls through cold to the backing store,
+    /// the thundering-herd refill the failure studies warn about. Two
+    /// or more instances under partition routing leave warm shards
+    /// serving through any single fault.
+    fn check_cache_replication(&self, out: &mut Vec<Diagnostic>) {
+        let spec = self.spec;
+        let mut caches: Vec<ServiceId> = Vec::new();
+        for svc in &spec.services {
+            for ep in &svc.endpoints {
+                walk_cache_targets(&ep.script, &mut |c| {
+                    if !caches.contains(&c) {
+                        caches.push(c);
+                    }
+                });
+            }
+        }
+        let [sole] = caches[..] else {
+            return; // no cache tiers, or losses leave siblings serving
+        };
+        let Some(cache) = spec.services.get(sole.0 as usize) else {
+            return; // dangling ref — DSB005's finding
+        };
+        if cache.initial_instances >= 2 {
+            return;
+        }
+        out.push(self.diag(
+            Code::SingleReplicaCache,
+            Severity::Warning,
+            sole,
+            None,
+            format!(
+                "sole cache tier `{}` runs a single instance: one cache-loss or \
+                 machine-crash fault evicts the entire cached key space and every \
+                 lookup in the app refills cold against the backing store at once; \
+                 run >= 2 partition-routed instances so a single fault leaves warm \
+                 shards serving",
+                cache.name,
+            ),
+        ));
+    }
+
     // -- DSB009 -------------------------------------------------------------
 
     fn check_capacity(&self, out: &mut Vec<Diagnostic>) {
@@ -1251,11 +1301,32 @@ fn read_pairs(
                     }
                 }
             }
-            Step::Branch { then, els, .. } => {
+            Step::Branch { then, els, .. } | Step::CacheLookup { then, els, .. } => {
                 read_pairs(spec, then, reads_seen, pairs);
                 read_pairs(spec, els, reads_seen, pairs);
             }
             Step::Compute { .. } | Step::Io { .. } => {}
+        }
+    }
+}
+
+/// Visits the service behind every `CacheLookup` step, both arms walked.
+fn walk_cache_targets(steps: &[dsb_core::Step], f: &mut impl FnMut(ServiceId)) {
+    use dsb_core::Step;
+    for s in steps {
+        match s {
+            Step::CacheLookup {
+                cache, then, els, ..
+            } => {
+                f(cache.service);
+                walk_cache_targets(then, f);
+                walk_cache_targets(els, f);
+            }
+            Step::Branch { then, els, .. } => {
+                walk_cache_targets(then, f);
+                walk_cache_targets(els, f);
+            }
+            _ => {}
         }
     }
 }
@@ -1278,6 +1349,13 @@ fn certain_store_writes(spec: &AppSpec, steps: &[dsb_core::Step], writes: &mut V
                 if *p >= 1.0 {
                     certain_store_writes(spec, then, writes);
                 } else if *p <= 0.0 {
+                    certain_store_writes(spec, els, writes);
+                }
+            }
+            Step::CacheLookup { hit, then, els, .. } => {
+                if *hit >= 1.0 {
+                    certain_store_writes(spec, then, writes);
+                } else if *hit <= 0.0 {
                     certain_store_writes(spec, els, writes);
                 }
             }

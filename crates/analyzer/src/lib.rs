@@ -25,6 +25,7 @@
 //! | DSB014 | circular wait across blocking worker/connection pools (deadlock) | error |
 //! | DSB015 | zero/sub-loopback lookahead edge blocks parallel sharding | warning |
 //! | DSB016 | cross-shard write-visibility window (cache set before durable write) | warning |
+//! | DSB017 | sole cache tier with replication factor 1 (no fault tolerance) | warning |
 //!
 //! Entry points: [`analyze`] for pure spec checks, [`Analyzer`] to add
 //! entry-point and offered-load context, [`model::lookahead_certificate`]
@@ -121,6 +122,12 @@ pub enum Code {
     /// the cache first), opening a window in which a remote reader can
     /// refill the cache from pre-write state.
     WriteVisibilityRace,
+    /// DSB017: a spec's *only* cache tier (the target of some
+    /// `CacheLookup` step) runs a single instance. Losing that one
+    /// replica — a `ChaosPlan` cache-loss or machine crash — forces
+    /// every lookup in the app onto the miss path at once, the
+    /// thundering-herd refill the paper's failure studies warn about.
+    SingleReplicaCache,
 }
 
 impl Code {
@@ -143,6 +150,7 @@ impl Code {
             Code::WaitCycle => "DSB014",
             Code::ZeroLookahead => "DSB015",
             Code::WriteVisibilityRace => "DSB016",
+            Code::SingleReplicaCache => "DSB017",
         }
     }
 }
@@ -267,6 +275,7 @@ mod tests {
             Code::WaitCycle,
             Code::ZeroLookahead,
             Code::WriteVisibilityRace,
+            Code::SingleReplicaCache,
         ];
         let strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         let unique: std::collections::BTreeSet<_> = strs.iter().collect();

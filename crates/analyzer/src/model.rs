@@ -58,7 +58,7 @@ pub fn walk_calls(steps: &[Step], f: &mut impl FnMut(&EndpointRef, bool)) {
                     f(t, true);
                 }
             }
-            Step::Branch { then, els, .. } => {
+            Step::Branch { then, els, .. } | Step::CacheLookup { then, els, .. } => {
                 walk_calls(then, f);
                 walk_calls(els, f);
             }
@@ -73,7 +73,7 @@ pub fn walk_fanouts(steps: &[Step], f: &mut impl FnMut(&EndpointRef, f64)) {
     for s in steps {
         match s {
             Step::FanCall { target, n, .. } => f(target, n.mean()),
-            Step::Branch { then, els, .. } => {
+            Step::Branch { then, els, .. } | Step::CacheLookup { then, els, .. } => {
                 walk_fanouts(then, f);
                 walk_fanouts(els, f);
             }
@@ -171,6 +171,10 @@ pub fn expected_calls(steps: &[Step], weight: f64, f: &mut impl FnMut(&EndpointR
                 expected_calls(then, weight * p, f);
                 expected_calls(els, weight * (1.0 - p), f);
             }
+            Step::CacheLookup { hit, then, els, .. } => {
+                expected_calls(then, weight * hit, f);
+                expected_calls(els, weight * (1.0 - hit), f);
+            }
             Step::Compute { .. } | Step::Io { .. } => {}
         }
     }
@@ -185,6 +189,9 @@ pub fn local_demand_ns(steps: &[Step]) -> f64 {
             Step::Compute { ns, .. } | Step::Io { ns } => total += ns.mean(),
             Step::Branch { p, then, els } => {
                 total += p * local_demand_ns(then) + (1.0 - p) * local_demand_ns(els);
+            }
+            Step::CacheLookup { hit, then, els, .. } => {
+                total += hit * local_demand_ns(then) + (1.0 - hit) * local_demand_ns(els);
             }
             _ => {}
         }
@@ -204,6 +211,9 @@ pub fn compute_demand_ns(steps: &[Step]) -> f64 {
             Step::Compute { ns, .. } => total += ns.mean(),
             Step::Branch { p, then, els } => {
                 total += p * compute_demand_ns(then) + (1.0 - p) * compute_demand_ns(els);
+            }
+            Step::CacheLookup { hit, then, els, .. } => {
+                total += hit * compute_demand_ns(then) + (1.0 - hit) * compute_demand_ns(els);
             }
             _ => {}
         }
@@ -236,6 +246,10 @@ pub fn expected_call_sites(
             Step::Branch { p, then, els } => {
                 expected_call_sites(then, weight * p, f);
                 expected_call_sites(els, weight * (1.0 - p), f);
+            }
+            Step::CacheLookup { hit, then, els, .. } => {
+                expected_call_sites(then, weight * hit, f);
+                expected_call_sites(els, weight * (1.0 - hit), f);
             }
             Step::Compute { .. } | Step::Io { .. } => {}
         }
@@ -386,6 +400,10 @@ fn script_resp_ns(
             Step::Branch { p, then, els } => {
                 total += p * script_resp_ns(spec, svc, then, resp_ns, wait_ns, one_way_ns)
                     + (1.0 - p) * script_resp_ns(spec, svc, els, resp_ns, wait_ns, one_way_ns);
+            }
+            Step::CacheLookup { hit, then, els, .. } => {
+                total += hit * script_resp_ns(spec, svc, then, resp_ns, wait_ns, one_way_ns)
+                    + (1.0 - hit) * script_resp_ns(spec, svc, els, resp_ns, wait_ns, one_way_ns);
             }
         }
     }

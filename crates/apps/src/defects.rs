@@ -2,9 +2,10 @@
 //!
 //! Each constructor here builds a defect the per-tier checks
 //! (DSB002/DSB003/DSB009) cannot see — placement-level shapes for
-//! DSB011/DSB012 ([`colocated_encoders`], [`burst_chain`]) and
+//! DSB011/DSB012 ([`colocated_encoders`], [`burst_chain`]),
 //! parallel-safety shapes for DSB014/DSB015/DSB016 ([`wait_loop`],
-//! [`edge_gossip`], [`stale_refill`]) — pinning those diagnostics to
+//! [`edge_gossip`], [`stale_refill`]), and the fault-tolerance shape for
+//! DSB017 ([`bare_cache`]) — pinning those diagnostics to
 //! `tests/goldens/analyzer_report.txt` the same way `twotier(64, 2)`
 //! pins DSB002.
 
@@ -267,6 +268,54 @@ pub fn stale_refill() -> BuiltApp {
     }
 }
 
+/// DSB017 demo: a catalog front-end whose only cache tier runs a single
+/// memcached instance. Capacity-wise it is comfortable — 16 workers at
+/// ~6 µs a lookup absorb the load many times over — but one cache-loss
+/// or machine-crash fault evicts the entire cached key space, and every
+/// lookup in the app refills cold against the backing store at once.
+pub fn bare_cache() -> BuiltApp {
+    let mut app = AppBuilder::new("bare_cache");
+    let mc = app
+        .service("memcached-catalog")
+        .profile(UarchProfile::memcached())
+        .event_driven()
+        .workers(16)
+        .build();
+    let mc_get = app.endpoint(
+        mc,
+        "get",
+        Dist::log_normal(1024.0, 0.8),
+        vec![Step::Compute {
+            ns: Dist::log_normal(6_000.0, 0.3),
+            domain: dsb_uarch::ExecDomain::User,
+        }],
+    );
+    let (mg, mg_find, _mg_ins) = add_mongodb(&mut app, "mongodb-catalog", 2);
+    let front = app
+        .service("catalog-frontend")
+        .profile(UarchProfile::nginx())
+        .event_driven()
+        .workers(64)
+        .build();
+    let entry = app.endpoint(
+        front,
+        "browse",
+        Dist::log_normal(4096.0, 0.4),
+        vec![
+            Step::work_us(50.0),
+            Step::cache_lookup(mc_get, 0.85, vec![Step::call(mg_find, 256.0)]),
+        ],
+    );
+    let spec = app.build();
+    BuiltApp {
+        mix: QueryMix::single(entry, REQUEST, 256.0),
+        qos_p99: SimDuration::from_millis(50),
+        order: vec![mc, mg, front],
+        frontend: front,
+        spec,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +357,13 @@ mod tests {
             assert_eq!(svc.zone_pref, Some(Zone::Edge));
             assert_eq!(svc.initial_instances, 2);
         }
+    }
+
+    #[test]
+    fn bare_cache_has_one_replica() {
+        let app = bare_cache();
+        let mc = app.spec.service(app.service("memcached-catalog"));
+        assert_eq!(mc.initial_instances, 1);
     }
 
     #[test]

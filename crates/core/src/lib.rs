@@ -29,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod placement;
 mod sim;
 mod slab;
 mod spec;
 mod stats;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan, FaultWindow};
 pub use placement::{PlacementHint, PlacementPlan, PlacementPolicy, Placer};
 pub use sim::{ConnPoolSnapshot, InstanceState, Simulation};
 pub use slab::{Slab, SlabKey};

@@ -41,6 +41,7 @@ use dsb_simcore::{
 use dsb_trace::{Span, SpanId, TraceCollector, TraceId};
 use dsb_uarch::{CoreModel, ExecDomain};
 
+use crate::chaos::{ChaosAction, ChaosPlan};
 use crate::slab::{Slab, SlabKey};
 use crate::spec::{
     AppSpec, ClusterSpec, Concurrency, EndpointRef, InstanceId, LbPolicy, MachineId, RequestType,
@@ -87,6 +88,10 @@ pub enum InstanceState {
     Up,
     /// Removed from rotation; finishing queued work.
     Draining,
+    /// Crashed by a [`crate::ChaosPlan`] fault: not in rotation, queued
+    /// and in-flight work failed back to callers. Returns to `Up` at the
+    /// restart boundary.
+    Down,
 }
 
 const REF_FREQ_GHZ: f64 = 2.4;
@@ -109,6 +114,45 @@ struct MachineMeta {
     zone: Zone,
     core: CoreModel,
     offload: FpgaOffload,
+    /// Crashed by a chaos fault; requests to its instances fail fast.
+    down: bool,
+}
+
+/// Network fault state installed by a [`crate::ChaosPlan`]: partition
+/// cuts between machine pairs and per-machine NIC delay multipliers.
+/// Lives in [`SharedState`] (read-only during event runs, mutated only
+/// at chaos boundaries) so both drivers observe identical fault state.
+#[derive(Debug)]
+struct NetChaos {
+    n: usize,
+    /// `n × n` row-major: `cut[a*n + b]` fails traffic from machine `a`
+    /// to machine `b`.
+    cut: Vec<bool>,
+    /// Sender-side failure-detection timeout for cut traffic, clamped
+    /// to at least the cluster lookahead (DSB015 floor).
+    timeout_ns: u64,
+    /// Per-machine propagation-delay multiplier (1.0 = healthy). Only
+    /// ever ≥ 1.0, so the lookahead bound stays conservative.
+    degrade: Vec<f64>,
+}
+
+impl NetChaos {
+    fn new(n: usize) -> Self {
+        NetChaos {
+            n,
+            cut: vec![false; n * n],
+            timeout_ns: 0,
+            degrade: vec![1.0; n],
+        }
+    }
+
+    fn is_cut(&self, a: usize, b: usize) -> bool {
+        self.cut[a * self.n + b]
+    }
+
+    fn degrade_factor(&self, a: usize, b: usize) -> f64 {
+        self.degrade[a].max(self.degrade[b])
+    }
 }
 
 /// Immutable-per-run facts about an instance; the queue/worker state
@@ -151,6 +195,12 @@ struct SharedState {
     /// Conservative lookahead: no cross-shard message can arrive sooner
     /// than this many ns after it is sent. See [`cluster_lookahead`].
     lookahead_ns: u64,
+    /// Active network faults (`None` when no chaos plan touched the
+    /// fabric — the hot path pays one pointer check).
+    chaos_net: Option<Box<NetChaos>>,
+    /// Per-instance cold-until time (ns): `CacheLookup`s whose home
+    /// shard is refilling before this instant are forced to miss.
+    chaos_cold: Vec<u64>,
 }
 
 impl SharedState {
@@ -313,6 +363,10 @@ struct Invocation {
     started: SimTime,
     app_ns: f64,
     net_ns: f64,
+    /// A downstream call failed (crash, partition, no live instance):
+    /// the rest of the script is abandoned and the failure propagates
+    /// to this invocation's own caller.
+    failed: bool,
 }
 
 /// A request in flight between services.
@@ -341,6 +395,10 @@ struct ResponseMsg {
     from_inst: InstanceId,
     bytes: u64,
     protocol: Protocol,
+    /// An error response: the callee crashed, was unreachable, or had
+    /// itself a failed downstream call. Failed responses skip the
+    /// receive-side CPU job and poison the caller.
+    failed: bool,
 }
 
 /// A message in flight (carried by [`Ev::MsgArrive`], possibly across
@@ -355,6 +413,9 @@ enum Message {
         /// Serving instance, for the client shard's outstanding-count
         /// bookkeeping.
         inst: InstanceId,
+        /// The request failed somewhere on its path (chaos faults);
+        /// recorded as a failure, not a completion.
+        failed: bool,
     },
 }
 
@@ -607,7 +668,12 @@ impl ShardState {
                 m.util.add_busy(now, now + dur);
                 sink.local(now + dur, key, Ev::CoreJobDone { job: n });
             }
-            None => self.machine.as_mut().expect("machine shard").busy -= 1,
+            None => {
+                // Saturating: a job surviving a chaos crash/restart cycle
+                // may outlive the counter reset.
+                let m = self.machine.as_mut().expect("machine shard");
+                m.busy = m.busy.saturating_sub(1);
+            }
         }
         // Account the finished job.
         let freq = sh.machines[self.shard as usize].core.freq_ghz;
@@ -662,7 +728,7 @@ impl ShardState {
                 if let Some(i) = self.invocations.get_mut(inv) {
                     i.net_ns += actual;
                 }
-                self.on_response(sh, sink, now, inv);
+                self.on_response(sh, sink, now, inv, false);
             }
         }
     }
@@ -758,8 +824,22 @@ impl ShardState {
             }
             // Another machine's shard: fabric hop, cross-shard transfer.
             Some(dm) => {
+                if let Some(net) = sh.chaos_net.as_deref() {
+                    if net.is_cut(self.shard as usize, dm.0 as usize) {
+                        self.drop_at_cut(sh, sink, now + tx, net.timeout_ns, msg);
+                        return tx;
+                    }
+                }
                 let z = sh.machines[dm.0 as usize].zone;
-                let prop = sh.fabric.delay(from_zone, z, &mut self.rng);
+                let mut prop = sh.fabric.delay(from_zone, z, &mut self.rng);
+                if let Some(net) = sh.chaos_net.as_deref() {
+                    let f = net.degrade_factor(self.shard as usize, dm.0 as usize);
+                    if f > 1.0 {
+                        // Delays only grow (factor ≥ 1.0), so the DSB015
+                        // lookahead floor below stays valid.
+                        prop = SimDuration::from_nanos((prop.as_nanos() as f64 * f) as u64);
+                    }
+                }
                 debug_assert!(
                     prop.as_nanos() >= sh.lookahead_ns,
                     "cross-shard hop {} below lookahead {}",
@@ -772,7 +852,13 @@ impl ShardState {
             }
             // Reply to the request's origin: the client shard owns it.
             None => {
-                let prop = sh.fabric.delay(from_zone, Zone::Client, &mut self.rng);
+                let mut prop = sh.fabric.delay(from_zone, Zone::Client, &mut self.rng);
+                if let Some(net) = sh.chaos_net.as_deref() {
+                    let f = net.degrade[self.shard as usize];
+                    if f > 1.0 {
+                        prop = SimDuration::from_nanos((prop.as_nanos() as f64 * f) as u64);
+                    }
+                }
                 debug_assert!(
                     prop.as_nanos() >= sh.lookahead_ns,
                     "client hop {} below lookahead {}",
@@ -787,11 +873,77 @@ impl ShardState {
         tx
     }
 
+    /// A message ran into a network cut. The sender's failure detector
+    /// fires after `timeout_ns` (clamped ≥ the lookahead floor at
+    /// install time): a cut request fails back to its caller on this
+    /// very shard, a cut response is delivered to the caller as a
+    /// failure after the same timeout.
+    fn drop_at_cut(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        sent: SimTime,
+        timeout_ns: u64,
+        msg: Message,
+    ) {
+        let at = sent + SimDuration::from_nanos(timeout_ns);
+        match msg {
+            Message::Request(rm) => match rm.caller {
+                Some(c) => {
+                    debug_assert_eq!(
+                        c.machine.0 as u16, self.shard,
+                        "requests transmit from the caller's shard"
+                    );
+                    let svc = sh.insts[rm.dst.0 as usize].service;
+                    let key = self.mint();
+                    let idx = self.msg_pool.alloc(Message::Response(ResponseMsg {
+                        to_inv: c.inv,
+                        to_machine: c.machine,
+                        from_inst: rm.dst,
+                        bytes: 1,
+                        protocol: sh.services[svc.0 as usize].spec.protocol,
+                        failed: true,
+                    }));
+                    sink.local(at, key, Ev::MsgArrive(idx));
+                }
+                None => {
+                    let key = self.mint();
+                    sink.cross(
+                        sh.client_shard(),
+                        at.as_nanos(),
+                        key,
+                        Message::ClientReply {
+                            rtype: rm.rtype,
+                            spawn: rm.spawn,
+                            inst: rm.dst,
+                            failed: true,
+                        },
+                    );
+                }
+            },
+            Message::Response(mut resp) => {
+                resp.failed = true;
+                let key = self.mint();
+                let dst = resp.to_machine.0 as u16;
+                sink.cross(dst, at.as_nanos(), key, Message::Response(resp));
+            }
+            Message::ClientReply { .. } => {
+                unreachable!("client replies never cross a machine cut")
+            }
+        }
+    }
+
     fn deliver(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, msg: Message) {
         match msg {
             Message::Request(rm) => {
                 let meta = sh.insts[rm.dst.0 as usize];
                 debug_assert_eq!(meta.machine.0 as u16, self.shard, "request routed wrong");
+                if meta.state == InstanceState::Down {
+                    // Crashed while the request was in flight: fail fast,
+                    // skipping the receive-side CPU of a dead host.
+                    self.post_failed(sh, sink, now, rm);
+                    return;
+                }
                 let service = meta.service;
                 let protocol = sh.services[service.0 as usize].spec.protocol;
                 let costs = protocol.costs(rm.bytes);
@@ -818,6 +970,12 @@ impl ShardState {
                 // settle its outstanding count even if the caller is gone.
                 let o = &mut self.outstanding[resp.from_inst.0 as usize];
                 *o = o.saturating_sub(1);
+                if resp.failed {
+                    // Error responses carry no payload worth parsing:
+                    // skip the receive CPU job and poison the caller.
+                    self.on_response(sh, sink, now, resp.to_inv, true);
+                    return;
+                }
                 let Some(inv) = self.invocations.get(resp.to_inv) else {
                     return;
                 };
@@ -841,15 +999,67 @@ impl ShardState {
                 };
                 self.submit_job(sink, now, job);
             }
-            Message::ClientReply { rtype, spawn, inst } => {
+            Message::ClientReply {
+                rtype,
+                spawn,
+                inst,
+                failed,
+            } => {
                 let o = &mut self.outstanding[inst.0 as usize];
                 *o = o.saturating_sub(1);
-                self.request_stats_mut(sh, rtype).complete(now, now - spawn);
+                if failed {
+                    self.request_stats_mut(sh, rtype).fail(now);
+                } else {
+                    self.request_stats_mut(sh, rtype).complete(now, now - spawn);
+                }
             }
         }
     }
 
     // -- Instance dispatch ---------------------------------------------------
+
+    /// Fails a request back to whoever is waiting on it: its caller (as
+    /// an error response) or the client (as a failed reply). Used when
+    /// the destination instance is down — no CPU or NIC state of the
+    /// dead host is touched; the notice travels after the conservative
+    /// lookahead delay, identically under both drivers.
+    fn post_failed(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, rm: RequestMsg) {
+        let at = now + SimDuration::from_nanos(sh.lookahead_ns);
+        match rm.caller {
+            Some(c) => {
+                let svc = sh.insts[rm.dst.0 as usize].service;
+                let resp = Message::Response(ResponseMsg {
+                    to_inv: c.inv,
+                    to_machine: c.machine,
+                    from_inst: rm.dst,
+                    bytes: 1,
+                    protocol: sh.services[svc.0 as usize].spec.protocol,
+                    failed: true,
+                });
+                let key = self.mint();
+                if c.machine.0 as u16 == self.shard {
+                    let idx = self.msg_pool.alloc(resp);
+                    sink.local(at, key, Ev::MsgArrive(idx));
+                } else {
+                    sink.cross(c.machine.0 as u16, at.as_nanos(), key, resp);
+                }
+            }
+            None => {
+                let key = self.mint();
+                sink.cross(
+                    sh.client_shard(),
+                    at.as_nanos(),
+                    key,
+                    Message::ClientReply {
+                        rtype: rm.rtype,
+                        spawn: rm.spawn,
+                        inst: rm.dst,
+                        failed: true,
+                    },
+                );
+            }
+        }
+    }
 
     fn enqueue_request(
         &mut self,
@@ -861,6 +1071,12 @@ impl ShardState {
     ) {
         let inst_id = msg.dst;
         let meta = sh.insts[inst_id.0 as usize];
+        if meta.state == InstanceState::Down {
+            // The instance crashed while this request sat in receive
+            // processing; fail it back rather than queueing at a corpse.
+            self.post_failed(sh, sink, now, msg);
+            return;
+        }
         let on_demand = meta.worker_limit.is_none();
         let needs_spawn = {
             let rt = &mut self.insts[inst_id.0 as usize];
@@ -959,6 +1175,7 @@ impl ShardState {
             started: now,
             app_ns: 0.0,
             net_ns: p.recv_net_ns,
+            failed: false,
         };
         let key = self.invocations.insert(inv);
         self.advance(sh, sink, now, key);
@@ -1067,6 +1284,43 @@ impl ShardState {
                 }
                 Step::Branch { p, then, els } => {
                     let block = if self.rng.chance(p) { then } else { els };
+                    if !block.is_empty() {
+                        let inv = self.invocations.get_mut(key).expect("live inv");
+                        inv.frames.push(Frame { block, pc: 0 });
+                    }
+                    continue;
+                }
+                Step::CacheLookup {
+                    cache,
+                    hit,
+                    then,
+                    els,
+                } => {
+                    // Draw unconditionally first: fault-free runs then
+                    // consume the identical RNG stream as an equivalent
+                    // `Branch`, keeping existing goldens byte-stable.
+                    let hit_drawn = self.rng.chance(hit);
+                    let forced = {
+                        let insts = &sh.services[cache.service.0 as usize].instances;
+                        if insts.is_empty() {
+                            true
+                        } else {
+                            let pk = self
+                                .invocations
+                                .get(key)
+                                .expect("advancing live inv")
+                                .partition_key;
+                            let home = insts[(hash64(pk) % insts.len() as u64) as usize];
+                            sh.insts[home.0 as usize].state == InstanceState::Down
+                                || now.as_nanos() < sh.chaos_cold[home.0 as usize]
+                        }
+                    };
+                    if hit_drawn && forced {
+                        // Would have hit, but the key's home shard is
+                        // down or refilling: a chaos-induced cold miss.
+                        self.stats[cache.service.0 as usize].refill_misses += 1;
+                    }
+                    let block = if hit_drawn && !forced { then } else { els };
                     if !block.is_empty() {
                         let inv = self.invocations.get_mut(key).expect("live inv");
                         inv.frames.push(Frame { block, pc: 0 });
@@ -1201,7 +1455,12 @@ impl ShardState {
                 inv.span,
             )
         };
-        let dst = self.pick_instance(sh, target.service, pk);
+        let Some(dst) = self.pick_instance(sh, target.service, pk) else {
+            // No live instance (chaos crash took the whole tier): the
+            // call fails fast, as if an error response arrived at once.
+            self.on_response(sh, sink, now, key, true);
+            return;
+        };
         let protocol = sh.services[target.service.0 as usize].spec.protocol;
         let msg = Message::Request(RequestMsg {
             req,
@@ -1221,7 +1480,9 @@ impl ShardState {
         self.begin_send(sh, sink, now, service, protocol, bytes, msg, Some(key));
     }
 
-    /// Picks a destination instance for a call from this shard. Every
+    /// Picks a destination instance for a call from this shard, or
+    /// `None` when the service has no live instance (every replica
+    /// crashed) — callers fail the request fast in that case. Every
     /// policy bumps the shard-local outstanding count of its pick (so
     /// switching policies mid-run never sees stale counters); the count
     /// settles when the response (or client reply) arrives back here.
@@ -1230,7 +1491,7 @@ impl ShardState {
         sh: &SharedState,
         service: ServiceId,
         partition_key: u64,
-    ) -> InstanceId {
+    ) -> Option<InstanceId> {
         let rt = &sh.services[service.0 as usize];
         let pick = if let Some(pin) = rt.pinned {
             pin
@@ -1242,11 +1503,9 @@ impl ShardState {
                 .iter()
                 .filter(|i| sh.insts[i.0 as usize].state == InstanceState::Up)
                 .count();
-            assert!(
-                up_count > 0,
-                "service {} has no live instances",
-                rt.spec.name
-            );
+            if up_count == 0 {
+                return None;
+            }
             match rt.spec.lb {
                 LbPolicy::RoundRobin => {
                     let r = &mut self.rr[service.0 as usize];
@@ -1282,13 +1541,28 @@ impl ShardState {
             }
         };
         self.outstanding[pick.0 as usize] += 1;
-        pick
+        Some(pick)
     }
 
-    fn on_response(&mut self, sh: &SharedState, sink: &mut Sink, now: SimTime, key: SlabKey) {
+    /// Settles one downstream call of `key`. With `failed`, the call's
+    /// error poisons the invocation: the rest of its script is dropped
+    /// and, once every outstanding call settles, the failure propagates
+    /// to this invocation's own caller via [`ShardState::finish_invocation`].
+    fn on_response(
+        &mut self,
+        sh: &SharedState,
+        sink: &mut Sink,
+        now: SimTime,
+        key: SlabKey,
+        failed: bool,
+    ) {
         let Some(inv) = self.invocations.get_mut(key) else {
             return;
         };
+        if failed {
+            inv.failed = true;
+            inv.frames.clear();
+        }
         let inst_id = inv.instance;
         let conn_release = inv.conn_to.take();
         inv.outstanding = inv.outstanding.saturating_sub(1);
@@ -1393,11 +1667,13 @@ impl ShardState {
                 from_inst: inv.instance,
                 bytes: resp_bytes,
                 protocol,
+                failed: inv.failed,
             }),
             None => Message::ClientReply {
                 rtype: inv.rtype,
                 spawn: inv.spawn,
                 inst: inv.instance,
+                failed: inv.failed,
             },
         };
         self.begin_send(sh, sink, now, inv.service, protocol, resp_bytes, msg, None);
@@ -1423,7 +1699,11 @@ impl ShardState {
         }
         self.next_req += 1;
         let req = self.next_req;
-        let dst = self.pick_instance(sh, r.entry.service, r.partition_key);
+        let Some(dst) = self.pick_instance(sh, r.entry.service, r.partition_key) else {
+            // Whole entry tier down: the client sees an immediate error.
+            self.request_stats_mut(sh, r.rtype).fail(now);
+            return;
+        };
         let dst_mach = sh.insts[dst.0 as usize].machine;
         let dst_zone = sh.machines[dst_mach.0 as usize].zone;
         let delay = sh.fabric.delay(r.origin, dst_zone, &mut self.rng);
@@ -1550,6 +1830,12 @@ pub struct Simulation {
     /// drivers).
     control: BTreeMap<u64, Vec<InstanceId>>,
     last_control: u64,
+    /// Pending chaos actions from an installed [`ChaosPlan`], applied at
+    /// run boundaries exactly like `control` — the placement that makes
+    /// fault injection byte-identical across drivers and worker counts.
+    chaos: BTreeMap<u64, Vec<ChaosAction>>,
+    /// The installed plan, kept as ground truth for detection scorers.
+    chaos_plan: Option<ChaosPlan>,
     placer: crate::placement::Placer,
     instance_startup: SimDuration,
     /// Cluster-wide stats/trace views, rebuilt (shard 0, 1, 2, … merge
@@ -1574,6 +1860,7 @@ impl Simulation {
                 zone: m.zone,
                 core: m.core,
                 offload: FpgaOffload::disabled(),
+                down: false,
             })
             .collect();
         let fabric = Fabric::new(cluster.fabric);
@@ -1602,6 +1889,8 @@ impl Simulation {
             sf_cache: Vec::new(),
             ref_ipc_cache: Vec::new(),
             lookahead_ns,
+            chaos_net: None,
+            chaos_cold: Vec::new(),
         };
         shared.rebuild_core_caches();
         let shard_count = cluster.machines.len() + 1;
@@ -1653,6 +1942,8 @@ impl Simulation {
             workers: 1,
             control: BTreeMap::new(),
             last_control: 0,
+            chaos: BTreeMap::new(),
+            chaos_plan: None,
             placer,
             instance_startup: cluster.instance_startup,
             merged_stats: (0..nsvc)
@@ -1685,6 +1976,7 @@ impl Simulation {
             worker_limit,
         });
         self.shared.services[service.0 as usize].instances.push(id);
+        self.shared.chaos_cold.push(0);
         for shard in &mut self.shards {
             shard.st.insts.push(InstRt::default());
             shard.st.outstanding.push(0);
@@ -1754,6 +2046,284 @@ impl Simulation {
         }
     }
 
+    /// The earliest pending run boundary: instance activations and chaos
+    /// actions both pause the event run and apply at a quiesced instant.
+    fn next_boundary(&self) -> Option<u64> {
+        match (
+            self.control.keys().next().copied(),
+            self.chaos.keys().next().copied(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    // -- Chaos surface -------------------------------------------------------
+
+    /// Installs a fault-injection plan: its expanded schedule is applied
+    /// at run boundaries (between event runs), so faults take effect at
+    /// quiesced instants — byte-identically under the serial and the
+    /// sharded driver at any worker count. Partition timeouts are
+    /// clamped up to the cluster lookahead so the epoch engine stays
+    /// conservative (the DSB015 floor). The plan is retained as ground
+    /// truth, exposed via [`Simulation::chaos_plan`].
+    pub fn install_chaos(&mut self, plan: &ChaosPlan) {
+        for (t, mut a) in plan.schedule() {
+            if let ChaosAction::StartPartition { timeout, .. } = &mut a {
+                *timeout =
+                    SimDuration::from_nanos(timeout.as_nanos().max(self.shared.lookahead_ns));
+            }
+            // Boundary 0 would precede the first event run; shift to 1.
+            self.chaos.entry(t.as_nanos().max(1)).or_default().push(a);
+        }
+        self.chaos_plan = Some(plan.clone());
+    }
+
+    /// The installed chaos plan (ground truth for detection scoring).
+    pub fn chaos_plan(&self) -> Option<&ChaosPlan> {
+        self.chaos_plan.as_ref()
+    }
+
+    fn apply_chaos(&mut self, tc: u64) {
+        let Some(actions) = self.chaos.remove(&tc) else {
+            return;
+        };
+        for a in actions {
+            match a {
+                ChaosAction::CrashMachine { machine } => self.crash_machine(machine, tc),
+                ChaosAction::RestartMachine { machine, cold_for } => {
+                    self.restart_machine(machine, tc, cold_for)
+                }
+                ChaosAction::CrashShard { service, shard } => {
+                    if let Some(id) = self.nth_instance(service, shard) {
+                        self.crash_instance(id, tc);
+                    }
+                }
+                ChaosAction::RestoreShard {
+                    service,
+                    shard,
+                    cold_for,
+                } => {
+                    if let Some(id) = self.nth_instance(service, shard) {
+                        self.restore_instance(id, tc, cold_for);
+                    }
+                }
+                ChaosAction::StartPartition { a, b, timeout } => {
+                    let timeout_ns = timeout.as_nanos().max(self.shared.lookahead_ns);
+                    let net = self.net_chaos();
+                    net.timeout_ns = timeout_ns;
+                    let n = net.n;
+                    for &x in &a {
+                        for &y in &b {
+                            net.cut[x.0 as usize * n + y.0 as usize] = true;
+                            net.cut[y.0 as usize * n + x.0 as usize] = true;
+                        }
+                    }
+                }
+                ChaosAction::EndPartition { a, b } => {
+                    let net = self.net_chaos();
+                    let n = net.n;
+                    for &x in &a {
+                        for &y in &b {
+                            net.cut[x.0 as usize * n + y.0 as usize] = false;
+                            net.cut[y.0 as usize * n + x.0 as usize] = false;
+                        }
+                    }
+                }
+                ChaosAction::StartDegrade { machines, factor } => {
+                    let net = self.net_chaos();
+                    for m in machines {
+                        net.degrade[m.0 as usize] = factor.max(1.0);
+                    }
+                }
+                ChaosAction::EndDegrade { machines } => {
+                    let net = self.net_chaos();
+                    for m in machines {
+                        net.degrade[m.0 as usize] = 1.0;
+                    }
+                }
+            }
+        }
+        self.last_control = self.last_control.max(tc);
+    }
+
+    fn net_chaos(&mut self) -> &mut NetChaos {
+        let n = self.shared.machines.len();
+        self.shared
+            .chaos_net
+            .get_or_insert_with(|| Box::new(NetChaos::new(n)))
+    }
+
+    /// The `shard`-th instance of a service (chaos plans address cache
+    /// shards by index so they stay valid across placement changes).
+    fn nth_instance(&self, service: ServiceId, shard: u32) -> Option<InstanceId> {
+        self.shared.services[service.0 as usize]
+            .instances
+            .get(shard as usize)
+            .copied()
+    }
+
+    fn crash_machine(&mut self, m: MachineId, tc: u64) {
+        if self.shared.machines[m.0 as usize].down {
+            return;
+        }
+        self.shared.machines[m.0 as usize].down = true;
+        let victims: Vec<InstanceId> = self
+            .shared
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(_, meta)| meta.machine == m && meta.state != InstanceState::Down)
+            .map(|(i, _)| InstanceId(i as u32))
+            .collect();
+        for id in &victims {
+            self.shared.insts[id.0 as usize].state = InstanceState::Down;
+        }
+        self.kill_shard_work(m.0 as usize, &victims, tc);
+    }
+
+    fn restart_machine(&mut self, m: MachineId, tc: u64, cold_for: SimDuration) {
+        if !self.shared.machines[m.0 as usize].down {
+            return;
+        }
+        self.shared.machines[m.0 as usize].down = false;
+        let cold_until = tc.saturating_add(cold_for.as_nanos());
+        for i in 0..self.shared.insts.len() {
+            let meta = &mut self.shared.insts[i];
+            if meta.machine == m && meta.state == InstanceState::Down {
+                meta.state = InstanceState::Up;
+                self.shared.chaos_cold[i] = cold_until;
+                self.reset_inst_rt(m.0 as usize, InstanceId(i as u32));
+            }
+        }
+    }
+
+    fn crash_instance(&mut self, id: InstanceId, tc: u64) {
+        let meta = self.shared.insts[id.0 as usize];
+        if meta.state == InstanceState::Down {
+            return;
+        }
+        self.shared.insts[id.0 as usize].state = InstanceState::Down;
+        self.kill_shard_work(meta.machine.0 as usize, &[id], tc);
+    }
+
+    fn restore_instance(&mut self, id: InstanceId, tc: u64, cold_for: SimDuration) {
+        let meta = self.shared.insts[id.0 as usize];
+        if meta.state != InstanceState::Down {
+            return;
+        }
+        self.shared.insts[id.0 as usize].state = InstanceState::Up;
+        self.shared.chaos_cold[id.0 as usize] = tc.saturating_add(cold_for.as_nanos());
+        self.reset_inst_rt(meta.machine.0 as usize, id);
+    }
+
+    fn reset_inst_rt(&mut self, shard: usize, id: InstanceId) {
+        let rt = &mut self.shards[shard].st.insts[id.0 as usize];
+        debug_assert!(rt.queue.is_empty(), "queue drained at crash time");
+        rt.busy_workers = 0;
+        rt.warm_free = 0;
+        rt.inflight = 0;
+        rt.conns.clear();
+    }
+
+    /// Fails every in-flight invocation and queued request of the victim
+    /// instances on `shard`, notifying each caller (or the client) with
+    /// an error after the conservative lookahead delay. Events already
+    /// in the wheels referencing the dead work resolve safely against
+    /// the generational slab; core jobs mid-execution run out on their
+    /// own (work the dying host had already started).
+    fn kill_shard_work(&mut self, shard: usize, victims: &[InstanceId], tc: u64) {
+        let at_ns = tc.saturating_add(self.shared.lookahead_ns);
+        let is_victim = |inst: InstanceId| victims.iter().any(|v| *v == inst);
+        // In-flight invocations (slab order is deterministic per shard).
+        let keys: Vec<SlabKey> = self.shards[shard]
+            .st
+            .invocations
+            .iter()
+            .filter(|(_, inv)| is_victim(inv.instance))
+            .map(|(k, _)| k)
+            .collect();
+        for k in keys {
+            let inv = self.shards[shard]
+                .st
+                .invocations
+                .remove(k)
+                .expect("collected live key");
+            let msg = match inv.caller {
+                Some(c) => Message::Response(ResponseMsg {
+                    to_inv: c.inv,
+                    to_machine: c.machine,
+                    from_inst: inv.instance,
+                    bytes: 1,
+                    protocol: self.shared.services[inv.service.0 as usize].spec.protocol,
+                    failed: true,
+                }),
+                None => Message::ClientReply {
+                    rtype: inv.rtype,
+                    spawn: inv.spawn,
+                    inst: inv.instance,
+                    failed: true,
+                },
+            };
+            self.post_boundary_msg(shard, at_ns, msg);
+        }
+        // Queued (not yet started) requests, then reset the runtimes.
+        for &id in victims {
+            let queued: Vec<PendingReq> = self.shards[shard].st.insts[id.0 as usize]
+                .queue
+                .drain(..)
+                .collect();
+            for p in queued {
+                let msg = match p.msg.caller {
+                    Some(c) => Message::Response(ResponseMsg {
+                        to_inv: c.inv,
+                        to_machine: c.machine,
+                        from_inst: id,
+                        bytes: 1,
+                        protocol: self.shared.services
+                            [self.shared.insts[id.0 as usize].service.0 as usize]
+                            .spec
+                            .protocol,
+                        failed: true,
+                    }),
+                    None => Message::ClientReply {
+                        rtype: p.msg.rtype,
+                        spawn: p.msg.spawn,
+                        inst: id,
+                        failed: true,
+                    },
+                };
+                self.post_boundary_msg(shard, at_ns, msg);
+            }
+            self.reset_inst_rt(shard, id);
+        }
+    }
+
+    /// Delivers a boundary-time failure notice into the destination
+    /// shard's queue, keyed from the *sending* shard's counter — the
+    /// same identity rule event handlers follow, so both drivers order
+    /// the notices identically.
+    fn post_boundary_msg(&mut self, from: usize, at_ns: u64, msg: Message) {
+        let dst = match &msg {
+            Message::Request(rm) => self.shared.insts[rm.dst.0 as usize].machine.0 as usize,
+            Message::Response(r) => r.to_machine.0 as usize,
+            Message::ClientReply { .. } => self.shards.len() - 1,
+        };
+        let key = self.shards[from].st.mint();
+        let idx = self.shards[dst].st.msg_pool.alloc(msg);
+        let at = SimTime::from_nanos(at_ns);
+        if self.workers <= 1 {
+            self.mono
+                .schedule_keyed(at, key, (dst as u16, Ev::MsgArrive(idx)));
+        } else {
+            self.shards[dst]
+                .sched
+                .schedule_keyed(at, key, Ev::MsgArrive(idx));
+        }
+    }
+
     // -- Run control ---------------------------------------------------------
 
     /// Current virtual time.
@@ -1782,12 +2352,10 @@ impl Simulation {
 
     /// Runs until all pending events (including in-flight requests) drain.
     pub fn run_until_idle(&mut self) {
-        loop {
-            let Some((&tc, _)) = self.control.iter().next() else {
-                break;
-            };
+        while let Some(tc) = self.next_boundary() {
             self.run_events(tc.saturating_sub(1));
             self.apply_control(tc);
+            self.apply_chaos(tc);
         }
         self.run_events(u64::MAX);
         self.refresh_merged();
@@ -1797,15 +2365,13 @@ impl Simulation {
     /// controller (autoscaler, workload generator) can act.
     pub fn advance_to(&mut self, t: SimTime) {
         let t_ns = t.as_nanos();
-        loop {
-            let Some((&tc, _)) = self.control.iter().next() else {
-                break;
-            };
+        while let Some(tc) = self.next_boundary() {
             if tc > t_ns {
                 break;
             }
             self.run_events(tc.saturating_sub(1));
             self.apply_control(tc);
+            self.apply_chaos(tc);
         }
         self.run_events(t_ns);
         self.refresh_merged();
@@ -2079,6 +2645,43 @@ impl Simulation {
             .expect("machine shard")
             .run_queue
             .len()
+    }
+
+    /// Instances currently `Down` due to chaos faults (0 without a plan).
+    pub fn instances_down(&self) -> u64 {
+        self.shared
+            .insts
+            .iter()
+            .filter(|m| m.state == InstanceState::Down)
+            .count() as u64
+    }
+
+    /// Machines currently crashed by chaos faults.
+    pub fn machines_down(&self) -> u64 {
+        self.shared.machines.iter().filter(|m| m.down).count() as u64
+    }
+
+    /// Unordered machine pairs currently cut by an active partition.
+    pub fn partition_edges(&self) -> u64 {
+        let Some(net) = self.shared.chaos_net.as_deref() else {
+            return 0;
+        };
+        let mut edges = 0;
+        for a in 0..net.n {
+            for b in (a + 1)..net.n {
+                if net.is_cut(a, b) {
+                    edges += 1;
+                }
+            }
+        }
+        edges
+    }
+
+    /// Machines whose NIC is currently degraded (delay multiplier > 1).
+    pub fn degraded_machines(&self) -> u64 {
+        self.shared.chaos_net.as_deref().map_or(0, |net| {
+            net.degrade.iter().filter(|f| **f > 1.0).count() as u64
+        })
     }
 
     /// Number of request-type slots with statistics so far (indexable via

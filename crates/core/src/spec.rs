@@ -125,6 +125,25 @@ pub enum Step {
         /// Steps executed otherwise.
         els: Arc<Vec<Step>>,
     },
+    /// A cache-aside lookup against a designated cache tier. Behaves
+    /// exactly like [`Step::Branch`] with `p = hit`, except the
+    /// simulator knows which service is the cache: when the request's
+    /// home cache shard is down or refilling cold (a `ChaosPlan`
+    /// cache-instance loss or machine restart), the hit draw is
+    /// overridden to a miss and the `els` arm — the refill path — runs
+    /// instead. The static analyzer uses the same marker to identify
+    /// cache tiers structurally (DSB017).
+    CacheLookup {
+        /// The cache tier's get endpoint (also the first call in both
+        /// arms, as built by [`Step::cache_lookup`]).
+        cache: EndpointRef,
+        /// Warm hit probability.
+        hit: f64,
+        /// Steps on a hit (the cache get).
+        then: Arc<Vec<Step>>,
+        /// Steps on a miss (the cache get plus the refill path).
+        els: Arc<Vec<Step>>,
+    },
 }
 
 impl Step {
@@ -163,8 +182,9 @@ impl Step {
     /// `1 - hit_ratio`) run `on_miss` (typically a DB call plus a cache
     /// fill).
     pub fn cache_lookup(cache_get: EndpointRef, hit_ratio: f64, on_miss: Vec<Step>) -> Step {
-        Step::Branch {
-            p: hit_ratio,
+        Step::CacheLookup {
+            cache: cache_get,
+            hit: hit_ratio,
             then: Arc::new(vec![Step::call(cache_get, 128.0)]),
             els: Arc::new({
                 let mut steps = vec![Step::call(cache_get, 128.0)];
@@ -290,6 +310,13 @@ fn collect_targets(steps: &[Step], f: &mut impl FnMut(EndpointRef)) {
                 }
             }
             Step::Branch { then, els, .. } => {
+                collect_targets(then, f);
+                collect_targets(els, f);
+            }
+            Step::CacheLookup {
+                cache, then, els, ..
+            } => {
+                f(*cache);
                 collect_targets(then, f);
                 collect_targets(els, f);
             }
@@ -442,6 +469,13 @@ fn validate_steps(spec: &AppSpec, steps: &[Step], in_service: &str) {
                 }
             }
             Step::Branch { then, els, .. } => {
+                validate_steps(spec, then, in_service);
+                validate_steps(spec, els, in_service);
+            }
+            Step::CacheLookup {
+                cache, then, els, ..
+            } => {
+                check(cache, false);
                 validate_steps(spec, then, in_service);
                 validate_steps(spec, els, in_service);
             }
@@ -708,7 +742,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_lookup_expands_to_branch() {
+    fn cache_lookup_marks_the_cache_tier() {
         let mut app = AppBuilder::new("c");
         let mc = app.service("mc").build();
         let get = app.endpoint(mc, "get", Dist::constant(1.0), vec![]);
@@ -716,12 +750,20 @@ mod tests {
         let find = app.endpoint(db, "find", Dist::constant(1.0), vec![]);
         let s = Step::cache_lookup(get, 0.9, vec![Step::call(find, 64.0)]);
         match s {
-            Step::Branch { p, then, els } => {
-                assert_eq!(p, 0.9);
+            Step::CacheLookup {
+                cache,
+                hit,
+                then,
+                els,
+            } => {
+                assert_eq!(cache, get);
+                assert_eq!(hit, 0.9);
+                // Both arms start with the cache get, so call-graph
+                // edges still come from the arms alone.
                 assert_eq!(then.len(), 1);
                 assert_eq!(els.len(), 2);
             }
-            other => panic!("expected branch, got {other:?}"),
+            other => panic!("expected cache lookup, got {other:?}"),
         }
     }
 

@@ -27,6 +27,11 @@ pub struct ServiceStats {
     pub endpoint_invocations: Vec<u64>,
     /// Requests dropped at this service (admission control).
     pub dropped: u64,
+    /// Cache lookups forced to the miss path because the request's home
+    /// shard of this (cache) service was down or refilling cold after a
+    /// `ChaosPlan` fault. Always 0 for non-cache tiers and fault-free
+    /// runs.
+    pub refill_misses: u64,
     /// Per-window worker occupancy (busy worker-time), for utilization
     /// heatmaps and the autoscaler's (misleading) signal.
     pub worker_busy: WindowedSeries,
@@ -41,6 +46,7 @@ impl ServiceStats {
             invocations: 0,
             endpoint_invocations: Vec::new(),
             dropped: 0,
+            refill_misses: 0,
             worker_busy: WindowedSeries::new(window),
         }
     }
@@ -83,6 +89,7 @@ impl ServiceStats {
             *a += b;
         }
         self.dropped += other.dropped;
+        self.refill_misses += other.refill_misses;
         self.worker_busy.merge(&other.worker_busy);
     }
 
@@ -146,6 +153,11 @@ pub struct RequestStats {
     pub completed: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Requests that failed fast: some tier on the request's path was
+    /// crashed, partitioned away, or had no live instance, and the error
+    /// propagated back to the client instead of a response. Always 0
+    /// without an installed `ChaosPlan`.
+    pub failed: u64,
     /// End-to-end latency distribution, ns.
     pub latency: Histogram,
     /// Per-window latency (ns), for timelines.
@@ -158,6 +170,7 @@ impl RequestStats {
             issued: 0,
             completed: 0,
             rejected: 0,
+            failed: 0,
             latency: Histogram::default(),
             windows: WindowedSeries::new(window),
         }
@@ -167,6 +180,10 @@ impl RequestStats {
         self.completed += 1;
         self.latency.record(latency.as_nanos());
         self.windows.record(at, latency.as_nanos());
+    }
+
+    pub(crate) fn fail(&mut self, _at: SimTime) {
+        self.failed += 1;
     }
 
     /// The p99 end-to-end latency over the whole run.

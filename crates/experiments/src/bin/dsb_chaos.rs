@@ -1,0 +1,64 @@
+//! `dsb-chaos`: runs a built-in chaos scenario and prints its recovery
+//! timeline, detection scorecard, and (optionally) the telemetry JSONL.
+//!
+//! ```text
+//! dsb-chaos [SCENARIO|all] [--jsonl] [--tail] [--workers N]
+//! ```
+//!
+//! `SCENARIO` is one of [`dsb_experiments::chaos::SCENARIOS`] (default
+//! `all`). `--tail` runs the Fig. 22-style tail-under-failure comparison
+//! instead of the scored timeline. Output is deterministic and
+//! byte-identical for every `--workers` count.
+
+use std::process::ExitCode;
+
+use dsb_experiments::chaos;
+
+fn main() -> ExitCode {
+    let mut which = String::from("all");
+    let (mut jsonl, mut tail) = (false, false);
+    let mut workers = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jsonl" => jsonl = true,
+            "--tail" => tail = true,
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dsb-chaos [SCENARIO|all] [--jsonl] [--tail] [--workers N]\n\
+                     scenarios: {}",
+                    chaos::SCENARIOS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            name => which = name.to_string(),
+        }
+    }
+
+    let names: Vec<&str> = if which == "all" {
+        chaos::SCENARIOS.to_vec()
+    } else if let Some(n) = chaos::SCENARIOS.iter().find(|n| **n == which) {
+        vec![n]
+    } else {
+        eprintln!(
+            "unknown scenario `{which}`; pick one of: all, {}",
+            chaos::SCENARIOS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    for name in names {
+        if tail {
+            print!("{}", chaos::tail_under_failure(name));
+            continue;
+        }
+        let run = chaos::run_scenario(name, workers);
+        print!("{}", run.timeline);
+        if jsonl {
+            print!("{}", run.jsonl);
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! dsb-report [APP] [--jsonl|--top] [--qps N] [--secs N] [--seed N]
+//!            [--fail-on-alert]
 //! ```
 //!
 //! `APP` is a fixture name from `dsb_apps::all_builtin()` (default
 //! `social_network`), or `backpressure` for the Fig. 17 case-B demo.
 //! With no format flag both renderings print, `dsb-top` table first.
-//! Output is deterministic in `(app, qps, secs, seed)`.
+//! Output is deterministic in `(app, qps, secs, seed)`. With
+//! `--fail-on-alert` the process exits non-zero when any SLO burn-rate
+//! alert fired — the CI-friendly "did this run stay healthy" check.
 
 use std::process::ExitCode;
 
@@ -17,18 +20,20 @@ fn main() -> ExitCode {
     let mut app_name = String::from("social_network");
     let (mut jsonl, mut top) = (true, true);
     let (mut qps, mut secs, mut seed) = (None::<f64>, 10u64, 7u64);
+    let mut fail_on_alert = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jsonl" => top = false,
             "--top" => jsonl = false,
+            "--fail-on-alert" => fail_on_alert = true,
             "--qps" => qps = args.next().and_then(|v| v.parse().ok()),
             "--secs" => secs = args.next().and_then(|v| v.parse().ok()).unwrap_or(secs),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--help" | "-h" => {
                 println!(
                     "usage: dsb-report [APP|backpressure] [--jsonl|--top] \
-                     [--qps N] [--secs N] [--seed N]"
+                     [--qps N] [--secs N] [--seed N] [--fail-on-alert]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -63,5 +68,5 @@ fn main() -> ExitCode {
     if jsonl {
         print!("{}", obs.jsonl);
     }
-    ExitCode::SUCCESS
+    ExitCode::from(observe::exit_code(&obs, fail_on_alert))
 }

@@ -1,0 +1,362 @@
+//! Chaos scenarios: drive a built-in app under an injected [`ChaosPlan`]
+//! with the full telemetry plane attached, and grade the plane as a
+//! detector against the plan's ground truth.
+//!
+//! Each scenario exercises one [`ChaosEvent`] kind end to end: the fault
+//! fires at a quiesced boundary (identically under the serial and the
+//! sharded engine — the chaos conformance suite byte-compares the full
+//! rendering across worker counts), the request stream degrades, the
+//! burn-rate alert fires, the root-cause engine attaches fault evidence,
+//! and the detection scorer joins it all back against the plan. The
+//! rendered recovery timeline is golden-tested per scenario.
+
+use std::fmt::Write as _;
+
+use dsb_apps::BuiltApp;
+use dsb_core::{ChaosEvent, ChaosPlan, MachineId, RequestType, ServiceId, Simulation};
+use dsb_simcore::{SimDuration, SimTime};
+use dsb_telemetry::{names, report, BurnRule, DetectionScore, Labels, Scraper};
+
+use crate::harness::{build_sim, make_cluster};
+
+/// Scrape interval all scenarios run at: fine enough that a one-second
+/// fault spans several windows of the recovery timeline.
+pub const INTERVAL: SimDuration = SimDuration::from_millis(250);
+
+/// Grace past a fault's end during which alerts still count as caused
+/// by it: queues drain and caches refill after the injection clears.
+pub const GRACE: SimDuration = SimDuration::from_millis(1500);
+
+/// The built-in chaos scenarios, one per [`ChaosEvent`] kind.
+pub const SCENARIOS: &[&str] = &[
+    "machine-crash",
+    "cache-loss",
+    "partition",
+    "nic-degrade",
+    "edge-churn",
+];
+
+/// One scored chaos run.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The golden-tested recovery timeline: per-window fault state and
+    /// request health, then ALERT / ROOT CAUSE / DETECTION lines.
+    pub timeline: String,
+    /// The full JSONL telemetry export of the run.
+    pub jsonl: String,
+    /// The detection scorecard.
+    pub score: DetectionScore,
+}
+
+/// The machine hosting instance `shard` of `service` — chaos plans
+/// target machines, and placement decides where shards land.
+fn shard_machine(sim: &Simulation, service: ServiceId, shard: usize) -> MachineId {
+    let insts = sim.instances_of(service);
+    sim.instance_machine(insts[shard])
+}
+
+struct Scenario {
+    app: BuiltApp,
+    qps: f64,
+    secs: u64,
+    plan: ChaosPlan,
+}
+
+/// Builds the named scenario against its placed simulation. Plans are a
+/// pure function of `(name, placement)`, so every worker count sees the
+/// same faults.
+fn scenario(name: &str) -> Scenario {
+    let ms = SimTime::from_millis;
+    let dms = SimDuration::from_millis;
+    match name {
+        // The two-tier app's single memcached machine crashes outright:
+        // every read fails fast until the restart, then the tier serves
+        // again. The starkest recovery timeline of the suite.
+        "machine-crash" => {
+            let app = dsb_apps::twotier::twotier(64, 8);
+            let mc = app.service("memcached");
+            let sim = Simulation::new(app.spec.clone(), make_cluster(8), 7);
+            let machine = shard_machine(&sim, mc, 0);
+            let plan = ChaosPlan {
+                seed: 7,
+                events: vec![ChaosEvent::MachineCrash {
+                    machine,
+                    at: ms(2000),
+                    restart_after: dms(1000),
+                    cold_for: dms(500),
+                }],
+            };
+            Scenario {
+                app,
+                qps: 2000.0,
+                secs: 8,
+                plan,
+            }
+        }
+        // The DSB017 defect demo, proven dynamically: the analyzer warns
+        // that `bare_cache`'s sole cache shard has no replica, and this
+        // scenario is the incident it predicts — the shard dies, every
+        // lookup fails fast (a replicated tier would fail over), and the
+        // cold restart refills the whole key space against MongoDB. The
+        // culprit verdict must name the cache tier.
+        "cache-loss" => {
+            let app = dsb_apps::defects::bare_cache();
+            let mc = app.service("memcached-catalog");
+            let plan = ChaosPlan {
+                seed: 11,
+                events: vec![ChaosEvent::CacheLoss {
+                    service: mc,
+                    shard: 0,
+                    at: ms(2000),
+                    restart_after: dms(1000),
+                    cold_for: dms(1000),
+                }],
+            };
+            Scenario {
+                app,
+                qps: 1500.0,
+                secs: 8,
+                plan,
+            }
+        }
+        // The network between nginx's machine and memcached's machine is
+        // cut: calls cross the cut, time out sender-side, and fail back.
+        "partition" => {
+            let app = dsb_apps::twotier::twotier(64, 8);
+            let (nginx, mc) = (app.service("nginx"), app.service("memcached"));
+            let sim = Simulation::new(app.spec.clone(), make_cluster(8), 7);
+            let (a, b) = (shard_machine(&sim, nginx, 0), shard_machine(&sim, mc, 0));
+            assert_ne!(a, b, "partition scenario needs the tiers apart");
+            let plan = ChaosPlan {
+                seed: 13,
+                events: vec![ChaosEvent::Partition {
+                    a: vec![a],
+                    b: vec![b],
+                    from: ms(2000),
+                    until: ms(3500),
+                    timeout: dms(10),
+                }],
+            };
+            Scenario {
+                app,
+                qps: 2000.0,
+                secs: 8,
+                plan,
+            }
+        }
+        // Memcached's NIC degrades 400x: nothing fails, but every
+        // nginx -> memcached hop inflates past the 2 ms objective.
+        "nic-degrade" => {
+            let app = dsb_apps::twotier::twotier(64, 8);
+            let mc = app.service("memcached");
+            let sim = Simulation::new(app.spec.clone(), make_cluster(8), 7);
+            let machine = shard_machine(&sim, mc, 0);
+            let plan = ChaosPlan {
+                seed: 17,
+                events: vec![ChaosEvent::NicDegrade {
+                    machines: vec![machine],
+                    factor: 400.0,
+                    from: ms(2000),
+                    until: ms(4000),
+                }],
+            };
+            Scenario {
+                app,
+                qps: 2000.0,
+                secs: 8,
+                plan,
+            }
+        }
+        // Seeded churn over the swarm's drones: every 500 ms within the
+        // window one drone crashes and rejoins 400 ms later — WAN edge
+        // nodes flapping while the cloud tier stays up.
+        "edge-churn" => {
+            let app = dsb_apps::swarm::swarm(dsb_apps::swarm::SwarmVariant::Edge);
+            // The location sensor anchors placement: instance k of every
+            // drone-local service lives on drone k's machine, so its
+            // machines ARE the drones.
+            let drone = app.service("sensor-location");
+            let sim = Simulation::new(app.spec.clone(), make_cluster(8), 7);
+            let machines: Vec<MachineId> = sim
+                .instances_of(drone)
+                .iter()
+                .map(|&i| sim.instance_machine(i))
+                .collect();
+            let plan = ChaosPlan {
+                seed: 23,
+                events: vec![ChaosEvent::EdgeChurn {
+                    machines,
+                    from: ms(2000),
+                    until: ms(4500),
+                    period: dms(500),
+                    down_for: dms(400),
+                    cold_for: dms(100),
+                }],
+            };
+            Scenario {
+                app,
+                qps: 60.0,
+                secs: 8,
+                plan,
+            }
+        }
+        other => panic!("unknown chaos scenario `{other}`; see chaos::SCENARIOS"),
+    }
+}
+
+/// Runs the named scenario on `workers` shards and renders it. The
+/// output is byte-identical for every worker count — pinned by the
+/// chaos conformance suite.
+pub fn run_scenario(name: &str, workers: usize) -> ChaosRun {
+    run_scenario_for(name, workers, None)
+}
+
+/// [`run_scenario`] with the drive window overridden. The conformance
+/// suite trims to the shortest window covering inject → restart → warm
+/// (4 s): sharded wall time scales with simulated seconds (epoch
+/// barriers), and byte-identity needs the fault path exercised, not the
+/// quiet tail.
+pub fn run_scenario_for(name: &str, workers: usize, secs: Option<u64>) -> ChaosRun {
+    let mut sc = scenario(name);
+    if let Some(s) = secs {
+        sc.secs = s;
+    }
+    let mut cluster = make_cluster(8);
+    cluster.trace_sample_prob = 0.05;
+    let (mut sim, mut load) = build_sim(&sc.app, cluster, 7);
+    sim.set_workers(workers);
+    sim.install_chaos(&sc.plan);
+    let mut scraper = Scraper::new(INTERVAL);
+    for slo in sc.app.slos() {
+        scraper = scraper.with_slo(slo);
+    }
+    // Drive in scrape-interval slices so fault state is sampled at the
+    // cadence the timeline is rendered at.
+    let slices = (sc.secs as f64 * 1000.0 / INTERVAL.as_millis_f64()) as u64;
+    for k in 0..slices {
+        let a = SimTime::ZERO + INTERVAL * k;
+        let b = SimTime::ZERO + INTERVAL * (k + 1);
+        load.drive_fn(&mut sim, a, b, |_| sc.qps);
+        sim.advance_to(b);
+        scraper.tick(&sim, b);
+    }
+    sim.run_until_idle();
+    scraper.flush(&sim);
+
+    let (alerts, causes) = report::analyze(&sim, &scraper, &BurnRule::default());
+    let plan = sim.chaos_plan().expect("plan installed").clone();
+    let score = dsb_telemetry::score(&plan, INTERVAL, &alerts, &causes, GRACE);
+    let mut timeline = render_timeline(&sim, &scraper, name);
+    timeline.push_str(&report::alert_lines(&sim, &alerts, &causes));
+    timeline.push_str(&report::detection_lines(&sim, &score));
+    ChaosRun {
+        timeline,
+        jsonl: report::jsonl(&sim, &scraper, &alerts, &causes),
+        score,
+    }
+}
+
+/// Renders the per-window recovery timeline: request health on the left,
+/// fault-plane series on the right.
+fn render_timeline(sim: &Simulation, scraper: &Scraper, title: &str) -> String {
+    let reg = scraper.registry();
+    let n = scraper.scrapes();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos timeline — {title} ({n} windows x {:.0} ms)",
+        INTERVAL.as_millis_f64()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}{:>9}{:>9}{:>7}{:>7}{:>7}{:>8}",
+        "W", "ISSUED", "COMPL", "FAIL", "DOWN", "CUT", "REFILL"
+    );
+    for w in 0..n {
+        let (mut issued, mut compl, mut fail) = (0u64, 0u64, 0u64);
+        for r in 0..sim.request_type_count() {
+            let lr = Labels::rtype(r as u32);
+            issued += reg.window_sum(names::ISSUED, &lr, w);
+            compl += reg.window_sum(names::COMPLETED, &lr, w);
+            fail += reg.window_sum(names::FAILED, &lr, w);
+        }
+        let mut refill = 0u64;
+        for s in 0..sim.app().service_count() {
+            refill += reg.window_sum(names::REFILL_MISSES, &Labels::service(s as u32), w);
+        }
+        let l = Labels::default();
+        let down = reg.window_mean(names::INSTANCES_DOWN, &l, w).round() as u64;
+        let cut = reg.window_mean(names::PARTITION_EDGES, &l, w).round() as u64;
+        let _ = writeln!(
+            out,
+            "{w:>4}{issued:>9}{compl:>9}{fail:>7}{down:>7}{cut:>7}{refill:>8}"
+        );
+    }
+    out
+}
+
+/// The Fig. 22-style tail-under-failure experiment: the same app and
+/// load, once healthy and once under the scenario's chaos plan, p99 per
+/// one-second window side by side. Failures fail *fast*, so the chaos
+/// column shows the tail of what still completed — the paper's point
+/// that fault handling shifts latency rather than simply truncating it.
+pub fn tail_under_failure(name: &str) -> String {
+    let sc = scenario(name);
+    let run = |chaos: bool| {
+        let (mut sim, mut load) = build_sim(&sc.app, make_cluster(8), 7);
+        if chaos {
+            sim.install_chaos(&sc.plan);
+        }
+        for s in 0..sc.secs {
+            let a = SimTime::from_secs(s);
+            let b = SimTime::from_secs(s + 1);
+            load.drive_fn(&mut sim, a, b, |_| sc.qps);
+            sim.advance_to(b);
+        }
+        sim.run_until_idle();
+        sim
+    };
+    let healthy = run(false);
+    let faulted = run(true);
+    let p99 = |sim: &Simulation, w: usize| -> f64 {
+        let mut worst = 0u64;
+        for r in 0..sim.request_type_count() {
+            if let Some(rs) = sim.request_stats(RequestType(r as u32)) {
+                worst = worst.max(rs.windows.quantile(w, 0.99));
+            }
+        }
+        worst as f64 / 1e6
+    };
+    let failed_total = |sim: &Simulation| -> u64 {
+        (0..sim.request_type_count())
+            .filter_map(|r| sim.request_stats(RequestType(r as u32)))
+            .map(|rs| rs.failed)
+            .sum()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "tail under failure — {name} @ {:.0} qps", sc.qps);
+    let _ = writeln!(
+        out,
+        "{:>4}{:>16}{:>16}",
+        "SEC", "HEALTHY p99 ms", "CHAOS p99 ms"
+    );
+    for w in 0..sc.secs as usize {
+        let _ = writeln!(
+            out,
+            "{w:>4}{:>16.3}{:>16.3}",
+            p99(&healthy, w),
+            p99(&faulted, w),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "failed fast under chaos: {} of {} issued (healthy run: {})",
+        failed_total(&faulted),
+        (0..faulted.request_type_count())
+            .filter_map(|r| faulted.request_stats(RequestType(r as u32)))
+            .map(|rs| rs.issued)
+            .sum::<u64>(),
+        failed_total(&healthy),
+    );
+    out
+}

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod extras;
 pub mod fig03;
 pub mod fig09;

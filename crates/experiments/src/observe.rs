@@ -21,6 +21,16 @@ pub struct Observed {
     pub jsonl: String,
     /// The `dsb-top` text table with ALERT / ROOT CAUSE lines.
     pub top: String,
+    /// How many SLO burn-rate alerts fired — `dsb-report
+    /// --fail-on-alert` turns this into the process exit code.
+    pub alerts: usize,
+}
+
+/// The `dsb-report` exit decision, split from `main` so the alert →
+/// exit-code contract is unit-tested: alerts only fail the run when the
+/// caller opted in with `--fail-on-alert`.
+pub fn exit_code(obs: &Observed, fail_on_alert: bool) -> u8 {
+    u8::from(fail_on_alert && obs.alerts > 0)
 }
 
 /// Drives `app` at `qps` for `secs` simulated seconds with a 1-second
@@ -61,6 +71,7 @@ pub fn observe_workers(
     Observed {
         jsonl: report::jsonl(&sim, &scraper, &alerts, &causes),
         top: report::top(&sim, &scraper, &alerts, &causes, title),
+        alerts: alerts.len(),
     }
 }
 
@@ -92,5 +103,19 @@ mod tests {
             obs.top
         );
         assert!(obs.jsonl.contains("\"type\":\"root_cause\""));
+        assert!(obs.alerts > 0, "the burn must surface in Observed::alerts");
+        assert_eq!(exit_code(&obs, true), 1, "--fail-on-alert fails the run");
+        assert_eq!(exit_code(&obs, false), 0, "without the flag it passes");
+    }
+
+    #[test]
+    fn fail_on_alert_passes_a_healthy_run() {
+        let quiet = Observed {
+            jsonl: String::new(),
+            top: String::new(),
+            alerts: 0,
+        };
+        assert_eq!(exit_code(&quiet, true), 0);
+        assert_eq!(exit_code(&quiet, false), 0);
     }
 }

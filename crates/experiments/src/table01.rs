@@ -19,7 +19,9 @@ fn count_steps(steps: &[Step]) -> usize {
     steps
         .iter()
         .map(|s| match s {
-            Step::Branch { then, els, .. } => 1 + count_steps(then) + count_steps(els),
+            Step::Branch { then, els, .. } | Step::CacheLookup { then, els, .. } => {
+                1 + count_steps(then) + count_steps(els)
+            }
             _ => 1,
         })
         .sum()

@@ -187,6 +187,9 @@ fn user_demand_ns(steps: &[dsb_core::Step]) -> f64 {
             Step::Branch { p, then, els } => {
                 total += p * user_demand_ns(then) + (1.0 - p) * user_demand_ns(els);
             }
+            Step::CacheLookup { hit, then, els, .. } => {
+                total += hit * user_demand_ns(then) + (1.0 - hit) * user_demand_ns(els);
+            }
             _ => {}
         }
     }

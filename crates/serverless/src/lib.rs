@@ -117,6 +117,17 @@ fn rewrite_steps(steps: &[Step], put: EndpointRef) -> Vec<Step> {
                 then: Arc::new(rewrite_steps(then, put)),
                 els: Arc::new(rewrite_steps(els, put)),
             }),
+            Step::CacheLookup {
+                cache,
+                hit,
+                then,
+                els,
+            } => out.push(Step::CacheLookup {
+                cache: *cache,
+                hit: *hit,
+                then: Arc::new(rewrite_steps(then, put)),
+                els: Arc::new(rewrite_steps(els, put)),
+            }),
             other => out.push(other.clone()),
         }
     }

@@ -1,0 +1,212 @@
+//! The detection scorer: joins fired [`Alert`]s and root-cause verdicts
+//! against the ground-truth [`ChaosPlan`] that injected the faults, and
+//! grades the telemetry plane as a detector.
+//!
+//! The chaos subsystem turns observability claims into testable ones:
+//! the plan knows exactly when each fault started and ended, so every
+//! alert is either *explained* by a fault window or a false positive,
+//! and every fault either *detected* (some alert overlaps it) or missed.
+//! The score reports precision and recall over those joins plus, per
+//! detected fault, time-to-detect (fault start → first overlapping
+//! alert window) and time-to-recover (fault start → the last window the
+//! alert still fired — the measured RTO against that SLO).
+
+use dsb_core::{ChaosPlan, FaultWindow};
+use dsb_simcore::{SimDuration, SimTime};
+
+use crate::rootcause::RootCause;
+use crate::slo::Alert;
+
+/// One ground-truth fault joined with the alerts that (should) have
+/// caught it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The injected fault, from [`ChaosPlan::faults`].
+    pub fault: FaultWindow,
+    /// Whether any alert overlapped the fault's (grace-extended) span.
+    pub detected: bool,
+    /// First scrape window of the earliest overlapping alert.
+    pub detect_window: Option<usize>,
+    /// Fault start → start of the earliest overlapping alert window
+    /// (zero when the alert was already firing).
+    pub time_to_detect: Option<SimDuration>,
+    /// Fault start → end of the last overlapping alert window: how long
+    /// the SLO kept burning, the measured recovery time against this
+    /// objective.
+    pub time_to_recover: Option<SimDuration>,
+    /// For faults that name a culprit service: whether some overlapping
+    /// diagnosis named it — as its chain-walk culprit, or as the top
+    /// cache tier in its fault evidence. `None` when the fault carries
+    /// no culprit.
+    pub culprit_named: Option<bool>,
+}
+
+/// The detection scorecard for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionScore {
+    /// One entry per injected fault, in fault-start order.
+    pub detections: Vec<Detection>,
+    /// Alerts that overlap no (grace-extended) fault window.
+    pub false_alerts: usize,
+    /// Alerts that overlap at least one fault window.
+    pub true_alerts: usize,
+    /// `true_alerts / (true_alerts + false_alerts)`; 1.0 with no alerts.
+    pub precision: f64,
+    /// Detected faults / injected faults; 1.0 with no faults.
+    pub recall: f64,
+}
+
+/// Scores a run: matches every alert against every fault window from
+/// `plan`, extending each fault by `grace` past its end — recovery
+/// transients (cold caches refilling, queues draining) legitimately keep
+/// the SLO burning after the fault itself clears. `interval` is the
+/// scrape interval the alert windows are denominated in.
+pub fn score(
+    plan: &ChaosPlan,
+    interval: SimDuration,
+    alerts: &[Alert],
+    causes: &[RootCause],
+    grace: SimDuration,
+) -> DetectionScore {
+    let faults = plan.faults();
+    let span = |a: &Alert| {
+        let lo = SimTime::ZERO + interval * a.first_window as u64;
+        let hi = SimTime::ZERO + interval * (a.last_window as u64 + 1);
+        (lo, hi)
+    };
+    let overlaps = |a: &Alert, f: &FaultWindow| {
+        let (lo, hi) = span(a);
+        lo < f.until + grace && hi > f.from
+    };
+
+    let mut detections: Vec<Detection> = faults
+        .iter()
+        .map(|f| {
+            let mut hits: Vec<&Alert> = alerts.iter().filter(|a| overlaps(a, f)).collect();
+            hits.sort_by_key(|a| a.first_window);
+            let first = hits.first().map(|a| span(a).0);
+            let last = hits.last().map(|a| span(a).1);
+            let culprit_named = f.culprit.map(|c| {
+                causes
+                    .iter()
+                    .filter(|rc| {
+                        hits.iter().any(|a| {
+                            rc.first_window <= a.last_window && rc.last_window >= a.first_window
+                        })
+                    })
+                    .any(|rc| {
+                        rc.culprit == c.0
+                            || rc
+                                .fault
+                                .as_ref()
+                                .is_some_and(|ev| ev.refill_top == Some(c.0))
+                    })
+            });
+            Detection {
+                fault: f.clone(),
+                detected: !hits.is_empty(),
+                detect_window: hits.first().map(|a| a.first_window),
+                time_to_detect: first.map(|t| t.since(f.from.min(t))),
+                time_to_recover: last.map(|t| t.since(f.from.min(t))),
+                culprit_named,
+            }
+        })
+        .collect();
+    detections.sort_by_key(|d| (d.fault.from, d.fault.label.clone()));
+
+    let true_alerts = alerts
+        .iter()
+        .filter(|a| faults.iter().any(|f| overlaps(a, f)))
+        .count();
+    let false_alerts = alerts.len() - true_alerts;
+    let precision = if alerts.is_empty() {
+        1.0
+    } else {
+        true_alerts as f64 / alerts.len() as f64
+    };
+    let detected = detections.iter().filter(|d| d.detected).count();
+    let recall = if detections.is_empty() {
+        1.0
+    } else {
+        detected as f64 / detections.len() as f64
+    };
+    DetectionScore {
+        detections,
+        false_alerts,
+        true_alerts,
+        precision,
+        recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsb_core::{ChaosEvent, MachineId, RequestType};
+
+    fn alert(first: usize, last: usize) -> Alert {
+        Alert {
+            rtype: RequestType(0),
+            first_window: first,
+            last_window: last,
+            peak_short: 20.0,
+            peak_long: 20.0,
+            violations: 10,
+            total: 100,
+        }
+    }
+
+    fn plan() -> ChaosPlan {
+        let mut p = ChaosPlan::empty(7);
+        p.events.push(ChaosEvent::MachineCrash {
+            machine: MachineId(1),
+            at: SimTime::from_millis(500),
+            restart_after: SimDuration::from_millis(300),
+            cold_for: SimDuration::from_millis(100),
+        });
+        p
+    }
+
+    #[test]
+    fn overlapping_alert_detects_the_fault() {
+        let interval = SimDuration::from_millis(250);
+        // Fault spans 500..800 ms => windows 2..4 (with 250 ms grace).
+        let alerts = vec![alert(2, 4)];
+        let s = score(&plan(), interval, &alerts, &[], interval);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        let d = &s.detections[0];
+        assert!(d.detected);
+        assert_eq!(d.detect_window, Some(2));
+        // Alert window 2 starts at 500 ms == fault start: detected at 0.
+        assert_eq!(d.time_to_detect, Some(SimDuration::ZERO));
+        // Alert held through window 4, ending 1250 ms: RTO 750 ms.
+        assert_eq!(d.time_to_recover, Some(SimDuration::from_millis(750)));
+        assert_eq!(d.culprit_named, None, "machine crash names no culprit");
+    }
+
+    #[test]
+    fn unrelated_alert_is_a_false_positive() {
+        let interval = SimDuration::from_millis(250);
+        let alerts = vec![alert(20, 21)];
+        let s = score(&plan(), interval, &alerts, &[], SimDuration::ZERO);
+        assert_eq!(s.false_alerts, 1);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0, "the fault went undetected");
+        assert!(!s.detections[0].detected);
+    }
+
+    #[test]
+    fn no_faults_no_alerts_is_a_perfect_score() {
+        let s = score(
+            &ChaosPlan::empty(1),
+            SimDuration::from_millis(250),
+            &[],
+            &[],
+            SimDuration::ZERO,
+        );
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert!(s.detections.is_empty());
+    }
+}

@@ -21,7 +21,13 @@
 //!   the alert window: walks [`dsb_trace::critical_path`] attributions,
 //!   then follows saturated connection pools *downstream* to name the
 //!   culprit tier (the Fig. 17 diagnosis: the tier the time is billed to
-//!   is not the tier causing the wait).
+//!   is not the tier causing the wait). Under an installed
+//!   [`dsb_core::ChaosPlan`] the diagnosis also carries
+//!   [`FaultEvidence`] read back from the chaos metric series.
+//! * [`score`] — grades the plane as a *detector*: joins fired alerts
+//!   and diagnoses against the ground-truth `ChaosPlan`, yielding
+//!   precision, recall, per-fault time-to-detect, and the measured
+//!   recovery time against each SLO.
 //!
 //! [`report::jsonl`] and [`report::top`] export everything as JSONL (one
 //! object per scrape/alert/root-cause) and a `dsb-top`-style text table;
@@ -29,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod detect;
 mod registry;
 mod rootcause;
 mod scrape;
@@ -36,7 +43,8 @@ mod slo;
 
 pub mod report;
 
+pub use detect::{score, Detection, DetectionScore};
 pub use registry::{names, Kind, Labels, Registry};
-pub use rootcause::{critical_path_totals, diagnose, RootCause, TierEvidence};
+pub use rootcause::{critical_path_totals, diagnose, FaultEvidence, RootCause, TierEvidence};
 pub use scrape::Scraper;
 pub use slo::{evaluate, Alert, BurnRule, Slo};

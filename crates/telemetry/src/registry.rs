@@ -104,6 +104,19 @@ pub mod names {
     pub const SPAN_P99_NS: &str = "span_p99_ns";
     /// Gauge: per-window span mean (ns), per service — same condition.
     pub const SPAN_MEAN_NS: &str = "span_mean_ns";
+    /// Gauge: instances currently `Down` from chaos faults, app-wide
+    /// (label-less). Recorded only once a fault has fired, so fault-free
+    /// runs carry no fault series at all.
+    pub const INSTANCES_DOWN: &str = "instances_down";
+    /// Gauge: machine pairs currently partitioned, app-wide — same
+    /// only-after-first-fault rule.
+    pub const PARTITION_EDGES: &str = "partition_edges";
+    /// Counter: cache lookups forced onto the miss path by a down or
+    /// cold-refilling home shard, per (cache) service — same rule.
+    pub const REFILL_MISSES: &str = "refill_misses";
+    /// Counter: requests failed fast by faults, per request type — same
+    /// rule.
+    pub const FAILED: &str = "failed";
 }
 
 /// Whether a metric is a monotone total (recorded as per-scrape deltas)

@@ -182,7 +182,19 @@ pub fn jsonl(
             }
             let _ = write!(out, "[\"{}\",{:.3}]", esc(&service_name(sim, svc)), share);
         }
-        let _ = writeln!(out, "],\"traces\":{}}}", rc.traces);
+        out.push(']');
+        if let Some(ev) = &rc.fault {
+            let _ = write!(
+                out,
+                ",\"fault\":{{\"instances_down\":{},\"partition_edges\":{},\"refill_misses\":{}",
+                ev.instances_down, ev.partition_edges, ev.refill_misses,
+            );
+            if let Some(t) = ev.refill_top {
+                let _ = write!(out, ",\"refill_top\":\"{}\"", esc(&service_name(sim, t)));
+            }
+            out.push('}');
+        }
+        let _ = writeln!(out, ",\"traces\":{}}}", rc.traces);
     }
     out
 }
@@ -279,13 +291,75 @@ pub fn alert_lines(sim: &Simulation, alerts: &[Alert], causes: &[RootCause]) -> 
             .map(|&(s, share)| format!("{} {:.0}%", service_name(sim, s), share * 100.0))
             .collect::<Vec<_>>()
             .join(", ");
+        let fault = rc
+            .fault
+            .as_ref()
+            .map(|ev| {
+                let top = ev
+                    .refill_top
+                    .map(|t| format!(" (top `{}`)", service_name(sim, t)))
+                    .unwrap_or_default();
+                format!(
+                    "; fault plane: {} down, {} partitioned, {} cold refills{top}",
+                    ev.instances_down, ev.partition_edges, ev.refill_misses,
+                )
+            })
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "ROOT CAUSE rtype={}: `{}` — chain {chain}{evidence}; critical path: {attr}; {} traces",
+            "ROOT CAUSE rtype={}: `{}` — chain {chain}{evidence}; critical path: {attr}{fault}; {} traces",
             rc.rtype.0,
             service_name(sim, rc.culprit),
             rc.traces,
         );
+    }
+    out
+}
+
+/// Renders a [`crate::DetectionScore`] as text: the headline precision /
+/// recall line, then one line per injected fault with its detection
+/// latency and the measured recovery time.
+pub fn detection_lines(sim: &Simulation, score: &crate::DetectionScore) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "DETECTION precision {:.2} recall {:.2} ({} true, {} false alerts, {} faults)",
+        score.precision,
+        score.recall,
+        score.true_alerts,
+        score.false_alerts,
+        score.detections.len(),
+    );
+    for d in &score.detections {
+        let f = &d.fault;
+        let _ = write!(
+            out,
+            "  fault {} @{:.0}..{:.0}ms: ",
+            f.label,
+            f.from.since(dsb_simcore::SimTime::ZERO).as_millis_f64(),
+            f.until.since(dsb_simcore::SimTime::ZERO).as_millis_f64(),
+        );
+        if !d.detected {
+            out.push_str("MISSED\n");
+            continue;
+        }
+        let _ = write!(
+            out,
+            "detected w{}, ttd {:.0} ms, recovered {:.0} ms",
+            d.detect_window.expect("detected"),
+            d.time_to_detect.expect("detected").as_millis_f64(),
+            d.time_to_recover.expect("detected").as_millis_f64(),
+        );
+        match (d.culprit_named, f.culprit) {
+            (Some(true), Some(c)) => {
+                let _ = write!(out, ", culprit `{}` named", service_name(sim, c.0));
+            }
+            (Some(false), Some(c)) => {
+                let _ = write!(out, ", culprit `{}` NOT named", service_name(sim, c.0));
+            }
+            _ => {}
+        }
+        out.push('\n');
     }
     out
 }

@@ -36,6 +36,21 @@ pub struct TierEvidence {
     pub conn_waiters: f64,
 }
 
+/// Fault-plane evidence joined onto a diagnosis: what the chaos metric
+/// series showed over the alert window. `None` on a fault-free run —
+/// the series are only recorded once a `ChaosPlan` fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvidence {
+    /// Peak `instances_down` gauge over the alert window.
+    pub instances_down: u64,
+    /// Peak `partition_edges` gauge over the alert window.
+    pub partition_edges: u64,
+    /// Total forced cache-refill misses over the alert window.
+    pub refill_misses: u64,
+    /// The service with the most refill misses, when any occurred.
+    pub refill_top: Option<u32>,
+}
+
 /// A root-cause report for one alert.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RootCause {
@@ -55,6 +70,41 @@ pub struct RootCause {
     pub attribution: Vec<(u32, f64)>,
     /// Sampled traces that fell inside the alert window.
     pub traces: usize,
+    /// Fault-plane evidence over the alert window, when any chaos series
+    /// recorded a nonzero value there.
+    pub fault: Option<FaultEvidence>,
+}
+
+/// Reads the chaos series back over windows `[from, to)`; `None` when
+/// every fault signal is zero there (the fault-free case).
+fn fault_evidence(reg: &Registry, n: usize, from: usize, to: usize) -> Option<FaultEvidence> {
+    let l = Labels::default();
+    let mut down = 0u64;
+    let mut edges = 0u64;
+    for w in from..to {
+        down = down.max(reg.window_mean(names::INSTANCES_DOWN, &l, w).round() as u64);
+        edges = edges.max(reg.window_mean(names::PARTITION_EDGES, &l, w).round() as u64);
+    }
+    let mut refills = 0u64;
+    let mut top: Option<(u32, u64)> = None;
+    for s in 0..n as u32 {
+        let sum = reg.range_sum(names::REFILL_MISSES, &Labels::service(s), from, to);
+        if sum > 0 {
+            refills += sum;
+            if top.is_none_or(|(_, best)| sum > best) {
+                top = Some((s, sum));
+            }
+        }
+    }
+    if down == 0 && edges == 0 && refills == 0 {
+        return None;
+    }
+    Some(FaultEvidence {
+        instances_down: down,
+        partition_edges: edges,
+        refill_misses: refills,
+        refill_top: top.map(|(s, _)| s),
+    })
 }
 
 /// Sums critical-path attribution (ns per service) over a set of traces.
@@ -200,6 +250,7 @@ pub fn diagnose(sim: &Simulation, reg: &Registry, alert: &Alert) -> Option<RootC
         chain,
         attribution,
         traces,
+        fault: fault_evidence(reg, n, from, to),
     })
 }
 

@@ -107,6 +107,9 @@ impl Scraper {
             let st = sim.service_stats(sid);
             reg.counter(names::INVOCATIONS, l, stamp, st.invocations);
             reg.counter(names::DROPPED, l, stamp, st.dropped);
+            if st.refill_misses > 0 || reg.series(names::REFILL_MISSES, &l).is_some() {
+                reg.counter(names::REFILL_MISSES, l, stamp, st.refill_misses);
+            }
             for (e, &n) in st.endpoint_invocations.iter().enumerate() {
                 let le = l.with_endpoint(e as u32);
                 reg.counter(names::ENDPOINT_INVOCATIONS, le, stamp, n);
@@ -156,16 +159,32 @@ impl Scraper {
                 reg.counter(names::ISSUED, lr, stamp, rs.issued);
                 reg.counter(names::COMPLETED, lr, stamp, rs.completed);
                 reg.counter(names::REJECTED, lr, stamp, rs.rejected);
+                if rs.failed > 0 || reg.series(names::FAILED, &lr).is_some() {
+                    reg.counter(names::FAILED, lr, stamp, rs.failed);
+                }
             }
         }
         for slo in &self.slos {
             if let Some(rs) = sim.request_stats(slo.rtype) {
                 let lr = Labels::rtype(slo.rtype.0);
-                let total = rs.latency.count();
+                // Failed-fast requests never reach the latency histogram
+                // but still burn the SLO: an error is as bad as a miss.
+                let total = rs.latency.count() + rs.failed;
                 let good = rs.latency.count_le(slo.latency.as_nanos());
                 reg.counter(names::SLO_TOTAL, lr, stamp, total);
                 reg.counter(names::SLO_GOOD, lr, stamp, good);
             }
+        }
+        // App-wide fault state: silent until the first fault fires, then
+        // sampled every window (zeros included) so recovery is visible.
+        let l = Labels::default();
+        let down = sim.instances_down();
+        if down > 0 || reg.series(names::INSTANCES_DOWN, &l).is_some() {
+            reg.gauge(names::INSTANCES_DOWN, l, stamp, down);
+        }
+        let edges = sim.partition_edges();
+        if edges > 0 || reg.series(names::PARTITION_EDGES, &l).is_some() {
+            reg.gauge(names::PARTITION_EDGES, l, stamp, edges);
         }
         self.scrapes += 1;
     }
@@ -246,6 +265,90 @@ mod tests {
             )
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// Mid-run topology churn: a scale-up joins and the leaf's machine
+    /// crashes between scrapes. Every scrape must report the instance
+    /// count the simulation holds at that instant — and keep working
+    /// when a conn-pool target it reported last window has vanished.
+    #[test]
+    fn scrapes_track_mid_run_topology_changes() {
+        use dsb_core::{ChaosEvent, ChaosPlan, ServiceId};
+        use dsb_net::Protocol;
+
+        let mut app = AppBuilder::new("t");
+        let b = app
+            .service("leaf")
+            .workers(4)
+            .protocol(Protocol::Http1)
+            .conn_limit(8)
+            .build();
+        let get = app.endpoint(b, "get", Dist::constant(200.0), vec![Step::work_us(50.0)]);
+        let a = app
+            .service("front")
+            .workers(4)
+            .protocol(Protocol::Http1)
+            .build();
+        let root = app.endpoint(
+            a,
+            "root",
+            Dist::constant(200.0),
+            vec![Step::work_us(20.0), Step::call(get, 64.0)],
+        );
+        let mut cluster = ClusterSpec::xeon_cluster(2, 1);
+        // Default provisioning lag (8 s) outlasts this 2 s run.
+        cluster.instance_startup = SimDuration::from_millis(500);
+        let mut sim = Simulation::new(app.build(), cluster, 7);
+        let leaf = ServiceId(0);
+        for j in 0..400u64 {
+            sim.inject(SimTime::from_millis(j * 5), root, RequestType(0), 128, j);
+        }
+        // The leaf's machine dies at 500 ms and restarts 300 ms later.
+        let machine = sim.instance_machine(sim.instances_of(leaf)[0]);
+        sim.install_chaos(&ChaosPlan {
+            seed: 3,
+            events: vec![ChaosEvent::MachineCrash {
+                machine,
+                at: SimTime::from_millis(500),
+                restart_after: SimDuration::from_millis(300),
+                cold_for: SimDuration::ZERO,
+            }],
+        });
+        let mut scr = Scraper::new(SimDuration::from_millis(250));
+        let mut expect = Vec::new();
+        for step in 1..=8u64 {
+            let t = SimTime::from_millis(step * 250);
+            sim.advance_to(t);
+            if step == 2 {
+                // Scale-up racing the crash: joins after startup delay.
+                sim.add_instance(leaf);
+            }
+            scr.tick(&sim, t);
+            expect.push(sim.instance_count(leaf) as u64);
+        }
+        sim.run_until_idle();
+        let reg = scr.registry();
+        let l = Labels::service(0);
+        // Each window reports exactly the Up count at its scrape, through
+        // both the join and the crash/restart.
+        for (w, &e) in expect.iter().enumerate() {
+            assert_eq!(
+                reg.window_mean(names::INSTANCES, &l, w).round() as u64,
+                e,
+                "window {w}"
+            );
+        }
+        assert!(
+            expect.iter().any(|&e| e == 0),
+            "the crash window must report zero Up leaf instances: {expect:?}"
+        );
+        assert!(
+            *expect.last().unwrap() >= 2,
+            "restart + scale-up must both be Up by the end: {expect:?}"
+        );
+        // The crash reached the app-wide fault gauge.
+        let ld = Labels::default();
+        assert!((0..expect.len()).any(|w| reg.window_mean(names::INSTANCES_DOWN, &ld, w) > 0.0));
     }
 
     #[test]

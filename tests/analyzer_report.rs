@@ -1,5 +1,5 @@
 //! Pins the static-analysis report of every built-in application (plus
-//! eight deliberate defect demos) to a golden fixture, so any change to a
+//! nine deliberate defect demos) to a golden fixture, so any change to a
 //! diagnostic's wording, ordering, or firing conditions shows up as a
 //! reviewable line diff. Every app is analyzed against the same
 //! reference cluster the golden traces run on, with a 1-second DSB012
@@ -109,6 +109,14 @@ fn golden_analyzer_report() {
         &mut text,
         "defect demo: stale refill",
         &apps::defects::stale_refill(),
+        100.0,
+    );
+    // An app whose sole cache tier runs one replica: a single
+    // cache-loss fault evicts the whole key space at once (DSB017).
+    report(
+        &mut text,
+        "defect demo: bare cache",
+        &apps::defects::bare_cache(),
         100.0,
     );
     let path = format!(

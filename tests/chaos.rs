@@ -1,0 +1,72 @@
+//! Chaos detection suite: every built-in chaos scenario's recovery
+//! timeline is pinned to a golden fixture, and the detection scorer must
+//! grade the telemetry plane perfectly on all of them — every injected
+//! fault detected (recall 1.0), every fired alert explained by a fault
+//! (precision 1.0), and culprit-carrying faults correctly attributed.
+//! Regenerate timelines with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --offline --test chaos
+//! ```
+
+use deathstarbench_sim::experiments::chaos;
+use dsb_testkit::golden;
+
+fn check(name: &str) -> chaos::ChaosRun {
+    let run = chaos::run_scenario(name, 1);
+    let dir = env!("CARGO_MANIFEST_DIR");
+    let file = name.replace('-', "_");
+    golden::check(
+        format!("{dir}/tests/goldens/chaos_{file}.txt"),
+        &run.timeline,
+    );
+    assert_eq!(
+        run.score.precision, 1.0,
+        "{name}: {} false alerts",
+        run.score.false_alerts
+    );
+    assert_eq!(run.score.recall, 1.0, "{name}: a fault went undetected");
+    run
+}
+
+#[test]
+fn golden_chaos_machine_crash() {
+    let run = check("machine-crash");
+    let d = &run.score.detections[0];
+    assert!(d.detected);
+    assert!(d.time_to_recover.is_some(), "RTO must be measured");
+}
+
+#[test]
+fn golden_chaos_cache_loss() {
+    let run = check("cache-loss");
+    // The fault carries a culprit (the cache tier) and the diagnosis
+    // must name it — via the refill evidence if not the chain walk.
+    assert_eq!(run.score.detections[0].culprit_named, Some(true));
+}
+
+#[test]
+fn golden_chaos_partition() {
+    check("partition");
+}
+
+#[test]
+fn golden_chaos_nic_degrade() {
+    check("nic-degrade");
+}
+
+#[test]
+fn golden_chaos_edge_churn() {
+    check("edge-churn");
+}
+
+/// The Fig. 22-style experiment: under the nic-degrade plan the faulted
+/// run's worst per-second p99 must blow past the healthy run's, and the
+/// healthy seconds before injection must match exactly (same seed, same
+/// arrivals — chaos only perturbs the fault window).
+#[test]
+fn tail_under_failure_shows_the_fault() {
+    let text = chaos::tail_under_failure("nic-degrade");
+    let dir = env!("CARGO_MANIFEST_DIR");
+    golden::check(format!("{dir}/tests/goldens/chaos_tail.txt"), &text);
+}

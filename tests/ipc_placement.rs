@@ -17,7 +17,7 @@ fn call_targets(steps: &[Step], out: &mut Vec<dsb_core::EndpointRef>) {
         match s {
             Step::Call { target, .. } | Step::FanCall { target, .. } => out.push(*target),
             Step::ParCall { calls } => out.extend(calls.iter().map(|(t, _)| *t)),
-            Step::Branch { then, els, .. } => {
+            Step::Branch { then, els, .. } | Step::CacheLookup { then, els, .. } => {
                 call_targets(then, out);
                 call_targets(els, out);
             }

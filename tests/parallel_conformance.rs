@@ -251,6 +251,34 @@ fn dsb_report_output_conforms() {
     }
 }
 
+/// Chaos conformance: fault injection happens at quiesced boundaries, so
+/// a chaos run — fault state, failures, refills, alerts, diagnoses, the
+/// full JSONL — must be byte-identical under the serial and the sharded
+/// engine. Two scenarios cover both injection families: machine-crash
+/// (instance state flips + failed-fast propagation) and cache-loss
+/// (forced misses + cold refills).
+#[test]
+fn chaos_runs_conform() {
+    use deathstarbench_sim::experiments::chaos;
+    // 4 s covers inject (2 s) → restart (3 s) → warm again (3.5–4 s);
+    // the full-length runs are pinned by the tests/chaos.rs goldens.
+    let secs = Some(4);
+    for name in ["machine-crash", "cache-loss"] {
+        let serial = chaos::run_scenario_for(name, 1, secs);
+        for &w in &WORKERS[1..] {
+            let par = chaos::run_scenario_for(name, w, secs);
+            assert_eq!(
+                serial.timeline, par.timeline,
+                "{name}: timeline diverged at workers={w}"
+            );
+            assert_eq!(
+                serial.jsonl, par.jsonl,
+                "{name}: JSONL diverged at workers={w}"
+            );
+        }
+    }
+}
+
 /// The 64-seed generated-app sweep: the same conformance obligation over
 /// the `dsb-gen` space (arbitrary depth/width/fanout graphs, their own
 /// clusters, partitioned stores), driven briefly at each spec's own
